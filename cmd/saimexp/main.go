@@ -1,0 +1,196 @@
+// Command saimexp regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	saimexp -exp table2                 # one experiment, reduced preset
+//	saimexp -exp all -preset smoke      # everything, tiny scale
+//	saimexp -exp fig3 -trace fig3.csv   # also dump the trace series
+//	saimexp -exp table5 -preset paper   # full paper scale (hours)
+//
+// Experiments: table1, table2, table3, table4, table5, fig3, fig4, fig5,
+// the ablations (abl-eta, abl-alpha, abl-encoding, abl-projection,
+// abl-capacity), or all. Presets: smoke (seconds), reduced (default,
+// minutes), paper (the published sizes and budgets; many hours on one
+// core). "all" runs the tables and figures; ablations run only when named
+// explicitly or via -exp ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ising-machines/saim/internal/experiments"
+	"github.com/ising-machines/saim/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1..table5, fig3..fig5, abl-*, all, or ablations")
+		preset  = flag.String("preset", "reduced", "smoke, reduced, or paper")
+		seed    = flag.Uint64("seed", 0, "seed offset for all instances and solvers")
+		trace   = flag.String("trace", "", "CSV file for fig3/fig5 trace series")
+		csvOut  = flag.String("csv", "", "also render tables as CSV into this directory")
+		verbose = flag.Bool("v", false, "per-instance progress on stderr")
+	)
+	flag.Parse()
+
+	p, err := experiments.ParsePreset(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{Preset: p, Seed: *seed, Verbose: *verbose}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+	ran := 0
+
+	runTable := func(name string, f func() (fmt.Stringer, error)) {
+		if !all && !wanted[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		tb, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(tb.String())
+		fmt.Printf("(%s regenerated in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvOut != "" {
+			writeCSV(*csvOut, name, tb)
+		}
+	}
+
+	runTable("table1", func() (fmt.Stringer, error) { return experiments.TableI(cfg), nil })
+	runTable("table2", func() (fmt.Stringer, error) {
+		r, err := experiments.Table2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	})
+	runTable("table3", func() (fmt.Stringer, error) {
+		r, err := experiments.Table3(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	})
+	runTable("table4", func() (fmt.Stringer, error) {
+		r, err := experiments.Table4(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	})
+	runTable("table5", func() (fmt.Stringer, error) {
+		r, err := experiments.Table5(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	})
+
+	runTraceFig := func(name string, f func(experiments.Config) (*experiments.TraceResult, error)) {
+		if !all && !wanted[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		r, err := f(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(r.Summary.String())
+		fmt.Printf("(%s regenerated in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *trace != "" {
+			out, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := r.WriteCSV(out); err != nil {
+				fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s\n\n", *trace)
+		}
+	}
+	runTraceFig("fig3", experiments.Fig3)
+
+	if all || wanted["fig4"] {
+		ran++
+		start := time.Now()
+		r, err := experiments.Fig4(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Accuracy.String())
+		fmt.Println(r.Budget.String())
+		fmt.Printf("(fig4 regenerated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvOut != "" {
+			writeCSV(*csvOut, "fig4a", r.Accuracy)
+			writeCSV(*csvOut, "fig4b", r.Budget)
+		}
+	}
+
+	runTraceFig("fig5", experiments.Fig5)
+
+	ablations := wanted["ablations"]
+	runAblation := func(name string, f func(experiments.Config) (*experiments.AblationResult, error)) {
+		if !ablations && !wanted[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		r, err := f(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(r.Table.String())
+		fmt.Printf("(%s regenerated in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvOut != "" {
+			writeCSV(*csvOut, name, r.Table)
+		}
+	}
+	runAblation("abl-eta", experiments.AblationEta)
+	runAblation("abl-alpha", experiments.AblationAlpha)
+	runAblation("abl-encoding", experiments.AblationEncoding)
+	runAblation("abl-projection", experiments.AblationProjection)
+	runAblation("abl-capacity", experiments.AblationCapacity)
+
+	if ran == 0 {
+		fatal(fmt.Errorf("no experiment matched %q", *exp))
+	}
+}
+
+func writeCSV(dir, name string, tb fmt.Stringer) {
+	ct, ok := tb.(*report.Table)
+	if !ok {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(fmt.Sprintf("%s/%s.csv", dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := ct.RenderCSV(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saimexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command saimgen generates benchmark instances in the library's text
+// formats.
+//
+// Usage:
+//
+//	saimgen -family qkp -n 100 -density 0.5 -id 1 -seed 42 -o 100-50-1.qkp
+//	saimgen -family mkp -n 100 -m 5 -tightness 0.5 -id 1 -o 100-5-1.mkp
+//
+// With -o "-" (the default) the instance is written to stdout. Seeds
+// default to a deterministic hash of the parameters so regenerating the
+// same instance id yields identical data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ising-machines/saim/internal/mkp"
+	"github.com/ising-machines/saim/internal/qkp"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "qkp", "instance family: qkp or mkp")
+		n         = flag.Int("n", 100, "number of items")
+		m         = flag.Int("m", 5, "number of constraints (mkp only)")
+		density   = flag.Float64("density", 0.5, "pair-value density in (0,1] (qkp only)")
+		tightness = flag.Float64("tightness", 0.5, "capacity tightness in (0,1) (mkp only)")
+		id        = flag.Int("id", 1, "instance id (names the instance)")
+		seed      = flag.Uint64("seed", 0, "generator seed (0 = derive from parameters)")
+		out       = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	s := *seed
+	if s == 0 {
+		s = deriveSeed(*family, *n, *m, *id, *density, *tightness)
+	}
+
+	switch *family {
+	case "qkp":
+		inst := qkp.Generate(*n, *density, *id, s)
+		if err := inst.Write(w); err != nil {
+			fatal(err)
+		}
+	case "mkp":
+		inst := mkp.Generate(*n, *m, *tightness, *id, s)
+		if err := inst.Write(w); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown family %q (want qkp or mkp)", *family))
+	}
+}
+
+func deriveSeed(family string, n, m, id int, density, tightness float64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, b := range []byte(family) {
+		mix(uint64(b))
+	}
+	mix(uint64(n))
+	mix(uint64(m))
+	mix(uint64(id))
+	mix(uint64(density * 1000))
+	mix(uint64(tightness * 1000))
+	return h
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saimgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,241 @@
+// Command saimsolve solves a QKP or MKP instance file with a chosen solver.
+//
+// Usage:
+//
+//	saimsolve -family qkp -solver saim   instance.qkp
+//	saimsolve -family mkp -solver ga     instance.mkp
+//	saimsolve -family qkp -solver exact  instance.qkp
+//
+// Solvers: saim (self-adaptive Ising machine), penalty (classical penalty
+// method on the p-bit annealer), pt (parallel tempering), ga (Chu–Beasley
+// genetic algorithm, MKP only), greedy, exact (branch and bound).
+//
+// The instance format is the one produced by saimgen (see packages
+// internal/qkp and internal/mkp for the grammar).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ising-machines/saim/internal/anneal"
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/exact"
+	"github.com/ising-machines/saim/internal/ga"
+	"github.com/ising-machines/saim/internal/greedy"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/mkp"
+	"github.com/ising-machines/saim/internal/pt"
+	"github.com/ising-machines/saim/internal/qkp"
+	"github.com/ising-machines/saim/internal/qubofile"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "qkp", "instance family: qkp, mkp, or qubo (qbsolv file, unconstrained)")
+		solver  = flag.String("solver", "saim", "saim, penalty, pt, ga, greedy, or exact")
+		runs    = flag.Int("runs", 500, "annealing runs / SAIM iterations")
+		sweeps  = flag.Int("sweeps", 1000, "Monte-Carlo sweeps per run")
+		eta     = flag.Float64("eta", 0, "Lagrange step size (0 = family default)")
+		alpha   = flag.Float64("alpha", 0, "penalty heuristic coefficient (0 = family default)")
+		pweight = flag.Float64("p", 0, "explicit penalty weight (penalty/pt solvers; 0 = heuristic)")
+		betaMax = flag.Float64("betamax", 0, "final inverse temperature (0 = family default)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		limit   = flag.Duration("timelimit", time.Minute, "exact solver time limit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("expected exactly one instance file, got %d", flag.NArg()))
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	switch *family {
+	case "qkp":
+		inst, err := qkp.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		solveQKP(inst, *solver, *runs, *sweeps, *eta, *alpha, *pweight, *betaMax, *seed, *limit)
+	case "mkp":
+		inst, err := mkp.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		solveMKP(inst, *solver, *runs, *sweeps, *eta, *alpha, *pweight, *betaMax, *seed, *limit)
+	case "qubo":
+		q, err := qubofile.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		bm := *betaMax
+		if bm == 0 {
+			bm = 10
+		}
+		start := time.Now()
+		norm := q.Clone()
+		norm.Normalize()
+		x, _ := anneal.MinimizeQUBO(norm, anneal.Options{
+			Runs: *runs, SweepsPerRun: *sweeps, BetaMax: bm, Seed: *seed,
+		})
+		fmt.Printf("qubo: %d variables\nenergy: %g\n", q.N(), q.Energy(x))
+		selected := 0
+		for _, v := range x {
+			if v != 0 {
+				selected++
+			}
+		}
+		fmt.Printf("ones: %d/%d\nwall time: %s\n", selected, len(x), time.Since(start).Round(time.Millisecond))
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+}
+
+func solveQKP(inst *qkp.Instance, solver string, runs, sweeps int, eta, alpha, pweight, betaMax float64, seed uint64, limit time.Duration) {
+	if eta == 0 {
+		eta = 20
+	}
+	if alpha == 0 {
+		alpha = 2
+	}
+	if betaMax == 0 {
+		betaMax = 10
+	}
+	prob := inst.ToProblem(constraint.Binary)
+	start := time.Now()
+	switch solver {
+	case "saim":
+		res, err := core.Solve(prob, core.Options{
+			Alpha: alpha, P: pweight, Eta: eta, Iterations: runs,
+			SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "saim", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
+		fmt.Printf("penalty P: %.2f, final lambda: %v\n", res.P, res.Lambda)
+	case "penalty":
+		pw := pweight
+		if pw == 0 {
+			pw = 2 * inst.Density * float64(prob.Ext.NTotal)
+		}
+		res, err := anneal.SolvePenalty(prob, pw, anneal.Options{
+			Runs: runs, SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "penalty", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
+	case "pt":
+		pw := pweight
+		if pw == 0 {
+			pw = 100 * inst.Density * float64(prob.Ext.NTotal)
+		}
+		res, err := pt.SolvePenalty(prob, pw, pt.Options{
+			Replicas: 26, Sweeps: runs * sweeps / 26, BetaMax: betaMax, SampleEvery: 10, Seed: seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "pt", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
+	case "greedy":
+		x := greedy.QKP(inst)
+		printResult(inst.Name, "greedy", x, inst.Cost(x), 100, 0, start)
+	case "exact":
+		res, err := exact.SolveQKP(inst, exact.Options{TimeLimit: limit})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "exact", res.X, res.Cost, 100, 0, start)
+		fmt.Printf("proven optimal: %v, nodes: %d\n", res.Optimal, res.Nodes)
+	default:
+		fatal(fmt.Errorf("solver %q not available for qkp", solver))
+	}
+}
+
+func solveMKP(inst *mkp.Instance, solver string, runs, sweeps int, eta, alpha, pweight, betaMax float64, seed uint64, limit time.Duration) {
+	if eta == 0 {
+		eta = 0.05
+	}
+	if alpha == 0 {
+		alpha = 5
+	}
+	if betaMax == 0 {
+		betaMax = 50
+	}
+	prob := inst.ToProblem(constraint.Binary)
+	start := time.Now()
+	switch solver {
+	case "saim":
+		res, err := core.Solve(prob, core.Options{
+			Alpha: alpha, P: pweight, Eta: eta, Iterations: runs,
+			SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "saim", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
+		fmt.Printf("penalty P: %.2f, final lambda: %v\n", res.P, res.Lambda)
+	case "penalty":
+		pw := pweight
+		if pw == 0 {
+			pw = 5 * inst.ApproxDensity() * float64(prob.Ext.NTotal)
+		}
+		res, err := anneal.SolvePenalty(prob, pw, anneal.Options{
+			Runs: runs, SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "penalty", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
+	case "ga":
+		res, err := ga.Solve(inst, ga.Options{Population: 100, Children: runs * 20, Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "ga", res.Best, res.Cost, 100, 0, start)
+	case "greedy":
+		x := greedy.MKP(inst)
+		printResult(inst.Name, "greedy", x, inst.Cost(x), 100, 0, start)
+	case "exact":
+		res, err := exact.SolveMKP(inst, exact.Options{TimeLimit: limit})
+		if err != nil {
+			fatal(err)
+		}
+		printResult(inst.Name, "exact", res.X, res.Cost, 100, 0, start)
+		fmt.Printf("proven optimal: %v, nodes: %d\n", res.Optimal, res.Nodes)
+	default:
+		fatal(fmt.Errorf("solver %q not available for mkp", solver))
+	}
+}
+
+func printResult(name, solver string, x ising.Bits, cost, feasPct float64, sweeps int64, start time.Time) {
+	fmt.Printf("instance: %s\nsolver: %s\n", name, solver)
+	if x == nil {
+		fmt.Println("result: no feasible solution found")
+		return
+	}
+	selected := 0
+	for _, v := range x {
+		if v != 0 {
+			selected++
+		}
+	}
+	fmt.Printf("cost: %.0f (value %.0f)\nselected items: %d/%d\nfeasible samples: %.1f%%\n",
+		cost, -cost, selected, len(x), feasPct)
+	if sweeps > 0 {
+		fmt.Printf("Monte-Carlo sweeps: %d\n", sweeps)
+	}
+	fmt.Printf("wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saimsolve:", err)
+	os.Exit(1)
+}

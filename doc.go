@@ -1,0 +1,36 @@
+// Package saim is a self-adaptive Ising machine (SAIM) for constrained
+// binary optimization, reproducing "Self-Adaptive Ising Machines for
+// Constrained Optimization" (Delacour, DATE 2025; arXiv:2501.04971).
+//
+// # Background
+//
+// Ising machines natively minimize unconstrained quadratic energies. The
+// standard way to impose constraints — adding a quadratic penalty
+// P·‖g(x)‖² — requires a penalty weight above an instance-dependent
+// critical value Pc, and finding that weight costs a tuning phase that
+// dominates time-to-solution. SAIM instead keeps a small fixed P and adds
+// a Lagrange relaxation λᵀg(x) whose multipliers adapt after every
+// annealing run:
+//
+//	λ ← λ + η·g(x̄),
+//
+// a surrogate-subgradient ascent on the dual problem that reshapes the
+// energy landscape until constrained optima become ground states.
+//
+// # Quick start
+//
+// Build a problem with Builder, then call Solve:
+//
+//	b := saim.NewBuilder(3)
+//	b.Linear(0, -6).Linear(1, -5).Linear(2, -8)      // maximize 6x₀+5x₁+8x₂
+//	b.ConstrainLE([]float64{2, 3, 4}, 5)             // weight limit
+//	p, err := b.Build()
+//	if err != nil { ... }
+//	res, err := saim.Solve(p, saim.Options{Iterations: 200})
+//
+// The module also ships the paper's full benchmark suites (quadratic and
+// multidimensional knapsack problems), the penalty-method, parallel-
+// tempering and genetic-algorithm baselines, exact branch-and-bound
+// reference solvers, and a harness regenerating every table and figure of
+// the paper's evaluation (cmd/saimexp).
+package saim

@@ -1,0 +1,68 @@
+package saim_test
+
+import (
+	"fmt"
+
+	saim "github.com/ising-machines/saim"
+)
+
+// The basic workflow: build a knapsack, solve it with SAIM, read the
+// assignment.
+func ExampleSolve() {
+	b := saim.NewBuilder(3)
+	b.Linear(0, -6).Linear(1, -5).Linear(2, -8) // minimize −value
+	b.ConstrainLE([]float64{2, 3, 4}, 5)        // weight budget
+	problem, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := saim.Solve(problem, saim.Options{
+		Iterations: 150, SweepsPerRun: 150, Eta: 1, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Assignment, res.Cost)
+	// Output: [1 1 0] -11
+}
+
+// Evaluate checks feasibility and objective of any assignment in the
+// caller's original units.
+func ExampleProblem_Evaluate() {
+	b := saim.NewBuilder(2)
+	b.Linear(0, -3).Linear(1, -4)
+	b.ConstrainLE([]float64{1, 1}, 1)
+	problem, _ := b.Build()
+	cost, feasible, _ := problem.Evaluate([]int{1, 1})
+	fmt.Println(cost, feasible)
+	// Output: -7 false
+}
+
+// Unconstrained QUBOs (like max-cut) run directly on the p-bit annealer.
+func ExampleMinimize() {
+	// Two-variable toy: E = 2x₀x₁ − x₀ − x₁, minima at (1,0) and (0,1).
+	b := saim.NewBuilder(2)
+	b.Linear(0, -1).Linear(1, -1)
+	b.Quadratic(0, 1, 2)
+	q, _ := b.BuildUnconstrained()
+	x, e, _ := saim.Minimize(q, saim.Options{Iterations: 30, SweepsPerRun: 100, Seed: 1})
+	fmt.Println(x[0]+x[1], e)
+	// Output: 1 -1
+}
+
+// Higher-order problems keep product terms intact — here a quadratic
+// constraint x₀·x₁ = 1 forces a pair to be selected together.
+func ExampleSolveHighOrder() {
+	objective := []saim.Monomial{{W: -1, Vars: []int{2}}}
+	constraints := [][]saim.Monomial{
+		{{W: 1, Vars: []int{0, 1}}, {W: -1}}, // x₀x₁ = 1
+	}
+	res, err := saim.SolveHighOrder(3, objective, constraints, saim.Options{
+		Penalty: 2, Eta: 0.5, Iterations: 100, SweepsPerRun: 100, Seed: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Assignment[0], res.Assignment[1], res.Cost)
+	// Output: 1 1 -1
+}

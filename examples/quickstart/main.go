@@ -1,0 +1,58 @@
+// Quickstart: solve a small knapsack problem with the self-adaptive Ising
+// machine in a dozen lines.
+//
+//	go run ./examples/quickstart
+//
+// We pack a 10-item knapsack: maximize total value subject to one weight
+// limit. The builder takes the *minimization* objective, so values enter
+// with negative signs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	saim "github.com/ising-machines/saim"
+)
+
+func main() {
+	values := []float64{60, 100, 120, 70, 80, 50, 90, 110, 30, 40}
+	weights := []float64{10, 20, 30, 15, 18, 9, 21, 27, 7, 12}
+	const capacity = 80
+
+	b := saim.NewBuilder(len(values))
+	for i, v := range values {
+		b.Linear(i, -v) // minimize −value = maximize value
+	}
+	b.ConstrainLE(weights, capacity)
+	problem, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := saim.Solve(problem, saim.Options{
+		Iterations:   300, // annealing runs (λ updates)
+		SweepsPerRun: 300, // Monte-Carlo sweeps per run
+		Eta:          5,   // Lagrange step size
+		Seed:         42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Infeasible() {
+		log.Fatal("no feasible packing found")
+	}
+
+	total, weight := 0.0, 0.0
+	fmt.Println("selected items:")
+	for i, take := range res.Assignment {
+		if take == 1 {
+			fmt.Printf("  item %d: value %v, weight %v\n", i, values[i], weights[i])
+			total += values[i]
+			weight += weights[i]
+		}
+	}
+	fmt.Printf("total value: %v (weight %v / %v)\n", total, weight, float64(capacity))
+	fmt.Printf("feasible samples during search: %.1f%%\n", res.FeasibleRatio)
+	fmt.Printf("penalty P=%.1f (untuned heuristic), final lambda=%v\n", res.Penalty, res.Lambda)
+}

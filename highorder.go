@@ -1,0 +1,98 @@
+package saim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ising-machines/saim/internal/hoim"
+)
+
+// Monomial is one weighted product term w·Π_{i∈Vars} x_i of a higher-order
+// pseudo-Boolean polynomial. An empty Vars list denotes a constant.
+type Monomial struct {
+	W    float64
+	Vars []int
+}
+
+// HighOrderResult reports a higher-order constrained solve.
+type HighOrderResult struct {
+	// Assignment is the best feasible assignment (nil if none found).
+	Assignment []int
+	// Cost is the objective value of Assignment (+Inf if none).
+	Cost float64
+	// FeasibleRatio is the percentage of feasible annealing samples.
+	FeasibleRatio float64
+	// Lambda is the final multiplier vector, one entry per constraint.
+	Lambda []float64
+}
+
+// SolveHighOrder runs the self-adaptive loop on a higher-order Ising
+// machine: minimize the polynomial objective subject to polynomial
+// equality constraints (each constraint polynomial must evaluate to zero).
+// Unlike Solve, both objective and constraints may contain monomials of
+// any degree — the extension the paper attributes to high-order Ising
+// machines [19].
+//
+// Options semantics match Solve, except the penalty weight must be given
+// explicitly via Options.Penalty (the α·d·N heuristic is specific to
+// quadratic couplings); it defaults to 1.
+func SolveHighOrder(n int, objective []Monomial, constraints [][]Monomial, o Options) (*HighOrderResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("saim: SolveHighOrder requires n > 0, got %d", n)
+	}
+	if len(constraints) == 0 {
+		return nil, fmt.Errorf("saim: SolveHighOrder requires at least one constraint")
+	}
+	f, err := buildPoly(n, objective)
+	if err != nil {
+		return nil, err
+	}
+	gs := make([]*hoim.Poly, len(constraints))
+	for k, c := range constraints {
+		g, err := buildPoly(n, c)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %d: %w", k, err)
+		}
+		gs[k] = g
+	}
+	res, err := hoim.SolveConstrained(f, gs, 1e-9, hoim.Options{
+		P:            o.Penalty,
+		Eta:          orDefaultF(o.Eta, 1),
+		Iterations:   orDefault(o.Iterations, 200),
+		SweepsPerRun: orDefault(o.SweepsPerRun, 200),
+		BetaMax:      orDefaultF(o.BetaMax, 10),
+		Seed:         o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &HighOrderResult{
+		Cost:   res.BestCost,
+		Lambda: append([]float64(nil), res.Lambda...),
+	}
+	if res.Iterations > 0 {
+		out.FeasibleRatio = 100 * float64(res.FeasibleCount) / float64(res.Iterations)
+	}
+	if res.Best != nil {
+		out.Assignment = fromBits(res.Best)
+	}
+	return out, nil
+}
+
+// Infeasible reports whether the solve found no feasible assignment.
+func (r *HighOrderResult) Infeasible() bool {
+	return r.Assignment == nil || math.IsInf(r.Cost, 1)
+}
+
+func buildPoly(n int, ms []Monomial) (*hoim.Poly, error) {
+	p := hoim.NewPoly(n)
+	for _, m := range ms {
+		for _, v := range m.Vars {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("saim: monomial variable %d out of range [0,%d)", v, n)
+			}
+		}
+		p.Add(m.W, m.Vars...)
+	}
+	return p, nil
+}

@@ -1,0 +1,49 @@
+package saim
+
+import "testing"
+
+// Same scenario as the hoim package test, through the public API: minimize
+// −x₂−x₃ s.t. x₀·x₁ = 1 (quadratic constraint!) and Σx = 3 ⇒ OPT −1.
+func TestSolveHighOrderQuadraticConstraint(t *testing.T) {
+	objective := []Monomial{{W: -1, Vars: []int{2}}, {W: -1, Vars: []int{3}}}
+	constraints := [][]Monomial{
+		{{W: 1, Vars: []int{0, 1}}, {W: -1}},
+		{{W: 1, Vars: []int{0}}, {W: 1, Vars: []int{1}}, {W: 1, Vars: []int{2}}, {W: 1, Vars: []int{3}}, {W: -3}},
+	}
+	res, err := SolveHighOrder(4, objective, constraints, Options{
+		Penalty: 2, Eta: 0.5, Iterations: 150, SweepsPerRun: 150, BetaMax: 8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible() {
+		t.Fatal("no feasible assignment")
+	}
+	if res.Cost != -1 {
+		t.Fatalf("Cost = %v, want -1", res.Cost)
+	}
+	if res.Assignment[0] != 1 || res.Assignment[1] != 1 {
+		t.Fatalf("Assignment = %v", res.Assignment)
+	}
+	if len(res.Lambda) != 2 {
+		t.Fatalf("Lambda = %v", res.Lambda)
+	}
+}
+
+func TestSolveHighOrderValidation(t *testing.T) {
+	if _, err := SolveHighOrder(0, nil, nil, Options{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := SolveHighOrder(2, nil, nil, Options{}); err == nil {
+		t.Fatal("accepted zero constraints")
+	}
+	bad := [][]Monomial{{{W: 1, Vars: []int{7}}}}
+	if _, err := SolveHighOrder(2, nil, bad, Options{}); err == nil {
+		t.Fatal("accepted out-of-range variable")
+	}
+	badObj := []Monomial{{W: 1, Vars: []int{-1}}}
+	okCon := [][]Monomial{{{W: 1, Vars: []int{0}}}}
+	if _, err := SolveHighOrder(2, badObj, okCon, Options{}); err == nil {
+		t.Fatal("accepted negative variable index")
+	}
+}

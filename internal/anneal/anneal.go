@@ -1,0 +1,153 @@
+// Package anneal runs multi-run simulated annealing on the p-bit machine.
+// It is the engine behind the classical penalty-method baseline of the
+// paper's Table II (both the "same-budget" and the "10 long runs with
+// tuned P" variants) and the "best SA" comparison of Tables III/IV, all of
+// which are SA on a penalty QUBO.
+package anneal
+
+import (
+	"math"
+
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/pbit"
+	"github.com/ising-machines/saim/internal/penalty"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+)
+
+// Options configures a multi-run SA solve.
+type Options struct {
+	// Runs is the number of independent annealing runs.
+	Runs int
+	// SweepsPerRun is the MCS budget of each run.
+	SweepsPerRun int
+	// BetaMax is the final inverse temperature of the linear schedule.
+	BetaMax float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Runs == 0 {
+		out.Runs = 10
+	}
+	if out.SweepsPerRun == 0 {
+		out.SweepsPerRun = 1000
+	}
+	if out.BetaMax == 0 {
+		out.BetaMax = 10
+	}
+	return out
+}
+
+// Result summarizes a multi-run SA solve of a constrained problem.
+type Result struct {
+	// Best is the decision-bit assignment of the best feasible sample,
+	// nil when no run ended feasible.
+	Best ising.Bits
+	// BestCost is the problem cost of Best (+Inf when Best is nil).
+	BestCost float64
+	// FeasibleCount is the number of runs whose final sample was feasible.
+	FeasibleCount int
+	// Runs is the number of runs executed.
+	Runs int
+	// TotalSweeps is the cumulative MCS budget spent.
+	TotalSweeps int64
+	// P is the penalty weight used.
+	P float64
+	// FeasibleCosts holds the problem cost of every feasible final sample,
+	// in run order; the experiment harness averages these for the paper's
+	// "Avg (feas)" columns.
+	FeasibleCosts []float64
+}
+
+// FeasibleRatio returns the percentage of feasible runs.
+func (r *Result) FeasibleRatio() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(r.FeasibleCount) / float64(r.Runs)
+}
+
+// SolvePenalty runs the classical penalty method: it builds the fixed
+// energy E = f + P‖g‖² once and performs opt.Runs independent annealing
+// runs, reading the final sample of each (exactly the paper's baseline
+// protocol). No λ adaptation takes place.
+func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := opt.withDefaults()
+	energy := penalty.Build(p.Objective, p.Ext, pWeight)
+	model := energy.ToIsing()
+	src := rng.New(o.Seed)
+	machine := pbit.New(model, src.Split())
+	sched := schedule.Linear{Start: 0, End: o.BetaMax}
+
+	res := &Result{BestCost: math.Inf(1), Runs: o.Runs, P: pWeight}
+	for k := 0; k < o.Runs; k++ {
+		x := machine.Anneal(sched, o.SweepsPerRun).Bits()
+		if p.Ext.OrigFeasible(x, 1e-9) {
+			res.FeasibleCount++
+			cost := p.Cost(x[:p.Ext.NOrig])
+			res.FeasibleCosts = append(res.FeasibleCosts, cost)
+			if cost < res.BestCost {
+				res.BestCost = cost
+				res.Best = x[:p.Ext.NOrig].Clone()
+			}
+		}
+	}
+	res.TotalSweeps = machine.Sweeps()
+	return res, nil
+}
+
+// TunePenalty reproduces the paper's coarse tuning loop around SolvePenalty:
+// starting from the heuristic P₀, multiply by growth until the feasible
+// ratio reaches target. Each probe spends the full opt budget, mirroring
+// how the tuning phase "worsens the global execution time" (Section I).
+// It returns the tuning outcome plus the total sweeps spent across probes.
+func TunePenalty(p *core.Problem, p0, growth, target float64, maxProbes int, opt Options) (penalty.TuneResult, int64, error) {
+	if err := p.Validate(); err != nil {
+		return penalty.TuneResult{}, 0, err
+	}
+	var sweeps int64
+	probe := 0
+	eval := func(pw float64) (float64, float64) {
+		o := opt
+		// Decorrelate probes without letting two probes share a stream.
+		o.Seed = opt.Seed + uint64(probe)*0x9e3779b9
+		probe++
+		res, err := SolvePenalty(p, pw, o)
+		if err != nil {
+			return 0, math.Inf(1)
+		}
+		sweeps += res.TotalSweeps
+		return res.FeasibleRatio() / 100, res.BestCost
+	}
+	tuned := penalty.Tune(eval, p0, growth, target, maxProbes)
+	return tuned, sweeps, nil
+}
+
+// MinimizeQUBO runs multi-run SA directly on an unconstrained QUBO and
+// returns the best configuration and energy found. It serves unconstrained
+// problems such as max-cut (the workload the paper's introduction uses to
+// motivate Ising machines).
+func MinimizeQUBO(q *ising.QUBO, opt Options) (ising.Bits, float64) {
+	o := opt.withDefaults()
+	model := q.ToIsing()
+	src := rng.New(o.Seed)
+	machine := pbit.New(model, src.Split())
+	sched := schedule.Linear{Start: 0, End: o.BetaMax}
+	bestE := math.Inf(1)
+	var best ising.Bits
+	for k := 0; k < o.Runs; k++ {
+		s := machine.Anneal(sched, o.SweepsPerRun)
+		if e := model.Energy(s); e < bestE {
+			bestE = e
+			best = s.Bits()
+		}
+	}
+	return best, bestE
+}

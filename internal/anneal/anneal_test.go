@@ -1,0 +1,129 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/exact"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/qkp"
+)
+
+func smallProblem(t *testing.T) (*core.Problem, *qkp.Instance, float64) {
+	t.Helper()
+	inst := qkp.Generate(14, 0.5, 1, 77)
+	ref, err := exact.BruteForceQKP(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.ToProblem(constraint.Binary), inst, ref.Cost
+}
+
+func TestSolvePenaltyFindsGoodFeasibleSolutions(t *testing.T) {
+	p, inst, opt := smallProblem(t)
+	// Penalty weights act on the normalized energy; the paper's tuned
+	// values are 40–500·d·N, i.e. O(100) for a problem of this size.
+	res, err := SolvePenalty(p, 100, Options{Runs: 60, SweepsPerRun: 300, BetaMax: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible sample")
+	}
+	if !inst.Feasible(res.Best) {
+		t.Fatal("reported best infeasible")
+	}
+	acc := qkp.Accuracy(res.BestCost, opt)
+	if acc < 90 {
+		t.Fatalf("accuracy %v%% below 90%%", acc)
+	}
+	if res.TotalSweeps != 60*300 {
+		t.Fatalf("TotalSweeps = %d", res.TotalSweeps)
+	}
+}
+
+func TestSolvePenaltyTinyPMostlyInfeasible(t *testing.T) {
+	p, _, _ := smallProblem(t)
+	tiny, err := SolvePenalty(p, 0.5, Options{Runs: 40, SweepsPerRun: 200, BetaMax: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SolvePenalty(p, 100, Options{Runs: 40, SweepsPerRun: 200, BetaMax: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's observation: larger P raises feasibility.
+	if tiny.FeasibleRatio() >= large.FeasibleRatio() {
+		t.Fatalf("feasibility did not increase with P: %v%% vs %v%%",
+			tiny.FeasibleRatio(), large.FeasibleRatio())
+	}
+}
+
+func TestSolvePenaltyDeterministic(t *testing.T) {
+	p, _, _ := smallProblem(t)
+	a, err := SolvePenalty(p, 5, Options{Runs: 10, SweepsPerRun: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolvePenalty(p, 5, Options{Runs: 10, SweepsPerRun: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestCost != b.BestCost || a.FeasibleCount != b.FeasibleCount {
+		t.Fatal("same seed, different outcomes")
+	}
+}
+
+func TestSolvePenaltyRejectsInvalidProblem(t *testing.T) {
+	if _, err := SolvePenalty(&core.Problem{}, 1, Options{}); err == nil {
+		t.Fatal("accepted invalid problem")
+	}
+}
+
+func TestFeasibleRatio(t *testing.T) {
+	r := &Result{FeasibleCount: 3, Runs: 12}
+	if r.FeasibleRatio() != 25 {
+		t.Fatalf("ratio = %v", r.FeasibleRatio())
+	}
+	if (&Result{}).FeasibleRatio() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+}
+
+func TestTunePenaltyRaisesPUntilFeasible(t *testing.T) {
+	p, _, _ := smallProblem(t)
+	tuned, sweeps, err := TunePenalty(p, 10, 2, 0.2, 10,
+		Options{Runs: 20, SweepsPerRun: 150, BetaMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Probes < 1 {
+		t.Fatal("no probes executed")
+	}
+	if tuned.P < 0.02 {
+		t.Fatalf("tuned P %v below start", tuned.P)
+	}
+	if sweeps != int64(tuned.Probes)*20*150 {
+		t.Fatalf("sweep accounting: %d for %d probes", sweeps, tuned.Probes)
+	}
+	if math.IsInf(tuned.BestCost, 1) {
+		t.Fatal("tuning never saw a feasible sample")
+	}
+}
+
+func TestMinimizeQUBOGroundState(t *testing.T) {
+	// Tiny max-cut-like QUBO: E = 2x0x1 - x0 - x1 has minima at (1,0),(0,1).
+	q := ising.NewQUBO(2)
+	q.AddQuad(0, 1, 2)
+	q.AddLinear(0, -1)
+	q.AddLinear(1, -1)
+	x, e := MinimizeQUBO(q, Options{Runs: 20, SweepsPerRun: 100, BetaMax: 10, Seed: 3})
+	if e != -1 {
+		t.Fatalf("energy = %v, want -1", e)
+	}
+	if x[0]+x[1] != 1 {
+		t.Fatalf("x = %v", x)
+	}
+}

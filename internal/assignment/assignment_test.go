@@ -1,0 +1,171 @@
+package assignment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/ising"
+)
+
+// bruteForce enumerates all permutations (n ≤ 8) for reference.
+func bruteForce(c Cost) ([]int, float64) {
+	n := len(c)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	bestPerm := make([]int, n)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			copy(bestPerm, perm)
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			rec(i+1, acc+c[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return bestPerm, best
+}
+
+func TestHungarianByHand(t *testing.T) {
+	c := Cost{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	perm, val, err := Hungarian(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: w0→j1 (1), w1→j0 (2), w2→j2 (2) = 5.
+	if val != 5 {
+		t.Fatalf("value = %v, want 5 (perm %v)", val, perm)
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		n := int(seed%5) + 3 // 3..7
+		c := Random(n, 50, seed)
+		_, want := bruteForce(c)
+		perm, got, err := Hungarian(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: Hungarian %v vs brute force %v", seed, got, want)
+		}
+		// perm must be a permutation.
+		seen := make([]bool, n)
+		for _, j := range perm {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("seed %d: invalid permutation %v", seed, perm)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestHungarianValidation(t *testing.T) {
+	if _, _, err := Hungarian(Cost{}); err == nil {
+		t.Fatal("accepted empty matrix")
+	}
+	if _, _, err := Hungarian(Cost{{1, 2}, {3}}); err == nil {
+		t.Fatal("accepted ragged matrix")
+	}
+	if _, _, err := Hungarian(Cost{{math.NaN()}}); err == nil {
+		t.Fatal("accepted NaN cost")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	// 2×2 permutation matrix [[0,1],[1,0]].
+	perm, ok := Decode(2, ising.Bits{0, 1, 1, 0})
+	if !ok || perm[0] != 1 || perm[1] != 0 {
+		t.Fatalf("Decode = %v, %v", perm, ok)
+	}
+	// Column reused.
+	if _, ok := Decode(2, ising.Bits{1, 0, 1, 0}); ok {
+		t.Fatal("accepted column collision")
+	}
+	// Row with two jobs.
+	if _, ok := Decode(2, ising.Bits{1, 1, 0, 0}); ok {
+		t.Fatal("accepted double-hot row")
+	}
+	// Empty row.
+	if _, ok := Decode(2, ising.Bits{0, 0, 0, 1}); ok {
+		t.Fatal("accepted empty row")
+	}
+}
+
+func TestToProblemStructure(t *testing.T) {
+	c := Random(4, 9, 3)
+	p, err := ToProblem(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ext.NOrig != 16 || p.Ext.NTotal != 16 {
+		t.Fatalf("dims = %d/%d", p.Ext.NOrig, p.Ext.NTotal)
+	}
+	if p.Ext.M() != 8 {
+		t.Fatalf("M = %d", p.Ext.M())
+	}
+}
+
+func TestSolveReachesHungarianOptimum(t *testing.T) {
+	c := Random(5, 30, 7)
+	res, err := Solve(c, Options{Iterations: 500, SweepsPerRun: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Perm == nil {
+		t.Fatal("no feasible permutation sampled")
+	}
+	if res.Gap > 0 {
+		t.Fatalf("SAIM gap %v above Hungarian optimum %v", res.Gap, res.OptCost)
+	}
+	if res.Cost != res.OptCost {
+		t.Fatalf("Cost %v vs OptCost %v", res.Cost, res.OptCost)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	c := Random(4, 20, 11)
+	a, err := Solve(c, Options{Iterations: 100, SweepsPerRun: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(c, Options{Iterations: 100, SweepsPerRun: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.FeasibleRatio != b.FeasibleRatio {
+		t.Fatal("same seed, different results")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(6, 9, 2)
+	b := Random(6, 9, 2)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed, different matrices")
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package coloring
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/ising"
+)
+
+func TestConflictsByHand(t *testing.T) {
+	g := Cycle(4)
+	if c := g.Conflicts([]int{0, 1, 0, 1}); c != 0 {
+		t.Fatalf("proper 2-coloring has %d conflicts", c)
+	}
+	if c := g.Conflicts([]int{0, 0, 0, 0}); c != 4 {
+		t.Fatalf("monochrome C4 has %d conflicts, want 4", c)
+	}
+}
+
+func TestGreedyProper(t *testing.T) {
+	g := Random(30, 0.3, 5)
+	colors, used := Greedy(g)
+	if g.Conflicts(colors) != 0 {
+		t.Fatal("greedy produced conflicts")
+	}
+	if used < 1 || used > 30 {
+		t.Fatalf("colors used = %d", used)
+	}
+}
+
+func TestDecode(t *testing.T) {
+	g := NewGraph(2)
+	// k=2; x = (v0→c1, v1→c0), plus no slack bits for equalities.
+	x := ising.Bits{0, 1, 1, 0}
+	colors, ok := Decode(g, 2, x)
+	if !ok || colors[0] != 1 || colors[1] != 0 {
+		t.Fatalf("Decode = %v, %v", colors, ok)
+	}
+	// Two colors on one vertex ⇒ not one-hot.
+	if _, ok := Decode(g, 2, ising.Bits{1, 1, 1, 0}); ok {
+		t.Fatal("accepted double-hot vertex")
+	}
+	// No color ⇒ not one-hot.
+	if _, ok := Decode(g, 2, ising.Bits{0, 0, 1, 0}); ok {
+		t.Fatal("accepted zero-hot vertex")
+	}
+}
+
+func TestToProblemStructure(t *testing.T) {
+	g := Cycle(5)
+	p := ToProblem(g, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ext.NOrig != 15 {
+		t.Fatalf("NOrig = %d", p.Ext.NOrig)
+	}
+	// Equality constraints must add no slack bits.
+	if p.Ext.NTotal != p.Ext.NOrig {
+		t.Fatalf("NTotal = %d, want %d", p.Ext.NTotal, p.Ext.NOrig)
+	}
+	if p.Ext.M() != 5 {
+		t.Fatalf("M = %d", p.Ext.M())
+	}
+}
+
+func TestSolveTwoColorsBipartite(t *testing.T) {
+	// Even cycle is 2-colorable.
+	g := Cycle(8)
+	res, err := Solve(g, 2, Options{Iterations: 200, SweepsPerRun: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Colors == nil {
+		t.Fatal("no feasible one-hot sample")
+	}
+	if !res.Proper {
+		t.Fatalf("C8 with 2 colors left %d conflicts", res.Conflicts)
+	}
+}
+
+func TestSolveOddCycleNeedsThree(t *testing.T) {
+	g := Cycle(7)
+	// With 2 colors a proper coloring is impossible; best is 1 conflict.
+	two, err := Solve(g, 2, Options{Iterations: 250, SweepsPerRun: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Colors != nil && two.Proper {
+		t.Fatal("odd cycle 2-colored — impossible")
+	}
+	if two.Colors != nil && two.Conflicts < 1 {
+		t.Fatalf("conflicts = %d", two.Conflicts)
+	}
+	// With 3 colors SAIM should find a proper coloring.
+	three, err := Solve(g, 3, Options{Iterations: 300, SweepsPerRun: 250, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Colors == nil || !three.Proper {
+		t.Fatalf("C7 not properly 3-colored: %+v", three)
+	}
+}
+
+func TestSolveRandomGraphMatchesGreedyBudget(t *testing.T) {
+	g := Random(12, 0.35, 9)
+	_, kGreedy := Greedy(g)
+	res, err := Solve(g, kGreedy, Options{Iterations: 300, SweepsPerRun: 250, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Colors == nil {
+		t.Fatal("no feasible sample")
+	}
+	if !res.Proper {
+		t.Fatalf("SAIM left %d conflicts with greedy's color budget %d", res.Conflicts, kGreedy)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(10, 0.5, 1)
+	b := Random(10, 0.5, 1)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed, different graphs")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGraph(0) },
+		func() { NewGraph(2).AddEdge(0, 0) },
+		func() { NewGraph(2).AddEdge(0, 9) },
+		func() { ToProblem(Cycle(3), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,342 @@
+// Package constraint models the linear constraint sets that the SAIM
+// pipeline supports, and the slack-variable encodings that turn inequality
+// constraints into the equality constraints g(x) = 0 an Ising machine can
+// penalize.
+//
+// A System holds M linear constraints over N binary variables, each either
+// aᵀx ≤ b or aᵀx = b. Extend converts every inequality into an equality
+// aᵀx + Σ_q c_q s_q = b by appending slack bits s_q with coefficients c_q
+// given by a SlackEncoding:
+//
+//   - Binary: c = (1, 2, 4, …, 2^(Q-1)) with Q = floor(log2(b)+1), exactly
+//     the paper's encoding (Section IV.A). Its range [0, 2^Q−1] can exceed
+//     b, which keeps QUBO coefficients small but admits slack overshoot.
+//   - Bounded: c = (1, 2, …, 2^(q-1), r) with r = b − (2^q−1) chosen so the
+//     representable range is exactly [0, b]. This is the coefficient-bounded
+//     flavour of the hybrid encodings studied for HE-IM [15].
+//   - Unary: c = (1, 1, …, 1), b ones. Largest variable count, smallest
+//     coefficients; included for encoding ablations.
+package constraint
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Sense distinguishes inequality from equality constraints.
+type Sense int
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Sense = iota
+	// EQ is aᵀx = b.
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Linear is a single linear constraint aᵀx (≤ or =) b over binary x.
+type Linear struct {
+	A     vecmat.Vec
+	Sense Sense
+	B     float64
+}
+
+// Residual returns aᵀx − b.
+func (l Linear) Residual(x ising.Bits) float64 {
+	s := -l.B
+	for i, xi := range x {
+		if xi != 0 {
+			s += l.A[i]
+		}
+	}
+	return s
+}
+
+// Satisfied reports whether x satisfies the constraint within tol.
+func (l Linear) Satisfied(x ising.Bits, tol float64) bool {
+	r := l.Residual(x)
+	if l.Sense == LE {
+		return r <= tol
+	}
+	return math.Abs(r) <= tol
+}
+
+// System is a set of linear constraints over n binary variables.
+type System struct {
+	N    int
+	Cons []Linear
+}
+
+// NewSystem returns an empty constraint system over n variables.
+func NewSystem(n int) *System { return &System{N: n} }
+
+// Add appends a constraint. The coefficient vector must have length N.
+func (s *System) Add(a vecmat.Vec, sense Sense, b float64) {
+	if len(a) != s.N {
+		panic(fmt.Sprintf("constraint: coefficient length %d, want %d", len(a), s.N))
+	}
+	s.Cons = append(s.Cons, Linear{A: a.Clone(), Sense: sense, B: b})
+}
+
+// M returns the number of constraints.
+func (s *System) M() int { return len(s.Cons) }
+
+// Feasible reports whether x satisfies every constraint within tol.
+func (s *System) Feasible(x ising.Bits, tol float64) bool {
+	for _, c := range s.Cons {
+		if !c.Satisfied(x, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation returns the vector of residuals (aᵀx−b per constraint), with
+// inequality residuals clamped at zero from below (only excess violates).
+func (s *System) Violation(x ising.Bits) vecmat.Vec {
+	out := vecmat.NewVec(len(s.Cons))
+	for i, c := range s.Cons {
+		r := c.Residual(x)
+		if c.Sense == LE && r < 0 {
+			r = 0
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// SlackEncoding selects how inequality slacks are decomposed into bits.
+type SlackEncoding int
+
+const (
+	// Binary is the paper's power-of-two decomposition.
+	Binary SlackEncoding = iota
+	// Bounded is the exact-range power-of-two + remainder decomposition.
+	Bounded
+	// Unary uses b unit-weight bits.
+	Unary
+)
+
+// String implements fmt.Stringer.
+func (e SlackEncoding) String() string {
+	switch e {
+	case Binary:
+		return "binary"
+	case Bounded:
+		return "bounded"
+	case Unary:
+		return "unary"
+	default:
+		return fmt.Sprintf("SlackEncoding(%d)", int(e))
+	}
+}
+
+// SlackCoeffs returns the slack-bit coefficients for a slack variable with
+// integer bound b ≥ 0 under the given encoding. A zero bound yields no bits.
+func SlackCoeffs(b float64, enc SlackEncoding) []float64 {
+	bi := int(math.Floor(b))
+	if bi <= 0 {
+		return nil
+	}
+	switch enc {
+	case Binary:
+		// Q = floor(log2(b) + 1) bits: 1, 2, ..., 2^(Q-1).
+		q := int(math.Floor(math.Log2(float64(bi)))) + 1
+		out := make([]float64, q)
+		for i := range out {
+			out[i] = float64(int(1) << i)
+		}
+		return out
+	case Bounded:
+		// Powers of two while the running range stays below b, then one
+		// remainder coefficient so max representable value is exactly b.
+		var out []float64
+		covered := 0
+		next := 1
+		for covered+next <= bi-1 || (covered == 0 && next <= bi) {
+			if covered+next > bi {
+				break
+			}
+			out = append(out, float64(next))
+			covered += next
+			next <<= 1
+		}
+		if covered < bi {
+			out = append(out, float64(bi-covered))
+		}
+		return out
+	case Unary:
+		out := make([]float64, bi)
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	default:
+		panic("constraint: unknown slack encoding")
+	}
+}
+
+// MaxSlackValue returns the largest value representable by the coefficient
+// set (all bits on).
+func MaxSlackValue(coeffs []float64) float64 {
+	s := 0.0
+	for _, c := range coeffs {
+		s += c
+	}
+	return s
+}
+
+// Extended is a constraint system in pure equality form over the original
+// variables plus appended slack bits: for every row, Aᵀx_ext = B.
+type Extended struct {
+	// NOrig is the number of original (decision) variables; slack bits
+	// occupy columns [NOrig, NTotal).
+	NOrig int
+	// NTotal is the total variable count including slack bits.
+	NTotal int
+	// Rows holds one coefficient vector of length NTotal per constraint.
+	Rows []vecmat.Vec
+	// B is the right-hand side per constraint.
+	B vecmat.Vec
+	// SlackSpan[i] = [start, end) column range of constraint i's slack
+	// bits (start == end for native equalities).
+	SlackSpan [][2]int
+	// Orig is the inequality/equality system this was derived from.
+	Orig *System
+}
+
+// Extend converts s into equality form using the given slack encoding.
+func (s *System) Extend(enc SlackEncoding) *Extended {
+	total := s.N
+	spans := make([][2]int, len(s.Cons))
+	coeffs := make([][]float64, len(s.Cons))
+	for i, c := range s.Cons {
+		if c.Sense == LE {
+			cs := SlackCoeffs(c.B, enc)
+			coeffs[i] = cs
+			spans[i] = [2]int{total, total + len(cs)}
+			total += len(cs)
+		} else {
+			spans[i] = [2]int{total, total}
+		}
+	}
+	ext := &Extended{
+		NOrig:     s.N,
+		NTotal:    total,
+		B:         vecmat.NewVec(len(s.Cons)),
+		SlackSpan: spans,
+		Orig:      s,
+	}
+	for i, c := range s.Cons {
+		row := vecmat.NewVec(total)
+		copy(row, c.A)
+		for k, cv := range coeffs[i] {
+			row[spans[i][0]+k] = cv
+		}
+		ext.Rows = append(ext.Rows, row)
+		ext.B[i] = c.B
+	}
+	return ext
+}
+
+// M returns the number of constraints.
+func (e *Extended) M() int { return len(e.Rows) }
+
+// Residuals returns g(x) = A·x − B for an extended configuration.
+func (e *Extended) Residuals(x ising.Bits) vecmat.Vec {
+	if len(x) != e.NTotal {
+		panic("constraint: Residuals dimension mismatch")
+	}
+	g := vecmat.NewVec(len(e.Rows))
+	for i, row := range e.Rows {
+		s := -e.B[i]
+		for j, xj := range x {
+			if xj != 0 {
+				s += row[j]
+			}
+		}
+		g[i] = s
+	}
+	return g
+}
+
+// OrigFeasible checks the *original* (inequality) constraints on the leading
+// NOrig bits of an extended configuration — this is how the paper decides
+// whether a measured sample is feasible, independent of the slack bits.
+func (e *Extended) OrigFeasible(x ising.Bits, tol float64) bool {
+	return e.Orig.Feasible(x[:e.NOrig], tol)
+}
+
+// Normalize divides all rows and right-hand sides by the largest absolute
+// coefficient max(|A|, |B|) so the same β-schedule works across instances
+// (paper Section IV.A normalizes A and b this way). It returns the scale
+// factor applied. Feasible sets are unchanged.
+func (e *Extended) Normalize() float64 {
+	m := e.B.MaxAbs()
+	for _, row := range e.Rows {
+		if rm := row.MaxAbs(); rm > m {
+			m = rm
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	inv := 1 / m
+	for _, row := range e.Rows {
+		row.Scale(inv)
+	}
+	e.B.Scale(inv)
+	return inv
+}
+
+// SlackBitsFor returns the number of slack bits attached to constraint i.
+func (e *Extended) SlackBitsFor(i int) int {
+	return e.SlackSpan[i][1] - e.SlackSpan[i][0]
+}
+
+// CompleteSlacks sets the slack bits of x (in place) to greedily absorb any
+// remaining capacity of satisfied inequality constraints. It is used when
+// seeding the machine with known-feasible decision assignments: a feasible
+// x over the original variables extends to an exactly-feasible extended
+// configuration when each residual can be represented by its slack bits.
+func (e *Extended) CompleteSlacks(x ising.Bits) {
+	if len(x) != e.NTotal {
+		panic("constraint: CompleteSlacks dimension mismatch")
+	}
+	for i, row := range e.Rows {
+		span := e.SlackSpan[i]
+		if span[0] == span[1] {
+			continue
+		}
+		// Remaining capacity from the decision bits only.
+		used := 0.0
+		for j := 0; j < e.NOrig; j++ {
+			if x[j] != 0 {
+				used += row[j]
+			}
+		}
+		remaining := e.B[i] - used
+		// Greedy fit from the largest slack coefficient down.
+		for k := span[1] - 1; k >= span[0]; k-- {
+			x[k] = 0
+			if row[k] <= remaining+1e-12 {
+				x[k] = 1
+				remaining -= row[k]
+			}
+		}
+	}
+}

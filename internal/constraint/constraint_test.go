@@ -1,0 +1,264 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+func TestLinearResidualAndSatisfied(t *testing.T) {
+	c := Linear{A: vecmat.Vec{2, 3}, Sense: LE, B: 4}
+	if got := c.Residual(ising.Bits{1, 1}); got != 1 {
+		t.Fatalf("residual = %v", got)
+	}
+	if c.Satisfied(ising.Bits{1, 1}, 0) {
+		t.Fatal("2+3 <= 4 should be violated")
+	}
+	if !c.Satisfied(ising.Bits{1, 0}, 0) {
+		t.Fatal("2 <= 4 should hold")
+	}
+	eq := Linear{A: vecmat.Vec{1, 1}, Sense: EQ, B: 1}
+	if !eq.Satisfied(ising.Bits{0, 1}, 0) || eq.Satisfied(ising.Bits{1, 1}, 0) {
+		t.Fatal("equality sense broken")
+	}
+}
+
+func TestSystemFeasibleAndViolation(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(vecmat.Vec{1, 1}, LE, 1)
+	s.Add(vecmat.Vec{1, 0}, EQ, 1)
+	if !s.Feasible(ising.Bits{1, 0}, 0) {
+		t.Fatal("x=(1,0) should be feasible")
+	}
+	if s.Feasible(ising.Bits{1, 1}, 0) {
+		t.Fatal("x=(1,1) violates first constraint")
+	}
+	v := s.Violation(ising.Bits{1, 1})
+	if v[0] != 1 || v[1] != 0 {
+		t.Fatalf("violation = %v", v)
+	}
+	// LE residual below zero clamps to 0.
+	v = s.Violation(ising.Bits{0, 0})
+	if v[0] != 0 || v[1] != -1 {
+		t.Fatalf("violation = %v", v)
+	}
+}
+
+func TestAddRejectsWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add accepted wrong-length coefficients")
+		}
+	}()
+	NewSystem(2).Add(vecmat.Vec{1}, LE, 1)
+}
+
+func TestSlackCoeffsBinaryMatchesPaperFormula(t *testing.T) {
+	// Q = floor(log2(b)+1): b=42 ⇒ Q=6 with coefficients 1..32.
+	cs := SlackCoeffs(42, Binary)
+	if len(cs) != 6 {
+		t.Fatalf("Q = %d, want 6", len(cs))
+	}
+	for i, c := range cs {
+		if c != float64(int(1)<<i) {
+			t.Fatalf("coeff %d = %v", i, c)
+		}
+	}
+	if MaxSlackValue(cs) != 63 {
+		t.Fatalf("max slack = %v", MaxSlackValue(cs))
+	}
+}
+
+func TestSlackCoeffsBinarySizes(t *testing.T) {
+	cases := []struct {
+		b    float64
+		bits int
+	}{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {100, 7},
+	}
+	for _, c := range cases {
+		if got := len(SlackCoeffs(c.b, Binary)); got != c.bits {
+			t.Fatalf("b=%v bits=%d, want %d", c.b, got, c.bits)
+		}
+	}
+}
+
+func TestSlackCoeffsBoundedExactRange(t *testing.T) {
+	f := func(raw uint16) bool {
+		b := float64(raw%500) + 1
+		cs := SlackCoeffs(b, Bounded)
+		if MaxSlackValue(cs) != b {
+			return false
+		}
+		// Every value in [0,b] must be representable: check via subset-sum
+		// DP over the coefficients.
+		reach := make([]bool, int(b)+1)
+		reach[0] = true
+		for _, c := range cs {
+			ci := int(c)
+			for v := len(reach) - 1; v >= ci; v-- {
+				if reach[v-ci] {
+					reach[v] = true
+				}
+			}
+		}
+		for v := range reach {
+			if !reach[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlackCoeffsUnary(t *testing.T) {
+	cs := SlackCoeffs(5, Unary)
+	if len(cs) != 5 || MaxSlackValue(cs) != 5 {
+		t.Fatalf("unary coeffs = %v", cs)
+	}
+}
+
+func TestSlackCoeffsZeroBound(t *testing.T) {
+	for _, enc := range []SlackEncoding{Binary, Bounded, Unary} {
+		if cs := SlackCoeffs(0, enc); cs != nil {
+			t.Fatalf("%v: zero bound produced %v", enc, cs)
+		}
+	}
+}
+
+func TestExtendEqualityGetsNoSlack(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(vecmat.Vec{1, 1}, EQ, 1)
+	e := s.Extend(Binary)
+	if e.NTotal != 2 || e.SlackBitsFor(0) != 0 {
+		t.Fatalf("equality gained slack: NTotal=%d bits=%d", e.NTotal, e.SlackBitsFor(0))
+	}
+}
+
+func TestExtendResiduals(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(vecmat.Vec{2, 3}, LE, 4) // binary slack: 1,2,4 (Q=3)
+	e := s.Extend(Binary)
+	if e.NTotal != 2+3 {
+		t.Fatalf("NTotal = %d", e.NTotal)
+	}
+	// x = (1,0), slack = 2 ⇒ residual 2+2-4 = 0.
+	x := ising.Bits{1, 0, 0, 1, 0}
+	g := e.Residuals(x)
+	if g[0] != 0 {
+		t.Fatalf("residual = %v", g[0])
+	}
+	// Original feasibility ignores slack bits.
+	if !e.OrigFeasible(x, 0) {
+		t.Fatal("x should be original-feasible")
+	}
+}
+
+func TestExtendNormalizePreservesFeasibleSet(t *testing.T) {
+	src := rng.New(4)
+	for trial := 0; trial < 30; trial++ {
+		n := src.IntRange(2, 6)
+		s := NewSystem(n)
+		a := vecmat.NewVec(n)
+		for i := range a {
+			a[i] = float64(src.IntRange(1, 20))
+		}
+		b := float64(src.IntRange(5, 40))
+		s.Add(a, LE, b)
+		e := s.Extend(Binary)
+		x := make(ising.Bits, e.NTotal)
+		for i := range x {
+			if src.Bool(0.5) {
+				x[i] = 1
+			}
+		}
+		before := e.Residuals(x)
+		scale := e.Normalize()
+		after := e.Residuals(x)
+		for i := range before {
+			if math.Abs(after[i]-before[i]*scale) > 1e-9 {
+				t.Fatalf("Normalize changed residual structure: %v vs %v·%v", after[i], before[i], scale)
+			}
+		}
+	}
+}
+
+func TestNormalizeUnitCoefficient(t *testing.T) {
+	s := NewSystem(2)
+	s.Add(vecmat.Vec{10, 20}, LE, 40)
+	e := s.Extend(Binary)
+	e.Normalize()
+	m := e.B.MaxAbs()
+	for _, row := range e.Rows {
+		if rm := row.MaxAbs(); rm > m {
+			m = rm
+		}
+	}
+	if math.Abs(m-1) > 1e-12 {
+		t.Fatalf("max coefficient after Normalize = %v", m)
+	}
+}
+
+func TestCompleteSlacksZeroesResidualWhenRepresentable(t *testing.T) {
+	src := rng.New(9)
+	f := func(raw uint8) bool {
+		n := int(raw%5) + 2
+		s := NewSystem(n)
+		a := vecmat.NewVec(n)
+		for i := range a {
+			a[i] = float64(src.IntRange(1, 9))
+		}
+		b := float64(src.IntRange(10, 30))
+		s.Add(a, LE, b)
+		e := s.Extend(Bounded) // bounded: every value in [0,b] representable
+		x := make(ising.Bits, e.NTotal)
+		// Random feasible decision assignment.
+		for i := 0; i < n; i++ {
+			if src.Bool(0.4) {
+				x[i] = 1
+			}
+		}
+		if !s.Feasible(x[:n], 0) {
+			return true // skip infeasible draws
+		}
+		e.CompleteSlacks(x)
+		g := e.Residuals(x)
+		return math.Abs(g[0]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenseAndEncodingStrings(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "==" {
+		t.Fatal("Sense strings wrong")
+	}
+	if Binary.String() != "binary" || Bounded.String() != "bounded" || Unary.String() != "unary" {
+		t.Fatal("encoding strings wrong")
+	}
+}
+
+func TestExtendMultipleConstraintsSpans(t *testing.T) {
+	s := NewSystem(3)
+	s.Add(vecmat.Vec{1, 1, 1}, LE, 3) // 2 bits (Q=floor(log2 3)+1=2)
+	s.Add(vecmat.Vec{1, 2, 3}, LE, 7) // 3 bits
+	e := s.Extend(Binary)
+	if e.SlackBitsFor(0) != 2 || e.SlackBitsFor(1) != 3 {
+		t.Fatalf("spans = %v", e.SlackSpan)
+	}
+	if e.NTotal != 3+5 {
+		t.Fatalf("NTotal = %d", e.NTotal)
+	}
+	// Slack columns must not overlap.
+	if e.SlackSpan[0][1] != e.SlackSpan[1][0] {
+		t.Fatalf("slack spans overlap: %v", e.SlackSpan)
+	}
+}

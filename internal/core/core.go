@@ -1,0 +1,276 @@
+// Package core implements the paper's primary contribution: the
+// Self-Adaptive Ising Machine (SAIM) of Algorithm 1.
+//
+// SAIM solves min f(x) s.t. g(x)=0 by alternating two processes:
+//
+//  1. an Ising machine heuristically minimizes the Lagrange function
+//     L_k(x) = f(x) + P‖g(x)‖² + λ_kᵀ g(x) over one annealing run;
+//  2. a CPU-side update moves the multipliers along the measured residuals,
+//     λ_{k+1} = λ_k + η·g(x_k), a surrogate-subgradient ascent step on the
+//     dual problem max_λ min_x L.
+//
+// The penalty weight stays fixed at a deliberately small P = α·d·N (below
+// the critical Pc the classical penalty method would need); the adapting λ
+// closes the resulting gap by reshaping the energy landscape. Because g is
+// linear, each λ update re-programs only the Ising bias vector h — the
+// coupling matrix J is built once.
+//
+// Feasible samples are checked against the *original* inequality
+// constraints and the best one (by true objective value) is returned.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/lagrange"
+	"github.com/ising-machines/saim/internal/pbit"
+	"github.com/ising-machines/saim/internal/penalty"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Machine is the Ising-machine contract SAIM needs. Any programmable
+// annealer that can re-program its bias vector between runs qualifies;
+// pbit.Machine is the default implementation.
+type Machine interface {
+	// UpdateBiases re-programs the field vector h of the machine's model.
+	UpdateBiases(h vecmat.Vec)
+	// Anneal runs one annealing run of the given number of sweeps from a
+	// fresh random state and returns the final configuration.
+	Anneal(sched schedule.Schedule, sweeps int) ising.Spins
+	// Sweeps reports the cumulative Monte-Carlo sweeps executed.
+	Sweeps() int64
+}
+
+// MachineFactory builds a Machine for a concrete Hamiltonian. The default
+// uses the p-bit emulator.
+type MachineFactory func(model *ising.Model, src *rng.Source) Machine
+
+// DefaultFactory returns the software p-bit machine of package pbit.
+func DefaultFactory(model *ising.Model, src *rng.Source) Machine {
+	return pbit.New(model, src)
+}
+
+// Problem is a constrained binary optimization problem in the form SAIM
+// consumes: a QUBO objective over the extended (decision + slack) variables
+// and the equality-form constraint system.
+type Problem struct {
+	// Objective is f over Ext.NTotal variables; slack columns must have
+	// zero objective coefficients. Typically normalized so that
+	// max(|Q|,|c|)=1 (the paper normalizes all instances).
+	Objective *ising.QUBO
+	// Ext is the equality-form constraint system (normalized likewise).
+	Ext *constraint.Extended
+	// Cost returns the true (un-normalized) objective of a decision-bit
+	// assignment. It is used to rank feasible samples and report results.
+	Cost func(x ising.Bits) float64
+	// Density is the instance coupling density d used by the P = α·d·N
+	// heuristic (e.g. the W-matrix density for QKP, 2/(N+1) for MKP).
+	// If zero, the measured J density of the built energy is used.
+	Density float64
+}
+
+// Validate reports structural problems.
+func (p *Problem) Validate() error {
+	if p.Objective == nil || p.Ext == nil || p.Cost == nil {
+		return fmt.Errorf("core: problem missing objective, constraints, or cost")
+	}
+	if p.Objective.N() != p.Ext.NTotal {
+		return fmt.Errorf("core: objective over %d vars, constraints over %d",
+			p.Objective.N(), p.Ext.NTotal)
+	}
+	return p.Objective.Validate()
+}
+
+// Options configures one SAIM solve. Zero values fall back to the paper's
+// QKP settings (Table I).
+type Options struct {
+	// Alpha is the penalty heuristic coefficient in P = α·d·N. Paper:
+	// 2 for QKP, 5 for MKP. Ignored when P is set explicitly.
+	Alpha float64
+	// P overrides the penalty weight when non-zero.
+	P float64
+	// Eta is the multiplier step size η. Paper: 20 for QKP, 0.05 for MKP.
+	Eta float64
+	// EtaDecayPower, when non-zero, switches the λ update to the
+	// diminishing schedule η_k = η/(k+1)^power (0.5 is the classical
+	// subgradient choice). Zero keeps the paper's constant step.
+	EtaDecayPower float64
+	// Iterations is K, the number of annealing runs (λ updates).
+	Iterations int
+	// SweepsPerRun is the MCS budget of each run (paper: 1000).
+	SweepsPerRun int
+	// BetaMax is the final inverse temperature of the linear β-schedule
+	// (paper: 10 for QKP, 50 for MKP).
+	BetaMax float64
+	// Seed drives all stochasticity of the solve.
+	Seed uint64
+	// NonNegative projects λ onto λ ≥ 0 after each update (ablation).
+	NonNegative bool
+	// Factory builds the Ising machine; nil means the p-bit emulator.
+	Factory MachineFactory
+	// Trace, when non-nil, records the per-iteration trajectory.
+	Trace *Trace
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Alpha == 0 {
+		out.Alpha = 2
+	}
+	if out.Eta == 0 {
+		out.Eta = 20
+	}
+	if out.Iterations == 0 {
+		out.Iterations = 2000
+	}
+	if out.SweepsPerRun == 0 {
+		out.SweepsPerRun = 1000
+	}
+	if out.BetaMax == 0 {
+		out.BetaMax = 10
+	}
+	if out.Factory == nil {
+		out.Factory = DefaultFactory
+	}
+	return out
+}
+
+// Trace records the per-iteration trajectory of a SAIM run, enough to
+// regenerate the paper's Fig. 3 (QKP cost + λ) and Fig. 5 (MKP cost + λ_m).
+type Trace struct {
+	// Cost[k] is the true objective of sample x_k (feasible or not).
+	Cost []float64
+	// Feasible[k] reports whether x_k satisfied the original constraints.
+	Feasible []bool
+	// Lambda[k] is a copy of λ after iteration k.
+	Lambda [][]float64
+	// Energy[k] is L_k(x_k), the measured (heuristic) dual value.
+	Energy []float64
+}
+
+func (t *Trace) record(cost float64, feasible bool, lam vecmat.Vec, energy float64) {
+	t.Cost = append(t.Cost, cost)
+	t.Feasible = append(t.Feasible, feasible)
+	lc := make([]float64, len(lam))
+	copy(lc, lam)
+	t.Lambda = append(t.Lambda, lc)
+	t.Energy = append(t.Energy, energy)
+}
+
+// Result is the outcome of a SAIM solve.
+type Result struct {
+	// Best is the decision-bit assignment of the best feasible sample,
+	// or nil when no feasible sample was observed.
+	Best ising.Bits
+	// BestCost is Cost(Best), +Inf when Best is nil.
+	BestCost float64
+	// FeasibleCount is the number of iterations whose sample was feasible.
+	FeasibleCount int
+	// Iterations is the number of annealing runs executed (K).
+	Iterations int
+	// TotalSweeps is the cumulative MCS spent.
+	TotalSweeps int64
+	// P is the penalty weight used.
+	P float64
+	// Lambda is the final multiplier vector.
+	Lambda vecmat.Vec
+	// DualBest is the largest measured L(x_k), a heuristic estimate of the
+	// optimal dual bound M_D.
+	DualBest float64
+}
+
+// FeasibleRatio returns FeasibleCount/Iterations in percent, the number the
+// paper reports in parentheses next to average accuracies.
+func (r *Result) FeasibleRatio() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return 100 * float64(r.FeasibleCount) / float64(r.Iterations)
+}
+
+// Solve runs Algorithm 1 on the problem.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	ext := p.Ext
+
+	// Energy E = f + P‖g‖², built once; λ terms only touch h afterwards.
+	density := p.Density
+	pen := o.P
+	if pen == 0 {
+		if density == 0 {
+			// Measure the coupling density of the full energy (objective +
+			// penalty quadratic structure) at a nominal P.
+			probe := penalty.Build(p.Objective, ext, 1)
+			density = probe.ToIsing().Density()
+		}
+		pen = penalty.Heuristic(o.Alpha, density, ext.NTotal)
+	}
+	if pen < 0 {
+		return nil, fmt.Errorf("core: negative penalty weight %v", pen)
+	}
+	energy := penalty.Build(p.Objective, ext, pen)
+	model := energy.ToIsing()
+	baseH := model.H.Clone()
+
+	src := rng.New(o.Seed)
+	machine := o.Factory(model, src.Split())
+	lam := lagrange.New(ext.M(), o.Eta)
+	lam.NonNegative = o.NonNegative
+	var stepSched lagrange.StepSchedule = lagrange.ConstantStep{Eta0: o.Eta}
+	if o.EtaDecayPower != 0 {
+		stepSched = lagrange.DecayStep{Eta0: o.Eta, Power: o.EtaDecayPower}
+	}
+	sched := schedule.Linear{Start: 0, End: o.BetaMax}
+
+	var dual lagrange.DualTracker
+	res := &Result{BestCost: math.Inf(1), P: pen, Iterations: o.Iterations}
+	biasDelta := vecmat.NewVec(ext.NTotal)
+	h := vecmat.NewVec(ext.NTotal)
+
+	for k := 0; k < o.Iterations; k++ {
+		// Re-program the machine's biases with the current λ:
+		// h_k = baseH − Σ_m λ_m row_m / 2 (spin-domain image of λᵀg).
+		lagrange.BiasDelta(biasDelta, ext, lam)
+		for i := range h {
+			h[i] = baseH[i] - biasDelta[i]
+		}
+		machine.UpdateBiases(h)
+
+		// One annealing run; the paper reads the run's last sample.
+		x := machine.Anneal(sched, o.SweepsPerRun).Bits()
+		g := ext.Residuals(x)
+
+		feasible := ext.OrigFeasible(x, 1e-9)
+		cost := p.Cost(x[:ext.NOrig])
+		if feasible {
+			res.FeasibleCount++
+			if cost < res.BestCost {
+				res.BestCost = cost
+				res.Best = x[:ext.NOrig].Clone()
+			}
+		}
+
+		// Measured dual value L_k(x_k) = E(x_k) + λᵀg(x_k) for diagnostics
+		// and traces.
+		lk := energy.Energy(x) + lam.Values.Dot(g)
+		dual.Record(lk)
+		if o.Trace != nil {
+			o.Trace.record(cost, feasible, lam.Values, lk)
+		}
+
+		// λ ← λ + η_k g(x_k).
+		lam.UpdateScheduled(g, stepSched)
+	}
+	res.TotalSweeps = machine.Sweeps()
+	res.Lambda = lam.Values.Clone()
+	res.DualBest = dual.Best()
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// SolveParallel runs `replicas` independent SAIM solves concurrently (one
+// goroutine per replica, capped at GOMAXPROCS workers) with decorrelated
+// seeds, and merges their results. Independent restarts are the natural
+// parallelization of Algorithm 1 — the λ recursion inside one solve is
+// sequential, but replicas explore different multiplier trajectories, which
+// both exploits hardware parallelism and hedges against a bad λ path.
+//
+// The merged result reports the best feasible solution across replicas,
+// aggregate feasibility statistics, the total sweep budget, and the λ
+// vector of the replica that produced the winner.
+func SolveParallel(p *Problem, opts Options, replicas int) (*Result, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("core: SolveParallel requires replicas > 0, got %d", replicas)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	results := make([]*Result, replicas)
+	errs := make([]error, replicas)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			// Decorrelate replicas deterministically from the base seed.
+			o.Seed = opts.Seed ^ (uint64(r+1) * 0x9e3779b97f4a7c15)
+			// Traces cannot be shared across goroutines; replicas beyond
+			// the first drop them.
+			if r > 0 {
+				o.Trace = nil
+			}
+			results[r], errs[r] = Solve(p, o)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	merged := &Result{BestCost: math.Inf(1)}
+	for _, res := range results {
+		merged.FeasibleCount += res.FeasibleCount
+		merged.Iterations += res.Iterations
+		merged.TotalSweeps += res.TotalSweeps
+		merged.P = res.P
+		if res.BestCost < merged.BestCost {
+			merged.BestCost = res.BestCost
+			merged.Best = res.Best
+			merged.Lambda = res.Lambda
+		}
+		if res.DualBest > merged.DualBest || merged.DualBest == 0 {
+			merged.DualBest = res.DualBest
+		}
+	}
+	if merged.Lambda == nil && len(results) > 0 {
+		merged.Lambda = results[0].Lambda
+	}
+	return merged, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSolveParallelMatchesSingleSemantics(t *testing.T) {
+	p, opt := knapsackProblem([]float64{6, 5, 8, 9}, []float64{2, 3, 6, 7}, 10)
+	res, err := SolveParallel(p, Options{
+		Iterations: 60, SweepsPerRun: 100, Eta: 0.5, Seed: 3,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible solution across replicas")
+	}
+	if res.BestCost != opt {
+		t.Fatalf("BestCost = %v, want %v", res.BestCost, opt)
+	}
+	if res.Iterations != 4*60 {
+		t.Fatalf("Iterations = %d", res.Iterations)
+	}
+	if res.TotalSweeps != 4*60*100 {
+		t.Fatalf("TotalSweeps = %d", res.TotalSweeps)
+	}
+	if !p.Ext.Orig.Feasible(res.Best, 1e-9) {
+		t.Fatal("merged best infeasible")
+	}
+}
+
+func TestSolveParallelDeterministic(t *testing.T) {
+	p, _ := knapsackProblem([]float64{3, 4, 5}, []float64{2, 3, 4}, 5)
+	run := func() *Result {
+		r, err := SolveParallel(p, Options{Iterations: 25, SweepsPerRun: 60, Eta: 0.5, Seed: 9}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.BestCost != b.BestCost || a.FeasibleCount != b.FeasibleCount {
+		t.Fatal("same seed, different merged results")
+	}
+}
+
+func TestSolveParallelBeatsOrMatchesSingle(t *testing.T) {
+	p, _ := knapsackProblem(
+		[]float64{6, 5, 8, 9, 6, 7, 3}, []float64{2, 3, 6, 7, 5, 9, 4}, 15)
+	single, err := Solve(p, Options{Iterations: 40, SweepsPerRun: 100, Eta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := SolveParallel(p, Options{Iterations: 40, SweepsPerRun: 100, Eta: 0.5, Seed: 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Best == nil {
+		t.Fatal("parallel found nothing")
+	}
+	if single.Best != nil && multi.BestCost > single.BestCost {
+		t.Fatalf("4 replicas (%v) worse than replica-compatible single (%v)", multi.BestCost, single.BestCost)
+	}
+}
+
+func TestSolveParallelValidation(t *testing.T) {
+	p, _ := knapsackProblem([]float64{1}, []float64{1}, 1)
+	if _, err := SolveParallel(p, Options{}, 0); err == nil {
+		t.Fatal("accepted zero replicas")
+	}
+	if _, err := SolveParallel(&Problem{}, Options{}, 2); err == nil {
+		t.Fatal("accepted invalid problem")
+	}
+}
+
+func TestSolveParallelKeepsFirstTrace(t *testing.T) {
+	p, _ := knapsackProblem([]float64{3, 4}, []float64{2, 3}, 4)
+	tr := &Trace{}
+	if _, err := SolveParallel(p, Options{
+		Iterations: 10, SweepsPerRun: 20, Eta: 0.5, Seed: 2, Trace: tr,
+	}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Cost) != 10 {
+		t.Fatalf("trace length %d, want one replica's 10", len(tr.Cost))
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/mkp"
+	"github.com/ising-machines/saim/internal/qkp"
+	"github.com/ising-machines/saim/internal/report"
+	"github.com/ising-machines/saim/internal/stats"
+)
+
+// This file holds the ablation studies of DESIGN.md §4 — experiments the
+// paper implies but does not tabulate: sensitivity to the η step size and
+// the α penalty coefficient (the "SAIM is less parameter-sensitive" claim),
+// the slack-encoding comparison (binary vs. exact-range vs. unary), the
+// λ ≥ 0 projection variant, and the artificial capacity-reduction trick
+// for raising MKP feasibility that Section IV.B suggests.
+
+// ablationSuite returns the shared QKP instance set for an ablation.
+func ablationSuite(cfg Config) []*qkp.Instance {
+	b := qkpBudgetFor(cfg.Preset, 100)
+	var out []*qkp.Instance
+	for _, d := range []float64{0.25, 0.5} {
+		for id := 1; id <= b.instances; id++ {
+			seed := instanceSeed("qkp-abl", b.n, int(d*100), id, cfg.Seed)
+			out = append(out, qkp.Generate(b.n, d, id, seed))
+		}
+	}
+	return out
+}
+
+// AblationRow is one sweep point of a 1-D ablation.
+type AblationRow struct {
+	Setting  string
+	BestAcc  float64 // mean best accuracy across instances
+	AvgAcc   float64 // mean avg-feasible accuracy
+	FeasPct  float64 // mean feasible ratio
+	ExtraVar int     // extra variables (encoding ablation only)
+}
+
+// AblationResult bundles rows and the rendered table.
+type AblationResult struct {
+	Rows  []AblationRow
+	Table *report.Table
+}
+
+// runSuite solves every instance with per-instance options derived from f
+// and aggregates the accuracy statistics.
+func runSuite(cfg Config, insts []*qkp.Instance, enc constraint.SlackEncoding,
+	mod func(o *core.Options)) (AblationRow, error) {
+	b := qkpBudgetFor(cfg.Preset, 100)
+	var bestAcc, avgAcc, feas []float64
+	extra := 0
+	for _, inst := range insts {
+		prob := inst.ToProblem(enc)
+		extra = prob.Ext.NTotal - prob.Ext.NOrig
+		tr := &core.Trace{}
+		o := core.Options{
+			Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
+			BetaMax: b.betaMax, Seed: instanceSeed("abl-run", inst.N, 0, 0, cfg.Seed) ^ 0xa5a5,
+			Trace: tr,
+		}
+		mod(&o)
+		res, err := core.Solve(prob, o)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		opt, _ := qkpReference(inst, res.BestCost)
+		ss := statsFromTrace(tr, opt)
+		if !math.IsNaN(ss.BestAcc) && ss.FeasPct > 0 {
+			bestAcc = append(bestAcc, ss.BestAcc)
+			avgAcc = append(avgAcc, ss.AvgAcc)
+		}
+		feas = append(feas, ss.FeasPct)
+	}
+	row := AblationRow{
+		BestAcc:  stats.Mean(bestAcc),
+		AvgAcc:   stats.Mean(avgAcc),
+		FeasPct:  stats.Mean(feas),
+		ExtraVar: extra,
+	}
+	return row, nil
+}
+
+// AblationEta sweeps the Lagrange step size η across two orders of
+// magnitude. The paper's robustness claim predicts a wide plateau.
+func AblationEta(cfg Config) (*AblationResult, error) {
+	insts := ablationSuite(cfg)
+	etas := []float64{2, 8, 20, 80, 200}
+	out := &AblationResult{}
+	tb := report.New(fmt.Sprintf("Ablation — η sensitivity (preset %s)", cfg.Preset),
+		"eta", "mean best acc", "mean avg acc", "mean feas%")
+	for _, eta := range etas {
+		row, err := runSuite(cfg, insts, constraint.Binary, func(o *core.Options) { o.Eta = eta })
+		if err != nil {
+			return nil, err
+		}
+		row.Setting = fmt.Sprintf("η=%g", eta)
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(row.Setting, report.Pct(row.BestAcc), report.Pct(row.AvgAcc), report.Pct(row.FeasPct))
+	}
+	out.Table = tb
+	return out, nil
+}
+
+// AblationAlpha sweeps the penalty coefficient α in P = α·d·N. SAIM should
+// tolerate a wide range, unlike the bare penalty method whose tuned values
+// span 40–500 (paper Table II).
+func AblationAlpha(cfg Config) (*AblationResult, error) {
+	insts := ablationSuite(cfg)
+	alphas := []float64{0.5, 1, 2, 4, 8}
+	out := &AblationResult{}
+	tb := report.New(fmt.Sprintf("Ablation — α sensitivity, P = α·d·N (preset %s)", cfg.Preset),
+		"alpha", "mean best acc", "mean avg acc", "mean feas%")
+	for _, a := range alphas {
+		row, err := runSuite(cfg, insts, constraint.Binary, func(o *core.Options) { o.Alpha = a })
+		if err != nil {
+			return nil, err
+		}
+		row.Setting = fmt.Sprintf("α=%g", a)
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(row.Setting, report.Pct(row.BestAcc), report.Pct(row.AvgAcc), report.Pct(row.FeasPct))
+	}
+	out.Table = tb
+	return out, nil
+}
+
+// AblationEncoding compares the three slack encodings on the same suite:
+// the paper's binary (range overshoot, fewest bits), the exact-range
+// bounded variant (HE-IM-style), and unary.
+func AblationEncoding(cfg Config) (*AblationResult, error) {
+	insts := ablationSuite(cfg)
+	out := &AblationResult{}
+	tb := report.New(fmt.Sprintf("Ablation — slack encodings (preset %s)", cfg.Preset),
+		"encoding", "slack bits", "mean best acc", "mean avg acc", "mean feas%")
+	for _, enc := range []constraint.SlackEncoding{constraint.Binary, constraint.Bounded, constraint.Unary} {
+		row, err := runSuite(cfg, insts, enc, func(o *core.Options) {})
+		if err != nil {
+			return nil, err
+		}
+		row.Setting = enc.String()
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(row.Setting, report.I(row.ExtraVar), report.Pct(row.BestAcc),
+			report.Pct(row.AvgAcc), report.Pct(row.FeasPct))
+	}
+	out.Table = tb
+	return out, nil
+}
+
+// AblationProjection compares plain subgradient updates against λ ≥ 0
+// projection (inequality multipliers are sign-constrained in exact duality;
+// the paper's plain ascent works regardless).
+func AblationProjection(cfg Config) (*AblationResult, error) {
+	insts := ablationSuite(cfg)
+	out := &AblationResult{}
+	tb := report.New(fmt.Sprintf("Ablation — λ projection (preset %s)", cfg.Preset),
+		"update rule", "mean best acc", "mean avg acc", "mean feas%")
+	for _, proj := range []bool{false, true} {
+		row, err := runSuite(cfg, insts, constraint.Binary, func(o *core.Options) { o.NonNegative = proj })
+		if err != nil {
+			return nil, err
+		}
+		if proj {
+			row.Setting = "projected λ≥0"
+		} else {
+			row.Setting = "plain (paper)"
+		}
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(row.Setting, report.Pct(row.BestAcc), report.Pct(row.AvgAcc), report.Pct(row.FeasPct))
+	}
+	out.Table = tb
+	return out, nil
+}
+
+// AblationCapacity implements the feasibility-raising trick Section IV.B
+// cites from [16]: solve MKP against artificially reduced capacities
+// B' = γ·B (γ ≤ 1) so measured samples satisfy the true constraints more
+// often, at some cost in attainable value.
+func AblationCapacity(cfg Config) (*AblationResult, error) {
+	b := mkpBudgetFor(cfg.Preset)
+	class := b.classes[0]
+	gammas := []float64{1.0, 0.97, 0.94, 0.90}
+	out := &AblationResult{}
+	tb := report.New(fmt.Sprintf("Ablation — MKP capacity reduction B'=γB (preset %s)", cfg.Preset),
+		"gamma", "mean best acc", "mean avg acc", "mean feas%")
+	for _, gamma := range gammas {
+		var bestAcc, avgAcc, feas []float64
+		for id := 1; id <= b.instances; id++ {
+			seed := instanceSeed("mkp-cap", class[0], class[1], id, cfg.Seed)
+			inst := mkp.Generate(class[0], class[1], 0.5, id, seed)
+			shrunk := shrinkCapacities(inst, gamma)
+			prob := shrunk.ToProblem(constraint.Binary)
+			// Feasibility and cost must be judged against the TRUE
+			// instance, not the shrunken one.
+			trueProb := trueCostProblem(prob, inst)
+			tr := &core.Trace{}
+			res, err := core.Solve(trueProb, core.Options{
+				Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
+				BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			opt := res.BestCost // best-known within this ablation
+			ss := statsFromTrace(tr, opt)
+			if ss.FeasPct > 0 {
+				bestAcc = append(bestAcc, ss.BestAcc)
+				avgAcc = append(avgAcc, ss.AvgAcc)
+			}
+			feas = append(feas, ss.FeasPct)
+		}
+		row := AblationRow{
+			Setting: fmt.Sprintf("γ=%.2f", gamma),
+			BestAcc: stats.Mean(bestAcc),
+			AvgAcc:  stats.Mean(avgAcc),
+			FeasPct: stats.Mean(feas),
+		}
+		out.Rows = append(out.Rows, row)
+		tb.AddRow(row.Setting, report.Pct(row.BestAcc), report.Pct(row.AvgAcc), report.Pct(row.FeasPct))
+	}
+	out.Table = tb
+	return out, nil
+}
+
+// shrinkCapacities returns a copy of inst with capacities scaled by gamma.
+func shrinkCapacities(inst *mkp.Instance, gamma float64) *mkp.Instance {
+	out := &mkp.Instance{
+		Name: inst.Name + fmt.Sprintf("-g%.2f", gamma),
+		N:    inst.N, M: inst.M,
+		H: append([]int(nil), inst.H...),
+		A: make([][]int, inst.M),
+		B: make([]int, inst.M),
+	}
+	for i := 0; i < inst.M; i++ {
+		out.A[i] = append([]int(nil), inst.A[i]...)
+		out.B[i] = int(gamma * float64(inst.B[i]))
+	}
+	return out
+}
+
+// trueCostProblem rebinds the problem's feasibility/cost bookkeeping to the
+// original instance while keeping the (shrunken) energy landscape: samples
+// are judged against the true constraints the user cares about.
+func trueCostProblem(p *core.Problem, truth *mkp.Instance) *core.Problem {
+	origSys := truth.System()
+	ext := *p.Ext
+	ext.Orig = origSys
+	return &core.Problem{
+		Objective: p.Objective,
+		Ext:       &ext,
+		Cost:      func(x ising.Bits) float64 { return truth.Cost(x) },
+		Density:   p.Density,
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/mkp"
+)
+
+func TestAblationEtaPlateau(t *testing.T) {
+	res, err := AblationEta(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's robustness claim: every η in the sweep (spanning two
+	// orders of magnitude) must still produce good best-accuracies.
+	for _, r := range res.Rows {
+		if math.IsNaN(r.BestAcc) || r.BestAcc < 90 {
+			t.Fatalf("%s: best acc %v — plateau broken", r.Setting, r.BestAcc)
+		}
+	}
+	if !strings.Contains(res.Table.String(), "η=20") {
+		t.Fatal("missing paper setting in table")
+	}
+}
+
+func TestAblationAlphaTolerant(t *testing.T) {
+	res, err := AblationAlpha(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, r := range res.Rows {
+		if !math.IsNaN(r.BestAcc) && r.BestAcc >= 90 {
+			ok++
+		}
+	}
+	// SAIM tolerates most of a 16× α range (the bare penalty method needs
+	// instance-specific values spanning 40–500).
+	if ok < 4 {
+		t.Fatalf("only %d/5 α settings reached 90%% best accuracy", ok)
+	}
+}
+
+func TestAblationEncodingVariableCounts(t *testing.T) {
+	res, err := AblationEncoding(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Setting] = r
+	}
+	// Binary and bounded use O(log b) bits; unary uses b bits.
+	if byName["unary"].ExtraVar <= byName["binary"].ExtraVar {
+		t.Fatalf("unary (%d) should need more slack bits than binary (%d)",
+			byName["unary"].ExtraVar, byName["binary"].ExtraVar)
+	}
+	if byName["bounded"].ExtraVar > byName["binary"].ExtraVar+1 {
+		t.Fatalf("bounded (%d) should be within one bit of binary (%d)",
+			byName["bounded"].ExtraVar, byName["binary"].ExtraVar)
+	}
+	// The compact encodings must work well.
+	for _, name := range []string{"binary", "bounded"} {
+		if byName[name].BestAcc < 90 {
+			t.Fatalf("%s encoding best acc %v", name, byName[name].BestAcc)
+		}
+	}
+}
+
+func TestAblationProjectionBothWork(t *testing.T) {
+	res, err := AblationProjection(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if math.IsNaN(r.BestAcc) || r.BestAcc < 90 {
+			t.Fatalf("%s: best acc %v", r.Setting, r.BestAcc)
+		}
+	}
+}
+
+func TestAblationCapacityRaisesFeasibility(t *testing.T) {
+	res, err := AblationCapacity(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Shrinking capacities (γ < 1) should raise the feasible-sample ratio
+	// versus γ=1 — the trend Section IV.B predicts. Compare the strongest
+	// shrink against the baseline.
+	base := res.Rows[0]
+	strongest := res.Rows[len(res.Rows)-1]
+	if strongest.FeasPct <= base.FeasPct {
+		t.Fatalf("γ=%s feas %v not above γ=1 feas %v",
+			strongest.Setting, strongest.FeasPct, base.FeasPct)
+	}
+}
+
+func TestShrinkCapacitiesCopiesDeeply(t *testing.T) {
+	cfg := smokeCfg()
+	b := mkpBudgetFor(cfg.Preset)
+	class := b.classes[0]
+	seed := instanceSeed("mkp-cap", class[0], class[1], 1, 0)
+	inst := mkp.Generate(class[0], class[1], 0.5, 1, seed)
+	shrunk := shrinkCapacities(inst, 0.9)
+	shrunk.A[0][0] = -999
+	shrunk.B[0] = -999
+	if inst.A[0][0] == -999 || inst.B[0] == -999 {
+		t.Fatal("shrinkCapacities aliased the original")
+	}
+	for i := range inst.B {
+		want := int(0.9 * float64(inst.B[i]))
+		if i == 0 {
+			continue // mutated above
+		}
+		if shrunk.B[i] != want {
+			t.Fatalf("capacity %d = %d, want %d", i, shrunk.B[i], want)
+		}
+	}
+}

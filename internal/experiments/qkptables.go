@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/ising-machines/saim/internal/anneal"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/pt"
+	"github.com/ising-machines/saim/internal/qkp"
+	"github.com/ising-machines/saim/internal/report"
+	"github.com/ising-machines/saim/internal/stats"
+)
+
+// Table2Row holds per-instance results for Table II (SAIM vs the penalty
+// method under an equal sample budget, plus the tuned long-run penalty
+// method).
+type Table2Row struct {
+	Instance string
+	// OptCost is the reference optimum (negative); Proven marks exact.
+	OptCost float64
+	Proven  bool
+	// SAIM columns.
+	SAIMBest, SAIMAvg, SAIMFeas float64
+	// Penalty method, same budget as SAIM.
+	PenBest, PenAvg, PenFeas float64
+	// Penalty method, few long runs with tuned P.
+	LongBest, LongAvg, LongFeas float64
+	// TunedAlpha is the tuned P expressed in units of d·N (the paper
+	// reports "130dN" etc.).
+	TunedAlpha float64
+}
+
+// Table2Result bundles the rows and the rendered table.
+type Table2Result struct {
+	Rows  []Table2Row
+	Table *report.Table
+}
+
+// Table2 reproduces Table II: QKP at the paper's N=100 with densities 25%
+// and 50%, comparing SAIM against the penalty method at the same 2M-MCS
+// budget and against the tuned long-run penalty method.
+func Table2(cfg Config) (*Table2Result, error) {
+	b := qkpBudgetFor(cfg.Preset, 100)
+	densities := []float64{0.25, 0.5}
+	out := &Table2Result{}
+	tb := report.New(
+		fmt.Sprintf("Table II — penalty method vs SAIM for QKP (preset %s, N=%d, %d runs × %d MCS)",
+			cfg.Preset, b.n, b.runs, b.sweeps),
+		"Instance", "SAIM best", "SAIM avg (feas%)", "Penalty best", "Penalty avg (feas%)",
+		"Long best", "Long avg (feas%)", "Tuned P", "OPT proven",
+	)
+
+	for _, d := range densities {
+		for id := 1; id <= b.instances; id++ {
+			row, err := table2Instance(cfg, b, d, id)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, *row)
+			tb.AddRow(
+				row.Instance,
+				report.Pct(row.SAIMBest),
+				fmt.Sprintf("%s (%s)", report.Pct(row.SAIMAvg), report.F(row.SAIMFeas, 0)),
+				report.Pct(row.PenBest),
+				fmt.Sprintf("%s (%s)", report.Pct(row.PenAvg), report.F(row.PenFeas, 0)),
+				report.Pct(row.LongBest),
+				fmt.Sprintf("%s (%s)", report.Pct(row.LongAvg), report.F(row.LongFeas, 0)),
+				fmt.Sprintf("%.0fdN", row.TunedAlpha),
+				fmt.Sprintf("%v", row.Proven),
+			)
+		}
+	}
+
+	// Averages row (ignoring NaNs by column where a method found nothing).
+	avg := func(get func(Table2Row) float64) float64 {
+		var xs []float64
+		for _, r := range out.Rows {
+			if v := get(r); !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		return stats.Mean(xs)
+	}
+	tb.AddRow("Average",
+		report.Pct(avg(func(r Table2Row) float64 { return r.SAIMBest })),
+		fmt.Sprintf("%s (%s)", report.Pct(avg(func(r Table2Row) float64 { return r.SAIMAvg })),
+			report.F(avg(func(r Table2Row) float64 { return r.SAIMFeas }), 0)),
+		report.Pct(avg(func(r Table2Row) float64 { return r.PenBest })),
+		fmt.Sprintf("%s (%s)", report.Pct(avg(func(r Table2Row) float64 { return r.PenAvg })),
+			report.F(avg(func(r Table2Row) float64 { return r.PenFeas }), 0)),
+		report.Pct(avg(func(r Table2Row) float64 { return r.LongBest })),
+		fmt.Sprintf("%s (%s)", report.Pct(avg(func(r Table2Row) float64 { return r.LongAvg })),
+			report.F(avg(func(r Table2Row) float64 { return r.LongFeas }), 0)),
+		fmt.Sprintf("%.0fdN", avg(func(r Table2Row) float64 { return r.TunedAlpha })),
+		"")
+	out.Table = tb
+	return out, nil
+}
+
+func table2Instance(cfg Config, b qkpBudget, d float64, id int) (*Table2Row, error) {
+	seed := instanceSeed("qkp-t2", b.n, int(d*100), id, cfg.Seed)
+	inst := qkp.Generate(b.n, d, id, seed)
+	prob := buildQKP(inst)
+	if cfg.Verbose {
+		fmt.Fprintf(os.Stderr, "table2: %s\n", inst.Name)
+	}
+
+	// SAIM at the untuned heuristic P = 2dN.
+	tr := &core.Trace{}
+	saim, err := core.Solve(prob, core.Options{
+		Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
+		BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Penalty method, same P and same sample budget.
+	pen, err := anneal.SolvePenalty(prob, saim.P, anneal.Options{
+		Runs: b.runs, SweepsPerRun: b.sweeps, BetaMax: b.betaMax, Seed: seed ^ 0x5a5a,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Tuned penalty method with few long runs: coarse tuning probes at a
+	// quarter of the long budget, then the final long runs at the tuned P.
+	tuned, _, err := anneal.TunePenalty(prob, saim.P, 2, 0.2, 7, anneal.Options{
+		Runs: b.longRuns, SweepsPerRun: b.longMCS / 4, BetaMax: b.betaMax, Seed: seed ^ 0x3c3c,
+	})
+	if err != nil {
+		return nil, err
+	}
+	long, err := anneal.SolvePenalty(prob, tuned.P, anneal.Options{
+		Runs: b.longRuns, SweepsPerRun: b.longMCS, BetaMax: b.betaMax, Seed: seed ^ 0xc3c3,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	opt, proven := qkpReference(inst, saim.BestCost, pen.BestCost, long.BestCost, tuned.BestCost)
+	ss := statsFromTrace(tr, opt)
+	dn := d * float64(prob.Ext.NTotal)
+	row := &Table2Row{
+		Instance: inst.Name,
+		OptCost:  opt,
+		Proven:   proven,
+		SAIMBest: accuracyOf(saim.BestCost, opt),
+		SAIMAvg:  ss.AvgAcc,
+		SAIMFeas: ss.FeasPct,
+		PenBest:  accuracyOf(pen.BestCost, opt),
+		PenAvg:   meanAccuracy(pen.FeasibleCosts, opt),
+		PenFeas:  pen.FeasibleRatio(),
+		LongBest: accuracyOf(long.BestCost, opt),
+		LongAvg:  meanAccuracy(long.FeasibleCosts, opt),
+		LongFeas: long.FeasibleRatio(),
+	}
+	if dn > 0 {
+		row.TunedAlpha = tuned.P / dn
+	}
+	return row, nil
+}
+
+// QKPCompareRow holds per-instance results for Tables III/IV (SAIM vs the
+// best-SA and PT-DA stand-ins).
+type QKPCompareRow struct {
+	Instance   string
+	OptCost    float64
+	Proven     bool
+	Optimality float64 // % of feasible SAIM samples that are optimal
+	SAIMBest   float64
+	SAIMAvg    float64
+	SAIMFeas   float64
+	BestSA     float64 // best accuracy of the tuned penalty-SA baseline
+	PTDA       float64 // best accuracy of the parallel-tempering baseline
+}
+
+// QKPCompareResult bundles rows and the rendered table.
+type QKPCompareResult struct {
+	Rows  []QKPCompareRow
+	Table *report.Table
+}
+
+// Table3 reproduces Table III: QKP at the paper's N=200 across densities
+// 25/50/75/100%, comparing SAIM with best-SA [16] and PT-DA [17] stand-ins.
+func Table3(cfg Config) (*QKPCompareResult, error) {
+	return qkpCompare(cfg, "Table III", 200, []float64{0.25, 0.5, 0.75, 1.0})
+}
+
+// Table4 reproduces Table IV: QKP at the paper's N=300, densities 25/50%.
+func Table4(cfg Config) (*QKPCompareResult, error) {
+	return qkpCompare(cfg, "Table IV", 300, []float64{0.25, 0.5})
+}
+
+func qkpCompare(cfg Config, title string, paperN int, densities []float64) (*QKPCompareResult, error) {
+	b := qkpBudgetFor(cfg.Preset, paperN)
+	out := &QKPCompareResult{}
+	tb := report.New(
+		fmt.Sprintf("%s — QKP results (preset %s, N=%d)", title, cfg.Preset, b.n),
+		"Instance", "Optimality%", "SAIM best", "SAIM avg (feas%)", "best SA", "PT-DA", "OPT proven",
+	)
+	for _, d := range densities {
+		for id := 1; id <= b.instances; id++ {
+			row, err := compareInstance(cfg, b, paperN, d, id)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, *row)
+			tb.AddRow(
+				row.Instance,
+				report.Pct(row.Optimality),
+				report.Pct(row.SAIMBest),
+				fmt.Sprintf("%s (%s)", report.Pct(row.SAIMAvg), report.F(row.SAIMFeas, 0)),
+				report.Pct(row.BestSA),
+				report.Pct(row.PTDA),
+				fmt.Sprintf("%v", row.Proven),
+			)
+		}
+	}
+	avg := func(get func(QKPCompareRow) float64) float64 {
+		var xs []float64
+		for _, r := range out.Rows {
+			if v := get(r); !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		return stats.Mean(xs)
+	}
+	tb.AddRow("Average",
+		report.Pct(avg(func(r QKPCompareRow) float64 { return r.Optimality })),
+		report.Pct(avg(func(r QKPCompareRow) float64 { return r.SAIMBest })),
+		fmt.Sprintf("%s (%s)", report.Pct(avg(func(r QKPCompareRow) float64 { return r.SAIMAvg })),
+			report.F(avg(func(r QKPCompareRow) float64 { return r.SAIMFeas }), 0)),
+		report.Pct(avg(func(r QKPCompareRow) float64 { return r.BestSA })),
+		report.Pct(avg(func(r QKPCompareRow) float64 { return r.PTDA })),
+		"")
+	out.Table = tb
+	return out, nil
+}
+
+func compareInstance(cfg Config, b qkpBudget, paperN int, d float64, id int) (*QKPCompareRow, error) {
+	seed := instanceSeed(fmt.Sprintf("qkp-n%d", paperN), b.n, int(d*100), id, cfg.Seed)
+	inst := qkp.Generate(b.n, d, id, seed)
+	prob := buildQKP(inst)
+	if cfg.Verbose {
+		fmt.Fprintf(os.Stderr, "compare %d: %s\n", paperN, inst.Name)
+	}
+
+	tr := &core.Trace{}
+	saim, err := core.Solve(prob, core.Options{
+		Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
+		BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Best-SA stand-in: penalty SA at a tuned P with the long-run budget.
+	tuned, _, err := anneal.TunePenalty(prob, saim.P, 2, 0.2, 7, anneal.Options{
+		Runs: b.longRuns, SweepsPerRun: b.longMCS / 4, BetaMax: b.betaMax, Seed: seed ^ 0x1111,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bestSA, err := anneal.SolvePenalty(prob, tuned.P, anneal.Options{
+		Runs: b.longRuns, SweepsPerRun: b.longMCS, BetaMax: b.betaMax, Seed: seed ^ 0x2222,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// PT-DA stand-in at the same tuned P.
+	ptRes, err := pt.SolvePenalty(prob, tuned.P, pt.Options{
+		Replicas: b.ptRep, Sweeps: b.ptSweeps, BetaMin: 0.1, BetaMax: b.betaMax,
+		SampleEvery: 10, Seed: seed ^ 0x4444,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	opt, proven := qkpReference(inst, saim.BestCost, bestSA.BestCost, ptRes.BestCost, tuned.BestCost)
+	ss := statsFromTrace(tr, opt)
+	return &QKPCompareRow{
+		Instance:   inst.Name,
+		OptCost:    opt,
+		Proven:     proven,
+		Optimality: ss.OptimalPct,
+		SAIMBest:   accuracyOf(saim.BestCost, opt),
+		SAIMAvg:    ss.AvgAcc,
+		SAIMFeas:   ss.FeasPct,
+		BestSA:     accuracyOf(bestSA.BestCost, opt),
+		PTDA:       accuracyOf(ptRes.BestCost, opt),
+	}, nil
+}

@@ -1,0 +1,250 @@
+// Package ga implements the Chu–Beasley genetic algorithm for the
+// multidimensional knapsack problem [28], the baseline of the paper's
+// Table V. The algorithm is a steady-state GA with:
+//
+//   - binary-tournament parent selection,
+//   - uniform crossover,
+//   - light mutation (two random bit flips),
+//   - a repair operator driven by pseudo-utility ratios (value divided by
+//     capacity-weighted aggregate weight): a DROP phase removes the least
+//     useful selected items until all constraints hold, then an ADD phase
+//     greedily inserts the most useful items that still fit,
+//   - replace-worst steady-state updates with duplicate rejection.
+//
+// Every individual in the population is feasible at all times, which is
+// the defining trait of Chu & Beasley's design.
+package ga
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/mkp"
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+// Options configures a GA run.
+type Options struct {
+	// Population is the steady-state population size (Chu–Beasley: 100).
+	Population int
+	// Children is the number of offspring generated (the time budget).
+	Children int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Population == 0 {
+		out.Population = 100
+	}
+	if out.Children == 0 {
+		out.Children = 10000
+	}
+	return out
+}
+
+// Result summarizes a GA run.
+type Result struct {
+	// Best is the best feasible assignment found.
+	Best ising.Bits
+	// Value is the collected value of Best.
+	Value int
+	// Cost is −Value.
+	Cost float64
+	// Children is the number of offspring generated.
+	Children int
+	// Improvements counts offspring that entered the population.
+	Improvements int
+}
+
+type individual struct {
+	x     ising.Bits
+	value int
+}
+
+// Solve runs the Chu–Beasley GA on the instance.
+func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	o := opt.withDefaults()
+	src := rng.New(o.Seed)
+
+	utility := pseudoUtilities(inst)
+	// Items by decreasing utility for the ADD phase, increasing for DROP.
+	desc := make([]int, inst.N)
+	for j := range desc {
+		desc[j] = j
+	}
+	sort.Slice(desc, func(a, b int) bool { return utility[desc[a]] > utility[desc[b]] })
+
+	pop := make([]*individual, 0, o.Population)
+	seen := map[string]bool{}
+	for len(pop) < o.Population {
+		x := make(ising.Bits, inst.N)
+		for j := range x {
+			if src.Bool(0.5) {
+				x[j] = 1
+			}
+		}
+		repair(inst, x, desc, utility)
+		key := bitsKey(x)
+		if seen[key] {
+			// Mutate a duplicate instead of rejection-sampling forever.
+			x[src.Intn(inst.N)] ^= 1
+			repair(inst, x, desc, utility)
+			key = bitsKey(x)
+			if seen[key] {
+				continue
+			}
+		}
+		seen[key] = true
+		pop = append(pop, &individual{x: x, value: inst.Value(x)})
+	}
+
+	best := pop[0]
+	for _, ind := range pop {
+		if ind.value > best.value {
+			best = ind
+		}
+	}
+
+	res := &Result{}
+	tournament := func() *individual {
+		a := pop[src.Intn(len(pop))]
+		b := pop[src.Intn(len(pop))]
+		if a.value >= b.value {
+			return a
+		}
+		return b
+	}
+
+	for c := 0; c < o.Children; c++ {
+		res.Children++
+		p1, p2 := tournament(), tournament()
+		child := make(ising.Bits, inst.N)
+		for j := range child {
+			if src.Bool(0.5) {
+				child[j] = p1.x[j]
+			} else {
+				child[j] = p2.x[j]
+			}
+		}
+		// Mutation: flip two random bits.
+		child[src.Intn(inst.N)] ^= 1
+		child[src.Intn(inst.N)] ^= 1
+		repair(inst, child, desc, utility)
+
+		key := bitsKey(child)
+		if seen[key] {
+			continue
+		}
+		val := inst.Value(child)
+		// Replace the worst member if the child improves on it.
+		worst := 0
+		for i, ind := range pop {
+			if ind.value < pop[worst].value {
+				worst = i
+			}
+		}
+		if val <= pop[worst].value {
+			continue
+		}
+		delete(seen, bitsKey(pop[worst].x))
+		seen[key] = true
+		pop[worst] = &individual{x: child, value: val}
+		res.Improvements++
+		if val > best.value {
+			best = pop[worst]
+		}
+	}
+
+	res.Best = best.x.Clone()
+	res.Value = best.value
+	res.Cost = -float64(best.value)
+	return res, nil
+}
+
+// pseudoUtilities returns h_j / Σ_i a_ij/b_i, the surrogate-dual utility
+// ratio Chu & Beasley use for their repair operator.
+func pseudoUtilities(inst *mkp.Instance) []float64 {
+	u := make([]float64, inst.N)
+	for j := 0; j < inst.N; j++ {
+		agg := 0.0
+		for i := 0; i < inst.M; i++ {
+			if inst.B[i] > 0 {
+				agg += float64(inst.A[i][j]) / float64(inst.B[i])
+			} else {
+				agg += float64(inst.A[i][j])
+			}
+		}
+		if agg == 0 {
+			agg = math.SmallestNonzeroFloat64
+		}
+		u[j] = float64(inst.H[j]) / agg
+	}
+	return u
+}
+
+// repair makes x feasible in place: DROP selected items by increasing
+// utility until every constraint holds, then ADD unselected items by
+// decreasing utility where they fit.
+func repair(inst *mkp.Instance, x ising.Bits, desc []int, utility []float64) {
+	load := make([]int, inst.M)
+	for i := 0; i < inst.M; i++ {
+		row := inst.A[i]
+		for j, xj := range x {
+			if xj != 0 {
+				load[i] += row[j]
+			}
+		}
+	}
+	violated := func() bool {
+		for i := 0; i < inst.M; i++ {
+			if load[i] > inst.B[i] {
+				return true
+			}
+		}
+		return false
+	}
+	// DROP: walk utility order from the worst end.
+	for k := len(desc) - 1; k >= 0 && violated(); k-- {
+		j := desc[k]
+		if x[j] != 0 {
+			x[j] = 0
+			for i := 0; i < inst.M; i++ {
+				load[i] -= inst.A[i][j]
+			}
+		}
+	}
+	// ADD: walk utility order from the best end.
+	for _, j := range desc {
+		if x[j] != 0 {
+			continue
+		}
+		fits := true
+		for i := 0; i < inst.M; i++ {
+			if load[i]+inst.A[i][j] > inst.B[i] {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			x[j] = 1
+			for i := 0; i < inst.M; i++ {
+				load[i] += inst.A[i][j]
+			}
+		}
+	}
+}
+
+// bitsKey returns a compact map key for a configuration.
+func bitsKey(x ising.Bits) string {
+	b := make([]byte, len(x))
+	for i, v := range x {
+		b[i] = byte(v)
+	}
+	return string(b)
+}

@@ -1,0 +1,117 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+// Energy must be invariant under the (QUBO → Ising → spins → bits) round
+// trip for boundary configurations.
+func TestBoundaryConfigurations(t *testing.T) {
+	src := rng.New(71)
+	q := randomQUBO(src, 7)
+	m := q.ToIsing()
+	allZero := make(Bits, 7)
+	allOne := make(Bits, 7)
+	for i := range allOne {
+		allOne[i] = 1
+	}
+	for _, x := range []Bits{allZero, allOne} {
+		if math.Abs(q.Energy(x)-m.Energy(x.Spins())) > 1e-9 {
+			t.Fatalf("boundary mismatch at %v", x)
+		}
+	}
+	// All-zero QUBO energy is exactly the constant.
+	if q.Energy(allZero) != q.Const {
+		t.Fatalf("E(0) = %v, want Const %v", q.Energy(allZero), q.Const)
+	}
+}
+
+// Double flip = sum of single flips evaluated sequentially.
+func TestSequentialFlipComposition(t *testing.T) {
+	src := rng.New(73)
+	f := func(raw uint8) bool {
+		n := int(raw%6) + 3
+		q := randomQUBO(src, n)
+		x := randomBits(src, n)
+		i, j := src.Intn(n), src.Intn(n)
+		if i == j {
+			return true
+		}
+		e0 := q.Energy(x)
+		d1 := q.DeltaFlip(x, i)
+		x[i] ^= 1
+		d2 := q.DeltaFlip(x, j)
+		x[j] ^= 1
+		e2 := q.Energy(x)
+		return math.Abs((e0+d1+d2)-e2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Flipping the same bit twice is a no-op on the energy.
+func TestFlipInvolution(t *testing.T) {
+	src := rng.New(79)
+	q := randomQUBO(src, 9)
+	x := randomBits(src, 9)
+	for i := 0; i < 9; i++ {
+		d1 := q.DeltaFlip(x, i)
+		x[i] ^= 1
+		d2 := q.DeltaFlip(x, i)
+		x[i] ^= 1
+		if math.Abs(d1+d2) > 1e-12 {
+			t.Fatalf("flip involution broken at %d: %v + %v", i, d1, d2)
+		}
+	}
+}
+
+// Spin-domain global flip symmetry: with h = 0 the Ising energy is
+// invariant under m → −m.
+func TestGlobalSpinFlipSymmetry(t *testing.T) {
+	src := rng.New(83)
+	m := NewModel(8)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			m.J.Set(i, j, src.Sym())
+		}
+	}
+	s := randomBits(src, 8).Spins()
+	flipped := s.Clone()
+	for i := range flipped {
+		flipped[i] = -flipped[i]
+	}
+	if math.Abs(m.Energy(s)-m.Energy(flipped)) > 1e-9 {
+		t.Fatal("h=0 model not flip-symmetric")
+	}
+}
+
+func TestQUBOAddConstAccumulates(t *testing.T) {
+	q := NewQUBO(1)
+	q.AddConst(2)
+	q.AddConst(3)
+	if q.Energy(Bits{0}) != 5 {
+		t.Fatalf("const = %v", q.Energy(Bits{0}))
+	}
+}
+
+func TestEnergyPanicsOnDimensionMismatch(t *testing.T) {
+	q := NewQUBO(2)
+	for _, fn := range []func(){
+		func() { q.Energy(Bits{1}) },
+		func() { NewModel(2).Energy(Spins{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

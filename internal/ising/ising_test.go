@@ -1,0 +1,318 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+// randomQUBO builds a dense random QUBO over n variables.
+func randomQUBO(src *rng.Source, n int) *QUBO {
+	q := NewQUBO(n)
+	for i := 0; i < n; i++ {
+		q.AddLinear(i, src.Sym()*3)
+		for j := i + 1; j < n; j++ {
+			q.AddQuad(i, j, src.Sym()*3)
+		}
+	}
+	q.AddConst(src.Sym())
+	return q
+}
+
+func randomBits(src *rng.Source, n int) Bits {
+	b := make(Bits, n)
+	for i := range b {
+		if src.Bool(0.5) {
+			b[i] = 1
+		}
+	}
+	return b
+}
+
+func TestSpinsBitsRoundTrip(t *testing.T) {
+	s := Spins{-1, 1, 1, -1}
+	got := s.Bits().Spins()
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestNewSpinsAllMinusOne(t *testing.T) {
+	s := NewSpins(5)
+	for i, m := range s {
+		if m != -1 {
+			t.Fatalf("spin %d = %d", i, m)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	if err := (Spins{0}).Validate(); err == nil {
+		t.Fatal("Spins{0} should be invalid")
+	}
+	if err := (Bits{2}).Validate(); err == nil {
+		t.Fatal("Bits{2} should be invalid")
+	}
+	if err := (Bits{0, 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsFloat(t *testing.T) {
+	f := Bits{1, 0, 1}.Float()
+	if f[0] != 1 || f[1] != 0 || f[2] != 1 {
+		t.Fatalf("Float = %v", f)
+	}
+}
+
+func TestQUBOEnergyByHand(t *testing.T) {
+	// E = 3 x0 x1 - 2 x0 + x1 + 5
+	q := NewQUBO(2)
+	q.AddQuad(0, 1, 3)
+	q.AddLinear(0, -2)
+	q.AddLinear(1, 1)
+	q.AddConst(5)
+	cases := []struct {
+		x    Bits
+		want float64
+	}{
+		{Bits{0, 0}, 5},
+		{Bits{1, 0}, 3},
+		{Bits{0, 1}, 6},
+		{Bits{1, 1}, 7},
+	}
+	for _, c := range cases {
+		if got := q.Energy(c.x); got != c.want {
+			t.Fatalf("E(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestAddQuadDiagonalBecomesLinear(t *testing.T) {
+	q := NewQUBO(1)
+	q.AddQuad(0, 0, 4)
+	if q.C[0] != 4 || q.Q.At(0, 0) != 0 {
+		t.Fatalf("diagonal term mishandled: c=%v Q00=%v", q.C[0], q.Q.At(0, 0))
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQUBODeltaFlipMatchesRecompute(t *testing.T) {
+	src := rng.New(42)
+	f := func(raw uint8) bool {
+		n := int(raw%10) + 2
+		q := randomQUBO(src, n)
+		x := randomBits(src, n)
+		for i := 0; i < n; i++ {
+			before := q.Energy(x)
+			delta := q.DeltaFlip(x, i)
+			x[i] ^= 1
+			after := q.Energy(x)
+			x[i] ^= 1
+			if math.Abs((after-before)-delta) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsingEnergyByHand(t *testing.T) {
+	// H = -J01 m0 m1 - h0 m0 - h1 m1, J01=2, h=(1,-1)
+	m := NewModel(2)
+	m.J.Set(0, 1, 2)
+	m.H[0] = 1
+	m.H[1] = -1
+	if got := m.Energy(Spins{1, 1}); got != -2 {
+		t.Fatalf("H(+,+) = %v, want -2", got)
+	}
+	// H(+,-) = -2·(1·-1) - 1·1 - (-1)·(-1) = 2 - 1 - 1 = 0.
+	if got := m.Energy(Spins{1, -1}); got != 0 {
+		t.Fatalf("H(+,-) = %v, want 0", got)
+	}
+}
+
+func TestIsingDeltaFlipMatchesRecompute(t *testing.T) {
+	src := rng.New(7)
+	f := func(raw uint8) bool {
+		n := int(raw%10) + 2
+		q := randomQUBO(src, n)
+		m := q.ToIsing()
+		s := randomBits(src, n).Spins()
+		for i := 0; i < n; i++ {
+			before := m.Energy(s)
+			delta := m.DeltaFlip(s, i)
+			s[i] = -s[i]
+			after := m.Energy(s)
+			s[i] = -s[i]
+			if math.Abs((after-before)-delta) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The central conversion invariant: QUBO and converted Ising model agree on
+// every configuration.
+func TestQUBOToIsingEnergyEquivalence(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		n := src.IntRange(1, 8)
+		q := randomQUBO(src, n)
+		m := q.ToIsing()
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Exhaustive over all 2^n configurations.
+		for mask := 0; mask < 1<<n; mask++ {
+			x := make(Bits, n)
+			for i := 0; i < n; i++ {
+				if mask>>i&1 == 1 {
+					x[i] = 1
+				}
+			}
+			eq := q.Energy(x)
+			ei := m.Energy(x.Spins())
+			if math.Abs(eq-ei) > 1e-9 {
+				t.Fatalf("n=%d mask=%b: QUBO %v vs Ising %v", n, mask, eq, ei)
+			}
+		}
+	}
+}
+
+func TestLocalFieldConsistentWithDelta(t *testing.T) {
+	src := rng.New(3)
+	n := 6
+	q := randomQUBO(src, n)
+	m := q.ToIsing()
+	s := randomBits(src, n).Spins()
+	for i := 0; i < n; i++ {
+		want := 2 * float64(s[i]) * m.LocalField(s, i)
+		if got := m.DeltaFlip(s, i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("DeltaFlip %v vs 2 m I %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeScalesToUnit(t *testing.T) {
+	q := NewQUBO(2)
+	q.AddQuad(0, 1, -8)
+	q.AddLinear(0, 4)
+	q.AddConst(2)
+	x := Bits{1, 1}
+	before := q.Energy(x)
+	scale := q.Normalize()
+	if math.Abs(math.Max(q.Q.MaxAbs(), q.C.MaxAbs())-1) > 1e-12 {
+		t.Fatalf("max coefficient after Normalize = %v", math.Max(q.Q.MaxAbs(), q.C.MaxAbs()))
+	}
+	if math.Abs(q.Energy(x)-before*scale) > 1e-12 {
+		t.Fatalf("Normalize broke energy scaling: %v vs %v", q.Energy(x), before*scale)
+	}
+}
+
+func TestNormalizeZeroModelNoop(t *testing.T) {
+	q := NewQUBO(3)
+	if got := q.Normalize(); got != 1 {
+		t.Fatalf("zero-model Normalize scale = %v", got)
+	}
+}
+
+// Normalization must not change the argmin.
+func TestNormalizePreservesArgmin(t *testing.T) {
+	src := rng.New(55)
+	for trial := 0; trial < 20; trial++ {
+		n := src.IntRange(2, 6)
+		q := randomQUBO(src, n)
+		qn := q.Clone()
+		qn.Normalize()
+		best, bestN := 0, 0
+		bestE, bestEN := math.Inf(1), math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			x := make(Bits, n)
+			for i := 0; i < n; i++ {
+				if mask>>i&1 == 1 {
+					x[i] = 1
+				}
+			}
+			if e := q.Energy(x); e < bestE {
+				bestE, best = e, mask
+			}
+			if e := qn.Energy(x); e < bestEN {
+				bestEN, bestN = e, mask
+			}
+		}
+		if best != bestN {
+			t.Fatalf("Normalize changed argmin: %b vs %b", best, bestN)
+		}
+	}
+}
+
+func TestModelValidateCatchesAsymmetry(t *testing.T) {
+	m := NewModel(2)
+	// Corrupt symmetry through the raw row view.
+	m.J.Row(0)[1] = 1
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric J")
+	}
+}
+
+func TestModelValidateCatchesDiagonal(t *testing.T) {
+	m := NewModel(2)
+	m.J.Set(0, 0, 1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted non-zero diagonal")
+	}
+}
+
+func TestModelValidateCatchesNaN(t *testing.T) {
+	m := NewModel(1)
+	m.H[0] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN field")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := NewModel(4)
+	m.J.Set(0, 1, 1)
+	m.J.Set(1, 2, 1)
+	m.J.Set(2, 3, 1)
+	want := 3.0 / 6.0
+	if got := m.Density(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Density = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := NewQUBO(2)
+	q.AddQuad(0, 1, 2)
+	c := q.Clone()
+	c.AddQuad(0, 1, 2)
+	if q.Q.At(0, 1) != 1 { // AddQuad splits weight/2
+		t.Fatalf("Clone aliases original: %v", q.Q.At(0, 1))
+	}
+}
+
+func TestQUBOValidateCatchesDiagonal(t *testing.T) {
+	q := NewQUBO(2)
+	q.Q.Set(1, 1, 3)
+	if err := q.Validate(); err == nil {
+		t.Fatal("Validate accepted diagonal Q entry")
+	}
+}

@@ -1,0 +1,208 @@
+package mkp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	inst := Generate(40, 5, 0.5, 1, 11)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "40-5-1" {
+		t.Fatalf("Name = %q", inst.Name)
+	}
+	if inst.N != 40 || inst.M != 5 {
+		t.Fatalf("dims = %d %d", inst.N, inst.M)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(20, 3, 0.5, 1, 4)
+	b := Generate(20, 3, 0.5, 1, 4)
+	if a.B[0] != b.B[0] || a.H[5] != b.H[5] || a.A[1][7] != b.A[1][7] {
+		t.Fatal("same seed produced different instances")
+	}
+}
+
+func TestGenerateCapacityTightness(t *testing.T) {
+	inst := Generate(60, 4, 0.5, 1, 9)
+	for i := 0; i < inst.M; i++ {
+		rowSum := 0
+		for _, w := range inst.A[i] {
+			rowSum += w
+		}
+		want := 0.5 * float64(rowSum)
+		if math.Abs(float64(inst.B[i])-want) > 1 {
+			t.Fatalf("capacity %d = %d, want ≈%v", i, inst.B[i], want)
+		}
+	}
+}
+
+func TestGenerateValueCorrelation(t *testing.T) {
+	// h_j = Σ_i a_ij / M + 500·u: values must be at least the weight mean
+	// and at most mean + 500.
+	inst := Generate(50, 5, 0.5, 1, 13)
+	for j := 0; j < inst.N; j++ {
+		colSum := 0
+		for i := 0; i < inst.M; i++ {
+			colSum += inst.A[i][j]
+		}
+		mean := colSum / inst.M
+		if inst.H[j] < mean || inst.H[j] > mean+500 {
+			t.Fatalf("value %d = %d outside [%d, %d]", j, inst.H[j], mean, mean+500)
+		}
+	}
+}
+
+func TestValueCostFeasible(t *testing.T) {
+	inst := &Instance{
+		Name: "t", N: 3, M: 2,
+		H: []int{5, 7, 9},
+		A: [][]int{{1, 2, 3}, {3, 2, 1}},
+		B: []int{3, 4},
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := inst.Value(ising.Bits{1, 1, 0}); v != 12 {
+		t.Fatalf("Value = %d", v)
+	}
+	if c := inst.Cost(ising.Bits{1, 1, 0}); c != -12 {
+		t.Fatalf("Cost = %v", c)
+	}
+	if !inst.Feasible(ising.Bits{1, 1, 0}) { // weights (3,5): 3≤3 but 5>4
+		t.Log("checking constraint 2")
+	}
+	// (1,1,0): constraint 1: 1+2=3 ≤ 3 OK; constraint 2: 3+2=5 > 4 — infeasible.
+	if inst.Feasible(ising.Bits{1, 1, 0}) {
+		t.Fatal("(1,1,0) should be infeasible")
+	}
+	if !inst.Feasible(ising.Bits{0, 1, 0}) {
+		t.Fatal("(0,1,0) should be feasible")
+	}
+}
+
+func TestApproxDensityMatchesPaper(t *testing.T) {
+	inst := Generate(99, 5, 0.5, 1, 2)
+	if got := inst.ApproxDensity(); got != 0.02 {
+		t.Fatalf("ApproxDensity = %v, want 2/(N+1)=0.02", got)
+	}
+}
+
+func TestSystemHasMConstraints(t *testing.T) {
+	inst := Generate(10, 4, 0.5, 1, 3)
+	sys := inst.System()
+	if sys.M() != 4 {
+		t.Fatalf("system M = %d", sys.M())
+	}
+}
+
+func TestToProblemConsistency(t *testing.T) {
+	src := rng.New(21)
+	inst := Generate(15, 3, 0.5, 1, 17)
+	p := inst.ToProblem(constraint.Binary)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ext.M() != inst.M {
+		t.Fatalf("extended M = %d", p.Ext.M())
+	}
+	if p.Density != inst.ApproxDensity() {
+		t.Fatalf("Density = %v", p.Density)
+	}
+	for trial := 0; trial < 100; trial++ {
+		x := make(ising.Bits, inst.N)
+		for i := range x {
+			if src.Bool(0.2) {
+				x[i] = 1
+			}
+		}
+		if got, want := p.Cost(x), inst.Cost(x); got != want {
+			t.Fatalf("Cost mismatch: %v vs %v", got, want)
+		}
+		full := make(ising.Bits, p.Ext.NTotal)
+		copy(full, x)
+		if p.Ext.OrigFeasible(full, 1e-9) != inst.Feasible(x) {
+			t.Fatal("feasibility mismatch")
+		}
+	}
+}
+
+func TestToProblemSlackBitsPerConstraint(t *testing.T) {
+	inst := Generate(10, 3, 0.5, 1, 23)
+	p := inst.ToProblem(constraint.Binary)
+	for i := 0; i < inst.M; i++ {
+		want := int(math.Floor(math.Log2(float64(inst.B[i])))) + 1
+		if got := p.Ext.SlackBitsFor(i); got != want {
+			t.Fatalf("constraint %d slack bits = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	inst := Generate(12, 4, 0.5, 2, 29)
+	var buf bytes.Buffer
+	if err := inst.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != inst.Name || got.N != inst.N || got.M != inst.M {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for j := 0; j < inst.N; j++ {
+		if got.H[j] != inst.H[j] {
+			t.Fatalf("H mismatch at %d", j)
+		}
+	}
+	for i := 0; i < inst.M; i++ {
+		if got.B[i] != inst.B[i] {
+			t.Fatalf("B mismatch at %d", i)
+		}
+		for j := 0; j < inst.N; j++ {
+			if got.A[i][j] != inst.A[i][j] {
+				t.Fatalf("A mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"name\n",
+		"name\n3\n",
+		"name\n2 1\n1 z\n",
+		"name\n0 2\n",
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("Read accepted %q", c)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	negW := Generate(5, 2, 0.5, 1, 2)
+	negW.A[0][1] = -1
+	negB := Generate(5, 2, 0.5, 1, 2)
+	negB.B[1] = -1
+	negH := Generate(5, 2, 0.5, 1, 2)
+	negH.H[0] = -1
+	shortRow := Generate(5, 2, 0.5, 1, 2)
+	shortRow.A[0] = shortRow.A[0][:3]
+	for i, bad := range []*Instance{negW, negB, negH, shortRow} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("case %d: Validate accepted corrupted instance", i)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package pbit emulates a probabilistic-bit (p-bit) Ising machine in
+// software, following Camsari et al. and the proof-of-concept used by the
+// SAIM paper (Section III.B).
+//
+// A p-computer is a network of stochastic neurons m_i ∈ {-1,+1} that each
+// receive the local field
+//
+//	I_i = Σ_j J_ij m_j + h_i                        (paper eq. 9)
+//
+// and update as
+//
+//	m_i = sign(tanh(β I_i) + U(-1,1))               (paper eq. 10)
+//
+// Sequentially sweeping all p-bits is exactly Gibbs sampling of the
+// Boltzmann distribution P{m} ∝ exp(-β H{m}) (paper eq. 11): the flip
+// probability implied by eq. 10 equals the Gibbs conditional.
+//
+// The Machine maintains the local-field vector I incrementally: flipping
+// spin i adds 2·m_i·J_ji to every I_j, so one full sweep costs O(N·flips)
+// row operations instead of O(N²) field recomputations.
+package pbit
+
+import (
+	"fmt"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Machine is a software p-bit Ising machine bound to one Hamiltonian.
+// It is not safe for concurrent use; run independent machines per goroutine.
+type Machine struct {
+	model *ising.Model
+	state ising.Spins
+	field vecmat.Vec // I_i = Σ_j J_ij m_j + h_i, maintained incrementally
+	src   *rng.Source
+	// tanhLUT caches tanh evaluations per sweep when β is constant within
+	// the sweep; kept simple: we evaluate tanh directly (fast enough) but
+	// count sweeps for diagnostics.
+	sweeps int64
+}
+
+// New returns a machine for the given model with all spins at -1.
+// The model must satisfy Validate; New panics otherwise since a malformed
+// Hamiltonian is a programming error, not a runtime condition.
+func New(model *ising.Model, src *rng.Source) *Machine {
+	if err := model.Validate(); err != nil {
+		panic(fmt.Sprintf("pbit: invalid model: %v", err))
+	}
+	m := &Machine{
+		model: model,
+		state: ising.NewSpins(model.N()),
+		field: vecmat.NewVec(model.N()),
+		src:   src,
+	}
+	m.RecomputeFields()
+	return m
+}
+
+// N returns the number of p-bits.
+func (m *Machine) N() int { return m.model.N() }
+
+// Model returns the Hamiltonian the machine samples from.
+func (m *Machine) Model() *ising.Model { return m.model }
+
+// State returns the current spin configuration. The returned slice is the
+// machine's live state; callers that need a stable copy must Clone it.
+func (m *Machine) State() ising.Spins { return m.state }
+
+// Sweeps returns the number of Monte-Carlo sweeps executed so far.
+func (m *Machine) Sweeps() int64 { return m.sweeps }
+
+// SetState overwrites the configuration and recomputes local fields.
+func (m *Machine) SetState(s ising.Spins) {
+	if len(s) != m.N() {
+		panic("pbit: SetState dimension mismatch")
+	}
+	copy(m.state, s)
+	m.RecomputeFields()
+}
+
+// Randomize draws an independent uniform configuration, as at the start of
+// an annealing run.
+func (m *Machine) Randomize() {
+	for i := range m.state {
+		if m.src.Bool(0.5) {
+			m.state[i] = 1
+		} else {
+			m.state[i] = -1
+		}
+	}
+	m.RecomputeFields()
+}
+
+// RecomputeFields rebuilds the local-field vector from scratch (O(N²)).
+// It is called after bulk state or bias changes; the sweep path maintains
+// fields incrementally.
+func (m *Machine) RecomputeFields() {
+	n := m.N()
+	for i := 0; i < n; i++ {
+		m.field[i] = m.model.LocalField(m.state, i)
+	}
+}
+
+// UpdateBiases replaces the model's field vector h with newH and adjusts the
+// local fields incrementally in O(N). This is the "weight update" step of
+// SAIM: because constraints are linear in x, a Lagrange-multiplier update
+// only changes h (and the energy constant), never J.
+func (m *Machine) UpdateBiases(newH vecmat.Vec) {
+	if len(newH) != m.N() {
+		panic("pbit: UpdateBiases dimension mismatch")
+	}
+	for i := range newH {
+		m.field[i] += newH[i] - m.model.H[i]
+		m.model.H[i] = newH[i]
+	}
+}
+
+// flip flips spin i and propagates the field change to all neighbors.
+func (m *Machine) flip(i int) {
+	old := m.state[i]
+	m.state[i] = -old
+	delta := float64(-2 * old) // new - old ∈ {-2, +2}
+	row := m.model.J.Row(i)
+	for j, w := range row {
+		if w != 0 {
+			m.field[j] += w * delta
+		}
+	}
+}
+
+// tanhApprox evaluates tanh via a clamped rational approximation. The p-bit
+// activation only needs ~1e-4 absolute accuracy (its output is compared
+// against uniform noise of amplitude 1), and this is measurably faster than
+// math.Tanh in the sweep inner loop. The clamp at ±5.06 is where the Padé
+// error crosses the saturation error; maximum absolute error is ~1.1e-4.
+func tanhApprox(x float64) float64 {
+	if x > 5.06 {
+		return 1
+	}
+	if x < -5.06 {
+		return -1
+	}
+	x2 := x * x
+	// Padé-type approximant of tanh, accurate on [-5, 5].
+	p := x * (135135 + x2*(17325+x2*(378+x2)))
+	q := 135135 + x2*(62370+x2*(3150+x2*28))
+	return p / q
+}
+
+// Sweep performs one Monte-Carlo sweep (MCS): a sequential pass updating
+// every p-bit once with inverse temperature beta, per paper eq. 10.
+func (m *Machine) Sweep(beta float64) {
+	n := m.N()
+	for i := 0; i < n; i++ {
+		act := tanhApprox(beta * m.field[i])
+		noise := m.src.Sym()
+		var want int8
+		if act+noise >= 0 {
+			want = 1
+		} else {
+			want = -1
+		}
+		if want != m.state[i] {
+			m.flip(i)
+		}
+	}
+	m.sweeps++
+}
+
+// Anneal runs `sweeps` Monte-Carlo sweeps with β following sched, starting
+// from a fresh random configuration, and returns the final state (the
+// paper reads the last sample of each run). The returned slice is a copy.
+func (m *Machine) Anneal(sched schedule.Schedule, sweeps int) ising.Spins {
+	m.Randomize()
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+	return m.state.Clone()
+}
+
+// AnnealFrom is Anneal without the re-randomization: it continues from the
+// current state. Used by parallel tempering and warm-start ablations.
+func (m *Machine) AnnealFrom(sched schedule.Schedule, sweeps int) ising.Spins {
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+	return m.state.Clone()
+}
+
+// Energy returns the model energy of the current state.
+func (m *Machine) Energy() float64 { return m.model.Energy(m.state) }
+
+// FieldConsistencyError returns the largest absolute difference between the
+// incrementally-maintained fields and a from-scratch recomputation. Tests
+// use it to verify the incremental update path.
+func (m *Machine) FieldConsistencyError() float64 {
+	worst := 0.0
+	for i := 0; i < m.N(); i++ {
+		d := m.field[i] - m.model.LocalField(m.state, i)
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

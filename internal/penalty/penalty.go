@@ -1,0 +1,117 @@
+// Package penalty implements the classical penalty method for constrained
+// optimization on Ising machines (paper Section II.A): the constrained
+// problem min f(x) s.t. g(x)=0 is mapped to the unconstrained energy
+//
+//	E(x) = f(x) + P·‖g(x)‖²                     (paper eq. 3)
+//
+// with P > 0. The package provides the QUBO assembly of E from an objective
+// and an equality-form constraint system, the paper's P = α·d·N heuristic,
+// and the coarse tuning loop the paper uses for the penalty-method baseline
+// (increase P until the feasible-sample ratio reaches a target).
+package penalty
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/ising"
+)
+
+// Build returns E = objective + P·Σ_m (row_mᵀx − b_m)² as a QUBO over the
+// extended variable set. The objective must already be expressed over
+// ext.NTotal variables (slack columns with zero objective coefficients).
+func Build(objective *ising.QUBO, ext *constraint.Extended, p float64) *ising.QUBO {
+	if objective.N() != ext.NTotal {
+		panic(fmt.Sprintf("penalty: objective over %d vars, system over %d", objective.N(), ext.NTotal))
+	}
+	if p < 0 {
+		panic("penalty: negative penalty weight")
+	}
+	e := objective.Clone()
+	AddSquaredPenalty(e, ext, p)
+	return e
+}
+
+// AddSquaredPenalty accumulates P·Σ_m (row_mᵀx − b_m)² onto q in place.
+//
+// Expansion per constraint (a ≡ row_m, b ≡ b_m), using x_i² = x_i:
+//
+//	(aᵀx − b)² = Σ_i a_i²x_i + 2Σ_{i<j} a_i a_j x_i x_j − 2bΣ_i a_i x_i + b².
+func AddSquaredPenalty(q *ising.QUBO, ext *constraint.Extended, p float64) {
+	if p == 0 {
+		return
+	}
+	for m, row := range ext.Rows {
+		b := ext.B[m]
+		for i, ai := range row {
+			if ai == 0 {
+				continue
+			}
+			q.AddLinear(i, p*(ai*ai-2*b*ai))
+			for j := i + 1; j < len(row); j++ {
+				if aj := row[j]; aj != 0 {
+					q.AddQuad(i, j, 2*p*ai*aj)
+				}
+			}
+		}
+		q.AddConst(p * b * b)
+	}
+}
+
+// Heuristic returns the paper's initial penalty weight P = α·d·N, where d is
+// the coupling density of the problem's J matrix and N the number of Ising
+// spins including slack bits (Section III.A). The paper uses α=2 for QKP and
+// α=5 for MKP.
+func Heuristic(alpha, density float64, nSpins int) float64 {
+	return alpha * density * float64(nSpins)
+}
+
+// FeasibilityFunc evaluates a candidate penalty weight: it must run the
+// solver with penalty weight p and report the fraction of measured samples
+// that satisfy the original constraints (in [0,1]) together with the best
+// feasible objective value found (+Inf if none).
+type FeasibilityFunc func(p float64) (feasibleRatio, bestCost float64)
+
+// TuneResult describes the outcome of the paper's coarse penalty tuning.
+type TuneResult struct {
+	// P is the selected penalty weight.
+	P float64
+	// FeasibleRatio is the feasible-sample ratio measured at P.
+	FeasibleRatio float64
+	// BestCost is the best feasible objective seen during tuning (across
+	// all probed P values, not only the selected one).
+	BestCost float64
+	// Probes is the number of P values evaluated.
+	Probes int
+}
+
+// Tune reproduces the baseline procedure of Section IV.A: starting from p0
+// (the heuristic value), multiply P by growth until the feasible-sample
+// ratio reaches target (the paper uses ≥ 20%) or maxProbes evaluations have
+// been spent. The best feasible cost across all probes is retained, which
+// mirrors how the paper reports the tuned penalty method.
+func Tune(eval FeasibilityFunc, p0, growth, target float64, maxProbes int) TuneResult {
+	if p0 <= 0 {
+		panic("penalty: Tune requires positive initial P")
+	}
+	if growth <= 1 {
+		panic("penalty: Tune requires growth > 1")
+	}
+	res := TuneResult{P: p0, BestCost: math.Inf(1)}
+	p := p0
+	for k := 0; k < maxProbes; k++ {
+		ratio, cost := eval(p)
+		res.Probes++
+		if cost < res.BestCost {
+			res.BestCost = cost
+		}
+		res.P = p
+		res.FeasibleRatio = ratio
+		if ratio >= target {
+			return res
+		}
+		p *= growth
+	}
+	return res
+}

@@ -1,0 +1,210 @@
+package penalty
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// buildToy returns a 2-variable objective f = -x0 - 2x1 extended with the
+// constraint x0 + x1 <= 1 (binary slack: 1 bit).
+func buildToy() (*ising.QUBO, *constraint.Extended) {
+	sys := constraint.NewSystem(2)
+	sys.Add(vecmat.Vec{1, 1}, constraint.LE, 1)
+	ext := sys.Extend(constraint.Binary)
+	f := ising.NewQUBO(ext.NTotal)
+	f.AddLinear(0, -1)
+	f.AddLinear(1, -2)
+	return f, ext
+}
+
+// Property: for every configuration, Build's energy equals
+// f(x) + P·Σ residual².
+func TestBuildMatchesDefinition(t *testing.T) {
+	src := rng.New(21)
+	f := func(rawN, rawP uint8) bool {
+		n := int(rawN%5) + 2
+		p := float64(rawP%50) + 1
+		sys := constraint.NewSystem(n)
+		a := vecmat.NewVec(n)
+		for i := range a {
+			a[i] = float64(src.IntRange(1, 9))
+		}
+		sys.Add(a, constraint.LE, float64(src.IntRange(3, 20)))
+		ext := sys.Extend(constraint.Binary)
+		obj := ising.NewQUBO(ext.NTotal)
+		for i := 0; i < n; i++ {
+			obj.AddLinear(i, src.Sym()*5)
+			for j := i + 1; j < n; j++ {
+				obj.AddQuad(i, j, src.Sym()*5)
+			}
+		}
+		e := Build(obj, ext, p)
+		// Check on random configurations.
+		for trial := 0; trial < 20; trial++ {
+			x := make(ising.Bits, ext.NTotal)
+			for i := range x {
+				if src.Bool(0.5) {
+					x[i] = 1
+				}
+			}
+			g := ext.Residuals(x)
+			want := obj.Energy(x) + p*g.Dot(g)
+			if math.Abs(e.Energy(x)-want) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildZeroPenaltyIsObjective(t *testing.T) {
+	f, ext := buildToy()
+	e := Build(f, ext, 0)
+	x := ising.Bits{1, 0, 1}
+	if e.Energy(x) != f.Energy(x) {
+		t.Fatal("P=0 energy differs from objective")
+	}
+}
+
+func TestBuildPanicsOnDimensionMismatch(t *testing.T) {
+	_, ext := buildToy()
+	bad := ising.NewQUBO(ext.NTotal + 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build accepted mismatched objective")
+		}
+	}()
+	Build(bad, ext, 1)
+}
+
+func TestBuildPanicsOnNegativeP(t *testing.T) {
+	f, ext := buildToy()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build accepted negative P")
+		}
+	}()
+	Build(f, ext, -1)
+}
+
+// With a large enough P, the global minimizer of E must be feasible and
+// optimal for the constrained problem (P >= Pc regime, Fig. 1b).
+func TestLargePenaltyGroundStateIsConstrainedOptimum(t *testing.T) {
+	f, ext := buildToy()
+	e := Build(f, ext, 50)
+	bestE, bestMask := math.Inf(1), 0
+	for mask := 0; mask < 1<<ext.NTotal; mask++ {
+		x := bitsOf(mask, ext.NTotal)
+		if en := e.Energy(x); en < bestE {
+			bestE, bestMask = en, mask
+		}
+	}
+	best := bitsOf(bestMask, ext.NTotal)
+	if !ext.OrigFeasible(best, 1e-9) {
+		t.Fatalf("ground state %v infeasible", best)
+	}
+	// Constrained optimum: x1=1 alone, f=-2.
+	if got := f.Energy(best); got != -2 {
+		t.Fatalf("ground state objective %v, want -2", got)
+	}
+}
+
+// With a tiny P, the ground state can be infeasible with energy below OPT —
+// the gap the paper illustrates in Fig. 1b (P < Pc).
+func TestSmallPenaltyProducesGap(t *testing.T) {
+	f, ext := buildToy()
+	e := Build(f, ext, 0.1)
+	bestE := math.Inf(1)
+	var best ising.Bits
+	for mask := 0; mask < 1<<ext.NTotal; mask++ {
+		x := bitsOf(mask, ext.NTotal)
+		if en := e.Energy(x); en < bestE {
+			bestE, best = en, x
+		}
+	}
+	if ext.OrigFeasible(best, 1e-9) {
+		t.Fatal("expected infeasible ground state at small P")
+	}
+	if bestE >= -2 {
+		t.Fatalf("expected lower bound below OPT=-2, got %v", bestE)
+	}
+}
+
+func bitsOf(mask, n int) ising.Bits {
+	x := make(ising.Bits, n)
+	for i := 0; i < n; i++ {
+		if mask>>i&1 == 1 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+func TestHeuristic(t *testing.T) {
+	// QKP setting from Table I: P = 2·d·N.
+	if got := Heuristic(2, 0.5, 313); got != 313 {
+		t.Fatalf("Heuristic = %v, want 313", got)
+	}
+	if got := Heuristic(5, 0.1, 100); got != 50 {
+		t.Fatalf("Heuristic = %v, want 50", got)
+	}
+}
+
+func TestTuneStopsAtTarget(t *testing.T) {
+	// Feasibility rises with P; cost worsens with P.
+	eval := func(p float64) (float64, float64) {
+		ratio := math.Min(1, p/100)
+		return ratio, -100 / p
+	}
+	res := Tune(eval, 10, 2, 0.2, 20)
+	if res.FeasibleRatio < 0.2 {
+		t.Fatalf("Tune stopped below target: %+v", res)
+	}
+	if res.P != 20 { // 10 → ratio .1 < .2, 20 → ratio .2 hits target
+		t.Fatalf("Tune selected P=%v, want 20", res.P)
+	}
+	if res.Probes != 2 {
+		t.Fatalf("Probes = %d", res.Probes)
+	}
+	// Best cost seen across probes is from the smallest P.
+	if res.BestCost != -10 {
+		t.Fatalf("BestCost = %v", res.BestCost)
+	}
+}
+
+func TestTuneExhaustsProbes(t *testing.T) {
+	eval := func(float64) (float64, float64) { return 0, math.Inf(1) }
+	res := Tune(eval, 1, 2, 0.2, 5)
+	if res.Probes != 5 {
+		t.Fatalf("Probes = %d, want 5", res.Probes)
+	}
+	if !math.IsInf(res.BestCost, 1) {
+		t.Fatalf("BestCost = %v", res.BestCost)
+	}
+}
+
+func TestTunePanicsOnBadArgs(t *testing.T) {
+	eval := func(float64) (float64, float64) { return 1, 0 }
+	for _, fn := range []func(){
+		func() { Tune(eval, 0, 2, 0.2, 5) },
+		func() { Tune(eval, 1, 1, 0.2, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Tune accepted bad arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,182 @@
+// Package portfolio models risk-averse asset selection, one of the
+// resource-constrained applications the paper's introduction motivates
+// ("capital budgeting, portfolio optimization"). Unlike QKP — whose pair
+// values are bonuses — the portfolio objective carries a *positive*
+// quadratic risk term, exercising the solver on the opposite coupling
+// sign structure:
+//
+//	min  −μᵀx + γ·xᵀΣx
+//	s.t. cᵀx ≤ B,  x ∈ {0,1}^N
+//
+// where μ are expected returns, Σ is a covariance matrix from a k-factor
+// model (guaranteed PSD), γ the risk aversion, c asset prices and B the
+// capital budget.
+package portfolio
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Instance is one portfolio-selection instance.
+type Instance struct {
+	// Name identifies the instance.
+	Name string
+	// N is the number of assets.
+	N int
+	// Mu[i] is the expected return of asset i (per unit invested).
+	Mu []float64
+	// Sigma is the N×N return covariance (PSD by construction).
+	Sigma *vecmat.Sym
+	// Gamma is the risk-aversion coefficient.
+	Gamma float64
+	// Price[i] is the capital consumed by asset i.
+	Price []float64
+	// Budget is the capital limit.
+	Budget float64
+}
+
+// Generate draws an instance from a k-factor covariance model: asset
+// loadings L ~ N(0,1) on k common factors plus idiosyncratic variance, so
+// Σ = L·Lᵀ + D is positive semi-definite.
+func Generate(n, factors int, gamma float64, seed uint64) *Instance {
+	if n <= 0 || factors <= 0 || gamma < 0 {
+		panic("portfolio: invalid generator arguments")
+	}
+	src := rng.New(seed)
+	inst := &Instance{
+		Name:  fmt.Sprintf("port-%d-%d", n, factors),
+		N:     n,
+		Mu:    make([]float64, n),
+		Sigma: vecmat.NewSym(n),
+		Gamma: gamma,
+		Price: make([]float64, n),
+	}
+	loadings := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		loadings[i] = make([]float64, factors)
+		for f := 0; f < factors; f++ {
+			loadings[i][f] = src.NormFloat64() * 0.3
+		}
+		inst.Mu[i] = 0.05 + 0.15*src.Float64() // 5–20% expected return
+		inst.Price[i] = float64(src.IntRange(10, 100))
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			cov := 0.0
+			for f := 0; f < factors; f++ {
+				cov += loadings[i][f] * loadings[j][f]
+			}
+			if i == j {
+				cov += 0.02 + 0.08*src.Float64() // idiosyncratic variance
+			}
+			inst.Sigma.Set(i, j, cov)
+		}
+	}
+	total := 0.0
+	for _, p := range inst.Price {
+		total += p
+	}
+	inst.Budget = math.Floor(total * (0.3 + 0.3*src.Float64()))
+	return inst
+}
+
+// Validate checks structural invariants (dimensions, PSD diagonal).
+func (p *Instance) Validate() error {
+	if p.N <= 0 || len(p.Mu) != p.N || len(p.Price) != p.N || p.Sigma.N() != p.N {
+		return fmt.Errorf("portfolio: inconsistent dimensions")
+	}
+	for i := 0; i < p.N; i++ {
+		if p.Sigma.At(i, i) < 0 {
+			return fmt.Errorf("portfolio: negative variance at asset %d", i)
+		}
+		if p.Price[i] <= 0 {
+			return fmt.Errorf("portfolio: non-positive price at asset %d", i)
+		}
+	}
+	if p.Gamma < 0 || p.Budget < 0 {
+		return fmt.Errorf("portfolio: negative gamma or budget")
+	}
+	return nil
+}
+
+// Cost returns −μᵀx + γ·xᵀΣx, the minimization objective.
+func (p *Instance) Cost(x ising.Bits) float64 {
+	xf := x.Float()
+	ret := 0.0
+	for i, xi := range x {
+		if xi != 0 {
+			ret += p.Mu[i]
+		}
+	}
+	return -ret + p.Gamma*p.Sigma.QuadForm(xf)
+}
+
+// Spend returns cᵀx.
+func (p *Instance) Spend(x ising.Bits) float64 {
+	s := 0.0
+	for i, xi := range x {
+		if xi != 0 {
+			s += p.Price[i]
+		}
+	}
+	return s
+}
+
+// Feasible reports cᵀx ≤ Budget.
+func (p *Instance) Feasible(x ising.Bits) bool { return p.Spend(x) <= p.Budget+1e-9 }
+
+// ToProblem converts the instance into the normalized SAIM form.
+func (p *Instance) ToProblem(enc constraint.SlackEncoding) *core.Problem {
+	sys := constraint.NewSystem(p.N)
+	sys.Add(vecmat.Vec(p.Price), constraint.LE, p.Budget)
+	ext := sys.Extend(enc)
+	ext.Normalize()
+
+	obj := ising.NewQUBO(ext.NTotal)
+	for i := 0; i < p.N; i++ {
+		// Diagonal covariance contributes linearly (x² = x).
+		obj.AddLinear(i, -p.Mu[i]+p.Gamma*p.Sigma.At(i, i))
+		for j := i + 1; j < p.N; j++ {
+			if v := p.Sigma.At(i, j); v != 0 {
+				obj.AddQuad(i, j, 2*p.Gamma*v)
+			}
+		}
+	}
+	obj.Normalize()
+
+	return &core.Problem{
+		Objective: obj,
+		Ext:       ext,
+		Cost:      p.Cost,
+	}
+}
+
+// Exhaustive returns the optimal selection by enumeration (N ≤ 25).
+func (p *Instance) Exhaustive() (ising.Bits, float64, error) {
+	if p.N > 25 {
+		return nil, 0, fmt.Errorf("portfolio: exhaustive limited to N ≤ 25, got %d", p.N)
+	}
+	best := math.Inf(1)
+	var bestX ising.Bits
+	x := make(ising.Bits, p.N)
+	for mask := 0; mask < 1<<p.N; mask++ {
+		for i := 0; i < p.N; i++ {
+			x[i] = int8(mask >> i & 1)
+		}
+		if !p.Feasible(x) {
+			continue
+		}
+		if c := p.Cost(x); c < best {
+			best = c
+			bestX = x.Clone()
+		}
+	}
+	return bestX, best, nil
+}

@@ -1,0 +1,347 @@
+// Package qkp implements the 0–1 quadratic knapsack problem (QKP), the
+// first benchmark family of the paper (Section IV.A):
+//
+//	min  −½ xᵀW x − hᵀx
+//	s.t. aᵀx ≤ b,  x ∈ {0,1}^N            (paper eq. 12)
+//
+// where h are item values, W holds the extra value of selecting pairs of
+// items, a are item weights and b is the knapsack capacity. Instances are
+// generated with the distribution of Billionnet & Soutif [26], the source
+// of the paper's benchmark set: pair values are present with probability d
+// (the instance density) and drawn uniformly from [1,100], as are the item
+// values; weights are uniform in [1,50] and the capacity is uniform in
+// [50, Σ w].
+//
+// ToProblem converts an instance into the normalized extended form SAIM
+// and the baselines consume, with binary slack bits for the capacity
+// constraint exactly as in the paper.
+package qkp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Instance is one QKP instance with integer data.
+type Instance struct {
+	// Name identifies the instance, conventionally "N-d%-id" (e.g.
+	// "300-50-8" for N=300, d=50%, instance 8), following the paper.
+	Name string
+	// N is the number of items.
+	N int
+	// Density is the nominal pair-value density d ∈ (0,1].
+	Density float64
+	// H[i] is the value of item i.
+	H []int
+	// W[i][j] (i<j) is the extra value of selecting both i and j; the
+	// matrix is stored symmetric with a zero diagonal.
+	W [][]int
+	// A[i] is the weight of item i.
+	A []int
+	// B is the knapsack capacity.
+	B int
+}
+
+// Generate draws a random instance of n items with pair-value density d
+// using the Billionnet–Soutif distribution. The id only names the instance;
+// all randomness comes from seed.
+func Generate(n int, d float64, id int, seed uint64) *Instance {
+	if n <= 0 || d <= 0 || d > 1 {
+		panic(fmt.Sprintf("qkp: invalid generator arguments n=%d d=%v", n, d))
+	}
+	src := rng.New(seed)
+	inst := &Instance{
+		Name:    fmt.Sprintf("%d-%d-%d", n, int(d*100+0.5), id),
+		N:       n,
+		Density: d,
+		H:       make([]int, n),
+		A:       make([]int, n),
+		W:       make([][]int, n),
+	}
+	for i := range inst.W {
+		inst.W[i] = make([]int, n)
+	}
+	sumW := 0
+	for i := 0; i < n; i++ {
+		inst.H[i] = src.IntRange(1, 100)
+		inst.A[i] = src.IntRange(1, 50)
+		sumW += inst.A[i]
+		for j := i + 1; j < n; j++ {
+			if src.Bool(d) {
+				v := src.IntRange(1, 100)
+				inst.W[i][j] = v
+				inst.W[j][i] = v
+			}
+		}
+	}
+	lo := 50
+	if lo > sumW {
+		lo = sumW
+	}
+	inst.B = src.IntRange(lo, sumW)
+	return inst
+}
+
+// Validate checks structural invariants of the instance.
+func (q *Instance) Validate() error {
+	if q.N <= 0 {
+		return fmt.Errorf("qkp: non-positive N")
+	}
+	if len(q.H) != q.N || len(q.A) != q.N || len(q.W) != q.N {
+		return fmt.Errorf("qkp: inconsistent dimensions")
+	}
+	for i := 0; i < q.N; i++ {
+		if len(q.W[i]) != q.N {
+			return fmt.Errorf("qkp: W row %d has length %d", i, len(q.W[i]))
+		}
+		if q.W[i][i] != 0 {
+			return fmt.Errorf("qkp: W diagonal %d non-zero", i)
+		}
+		if q.A[i] <= 0 || q.H[i] < 0 {
+			return fmt.Errorf("qkp: item %d has weight %d value %d", i, q.A[i], q.H[i])
+		}
+		for j := 0; j < q.N; j++ {
+			if q.W[i][j] != q.W[j][i] {
+				return fmt.Errorf("qkp: W not symmetric at (%d,%d)", i, j)
+			}
+			if q.W[i][j] < 0 {
+				return fmt.Errorf("qkp: negative pair value at (%d,%d)", i, j)
+			}
+		}
+	}
+	if q.B < 0 {
+		return fmt.Errorf("qkp: negative capacity")
+	}
+	return nil
+}
+
+// Value returns the total collected value Σ h_i x_i + Σ_{i<j} W_ij x_i x_j.
+func (q *Instance) Value(x ising.Bits) int {
+	if len(x) != q.N {
+		panic("qkp: Value dimension mismatch")
+	}
+	v := 0
+	for i := 0; i < q.N; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		v += q.H[i]
+		wi := q.W[i]
+		for j := i + 1; j < q.N; j++ {
+			if x[j] != 0 {
+				v += wi[j]
+			}
+		}
+	}
+	return v
+}
+
+// Cost returns the minimization objective −Value(x), the quantity the
+// paper's cost plots and accuracies use.
+func (q *Instance) Cost(x ising.Bits) float64 { return -float64(q.Value(x)) }
+
+// Weight returns the total selected weight aᵀx.
+func (q *Instance) Weight(x ising.Bits) int {
+	w := 0
+	for i, xi := range x {
+		if xi != 0 {
+			w += q.A[i]
+		}
+	}
+	return w
+}
+
+// Feasible reports aᵀx ≤ b.
+func (q *Instance) Feasible(x ising.Bits) bool { return q.Weight(x) <= q.B }
+
+// Accuracy returns the paper's accuracy metric 100·c(x)/OPT for a feasible
+// cost c(x) (both negative), eq. 13. opt must be negative.
+func Accuracy(cost, opt float64) float64 {
+	if opt == 0 {
+		return 0
+	}
+	return 100 * cost / opt
+}
+
+// System returns the single-constraint system aᵀx ≤ b over the N items.
+func (q *Instance) System() *constraint.System {
+	sys := constraint.NewSystem(q.N)
+	a := vecmat.NewVec(q.N)
+	for i, w := range q.A {
+		a[i] = float64(w)
+	}
+	sys.Add(a, constraint.LE, float64(q.B))
+	return sys
+}
+
+// ToProblem converts the instance into the normalized SAIM form using the
+// given slack encoding (the paper uses constraint.Binary). Following
+// Section IV.A, the objective coefficients are divided by max(|W|,|h|) and
+// the constraint row (including slack coefficients) by max(|A|,b), so one
+// β-schedule fits all instances. The returned problem's Cost works on the
+// original integer data.
+func (q *Instance) ToProblem(enc constraint.SlackEncoding) *core.Problem {
+	ext := q.System().Extend(enc)
+	ext.Normalize()
+
+	obj := ising.NewQUBO(ext.NTotal)
+	for i := 0; i < q.N; i++ {
+		obj.AddLinear(i, -float64(q.H[i]))
+		wi := q.W[i]
+		for j := i + 1; j < q.N; j++ {
+			if wi[j] != 0 {
+				obj.AddQuad(i, j, -float64(wi[j]))
+			}
+		}
+	}
+	obj.Normalize()
+
+	return &core.Problem{
+		Objective: obj,
+		Ext:       ext,
+		Cost:      q.Cost,
+		Density:   q.Density,
+	}
+}
+
+// NumSlackBits returns the number of binary slack bits the paper's encoding
+// adds: Q = floor(log2(b) + 1).
+func (q *Instance) NumSlackBits() int {
+	return len(constraint.SlackCoeffs(float64(q.B), constraint.Binary))
+}
+
+// Write serializes the instance in a plain text format compatible in spirit
+// with the Billionnet–Soutif distribution files:
+//
+//	<name>
+//	<N>
+//	<h_1 … h_N>
+//	<N-1 lines: upper triangle of W, row i holding W[i][i+1..N-1]>
+//	<blank>
+//	0
+//	<b>
+//	<a_1 … a_N>
+func (q *Instance) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, q.Name)
+	fmt.Fprintln(bw, q.N)
+	writeInts(bw, q.H)
+	for i := 0; i < q.N-1; i++ {
+		writeInts(bw, q.W[i][i+1:])
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, 0)
+	fmt.Fprintln(bw, q.B)
+	writeInts(bw, q.A)
+	return bw.Flush()
+}
+
+func writeInts(w io.Writer, xs []int) {
+	var sb strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(x))
+	}
+	fmt.Fprintln(w, sb.String())
+}
+
+// Read parses an instance previously serialized by Write.
+func Read(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" {
+				return line, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	name, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("qkp: reading name: %w", err)
+	}
+	nLine, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("qkp: reading N: %w", err)
+	}
+	n, err := strconv.Atoi(nLine)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("qkp: invalid N %q", nLine)
+	}
+	inst := &Instance{Name: name, N: n, W: make([][]int, n)}
+	for i := range inst.W {
+		inst.W[i] = make([]int, n)
+	}
+	if inst.H, err = readInts(next, n); err != nil {
+		return nil, fmt.Errorf("qkp: reading h: %w", err)
+	}
+	pairs := 0
+	for i := 0; i < n-1; i++ {
+		row, err := readInts(next, n-1-i)
+		if err != nil {
+			return nil, fmt.Errorf("qkp: reading W row %d: %w", i, err)
+		}
+		for k, v := range row {
+			j := i + 1 + k
+			inst.W[i][j] = v
+			inst.W[j][i] = v
+			if v != 0 {
+				pairs++
+			}
+		}
+	}
+	if _, err = next(); err != nil { // constraint-type marker line ("0")
+		return nil, fmt.Errorf("qkp: reading constraint type: %w", err)
+	}
+	bLine, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("qkp: reading b: %w", err)
+	}
+	if inst.B, err = strconv.Atoi(bLine); err != nil {
+		return nil, fmt.Errorf("qkp: invalid b %q", bLine)
+	}
+	if inst.A, err = readInts(next, n); err != nil {
+		return nil, fmt.Errorf("qkp: reading a: %w", err)
+	}
+	if n > 1 {
+		inst.Density = float64(pairs) / float64(n*(n-1)/2)
+	}
+	return inst, inst.Validate()
+}
+
+func readInts(next func() (string, error), want int) ([]int, error) {
+	out := make([]int, 0, want)
+	for len(out) < want {
+		line, err := next()
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("invalid integer %q", f)
+			}
+			out = append(out, v)
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("expected %d integers, got %d", want, len(out))
+	}
+	return out, nil
+}

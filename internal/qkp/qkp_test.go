@@ -1,0 +1,257 @@
+package qkp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	inst := Generate(50, 0.5, 1, 42)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "50-50-1" {
+		t.Fatalf("Name = %q", inst.Name)
+	}
+	if inst.N != 50 {
+		t.Fatalf("N = %d", inst.N)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(30, 0.25, 1, 7)
+	b := Generate(30, 0.25, 1, 7)
+	if a.B != b.B || a.H[3] != b.H[3] || a.W[0][5] != b.W[0][5] {
+		t.Fatal("same seed produced different instances")
+	}
+	c := Generate(30, 0.25, 1, 8)
+	if a.B == c.B && a.H[3] == c.H[3] && a.A[7] == c.A[7] {
+		t.Fatal("different seeds produced identical instance")
+	}
+}
+
+func TestGenerateDensityApproximate(t *testing.T) {
+	inst := Generate(100, 0.5, 1, 3)
+	pairs, nz := 0, 0
+	for i := 0; i < inst.N; i++ {
+		for j := i + 1; j < inst.N; j++ {
+			pairs++
+			if inst.W[i][j] != 0 {
+				nz++
+			}
+		}
+	}
+	got := float64(nz) / float64(pairs)
+	if math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("empirical density %v, want ≈0.5", got)
+	}
+}
+
+func TestGenerateRanges(t *testing.T) {
+	inst := Generate(80, 0.75, 2, 9)
+	sumW := 0
+	for i := 0; i < inst.N; i++ {
+		if inst.H[i] < 1 || inst.H[i] > 100 {
+			t.Fatalf("value out of range: %d", inst.H[i])
+		}
+		if inst.A[i] < 1 || inst.A[i] > 50 {
+			t.Fatalf("weight out of range: %d", inst.A[i])
+		}
+		sumW += inst.A[i]
+		for j := i + 1; j < inst.N; j++ {
+			if w := inst.W[i][j]; w != 0 && (w < 1 || w > 100) {
+				t.Fatalf("pair value out of range: %d", w)
+			}
+		}
+	}
+	if inst.B < 50 || inst.B > sumW {
+		t.Fatalf("capacity %d outside [50, %d]", inst.B, sumW)
+	}
+}
+
+func TestValueAndCostByHand(t *testing.T) {
+	inst := &Instance{
+		N: 3, Density: 1,
+		H: []int{10, 20, 30},
+		A: []int{1, 1, 1}, B: 3,
+		W: [][]int{{0, 5, 0}, {5, 0, 7}, {0, 7, 0}},
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := inst.Value(ising.Bits{1, 1, 0}); v != 35 {
+		t.Fatalf("Value = %d, want 35", v)
+	}
+	if v := inst.Value(ising.Bits{1, 1, 1}); v != 72 {
+		t.Fatalf("Value = %d, want 72", v)
+	}
+	if c := inst.Cost(ising.Bits{1, 1, 1}); c != -72 {
+		t.Fatalf("Cost = %v", c)
+	}
+}
+
+func TestFeasibleAndWeight(t *testing.T) {
+	inst := &Instance{
+		N: 2, Density: 1, H: []int{1, 1}, A: []int{3, 4}, B: 5,
+		W: [][]int{{0, 0}, {0, 0}},
+	}
+	if !inst.Feasible(ising.Bits{1, 0}) || inst.Feasible(ising.Bits{1, 1}) {
+		t.Fatal("feasibility broken")
+	}
+	if inst.Weight(ising.Bits{1, 1}) != 7 {
+		t.Fatal("weight broken")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy(-99, -100); got != 99 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := Accuracy(-100, -100); got != 100 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(-1, 0) != 0 {
+		t.Fatal("zero OPT should yield 0")
+	}
+}
+
+func TestNumSlackBitsMatchesPaperFormula(t *testing.T) {
+	inst := Generate(20, 0.5, 1, 5)
+	want := int(math.Floor(math.Log2(float64(inst.B)))) + 1
+	if got := inst.NumSlackBits(); got != want {
+		t.Fatalf("slack bits = %d, want %d", got, want)
+	}
+}
+
+// The normalized SAIM problem must rank configurations identically to the
+// integer instance, and its feasibility view must match.
+func TestToProblemConsistency(t *testing.T) {
+	src := rng.New(11)
+	inst := Generate(12, 0.5, 1, 13)
+	p := inst.ToProblem(constraint.Binary)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ext.NOrig != inst.N {
+		t.Fatalf("NOrig = %d", p.Ext.NOrig)
+	}
+	if p.Density != inst.Density {
+		t.Fatalf("Density = %v", p.Density)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x := make(ising.Bits, inst.N)
+		for i := range x {
+			if src.Bool(0.3) {
+				x[i] = 1
+			}
+		}
+		if got, want := p.Cost(x), inst.Cost(x); got != want {
+			t.Fatalf("Cost mismatch: %v vs %v", got, want)
+		}
+		// Original feasibility via the extended system must agree with the
+		// instance's own check.
+		full := make(ising.Bits, p.Ext.NTotal)
+		copy(full, x)
+		if p.Ext.OrigFeasible(full, 1e-9) != inst.Feasible(x) {
+			t.Fatal("feasibility mismatch between instance and extended system")
+		}
+	}
+}
+
+// Objective ordering must survive normalization: for any two configurations
+// the normalized QUBO orders them as the integer objective does.
+func TestToProblemPreservesOrdering(t *testing.T) {
+	src := rng.New(17)
+	inst := Generate(10, 0.75, 1, 19)
+	p := inst.ToProblem(constraint.Binary)
+	f := func(raw uint16) bool {
+		x := make(ising.Bits, p.Ext.NTotal)
+		y := make(ising.Bits, p.Ext.NTotal)
+		for i := 0; i < inst.N; i++ {
+			if src.Bool(0.5) {
+				x[i] = 1
+			}
+			if src.Bool(0.5) {
+				y[i] = 1
+			}
+		}
+		ex, ey := p.Objective.Energy(x), p.Objective.Energy(y)
+		cx, cy := inst.Cost(x[:inst.N]), inst.Cost(y[:inst.N])
+		switch {
+		case cx < cy:
+			return ex < ey+1e-9
+		case cx > cy:
+			return ex > ey-1e-9
+		default:
+			return math.Abs(ex-ey) < 1e-9
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	inst := Generate(25, 0.5, 3, 23)
+	var buf bytes.Buffer
+	if err := inst.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != inst.Name || got.N != inst.N || got.B != inst.B {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := 0; i < inst.N; i++ {
+		if got.H[i] != inst.H[i] || got.A[i] != inst.A[i] {
+			t.Fatalf("vector mismatch at %d", i)
+		}
+		for j := 0; j < inst.N; j++ {
+			if got.W[i][j] != inst.W[i][j] {
+				t.Fatalf("W mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"name\n",
+		"name\n-3\n",
+		"name\n2\n1 x\n",
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("Read accepted %q", c)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := Generate(5, 1, 1, 2)
+	asym := Generate(5, 1, 1, 2)
+	asym.W[1][2] = asym.W[2][1] + 1
+	diag := Generate(5, 1, 1, 2)
+	diag.W[3][3] = 5
+	negW := Generate(5, 1, 1, 2)
+	negW.W[0][1], negW.W[1][0] = -1, -1
+	badA := Generate(5, 1, 1, 2)
+	badA.A[0] = 0
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []*Instance{asym, diag, negW, badA} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("case %d: Validate accepted corrupted instance", i)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package quadratize reduces higher-order pseudo-Boolean polynomials to
+// quadratic form so they can run on standard (degree-2) Ising machines.
+//
+// It implements Rosenberg's substitution: pick a variable pair (a,b) that
+// appears in some monomial of degree ≥ 3, introduce an auxiliary binary
+// variable y meant to equal a·b, replace a·b by y in every higher-order
+// monomial, and add the penalty
+//
+//	M·(a·b − 2·a·y − 2·b·y + 3·y)
+//
+// which is zero when y = a·b and ≥ M otherwise. Repeating until every
+// monomial has degree ≤ 2 yields an equivalent QUBO over the original
+// variables plus auxiliaries, for a sufficiently large M.
+//
+// This is the classical alternative to the native high-order machine of
+// package hoim; the two are cross-checked in tests, and together they
+// cover both routes the paper sketches for polynomial energies [19].
+package quadratize
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ising-machines/saim/internal/hoim"
+	"github.com/ising-machines/saim/internal/ising"
+)
+
+// Result is the outcome of a reduction.
+type Result struct {
+	// QUBO is the quadratic model over NOrig + Aux variables.
+	QUBO *ising.QUBO
+	// NOrig is the number of original variables (auxiliaries follow).
+	NOrig int
+	// Aux describes each auxiliary variable as the product pair it
+	// represents: Aux[k] = (a, b) means variable NOrig+k should equal
+	// x_a·x_b (where a, b may themselves be auxiliaries).
+	Aux [][2]int
+	// M is the penalty weight applied to each substitution.
+	M float64
+}
+
+// NTotal returns the total variable count of the reduced model.
+func (r *Result) NTotal() int { return r.NOrig + len(r.Aux) }
+
+// Extend completes an assignment of the original variables with the
+// auxiliary products, yielding a configuration of the reduced model.
+func (r *Result) Extend(x ising.Bits) ising.Bits {
+	if len(x) != r.NOrig {
+		panic("quadratize: Extend dimension mismatch")
+	}
+	full := make(ising.Bits, r.NTotal())
+	copy(full, x)
+	for k, pair := range r.Aux {
+		full[r.NOrig+k] = full[pair[0]] * full[pair[1]]
+	}
+	return full
+}
+
+// Reduce rewrites the polynomial into an equivalent QUBO. The penalty M
+// must exceed the largest possible energy gain from violating a
+// substitution; passing 0 picks 1 + Σ|w| over all monomials, which is
+// always sufficient.
+func Reduce(p *hoim.Poly, m float64) (*Result, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("quadratize: negative penalty M")
+	}
+	// Extract monomials into a mutable working set.
+	type mono struct {
+		vars []int
+		w    float64
+	}
+	var work []mono
+	sumAbs := 0.0
+	constant := 0.0
+	nOrig := p.N()
+	// Pull the term list via the public surface: evaluate support by
+	// re-adding. hoim.Poly exposes terms through iteration helpers below.
+	for _, t := range p.Terms() {
+		if len(t.Vars) == 0 {
+			constant += t.W
+			continue
+		}
+		work = append(work, mono{vars: append([]int(nil), t.Vars...), w: t.W})
+		if t.W < 0 {
+			sumAbs -= t.W
+		} else {
+			sumAbs += t.W
+		}
+	}
+	if m == 0 {
+		m = 1 + sumAbs
+	}
+
+	total := nOrig
+	var aux [][2]int
+	pairOf := map[[2]int]int{} // product pair → variable index
+
+	for {
+		// Find the most frequent pair among monomials of degree ≥ 3.
+		counts := map[[2]int]int{}
+		anyHigh := false
+		for _, mn := range work {
+			if len(mn.vars) < 3 {
+				continue
+			}
+			anyHigh = true
+			for i := 0; i < len(mn.vars); i++ {
+				for j := i + 1; j < len(mn.vars); j++ {
+					counts[[2]int{mn.vars[i], mn.vars[j]}]++
+				}
+			}
+		}
+		if !anyHigh {
+			break
+		}
+		var bestPair [2]int
+		best := -1
+		// Deterministic tie-break: lexicographically smallest pair.
+		keys := make([][2]int, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a][0] != keys[b][0] {
+				return keys[a][0] < keys[b][0]
+			}
+			return keys[a][1] < keys[b][1]
+		})
+		for _, k := range keys {
+			if counts[k] > best {
+				best = counts[k]
+				bestPair = k
+			}
+		}
+
+		// Allocate (or reuse) the auxiliary for this pair.
+		y, ok := pairOf[bestPair]
+		if !ok {
+			y = total
+			total++
+			pairOf[bestPair] = y
+			aux = append(aux, bestPair)
+		}
+
+		// Substitute the pair inside every degree-≥3 monomial containing it.
+		for idx := range work {
+			mn := &work[idx]
+			if len(mn.vars) < 3 {
+				continue
+			}
+			hasA, hasB := false, false
+			for _, v := range mn.vars {
+				if v == bestPair[0] {
+					hasA = true
+				}
+				if v == bestPair[1] {
+					hasB = true
+				}
+			}
+			if !hasA || !hasB {
+				continue
+			}
+			rewritten := mn.vars[:0]
+			for _, v := range mn.vars {
+				if v != bestPair[0] && v != bestPair[1] {
+					rewritten = append(rewritten, v)
+				}
+			}
+			mn.vars = append(rewritten, y)
+			sort.Ints(mn.vars)
+		}
+	}
+
+	// Assemble the QUBO: rewritten monomials (now degree ≤ 2) plus the
+	// Rosenberg penalties M(ab − 2ay − 2by + 3y) per auxiliary.
+	q := ising.NewQUBO(total)
+	q.AddConst(constant)
+	for _, mn := range work {
+		switch len(mn.vars) {
+		case 1:
+			q.AddLinear(mn.vars[0], mn.w)
+		case 2:
+			q.AddQuad(mn.vars[0], mn.vars[1], mn.w)
+		default:
+			return nil, fmt.Errorf("quadratize: internal error — degree %d survived", len(mn.vars))
+		}
+	}
+	for k, pair := range aux {
+		y := nOrig + k
+		q.AddQuad(pair[0], pair[1], m)
+		q.AddQuad(pair[0], y, -2*m)
+		q.AddQuad(pair[1], y, -2*m)
+		q.AddLinear(y, 3*m)
+	}
+	return &Result{QUBO: q, NOrig: nOrig, Aux: aux, M: m}, nil
+}

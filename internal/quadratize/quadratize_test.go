@@ -1,0 +1,181 @@
+package quadratize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/hoim"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+func bitsOf(mask, n int) ising.Bits {
+	x := make(ising.Bits, n)
+	for i := 0; i < n; i++ {
+		if mask>>i&1 == 1 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// On honest extensions (auxiliaries = their products) the reduced QUBO
+// energy must equal the polynomial energy exactly, penalty-free.
+func TestReducePreservesEnergyOnHonestExtensions(t *testing.T) {
+	src := rng.New(5)
+	f := func(raw uint8) bool {
+		n := int(raw%5) + 3
+		p := hoim.NewPoly(n)
+		for k := 0; k < 2*n; k++ {
+			deg := src.IntRange(1, 4)
+			vars := make([]int, deg)
+			for i := range vars {
+				vars[i] = src.Intn(n)
+			}
+			p.Add(src.Sym()*3, vars...)
+		}
+		p.Add(src.Sym()) // constant
+		red, err := Reduce(p, 0)
+		if err != nil {
+			return false
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			x := bitsOf(mask, n)
+			full := red.Extend(x)
+			if math.Abs(red.QUBO.Energy(full)-p.Energy(x)) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The global minimum of the reduced QUBO must coincide with the global
+// minimum of the original polynomial (value and projection).
+func TestReducePreservesGroundState(t *testing.T) {
+	src := rng.New(9)
+	for trial := 0; trial < 20; trial++ {
+		n := src.IntRange(3, 6)
+		p := hoim.NewPoly(n)
+		for k := 0; k < 2*n; k++ {
+			deg := src.IntRange(1, 4)
+			vars := make([]int, deg)
+			for i := range vars {
+				vars[i] = src.Intn(n)
+			}
+			p.Add(src.Sym()*3, vars...)
+		}
+		red, err := Reduce(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Polynomial optimum by enumeration over original vars.
+		polyBest := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			if e := p.Energy(bitsOf(mask, n)); e < polyBest {
+				polyBest = e
+			}
+		}
+		// QUBO optimum by enumeration over ALL variables (incl. aux).
+		total := red.NTotal()
+		quboBest := math.Inf(1)
+		for mask := 0; mask < 1<<total; mask++ {
+			if e := red.QUBO.Energy(bitsOf(mask, total)); e < quboBest {
+				quboBest = e
+			}
+		}
+		if math.Abs(polyBest-quboBest) > 1e-7 {
+			t.Fatalf("trial %d: poly OPT %v vs QUBO OPT %v", trial, polyBest, quboBest)
+		}
+	}
+}
+
+func TestReduceQuadraticInputIsIdentityShape(t *testing.T) {
+	p := hoim.NewPoly(3)
+	p.Add(2, 0, 1)
+	p.Add(-1, 2)
+	p.Add(4)
+	red, err := Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Aux) != 0 {
+		t.Fatalf("quadratic input grew %d auxiliaries", len(red.Aux))
+	}
+	x := ising.Bits{1, 1, 0}
+	if red.QUBO.Energy(x) != p.Energy(x) {
+		t.Fatal("energy mismatch on quadratic input")
+	}
+}
+
+func TestReduceCubicSingleAux(t *testing.T) {
+	p := hoim.NewPoly(3)
+	p.Add(5, 0, 1, 2)
+	red, err := Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Aux) != 1 {
+		t.Fatalf("aux = %d, want 1", len(red.Aux))
+	}
+	if red.QUBO.N() != 4 {
+		t.Fatalf("NTotal = %d", red.QUBO.N())
+	}
+	// Violated substitution must cost at least M.
+	x := red.Extend(ising.Bits{1, 1, 1}) // honest: y = 1
+	dishonest := x.Clone()
+	dishonest[3] = 0
+	if red.QUBO.Energy(dishonest) < red.QUBO.Energy(x)+red.M-5-1e-9 {
+		t.Fatalf("violating the substitution too cheap: %v vs %v (M=%v)",
+			red.QUBO.Energy(dishonest), red.QUBO.Energy(x), red.M)
+	}
+}
+
+func TestReduceDegree4SharedPairs(t *testing.T) {
+	// Two quartic monomials sharing a pair should reuse one auxiliary where
+	// the pair heuristic allows it.
+	p := hoim.NewPoly(5)
+	p.Add(1, 0, 1, 2, 3)
+	p.Add(1, 0, 1, 3, 4)
+	red, err := Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.QUBO.Validate() != nil {
+		t.Fatal("invalid QUBO")
+	}
+	// Spot-check energies on honest extensions.
+	for mask := 0; mask < 1<<5; mask++ {
+		x := bitsOf(mask, 5)
+		if math.Abs(red.QUBO.Energy(red.Extend(x))-p.Energy(x)) > 1e-9 {
+			t.Fatalf("energy mismatch at %b", mask)
+		}
+	}
+}
+
+func TestReduceRejectsNegativeM(t *testing.T) {
+	p := hoim.NewPoly(2)
+	p.Add(1, 0)
+	if _, err := Reduce(p, -1); err == nil {
+		t.Fatal("accepted negative M")
+	}
+}
+
+func TestExtendPanicsOnWrongLength(t *testing.T) {
+	p := hoim.NewPoly(3)
+	p.Add(1, 0, 1, 2)
+	red, err := Reduce(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extend accepted wrong length")
+		}
+	}()
+	red.Extend(ising.Bits{1})
+}

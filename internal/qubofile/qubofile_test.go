@@ -1,0 +1,133 @@
+package qubofile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+func randomQUBO(src *rng.Source, n int) *ising.QUBO {
+	q := ising.NewQUBO(n)
+	for i := 0; i < n; i++ {
+		if src.Bool(0.8) {
+			q.AddLinear(i, src.Sym()*9)
+		}
+		for j := i + 1; j < n; j++ {
+			if src.Bool(0.4) {
+				q.AddQuad(i, j, src.Sym()*9)
+			}
+		}
+	}
+	if src.Bool(0.5) {
+		q.AddConst(src.Sym() * 5)
+	}
+	return q
+}
+
+// Round trip must preserve the energy of every configuration.
+func TestRoundTripEnergyEquivalence(t *testing.T) {
+	src := rng.New(7)
+	f := func(raw uint8) bool {
+		n := int(raw%7) + 2
+		q := randomQUBO(src, n)
+		var buf bytes.Buffer
+		if err := Write(&buf, q); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N() != q.N() {
+			return false
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			x := make(ising.Bits, n)
+			for i := 0; i < n; i++ {
+				x[i] = int8(mask >> i & 1)
+			}
+			if math.Abs(got.Energy(x)-q.Energy(x)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFormatShape(t *testing.T) {
+	q := ising.NewQUBO(3)
+	q.AddLinear(0, 1.5)
+	q.AddQuad(0, 2, -2)
+	q.AddConst(4)
+	var buf bytes.Buffer
+	if err := Write(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p qubo 0 3 3 1") {
+		t.Fatalf("problem line missing/wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "c constant 4") {
+		t.Fatalf("constant comment missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 2 -2") {
+		t.Fatalf("coupler line missing:\n%s", out)
+	}
+}
+
+func TestReadHandComposed(t *testing.T) {
+	in := `c a comment
+p qubo 0 2 2 1
+0 0 -1
+1 1 2.5
+0 1 3
+`
+	q, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N() != 2 {
+		t.Fatalf("N = %d", q.N())
+	}
+	// E(1,1) = -1 + 2.5 + 3 = 4.5
+	if got := q.Energy(ising.Bits{1, 1}); got != 4.5 {
+		t.Fatalf("E = %v", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"0 0 1\n",          // data before header
+		"p qubo 0 x 1 0\n", // bad sizes
+		"p qubo 0 2 1 0\n0 0 1\np qubo 0 2 1 0\n0 0 1\n", // duplicate header
+		"p qubo 0 2 2 0\n0 0 1\n",                        // promised 2 nodes, got 1
+		"p qubo 0 2 1 0\n5 5 1\n",                        // index out of range
+		"p qubo 0 2 1 0\n0 0 z\n",                        // bad weight
+		"p qubo 0 2 1 0\n0 0\n",                          // short line
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("Read accepted %q", c)
+		}
+	}
+}
+
+func TestReadAllowsBlankLines(t *testing.T) {
+	in := "p qubo 0 1 1 0\n\n0 0 2\n\n"
+	q, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Energy(ising.Bits{1}) != 2 {
+		t.Fatal("blank-line parse wrong")
+	}
+}

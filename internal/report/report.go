@@ -1,0 +1,119 @@
+// Package report renders experiment results as fixed-width text tables and
+// CSV, the two formats the experiment harness emits. It is intentionally
+// small: a Table is a header plus rows of strings, with numeric helpers for
+// the common cell types.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table accumulates rows for rendering.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row. Rows shorter than the header are padded with empty
+// cells; longer rows panic (that is a programming error in the driver).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Header) {
+		panic(fmt.Sprintf("report: row with %d cells exceeds %d columns", len(cells), len(t.Header)))
+	}
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// F formats a float with the given number of decimals, rendering NaN and
+// infinities as "-".
+func F(v float64, decimals int) string {
+	if v != v || v > 1e300 || v < -1e300 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// Pct formats an accuracy/percentage with one decimal.
+func Pct(v float64) string { return F(v, 1) }
+
+// Render writes the table as aligned fixed-width text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total > 2 {
+		sb.WriteString(strings.Repeat("-", total-2))
+		sb.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (header first, no title line).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the table to a string (fixed-width form).
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}

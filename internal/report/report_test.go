@@ -1,0 +1,91 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// Columns align: "value" column of row 1 and row 2 start at same offset.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 || tb.Rows[0][1] != "" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestAddRowPanicsOnTooMany(t *testing.T) {
+	tb := New("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted oversized row")
+		}
+	}()
+	tb.AddRow("1", "2")
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if F(1.2345, 2) != "1.23" {
+		t.Fatalf("F = %q", F(1.2345, 2))
+	}
+	if F(math.NaN(), 2) != "-" || F(math.Inf(1), 2) != "-" || F(math.Inf(-1), 2) != "-" {
+		t.Fatal("non-finite formatting wrong")
+	}
+	if I(42) != "42" {
+		t.Fatal("I broken")
+	}
+	if Pct(99.95) != "99.9" && Pct(99.95) != "100.0" {
+		t.Fatalf("Pct = %q", Pct(99.95))
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("ignored title", "x", "y")
+	tb.AddRow("1", "a,b")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "x,y\n") {
+		t.Fatalf("csv = %q", got)
+	}
+	if !strings.Contains(got, `"a,b"`) {
+		t.Fatalf("csv did not quote comma cell: %q", got)
+	}
+	if strings.Contains(got, "ignored title") {
+		t.Fatal("csv leaked title")
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("1")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatalf("leading blank line: %q", out)
+	}
+}

@@ -1,0 +1,222 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestSymRange(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		f := s.Sym()
+		if f < -1 || f >= 1 {
+			t.Fatalf("Sym out of [-1,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for n := 1; n < 40; n++ {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(5)
+	const n, draws = 10, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %v", k, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		v := s.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+	}
+	if got := s.IntRange(4, 4); got != 4 {
+		t.Fatalf("IntRange(4,4) = %d", got)
+	}
+}
+
+func TestIntRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntRange(2,1) did not panic")
+		}
+	}()
+	New(1).IntRange(2, 1)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(13)
+	const n = 300000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(19)
+	const n, draws = 5, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("first element %d count %d deviates from %v", k, c, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(23)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream matched parent %d times", same)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(29)
+	const draws = 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", got)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

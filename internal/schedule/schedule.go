@@ -1,0 +1,118 @@
+// Package schedule provides inverse-temperature (β) schedules for annealed
+// Monte-Carlo runs. A schedule maps sweep index t ∈ [0, T) to β(t) ≥ 0.
+//
+// The paper anneals its p-bit machine with a linear β sweep from 0 to βmax
+// over each run of 1000 Monte-Carlo sweeps (Section III.B); Linear
+// reproduces that. The other schedules exist for baselines and ablations.
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps a sweep index to an inverse temperature.
+type Schedule interface {
+	// Beta returns β for sweep t of a run with total sweeps (t in [0, total)).
+	Beta(t, total int) float64
+	// String describes the schedule for logs and reports.
+	String() string
+}
+
+// Linear sweeps β linearly from Start to End across the run. The paper's
+// schedule is Linear{Start: 0, End: βmax}.
+type Linear struct {
+	Start, End float64
+}
+
+// Beta implements Schedule.
+func (l Linear) Beta(t, total int) float64 {
+	if total <= 1 {
+		return l.End
+	}
+	f := float64(t) / float64(total-1)
+	return l.Start + (l.End-l.Start)*f
+}
+
+func (l Linear) String() string { return fmt.Sprintf("linear(%g→%g)", l.Start, l.End) }
+
+// Geometric multiplies β from Start to End geometrically: β(t) =
+// Start·(End/Start)^(t/(T-1)). Start must be > 0.
+type Geometric struct {
+	Start, End float64
+}
+
+// Beta implements Schedule.
+func (g Geometric) Beta(t, total int) float64 {
+	if total <= 1 {
+		return g.End
+	}
+	f := float64(t) / float64(total-1)
+	return g.Start * math.Pow(g.End/g.Start, f)
+}
+
+func (g Geometric) String() string { return fmt.Sprintf("geometric(%g→%g)", g.Start, g.End) }
+
+// Constant holds β fixed; used for sampling at equilibrium and for the
+// individual replicas of parallel tempering.
+type Constant struct {
+	Value float64
+}
+
+// Beta implements Schedule.
+func (c Constant) Beta(_, _ int) float64 { return c.Value }
+
+func (c Constant) String() string { return fmt.Sprintf("constant(%g)", c.Value) }
+
+// Piecewise holds β at Plateau for the first Fraction of the run, then
+// sweeps linearly to End. It models a burn-in followed by a quench and is
+// used in ablation experiments.
+type Piecewise struct {
+	Plateau  float64
+	End      float64
+	Fraction float64 // in [0,1]
+}
+
+// Beta implements Schedule.
+func (p Piecewise) Beta(t, total int) float64 {
+	if total <= 1 {
+		return p.End
+	}
+	cut := int(p.Fraction * float64(total))
+	if t < cut {
+		return p.Plateau
+	}
+	rem := total - cut
+	if rem <= 1 {
+		return p.End
+	}
+	f := float64(t-cut) / float64(rem-1)
+	return p.Plateau + (p.End-p.Plateau)*f
+}
+
+func (p Piecewise) String() string {
+	return fmt.Sprintf("piecewise(%g for %.0f%%, →%g)", p.Plateau, p.Fraction*100, p.End)
+}
+
+// Validate reports an error for schedules with nonsensical parameters.
+func Validate(s Schedule) error {
+	switch v := s.(type) {
+	case Linear:
+		if v.Start < 0 || v.End < 0 {
+			return fmt.Errorf("schedule: linear with negative β")
+		}
+	case Geometric:
+		if v.Start <= 0 || v.End <= 0 {
+			return fmt.Errorf("schedule: geometric requires positive β")
+		}
+	case Constant:
+		if v.Value < 0 {
+			return fmt.Errorf("schedule: constant with negative β")
+		}
+	case Piecewise:
+		if v.Plateau < 0 || v.End < 0 || v.Fraction < 0 || v.Fraction > 1 {
+			return fmt.Errorf("schedule: piecewise with invalid parameters")
+		}
+	}
+	return nil
+}

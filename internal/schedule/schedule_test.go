@@ -1,0 +1,144 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearEndpoints(t *testing.T) {
+	l := Linear{Start: 0, End: 10}
+	if got := l.Beta(0, 1000); got != 0 {
+		t.Fatalf("Beta(0) = %v", got)
+	}
+	if got := l.Beta(999, 1000); got != 10 {
+		t.Fatalf("Beta(T-1) = %v", got)
+	}
+	mid := l.Beta(500, 1001)
+	if math.Abs(mid-5) > 1e-12 {
+		t.Fatalf("midpoint = %v", mid)
+	}
+}
+
+func TestLinearMonotone(t *testing.T) {
+	l := Linear{Start: 0, End: 50}
+	prev := -1.0
+	for i := 0; i < 200; i++ {
+		b := l.Beta(i, 200)
+		if b < prev {
+			t.Fatalf("linear schedule decreased at %d", i)
+		}
+		prev = b
+	}
+}
+
+func TestLinearDegenerateTotal(t *testing.T) {
+	l := Linear{Start: 2, End: 8}
+	if got := l.Beta(0, 1); got != 8 {
+		t.Fatalf("total=1 Beta = %v, want End", got)
+	}
+}
+
+func TestGeometricEndpoints(t *testing.T) {
+	g := Geometric{Start: 0.1, End: 10}
+	if got := g.Beta(0, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Beta(0) = %v", got)
+	}
+	if got := g.Beta(99, 100); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Beta(T-1) = %v", got)
+	}
+}
+
+func TestGeometricMonotoneIncreasing(t *testing.T) {
+	g := Geometric{Start: 0.5, End: 20}
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		b := g.Beta(i, 100)
+		if b <= prev {
+			t.Fatalf("geometric schedule not strictly increasing at %d", i)
+		}
+		prev = b
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{Value: 3}
+	for i := 0; i < 10; i++ {
+		if c.Beta(i, 10) != 3 {
+			t.Fatal("constant schedule varied")
+		}
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	p := Piecewise{Plateau: 1, End: 5, Fraction: 0.5}
+	if got := p.Beta(0, 100); got != 1 {
+		t.Fatalf("plateau start = %v", got)
+	}
+	if got := p.Beta(49, 100); got != 1 {
+		t.Fatalf("plateau end = %v", got)
+	}
+	if got := p.Beta(99, 100); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("final = %v", got)
+	}
+}
+
+func TestPiecewiseFullFraction(t *testing.T) {
+	p := Piecewise{Plateau: 2, End: 9, Fraction: 1}
+	// With the plateau covering everything but nothing left, remaining
+	// sweeps fall back to End only when rem <= 1; all indexed sweeps are
+	// within the plateau.
+	if got := p.Beta(50, 100); got != 2 {
+		t.Fatalf("full-fraction Beta = %v", got)
+	}
+}
+
+func TestBetaNonNegativeProperty(t *testing.T) {
+	scheds := []Schedule{
+		Linear{0, 10}, Geometric{0.01, 50}, Constant{4}, Piecewise{1, 8, 0.3},
+	}
+	f := func(tRaw, totalRaw uint16) bool {
+		total := int(totalRaw%2000) + 2
+		tt := int(tRaw) % total
+		for _, s := range scheds {
+			if s.Beta(tt, total) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Schedule{
+		Linear{Start: -1, End: 5},
+		Geometric{Start: 0, End: 5},
+		Constant{Value: -2},
+		Piecewise{Plateau: 1, End: 2, Fraction: 1.5},
+	}
+	for _, s := range bad {
+		if err := Validate(s); err == nil {
+			t.Fatalf("Validate accepted %v", s)
+		}
+	}
+	good := []Schedule{
+		Linear{0, 10}, Geometric{0.1, 10}, Constant{0}, Piecewise{0, 1, 0.5},
+	}
+	for _, s := range good {
+		if err := Validate(s); err != nil {
+			t.Fatalf("Validate rejected %v: %v", s, err)
+		}
+	}
+}
+
+func TestStringDescriptions(t *testing.T) {
+	all := []Schedule{Linear{0, 10}, Geometric{1, 2}, Constant{1}, Piecewise{1, 2, 0.5}}
+	for _, s := range all {
+		if s.String() == "" {
+			t.Fatalf("empty description for %T", s)
+		}
+	}
+}

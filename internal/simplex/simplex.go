@@ -1,0 +1,227 @@
+// Package simplex implements a dense primal simplex solver for linear
+// programs of the form
+//
+//	maximize   cᵀx
+//	subject to A·x ≤ b,  x ≥ 0,  b ≥ 0.
+//
+// The non-negative right-hand side means the all-slack basis is feasible,
+// so no phase-one is needed — exactly the situation of knapsack LP
+// relaxations (all data non-negative). The solver uses Dantzig pricing with
+// a switch to Bland's rule after a degeneracy streak, which guarantees
+// termination.
+//
+// It exists to provide the LP-relaxation bounds of the branch-and-bound
+// solver in internal/exact (the stand-in for the paper's Matlab intlinprog
+// runs); it is not a general-purpose LP library.
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic solution was found.
+	Optimal Status = iota
+	// Unbounded means the objective is unbounded above.
+	Unbounded
+	// IterLimit means the iteration cap was hit before convergence.
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is a maximization LP in inequality form.
+type Problem struct {
+	// C is the objective vector (length n).
+	C []float64
+	// A holds the constraint rows (m rows of length n).
+	A [][]float64
+	// B is the right-hand side (length m, entries ≥ 0).
+	B []float64
+}
+
+// Solution is the result of Maximize.
+type Solution struct {
+	// X is the primal solution (length n).
+	X []float64
+	// Value is cᵀX.
+	Value float64
+	// Status reports how the solve ended.
+	Status Status
+	// Pivots is the number of simplex pivots performed.
+	Pivots int
+}
+
+const eps = 1e-9
+
+// Maximize solves the LP. It returns an error for malformed input
+// (dimension mismatches or negative right-hand sides).
+func Maximize(p Problem) (Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m {
+		return Solution{}, fmt.Errorf("simplex: %d rows but %d right-hand sides", m, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("simplex: row %d has %d entries, want %d", i, len(row), n)
+		}
+		if p.B[i] < 0 {
+			return Solution{}, fmt.Errorf("simplex: negative right-hand side b[%d]=%v", i, p.B[i])
+		}
+	}
+
+	// Tableau: m rows × (n + m + 1) columns. Columns [0,n) are structural,
+	// [n, n+m) slacks, last column is the rhs. Objective row stores reduced
+	// costs negated (standard max tableau: we drive entries of the z-row to
+	// ≥ 0 using z_j - c_j convention).
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], p.A[i])
+		tab[i][n+i] = 1
+		tab[i][width-1] = p.B[i]
+	}
+	obj := make([]float64, width)
+	for j := 0; j < n; j++ {
+		obj[j] = -p.C[j]
+	}
+	tab[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxIter := 50 * (n + m + 10)
+	sol := Solution{X: make([]float64, n)}
+	degenerate := 0
+	useBland := false
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Pricing: find entering column with negative z-row entry.
+		enter := -1
+		if useBland {
+			for j := 0; j < n+m; j++ {
+				if obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < n+m; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			// Optimal: extract solution.
+			for i, b := range basis {
+				if b < n {
+					sol.X[b] = tab[i][width-1]
+				}
+			}
+			val := 0.0
+			for j := 0; j < n; j++ {
+				val += p.C[j] * sol.X[j]
+			}
+			sol.Value = val
+			sol.Status = Optimal
+			return sol, nil
+		}
+
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				r := tab[i][width-1] / a
+				if r < bestRatio-eps || (useBland && r < bestRatio+eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		if bestRatio < eps {
+			degenerate++
+			if degenerate > m+n {
+				useBland = true
+			}
+		} else {
+			degenerate = 0
+		}
+
+		pivot(tab, leave, enter, width, m)
+		basis[leave] = enter
+		sol.Pivots++
+	}
+	sol.Status = IterLimit
+	return sol, nil
+}
+
+// pivot performs a Gauss–Jordan pivot on tab[row][col].
+func pivot(tab [][]float64, row, col, width, m int) {
+	pr := tab[row]
+	inv := 1 / pr[col]
+	for j := 0; j < width; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // kill round-off on the pivot itself
+	for i := 0; i <= m; i++ {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := tab[i]
+		for j := 0; j < width; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+}
+
+// MaximizeBoxed solves maximize cᵀx s.t. A·x ≤ b, 0 ≤ x ≤ 1 by appending
+// the unit upper bounds as explicit rows. This is the LP relaxation of a
+// 0–1 program in inequality form.
+func MaximizeBoxed(p Problem) (Solution, error) {
+	n := len(p.C)
+	rows := make([][]float64, 0, len(p.A)+n)
+	rhs := make([]float64, 0, len(p.B)+n)
+	rows = append(rows, p.A...)
+	rhs = append(rhs, p.B...)
+	for j := 0; j < n; j++ {
+		bound := make([]float64, n)
+		bound[j] = 1
+		rows = append(rows, bound)
+		rhs = append(rhs, 1)
+	}
+	return Maximize(Problem{C: p.C, A: rows, B: rhs})
+}

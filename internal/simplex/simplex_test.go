@@ -1,0 +1,209 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+func TestTextbookLP(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18: OPT = 36 at (2, 6).
+	sol, err := Maximize(Problem{
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-36) > 1e-9 {
+		t.Fatalf("value = %v, want 36", sol.Value)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-9 || math.Abs(sol.X[1]-6) > 1e-9 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with no binding constraint on x.
+	sol, err := Maximize(Problem{
+		C: []float64{1, 0},
+		A: [][]float64{{0, 1}},
+		B: []float64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	sol, err := Maximize(Problem{
+		C: []float64{0, 0},
+		A: [][]float64{{1, 1}},
+		B: []float64{3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Value != 0 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Maximize(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Fatal("accepted row-length mismatch")
+	}
+	if _, err := Maximize(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}}); err == nil {
+		t.Fatal("accepted negative rhs")
+	}
+	if _, err := Maximize(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}); err == nil {
+		t.Fatal("accepted rhs-length mismatch")
+	}
+}
+
+func TestSolutionIsFeasible(t *testing.T) {
+	src := rng.New(3)
+	f := func(raw uint8) bool {
+		n := int(raw%6) + 1
+		m := int(raw%4) + 1
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := 0; j < n; j++ {
+			p.C[j] = src.Float64() * 10
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.A[i][j] = src.Float64() * 5
+			}
+			p.B[i] = src.Float64()*20 + 1
+		}
+		sol, err := Maximize(p)
+		if err != nil || sol.Status == IterLimit {
+			return false
+		}
+		if sol.Status == Unbounded {
+			return true // possible when a column is all-zero
+		}
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += p.A[i][j] * sol.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// For single-constraint knapsack LPs the optimum has a closed form
+// (Dantzig): sort by value/weight, fill greedily with one fractional item.
+func TestMatchesDantzigBound(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := src.IntRange(2, 10)
+		v := make([]float64, n)
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			v[j] = float64(src.IntRange(1, 100))
+			w[j] = float64(src.IntRange(1, 50))
+		}
+		cap := float64(src.IntRange(10, 200))
+		sol, err := MaximizeBoxed(Problem{C: v, A: [][]float64{w}, B: []float64{cap}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("status %v", sol.Status)
+		}
+		// Greedy fractional fill.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if v[idx[j]]/w[idx[j]] > v[idx[i]]/w[idx[i]] {
+					idx[i], idx[j] = idx[j], idx[i]
+				}
+			}
+		}
+		remaining := cap
+		want := 0.0
+		for _, j := range idx {
+			if w[j] <= remaining {
+				want += v[j]
+				remaining -= w[j]
+			} else {
+				want += v[j] * remaining / w[j]
+				break
+			}
+		}
+		if math.Abs(sol.Value-want) > 1e-6 {
+			t.Fatalf("LP %v vs Dantzig %v (v=%v w=%v cap=%v)", sol.Value, want, v, w, cap)
+		}
+	}
+}
+
+func TestMaximizeBoxedRespectsUnitBounds(t *testing.T) {
+	sol, err := MaximizeBoxed(Problem{
+		C: []float64{10, 1},
+		A: [][]float64{{1, 1}},
+		B: []float64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.X[0] > 1+1e-9 || sol.X[1] > 1+1e-9 {
+		t.Fatalf("x exceeded unit box: %v", sol.X)
+	}
+	if math.Abs(sol.Value-11) > 1e-9 {
+		t.Fatalf("value = %v, want 11", sol.Value)
+	}
+}
+
+func TestDegenerateLPTerminates(t *testing.T) {
+	// Classic cycling-prone LP (Beale); must terminate via Bland fallback.
+	sol, err := Maximize(Problem{
+		C: []float64{0.75, -150, 0.02, -6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		B: []float64{0, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-0.05) > 1e-9 {
+		t.Fatalf("value = %v, want 0.05", sol.Value)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Fatal("status strings wrong")
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: means, medians, quartiles and interquartile
+// ranges (the paper presents its Fig. 4a results as quartile boxes), plus
+// accuracy aggregation helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the smallest element, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using linear interpolation
+// between order statistics (the common "type 7" estimator). It returns NaN
+// for an empty slice and panics for q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quartiles bundles the five-number summary used for box plots.
+type Quartiles struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize returns the five-number summary of xs.
+func Summarize(xs []float64) Quartiles {
+	return Quartiles{
+		Min:    Min(xs),
+		Q1:     Quantile(xs, 0.25),
+		Median: Median(xs),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Max(xs),
+	}
+}
+
+// IQR returns the interquartile range Q3−Q1.
+func (q Quartiles) IQR() float64 { return q.Q3 - q.Q1 }
+
+// Stddev returns the sample standard deviation (n−1 denominator), or NaN
+// for fewer than two samples.
+func Stddev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}

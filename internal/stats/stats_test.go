@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestEmptyInputsAreNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) ||
+		!math.IsNaN(Median(nil)) || !math.IsNaN(Stddev(nil)) {
+		t.Fatal("empty-input statistics should be NaN")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatalf("odd median = %v", Median([]float64{3, 1, 2}))
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatalf("even median = %v", Median([]float64{4, 1, 2, 3}))
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 40 {
+		t.Fatal("endpoint quantiles wrong")
+	}
+	if got := Quantile(xs, 0.25); got != 17.5 {
+		t.Fatalf("Q1 = %v, want 17.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted q=1.5")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Fatal("single-element quantile wrong")
+	}
+}
+
+func TestSummarizeOrderingProperty(t *testing.T) {
+	src := rng.New(5)
+	f := func(raw uint8) bool {
+		n := int(raw%30) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Sym() * 100
+		}
+		q := Summarize(xs)
+		return q.Min <= q.Q1 && q.Q1 <= q.Median && q.Median <= q.Q3 && q.Q3 <= q.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	src := rng.New(11)
+	xs := make([]float64, 25)
+	for i := range xs {
+		xs[i] = src.Sym() * 10
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0001; q += 0.05 {
+		qq := math.Min(q, 1)
+		v := Quantile(xs, qq)
+		if v < prev-1e-12 {
+			t.Fatalf("quantile decreased at q=%v", qq)
+		}
+		prev = v
+	}
+}
+
+func TestMedianMatchesSortDefinition(t *testing.T) {
+	src := rng.New(13)
+	for trial := 0; trial < 50; trial++ {
+		n := src.IntRange(1, 40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Sym()
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		var want float64
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		if math.Abs(Median(xs)-want) > 1e-12 {
+			t.Fatalf("median %v, want %v", Median(xs), want)
+		}
+	}
+}
+
+func TestIQR(t *testing.T) {
+	q := Quartiles{Q1: 2, Q3: 7}
+	if q.IQR() != 5 {
+		t.Fatalf("IQR = %v", q.IQR())
+	}
+}
+
+func TestStddev(t *testing.T) {
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", got, want)
+	}
+	if !math.IsNaN(Stddev([]float64{1})) {
+		t.Fatal("single-sample stddev should be NaN")
+	}
+}

@@ -1,0 +1,204 @@
+package vecmat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVecDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestVecAddScaled(t *testing.T) {
+	v := Vec{1, 1}
+	v.AddScaled(2, Vec{3, 4})
+	if v[0] != 7 || v[1] != 9 {
+		t.Fatalf("AddScaled = %v", v)
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestVecScaleSumMaxAbs(t *testing.T) {
+	v := Vec{-3, 1, 2}
+	v.Scale(2)
+	if v.Sum() != 0 {
+		t.Fatalf("Sum = %v", v.Sum())
+	}
+	if v.MaxAbs() != 6 {
+		t.Fatalf("MaxAbs = %v", v.MaxAbs())
+	}
+	if (Vec{}).MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs should be 0")
+	}
+}
+
+func TestSymSetAtSymmetry(t *testing.T) {
+	m := NewSym(4)
+	m.Set(1, 3, 2.5)
+	if m.At(3, 1) != 2.5 || m.At(1, 3) != 2.5 {
+		t.Fatal("Set did not mirror")
+	}
+	if !m.IsSymmetric() {
+		t.Fatal("matrix not symmetric")
+	}
+}
+
+func TestSymAddMirrorsOffDiagonal(t *testing.T) {
+	m := NewSym(3)
+	m.Add(0, 2, 1)
+	m.Add(0, 2, 1)
+	if m.At(0, 2) != 2 || m.At(2, 0) != 2 {
+		t.Fatalf("Add off-diag: %v %v", m.At(0, 2), m.At(2, 0))
+	}
+	m.Add(1, 1, 3)
+	if m.At(1, 1) != 3 {
+		t.Fatalf("Add diag: %v", m.At(1, 1))
+	}
+}
+
+func TestSymMulVec(t *testing.T) {
+	m := NewSym(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 1, 3)
+	dst := NewVec(2)
+	m.MulVec(dst, Vec{1, 1})
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestSymQuadFormMatchesMulVec(t *testing.T) {
+	src := rng.New(101)
+	f := func(raw uint8) bool {
+		n := int(raw%8) + 1
+		m := NewSym(n)
+		x := NewVec(n)
+		for i := 0; i < n; i++ {
+			x[i] = src.Sym()
+			for j := i; j < n; j++ {
+				m.Set(i, j, src.Sym())
+			}
+		}
+		tmp := NewVec(n)
+		m.MulVec(tmp, x)
+		return almostEqual(m.QuadForm(x), x.Dot(tmp), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymCloneIndependent(t *testing.T) {
+	m := NewSym(2)
+	m.Set(0, 1, 5)
+	c := m.Clone()
+	c.Set(0, 1, 9)
+	if m.At(0, 1) != 5 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestSymScale(t *testing.T) {
+	m := NewSym(2)
+	m.Set(0, 1, 4)
+	m.Scale(0.5)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 2 {
+		t.Fatalf("Scale: %v", m.At(0, 1))
+	}
+}
+
+func TestOffDiagDensity(t *testing.T) {
+	m := NewSym(4)
+	if m.OffDiagDensity() != 0 {
+		t.Fatal("empty density should be 0")
+	}
+	m.Set(0, 1, 1)
+	m.Set(2, 3, 1)
+	want := 2.0 / 6.0
+	if got := m.OffDiagDensity(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("density = %v, want %v", got, want)
+	}
+	// Diagonal entries must not count.
+	m.Set(0, 0, 7)
+	if got := m.OffDiagDensity(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("density with diagonal = %v, want %v", got, want)
+	}
+	if NewSym(1).OffDiagDensity() != 0 {
+		t.Fatal("order-1 density should be 0")
+	}
+}
+
+func TestSymGrow(t *testing.T) {
+	m := NewSym(2)
+	m.Set(0, 1, 3)
+	m.Set(1, 1, 4)
+	g := m.Grow(2)
+	if g.N() != 4 {
+		t.Fatalf("Grow order = %d", g.N())
+	}
+	if g.At(0, 1) != 3 || g.At(1, 1) != 4 {
+		t.Fatal("Grow lost leading block")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 2; j < 4; j++ {
+			if g.At(i, j) != 0 {
+				t.Fatalf("Grow new entry (%d,%d) non-zero", i, j)
+			}
+		}
+	}
+	if !g.IsSymmetric() {
+		t.Fatal("grown matrix not symmetric")
+	}
+}
+
+func TestGrowVec(t *testing.T) {
+	v := GrowVec(Vec{1, 2}, 3)
+	if len(v) != 5 || v[0] != 1 || v[1] != 2 || v[4] != 0 {
+		t.Fatalf("GrowVec = %v", v)
+	}
+}
+
+func TestMaxAbsSym(t *testing.T) {
+	m := NewSym(3)
+	m.Set(0, 2, -7)
+	m.Set(1, 1, 4)
+	if m.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestRowViewReflectsSet(t *testing.T) {
+	m := NewSym(3)
+	m.Set(1, 2, 8)
+	row := m.Row(1)
+	if row[2] != 8 {
+		t.Fatalf("Row view = %v", row)
+	}
+}

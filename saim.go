@@ -1,0 +1,314 @@
+package saim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ising-machines/saim/internal/anneal"
+	"github.com/ising-machines/saim/internal/constraint"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Builder assembles a constrained binary optimization problem
+//
+//	min  Σ_i c_i x_i + Σ_{i<j} q_ij x_i x_j
+//	s.t. linear constraints (≤ or =),  x ∈ {0,1}^n.
+//
+// Coefficients are given in natural (un-normalized) units; Build normalizes
+// internally exactly as the paper prescribes.
+type Builder struct {
+	n    int
+	obj  *ising.QUBO
+	sys  *constraint.System
+	errs []error
+}
+
+// NewBuilder returns a builder over n binary decision variables.
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		return &Builder{errs: []error{fmt.Errorf("saim: NewBuilder requires n > 0, got %d", n)}}
+	}
+	return &Builder{n: n, obj: ising.NewQUBO(n), sys: constraint.NewSystem(n)}
+}
+
+func (b *Builder) check(i int) bool {
+	if i < 0 || i >= b.n {
+		b.errs = append(b.errs, fmt.Errorf("saim: variable index %d out of range [0,%d)", i, b.n))
+		return false
+	}
+	return true
+}
+
+// Linear adds w·x_i to the minimization objective. It returns the builder
+// for chaining.
+func (b *Builder) Linear(i int, w float64) *Builder {
+	if b.check(i) {
+		b.obj.AddLinear(i, w)
+	}
+	return b
+}
+
+// Quadratic adds w·x_i·x_j (i ≠ j) to the minimization objective.
+func (b *Builder) Quadratic(i, j int, w float64) *Builder {
+	if !b.check(i) || !b.check(j) {
+		return b
+	}
+	if i == j {
+		b.errs = append(b.errs, fmt.Errorf("saim: Quadratic requires i != j (got %d)", i))
+		return b
+	}
+	b.obj.AddQuad(i, j, w)
+	return b
+}
+
+// ConstrainLE adds Σ coeffs_i·x_i ≤ bound. Coefficients and bound must be
+// non-negative (knapsack form), because slack variables are binary-encoded
+// against the bound.
+func (b *Builder) ConstrainLE(coeffs []float64, bound float64) *Builder {
+	return b.constrain(coeffs, constraint.LE, bound)
+}
+
+// ConstrainEQ adds Σ coeffs_i·x_i = bound.
+func (b *Builder) ConstrainEQ(coeffs []float64, bound float64) *Builder {
+	return b.constrain(coeffs, constraint.EQ, bound)
+}
+
+func (b *Builder) constrain(coeffs []float64, sense constraint.Sense, bound float64) *Builder {
+	if len(coeffs) != b.n {
+		b.errs = append(b.errs, fmt.Errorf("saim: constraint over %d coefficients, want %d", len(coeffs), b.n))
+		return b
+	}
+	if bound < 0 {
+		b.errs = append(b.errs, fmt.Errorf("saim: negative constraint bound %v", bound))
+		return b
+	}
+	if sense == constraint.LE {
+		for i, c := range coeffs {
+			if c < 0 {
+				b.errs = append(b.errs, fmt.Errorf("saim: negative coefficient %v at %d in ≤ constraint", c, i))
+				return b
+			}
+		}
+	}
+	b.sys.Add(vecmat.Vec(coeffs), sense, bound)
+	return b
+}
+
+// Problem is a built, normalized problem ready for Solve. Obtain one from
+// Builder.Build.
+type Problem struct {
+	inner *core.Problem
+	n     int
+	// raw objective for evaluating reported costs in user units.
+	rawObj *ising.QUBO
+}
+
+// N returns the number of decision variables.
+func (p *Problem) N() int { return p.n }
+
+// Evaluate returns the objective value of an assignment in the caller's
+// original units, and whether the assignment satisfies all constraints.
+func (p *Problem) Evaluate(assignment []int) (cost float64, feasible bool, err error) {
+	x, err := toBits(assignment, p.n)
+	if err != nil {
+		return 0, false, err
+	}
+	return p.rawObj.Energy(x), p.inner.Ext.Orig.Feasible(x, 1e-9), nil
+}
+
+// Build validates the accumulated problem and prepares the normalized SAIM
+// form. The builder can be reused afterwards, but further mutations do not
+// affect the built problem.
+func (b *Builder) Build() (*Problem, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.sys.M() == 0 {
+		return nil, fmt.Errorf("saim: problem has no constraints; use an unconstrained QUBO solver instead")
+	}
+	ext := b.sys.Extend(constraint.Binary)
+	ext.Normalize()
+
+	raw := b.obj.Clone()
+	grown := ising.NewQUBO(ext.NTotal)
+	for i := 0; i < b.n; i++ {
+		grown.AddLinear(i, b.obj.C[i])
+		for j := i + 1; j < b.n; j++ {
+			if v := b.obj.Q.At(i, j); v != 0 {
+				grown.AddQuad(i, j, 2*v)
+			}
+		}
+	}
+	grown.Const = b.obj.Const
+	grown.Normalize()
+
+	inner := &core.Problem{
+		Objective: grown,
+		Ext:       ext,
+		Cost: func(x ising.Bits) float64 {
+			return raw.Energy(x)
+		},
+	}
+	if err := inner.Validate(); err != nil {
+		return nil, err
+	}
+	return &Problem{inner: inner, n: b.n, rawObj: raw}, nil
+}
+
+// Options configures Solve. The zero value uses the paper's QKP defaults
+// (P = 2·d·N, η = 20, 2000 iterations of 1000 sweeps, βmax = 10).
+type Options struct {
+	// Alpha sets the penalty heuristic P = α·d·N (default 2).
+	Alpha float64
+	// Penalty overrides the penalty weight when non-zero.
+	Penalty float64
+	// Eta is the Lagrange step size (default 20).
+	Eta float64
+	// Iterations is the number of annealing runs / λ updates (default 2000).
+	Iterations int
+	// SweepsPerRun is the Monte-Carlo sweep budget per run (default 1000).
+	SweepsPerRun int
+	// BetaMax is the final inverse temperature (default 10).
+	BetaMax float64
+	// Seed makes the solve reproducible.
+	Seed uint64
+}
+
+func (o Options) coreOptions() core.Options {
+	return core.Options{
+		Alpha:        o.Alpha,
+		P:            o.Penalty,
+		Eta:          o.Eta,
+		Iterations:   o.Iterations,
+		SweepsPerRun: o.SweepsPerRun,
+		BetaMax:      o.BetaMax,
+		Seed:         o.Seed,
+	}
+}
+
+// Result reports a solve outcome in the caller's original units.
+type Result struct {
+	// Assignment is the best feasible assignment found (nil if none).
+	Assignment []int
+	// Cost is the objective value of Assignment (+Inf if none).
+	Cost float64
+	// FeasibleRatio is the percentage of annealing runs whose final sample
+	// was feasible.
+	FeasibleRatio float64
+	// Penalty is the penalty weight P used.
+	Penalty float64
+	// Sweeps is the total Monte-Carlo sweep budget spent.
+	Sweeps int64
+	// Lambda is the final Lagrange multiplier vector (one per constraint).
+	Lambda []float64
+}
+
+// Solve runs the self-adaptive Ising machine (Algorithm 1 of the paper) on
+// the problem.
+func Solve(p *Problem, o Options) (*Result, error) {
+	res, err := core.Solve(p.inner, o.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Assignment:    fromBits(res.Best),
+		Cost:          res.BestCost,
+		FeasibleRatio: res.FeasibleRatio(),
+		Penalty:       res.P,
+		Sweeps:        res.TotalSweeps,
+		Lambda:        append([]float64(nil), res.Lambda...),
+	}, nil
+}
+
+// SolvePenaltyMethod runs the classical penalty-method baseline (no λ
+// adaptation) at the given penalty weight, with the same budget semantics
+// as Solve. It exists so downstream users can reproduce the paper's
+// comparison on their own problems.
+func SolvePenaltyMethod(p *Problem, penaltyWeight float64, o Options) (*Result, error) {
+	if penaltyWeight <= 0 {
+		return nil, fmt.Errorf("saim: penalty weight must be positive, got %v", penaltyWeight)
+	}
+	res, err := anneal.SolvePenalty(p.inner, penaltyWeight, anneal.Options{
+		Runs:         orDefault(o.Iterations, 2000),
+		SweepsPerRun: orDefault(o.SweepsPerRun, 1000),
+		BetaMax:      orDefaultF(o.BetaMax, 10),
+		Seed:         o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Assignment:    fromBits(res.Best),
+		Cost:          res.BestCost,
+		FeasibleRatio: res.FeasibleRatio(),
+		Penalty:       res.P,
+		Sweeps:        res.TotalSweeps,
+	}, nil
+}
+
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func orDefaultF(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func toBits(assignment []int, n int) (ising.Bits, error) {
+	if len(assignment) != n {
+		return nil, fmt.Errorf("saim: assignment length %d, want %d", len(assignment), n)
+	}
+	x := make(ising.Bits, n)
+	for i, v := range assignment {
+		switch v {
+		case 0:
+		case 1:
+			x[i] = 1
+		default:
+			return nil, fmt.Errorf("saim: assignment[%d] = %d, want 0 or 1", i, v)
+		}
+	}
+	return x, nil
+}
+
+func fromBits(x ising.Bits) []int {
+	if x == nil {
+		return nil
+	}
+	out := make([]int, len(x))
+	for i, v := range x {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Infeasible reports whether a result found no feasible assignment.
+func (r *Result) Infeasible() bool { return r.Assignment == nil || math.IsInf(r.Cost, 1) }
+
+// SolveParallel runs `replicas` independent SAIM solves concurrently with
+// decorrelated seeds and returns the merged best result. Independent
+// restarts are the natural parallelization of the algorithm: the λ
+// recursion within one solve is sequential, but separate replicas explore
+// different multiplier trajectories.
+func SolveParallel(p *Problem, o Options, replicas int) (*Result, error) {
+	res, err := core.SolveParallel(p.inner, o.coreOptions(), replicas)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Assignment:    fromBits(res.Best),
+		Cost:          res.BestCost,
+		FeasibleRatio: res.FeasibleRatio(),
+		Penalty:       res.P,
+		Sweeps:        res.TotalSweeps,
+		Lambda:        append([]float64(nil), res.Lambda...),
+	}, nil
+}

@@ -1,0 +1,62 @@
+package saim
+
+import (
+	"fmt"
+
+	"github.com/ising-machines/saim/internal/anneal"
+	"github.com/ising-machines/saim/internal/ising"
+)
+
+// QUBOProblem is an unconstrained quadratic binary problem built with
+// Builder.BuildUnconstrained. It exists for workloads like max-cut that
+// Ising machines solve natively, without the SAIM constraint machinery.
+type QUBOProblem struct {
+	obj *ising.QUBO
+	n   int
+}
+
+// BuildUnconstrained validates the accumulated objective and returns an
+// unconstrained QUBO problem. Constraints added to the builder cause an
+// error (use Build for constrained problems).
+func (b *Builder) BuildUnconstrained() (*QUBOProblem, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.sys.M() != 0 {
+		return nil, fmt.Errorf("saim: builder has %d constraints; use Build", b.sys.M())
+	}
+	return &QUBOProblem{obj: b.obj.Clone(), n: b.n}, nil
+}
+
+// N returns the number of variables.
+func (q *QUBOProblem) N() int { return q.n }
+
+// Evaluate returns the objective value of an assignment.
+func (q *QUBOProblem) Evaluate(assignment []int) (float64, error) {
+	x, err := toBits(assignment, q.n)
+	if err != nil {
+		return 0, err
+	}
+	return q.obj.Energy(x), nil
+}
+
+// Minimize runs multi-run simulated annealing on the p-bit Ising machine
+// and returns the best assignment found and its objective value. Options
+// semantics match Solve (Iterations = number of annealing runs).
+func Minimize(q *QUBOProblem, o Options) ([]int, float64, error) {
+	if q == nil || q.obj == nil {
+		return nil, 0, fmt.Errorf("saim: nil QUBO problem")
+	}
+	normalized := q.obj.Clone()
+	normalized.Normalize() // argmin-preserving rescale so βmax=10 suits any data
+	x, _ := anneal.MinimizeQUBO(normalized, anneal.Options{
+		Runs:         orDefault(o.Iterations, 100),
+		SweepsPerRun: orDefault(o.SweepsPerRun, 1000),
+		BetaMax:      orDefaultF(o.BetaMax, 10),
+		Seed:         o.Seed,
+	})
+	if x == nil {
+		return nil, 0, fmt.Errorf("saim: annealer returned no sample")
+	}
+	return fromBits(x), q.obj.Energy(x), nil
+}
