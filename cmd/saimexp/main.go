@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -42,7 +44,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := experiments.Config{Preset: p, Seed: *seed, Verbose: *verbose}
+	// Ctrl-C cancels the solver loops at their next annealing-run
+	// boundary; partially completed experiments still render.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := experiments.Config{Preset: p, Seed: *seed, Verbose: *verbose, Ctx: ctx}
 
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

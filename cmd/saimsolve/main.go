@@ -1,50 +1,57 @@
-// Command saimsolve solves a QKP or MKP instance file with a chosen solver.
+// Command saimsolve solves a QKP, MKP, or QUBO instance file with any
+// registered solver backend.
 //
 // Usage:
 //
 //	saimsolve -family qkp -solver saim   instance.qkp
 //	saimsolve -family mkp -solver ga     instance.mkp
 //	saimsolve -family qkp -solver exact  instance.qkp
+//	saimsolve -family qubo               instance.qubo
 //
-// Solvers: saim (self-adaptive Ising machine), penalty (classical penalty
-// method on the p-bit annealer), pt (parallel tempering), ga (Chu–Beasley
-// genetic algorithm, MKP only), greedy, exact (branch and bound).
+// Solvers come from the unified registry (saim.Solvers()): saim (the
+// self-adaptive Ising machine), penalty (classical penalty method), pt
+// (parallel tempering), ga (Chu–Beasley genetic algorithm), greedy, and
+// exact (branch and bound). Every family is converted to the unified
+// saim.Model, so every solver that accepts the model's form works on it.
+//
+// Ctrl-C cancels the solve gracefully: the best solution found so far is
+// printed before exiting. If the solve ends without a feasible solution
+// the command prints a message to stderr and exits with status 2.
 //
 // The instance format is the one produced by saimgen (see packages
 // internal/qkp and internal/mkp for the grammar).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"github.com/ising-machines/saim/internal/anneal"
-	"github.com/ising-machines/saim/internal/constraint"
-	"github.com/ising-machines/saim/internal/core"
-	"github.com/ising-machines/saim/internal/exact"
-	"github.com/ising-machines/saim/internal/ga"
-	"github.com/ising-machines/saim/internal/greedy"
-	"github.com/ising-machines/saim/internal/ising"
+	saim "github.com/ising-machines/saim"
 	"github.com/ising-machines/saim/internal/mkp"
-	"github.com/ising-machines/saim/internal/pt"
 	"github.com/ising-machines/saim/internal/qkp"
 	"github.com/ising-machines/saim/internal/qubofile"
 )
 
 func main() {
 	var (
-		family  = flag.String("family", "qkp", "instance family: qkp, mkp, or qubo (qbsolv file, unconstrained)")
-		solver  = flag.String("solver", "saim", "saim, penalty, pt, ga, greedy, or exact")
-		runs    = flag.Int("runs", 500, "annealing runs / SAIM iterations")
-		sweeps  = flag.Int("sweeps", 1000, "Monte-Carlo sweeps per run")
-		eta     = flag.Float64("eta", 0, "Lagrange step size (0 = family default)")
-		alpha   = flag.Float64("alpha", 0, "penalty heuristic coefficient (0 = family default)")
-		pweight = flag.Float64("p", 0, "explicit penalty weight (penalty/pt solvers; 0 = heuristic)")
-		betaMax = flag.Float64("betamax", 0, "final inverse temperature (0 = family default)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		limit   = flag.Duration("timelimit", time.Minute, "exact solver time limit")
+		family   = flag.String("family", "qkp", "instance family: qkp, mkp, or qubo (qbsolv file, unconstrained)")
+		solver   = flag.String("solver", "saim", "registered solver: "+strings.Join(saim.Solvers(), ", "))
+		runs     = flag.Int("runs", 500, "annealing runs / SAIM iterations")
+		sweeps   = flag.Int("sweeps", 1000, "Monte-Carlo sweeps per run")
+		eta      = flag.Float64("eta", 0, "Lagrange step size (0 = family default)")
+		alpha    = flag.Float64("alpha", 0, "penalty heuristic coefficient (0 = family/solver default)")
+		pweight  = flag.Float64("p", 0, "explicit penalty weight (penalty/pt solvers; 0 = heuristic)")
+		betaMax  = flag.Float64("betamax", 0, "final inverse temperature (0 = family default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		replicas = flag.Int("replicas", 0, "PT replicas / SAIM parallel restarts (0 = solver default)")
+		limit    = flag.Duration("timelimit", time.Minute, "exact solver time limit")
+		target   = flag.Float64("target", 0, "stop early when a feasible cost ≤ target is found (0 = disabled)")
+		every    = flag.Int("progress", 0, "print a progress line to stderr every N iterations (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,183 +63,168 @@ func main() {
 	}
 	defer f.Close()
 
-	switch *family {
+	// Ctrl-C cancels the context; every backend returns its best-so-far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	model, name, opts, err := buildModel(f, *family, *eta, *alpha, *betaMax, *solver)
+	if err != nil {
+		fatal(err)
+	}
+	opts = append(opts,
+		saim.WithIterations(*runs),
+		saim.WithSweepsPerRun(*sweeps),
+		saim.WithSeed(*seed),
+		saim.WithTimeLimit(*limit),
+	)
+	if *pweight != 0 {
+		opts = append(opts, saim.WithPenalty(*pweight))
+	}
+	if *replicas > 0 {
+		opts = append(opts, saim.WithReplicas(*replicas))
+	}
+	if *target != 0 {
+		opts = append(opts, saim.WithTargetCost(*target))
+	}
+	if *every > 0 {
+		n := *every
+		opts = append(opts, saim.WithProgress(func(p saim.Progress) {
+			if (p.Iteration+1)%n == 0 {
+				fmt.Fprintf(os.Stderr, "%s: iter %d/%d best %.0f feas %.1f%% |lambda| %.3f\n",
+					p.Solver, p.Iteration+1, p.Iterations, p.BestCost, p.FeasibleRatio, p.LambdaNorm)
+			}
+		}))
+	}
+
+	start := time.Now()
+	res, err := saim.SolveModel(ctx, *solver, model, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(name, res, start)
+	if res.Infeasible() {
+		fmt.Fprintln(os.Stderr, "saimsolve: no feasible solution found")
+		os.Exit(2)
+	}
+}
+
+// buildModel reads the instance file and converts it to the unified Model,
+// returning the instance name and the family's default solver options.
+func buildModel(f *os.File, family string, eta, alpha, betaMax float64, solver string) (*saim.Model, string, []saim.Option, error) {
+	var opts []saim.Option
+	addDefaults := func(defEta, defAlpha, defBeta float64) {
+		opts = append(opts, saim.WithEta(orF(eta, defEta)), saim.WithBetaMax(orF(betaMax, defBeta)))
+		// The family α matters for the multiplier-based solvers; pt picks
+		// its own aggressive default when no α is forced explicitly.
+		if alpha != 0 {
+			opts = append(opts, saim.WithAlpha(alpha))
+		} else if solver == "saim" || solver == "penalty" {
+			opts = append(opts, saim.WithAlpha(defAlpha))
+		}
+	}
+	switch family {
 	case "qkp":
 		inst, err := qkp.Read(f)
 		if err != nil {
-			fatal(err)
+			return nil, "", nil, err
 		}
-		solveQKP(inst, *solver, *runs, *sweeps, *eta, *alpha, *pweight, *betaMax, *seed, *limit)
+		addDefaults(20, 2, 10)
+		b := saim.NewBuilder(inst.N)
+		b.Density(inst.Density) // keep the paper's P = α·d·N pricing
+		weights := make([]float64, inst.N)
+		for i := 0; i < inst.N; i++ {
+			b.Linear(i, -float64(inst.H[i]))
+			weights[i] = float64(inst.A[i])
+			for j := i + 1; j < inst.N; j++ {
+				if inst.W[i][j] != 0 {
+					b.Quadratic(i, j, -float64(inst.W[i][j]))
+				}
+			}
+		}
+		b.ConstrainLE(weights, float64(inst.B))
+		m, err := b.Model()
+		return m, inst.Name, opts, err
 	case "mkp":
 		inst, err := mkp.Read(f)
 		if err != nil {
-			fatal(err)
+			return nil, "", nil, err
 		}
-		solveMKP(inst, *solver, *runs, *sweeps, *eta, *alpha, *pweight, *betaMax, *seed, *limit)
+		addDefaults(0.05, 5, 50)
+		b := saim.NewBuilder(inst.N)
+		b.Density(inst.ApproxDensity()) // paper's MKP surrogate d = 2/(N+1)
+		for j := 0; j < inst.N; j++ {
+			b.Linear(j, -float64(inst.H[j]))
+		}
+		for i := 0; i < inst.M; i++ {
+			row := make([]float64, inst.N)
+			for j, w := range inst.A[i] {
+				row[j] = float64(w)
+			}
+			b.ConstrainLE(row, float64(inst.B[i]))
+		}
+		m, err := b.Model()
+		return m, inst.Name, opts, err
 	case "qubo":
 		q, err := qubofile.Read(f)
 		if err != nil {
-			fatal(err)
+			return nil, "", nil, err
 		}
-		bm := *betaMax
-		if bm == 0 {
-			bm = 10
-		}
-		start := time.Now()
-		norm := q.Clone()
-		norm.Normalize()
-		x, _ := anneal.MinimizeQUBO(norm, anneal.Options{
-			Runs: *runs, SweepsPerRun: *sweeps, BetaMax: bm, Seed: *seed,
-		})
-		fmt.Printf("qubo: %d variables\nenergy: %g\n", q.N(), q.Energy(x))
-		selected := 0
-		for _, v := range x {
-			if v != 0 {
-				selected++
+		opts = append(opts, saim.WithBetaMax(orF(betaMax, 10)))
+		b := saim.NewBuilder(q.N())
+		b.Term(q.Const)
+		for i := 0; i < q.N(); i++ {
+			b.Linear(i, q.C[i])
+			for j := i + 1; j < q.N(); j++ {
+				if v := q.Q.At(i, j); v != 0 {
+					b.Quadratic(i, j, 2*v)
+				}
 			}
 		}
-		fmt.Printf("ones: %d/%d\nwall time: %s\n", selected, len(x), time.Since(start).Round(time.Millisecond))
+		m, err := b.Model()
+		return m, fmt.Sprintf("qubo-%dvars", q.N()), opts, err
 	default:
-		fatal(fmt.Errorf("unknown family %q", *family))
+		return nil, "", nil, fmt.Errorf("unknown family %q", family)
 	}
 }
 
-func solveQKP(inst *qkp.Instance, solver string, runs, sweeps int, eta, alpha, pweight, betaMax float64, seed uint64, limit time.Duration) {
-	if eta == 0 {
-		eta = 20
+func printResult(name string, res *saim.Result, start time.Time) {
+	fmt.Printf("instance: %s\nsolver: %s\n", name, res.Solver)
+	if res.Stopped != saim.StopCompleted {
+		fmt.Printf("stopped: %s\n", res.Stopped)
 	}
-	if alpha == 0 {
-		alpha = 2
-	}
-	if betaMax == 0 {
-		betaMax = 10
-	}
-	prob := inst.ToProblem(constraint.Binary)
-	start := time.Now()
-	switch solver {
-	case "saim":
-		res, err := core.Solve(prob, core.Options{
-			Alpha: alpha, P: pweight, Eta: eta, Iterations: runs,
-			SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "saim", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
-		fmt.Printf("penalty P: %.2f, final lambda: %v\n", res.P, res.Lambda)
-	case "penalty":
-		pw := pweight
-		if pw == 0 {
-			pw = 2 * inst.Density * float64(prob.Ext.NTotal)
-		}
-		res, err := anneal.SolvePenalty(prob, pw, anneal.Options{
-			Runs: runs, SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "penalty", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
-	case "pt":
-		pw := pweight
-		if pw == 0 {
-			pw = 100 * inst.Density * float64(prob.Ext.NTotal)
-		}
-		res, err := pt.SolvePenalty(prob, pw, pt.Options{
-			Replicas: 26, Sweeps: runs * sweeps / 26, BetaMax: betaMax, SampleEvery: 10, Seed: seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "pt", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
-	case "greedy":
-		x := greedy.QKP(inst)
-		printResult(inst.Name, "greedy", x, inst.Cost(x), 100, 0, start)
-	case "exact":
-		res, err := exact.SolveQKP(inst, exact.Options{TimeLimit: limit})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "exact", res.X, res.Cost, 100, 0, start)
-		fmt.Printf("proven optimal: %v, nodes: %d\n", res.Optimal, res.Nodes)
-	default:
-		fatal(fmt.Errorf("solver %q not available for qkp", solver))
-	}
-}
-
-func solveMKP(inst *mkp.Instance, solver string, runs, sweeps int, eta, alpha, pweight, betaMax float64, seed uint64, limit time.Duration) {
-	if eta == 0 {
-		eta = 0.05
-	}
-	if alpha == 0 {
-		alpha = 5
-	}
-	if betaMax == 0 {
-		betaMax = 50
-	}
-	prob := inst.ToProblem(constraint.Binary)
-	start := time.Now()
-	switch solver {
-	case "saim":
-		res, err := core.Solve(prob, core.Options{
-			Alpha: alpha, P: pweight, Eta: eta, Iterations: runs,
-			SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "saim", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
-		fmt.Printf("penalty P: %.2f, final lambda: %v\n", res.P, res.Lambda)
-	case "penalty":
-		pw := pweight
-		if pw == 0 {
-			pw = 5 * inst.ApproxDensity() * float64(prob.Ext.NTotal)
-		}
-		res, err := anneal.SolvePenalty(prob, pw, anneal.Options{
-			Runs: runs, SweepsPerRun: sweeps, BetaMax: betaMax, Seed: seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "penalty", res.Best, res.BestCost, res.FeasibleRatio(), res.TotalSweeps, start)
-	case "ga":
-		res, err := ga.Solve(inst, ga.Options{Population: 100, Children: runs * 20, Seed: seed})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "ga", res.Best, res.Cost, 100, 0, start)
-	case "greedy":
-		x := greedy.MKP(inst)
-		printResult(inst.Name, "greedy", x, inst.Cost(x), 100, 0, start)
-	case "exact":
-		res, err := exact.SolveMKP(inst, exact.Options{TimeLimit: limit})
-		if err != nil {
-			fatal(err)
-		}
-		printResult(inst.Name, "exact", res.X, res.Cost, 100, 0, start)
-		fmt.Printf("proven optimal: %v, nodes: %d\n", res.Optimal, res.Nodes)
-	default:
-		fatal(fmt.Errorf("solver %q not available for mkp", solver))
-	}
-}
-
-func printResult(name, solver string, x ising.Bits, cost, feasPct float64, sweeps int64, start time.Time) {
-	fmt.Printf("instance: %s\nsolver: %s\n", name, solver)
-	if x == nil {
+	if res.Assignment == nil {
 		fmt.Println("result: no feasible solution found")
+		fmt.Printf("wall time: %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	selected := 0
-	for _, v := range x {
+	for _, v := range res.Assignment {
 		if v != 0 {
 			selected++
 		}
 	}
 	fmt.Printf("cost: %.0f (value %.0f)\nselected items: %d/%d\nfeasible samples: %.1f%%\n",
-		cost, -cost, selected, len(x), feasPct)
-	if sweeps > 0 {
-		fmt.Printf("Monte-Carlo sweeps: %d\n", sweeps)
+		res.Cost, -res.Cost, selected, len(res.Assignment), res.FeasibleRatio)
+	if res.Sweeps > 0 {
+		fmt.Printf("Monte-Carlo sweeps: %d\n", res.Sweeps)
+	}
+	if res.Penalty != 0 {
+		fmt.Printf("penalty P: %.2f\n", res.Penalty)
+	}
+	if len(res.Lambda) > 0 {
+		fmt.Printf("final lambda: %v\n", res.Lambda)
+	}
+	if res.Solver == "exact" {
+		fmt.Printf("proven optimal: %v\n", res.Optimal)
 	}
 	fmt.Printf("wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func orF(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
 }
 
 func fatal(err error) {

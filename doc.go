@@ -17,16 +17,35 @@
 // a surrogate-subgradient ascent on the dual problem that reshapes the
 // energy landscape until constrained optima become ground states.
 //
-// # Quick start
+// # The unified Model / Solver API
 //
-// Build a problem with Builder, then call Solve:
+// One Builder produces a Model of any form — unconstrained QUBO, linearly
+// constrained (the SAIM form), or high-order polynomial — and a registry
+// of Solver backends runs it under a context:
 //
 //	b := saim.NewBuilder(3)
 //	b.Linear(0, -6).Linear(1, -5).Linear(2, -8)      // maximize 6x₀+5x₁+8x₂
 //	b.ConstrainLE([]float64{2, 3, 4}, 5)             // weight limit
-//	p, err := b.Build()
+//	model, err := b.Model()
 //	if err != nil { ... }
-//	res, err := saim.Solve(p, saim.Options{Iterations: 200})
+//	res, err := saim.SolveModel(ctx, "saim", model,
+//		saim.WithIterations(200),
+//		saim.WithProgress(func(p saim.Progress) { ... }),
+//	)
+//
+// Registered backends (see Solvers): "saim" — the paper's Algorithm 1 (and
+// the only backend accepting every model form); "penalty" — the classical
+// fixed-P baseline; "pt" — parallel tempering (the PT-DA stand-in); "ga" —
+// the Chu–Beasley genetic algorithm generalized to quadratic knapsacks;
+// "greedy" — constructive density heuristics; "exact" — certified branch
+// and bound. Every backend honors context cancellation by returning its
+// best-so-far result promptly (Result.Stopped == StopCancelled), streams
+// Progress snapshots via WithProgress, and supports early stopping via
+// WithTargetCost and WithPatience. Custom backends register with Register.
+//
+// The pre-registry entry points (Solve, SolvePenaltyMethod, Minimize,
+// SolveHighOrder, SolveParallel) remain as thin deprecated wrappers over
+// the unified API.
 //
 // The module also ships the paper's full benchmark suites (quadratic and
 // multidimensional knapsack problems), the penalty-method, parallel-

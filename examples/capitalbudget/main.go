@@ -9,12 +9,14 @@
 // and engineering staff. The goal is the NPV-maximal portfolio within all
 // three budgets — an MKP with M=3 constraints.
 //
-// The example also runs the classical penalty method at the same untuned
-// penalty weight SAIM uses, reproducing the paper's core comparison on a
-// business-sized problem.
+// Because the model is integer knapsack-shaped, *every* registered backend
+// can solve it: the example runs SAIM first, then sweeps the whole
+// registry (penalty method, parallel tempering, genetic algorithm, greedy,
+// exact branch and bound) on the same Model for comparison.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,20 +66,21 @@ func main() {
 	b.ConstrainLE(capY1, budgets["capital-y1"])
 	b.ConstrainLE(capY2, budgets["capital-y2"])
 	b.ConstrainLE(eng, budgets["engineering"])
-	problem, err := b.Build()
+	model, err := b.Model()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	opts := saim.Options{
-		Iterations:   600,
-		SweepsPerRun: 300,
-		Eta:          1.0,
-		BetaMax:      50, // MKP setting: no quadratic objective, anneal colder
-		Alpha:        5,  // P = 5·d·N as in the paper's MKP experiments
-		Seed:         7,
+	ctx := context.Background()
+	opts := []saim.Option{
+		saim.WithIterations(600),
+		saim.WithSweepsPerRun(300),
+		saim.WithEta(1.0),
+		saim.WithBetaMax(50), // MKP setting: no quadratic objective, anneal colder
+		saim.WithAlpha(5),    // P = 5·d·N as in the paper's MKP experiments
+		saim.WithSeed(7),
 	}
-	res, err := saim.Solve(problem, opts)
+	res, err := saim.SolveModel(ctx, "saim", model, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,16 +106,29 @@ func main() {
 	}
 	fmt.Printf("multipliers (shadow-price-like): %v\n", res.Lambda)
 
-	// Baseline: penalty method at the same untuned P and budget.
-	pen, err := saim.SolvePenaltyMethod(problem, res.Penalty, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\n== penalty method at the same untuned P ==")
-	if pen.Infeasible() {
-		fmt.Println("no feasible portfolio found (P below the critical value —")
-		fmt.Println("this is the tuning problem SAIM removes)")
-	} else {
-		fmt.Printf("portfolio NPV: %.0fk$ (feasible samples %.1f%%)\n", -pen.Cost, pen.FeasibleRatio)
+	// Every other registered backend on the same Model. The penalty method
+	// reuses SAIM's untuned P, showing the tuning problem SAIM removes.
+	fmt.Println("\n== solver comparison on the same model ==")
+	for _, name := range saim.Solvers() {
+		if name == "saim" {
+			continue
+		}
+		s, err := saim.Get(name)
+		if err != nil || !s.Accepts(model.Form()) {
+			continue
+		}
+		cmp, err := s.Solve(ctx, model, append(opts, saim.WithPenalty(res.Penalty))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cmp.Infeasible() {
+			fmt.Printf("  %-8s no feasible portfolio (P below critical value)\n", name)
+			continue
+		}
+		note := ""
+		if cmp.Optimal {
+			note = " (proven optimal)"
+		}
+		fmt.Printf("  %-8s NPV %4.0fk$%s\n", name, -cmp.Cost, note)
 	}
 }

@@ -7,9 +7,12 @@
 // We cut a random 3-regular-ish graph. For each edge (i,j) with weight w,
 // the cut gains w when x_i ≠ x_j; in QUBO form that is
 // −w·(x_i + x_j − 2·x_i·x_j), and the Ising machine minimizes the total.
+// With no constraints added, Builder.Model reports FormUnconstrained and
+// the "saim" solver runs plain multi-run annealing on it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,19 +41,21 @@ func main() {
 		b.Linear(e.v, -e.w)
 		b.Quadratic(e.u, e.v, 2*e.w)
 	}
-	q, err := b.BuildUnconstrained()
+	model, err := b.Model()
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("model form: %s\n", model.Form())
 
-	x, energy, err := saim.Minimize(q, saim.Options{
-		Iterations:   100, // annealing runs
-		SweepsPerRun: 500,
-		Seed:         3,
-	})
+	res, err := saim.SolveModel(context.Background(), "saim", model,
+		saim.WithIterations(100), // annealing runs
+		saim.WithSweepsPerRun(500),
+		saim.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	x := res.Assignment
 
 	cut := 0.0
 	for _, e := range edges {
@@ -71,7 +76,6 @@ func main() {
 		total += e.w
 	}
 	fmt.Printf("graph: %d vertices, %d edges, total weight %.0f\n", n, len(edges), total)
-	fmt.Printf("cut weight: %.0f (energy %.0f)\n", cut, energy)
+	fmt.Printf("cut weight: %.0f (energy %.0f)\n", cut, res.Cost)
 	fmt.Printf("partition sizes: %d | %d\n", len(left), len(right))
-	fmt.Printf("left side: %v\n", left)
 }

@@ -1,5 +1,6 @@
 // Production planning with synergies and an exact staffing constraint —
-// demonstrates quadratic objectives together with mixed ≤/= constraints.
+// demonstrates quadratic objectives together with mixed ≤/= constraints,
+// plus the progress-streaming hook of the unified Solver API.
 //
 //	go run ./examples/production
 //
@@ -11,8 +12,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	saim "github.com/ising-machines/saim"
 )
@@ -49,17 +52,28 @@ func main() {
 		ones[i] = 1
 	}
 	b.ConstrainEQ(ones, linesToStaff)
-	problem, err := b.Build()
+	model, err := b.Model()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := saim.Solve(problem, saim.Options{
-		Iterations:   800,
-		SweepsPerRun: 400,
-		Eta:          2,
-		Seed:         11,
-	})
+	solver, err := saim.Get("saim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), model,
+		saim.WithIterations(800),
+		saim.WithSweepsPerRun(400),
+		saim.WithEta(2),
+		saim.WithSeed(11),
+		// Stream the search: every 200 λ updates, print where it stands.
+		saim.WithProgress(func(p saim.Progress) {
+			if (p.Iteration+1)%200 == 0 {
+				fmt.Fprintf(os.Stderr, "  iter %d/%d: best %.0f, feasible %.1f%%, |lambda| %.2f\n",
+					p.Iteration+1, p.Iterations, p.BestCost, p.FeasibleRatio, p.LambdaNorm)
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +90,7 @@ func main() {
 			lines++
 		}
 	}
-	cost, feasible, err := problem.Evaluate(res.Assignment)
+	cost, feasible, err := model.Evaluate(res.Assignment)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,10 +5,12 @@
 //
 // We pack a 10-item knapsack: maximize total value subject to one weight
 // limit. The builder takes the *minimization* objective, so values enter
-// with negative signs.
+// with negative signs. The built Model runs through the unified Solver
+// API; swap "saim" for any name in saim.Solvers() to compare backends.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,17 +27,17 @@ func main() {
 		b.Linear(i, -v) // minimize −value = maximize value
 	}
 	b.ConstrainLE(weights, capacity)
-	problem, err := b.Build()
+	model, err := b.Model()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := saim.Solve(problem, saim.Options{
-		Iterations:   300, // annealing runs (λ updates)
-		SweepsPerRun: 300, // Monte-Carlo sweeps per run
-		Eta:          5,   // Lagrange step size
-		Seed:         42,
-	})
+	res, err := saim.SolveModel(context.Background(), "saim", model,
+		saim.WithIterations(300),   // annealing runs (λ updates)
+		saim.WithSweepsPerRun(300), // Monte-Carlo sweeps per run
+		saim.WithEta(5),            // Lagrange step size
+		saim.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 // Shift scheduling on a higher-order Ising machine — exercises the
-// SolveHighOrder extension (polynomial objectives AND polynomial
-// constraints), the capability the paper attributes to high-order IMs [19].
+// high-order form of the unified Model (polynomial objectives AND
+// polynomial constraints), the capability the paper attributes to
+// high-order IMs [19].
 //
 //	go run ./examples/scheduling
 //
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,36 +31,43 @@ func main() {
 	hourly := []float64{52, 48, 61, 45, 38, 41}
 	const crewSize = 3
 
+	b := saim.NewBuilder(len(names))
+
 	// Objective: minimize total hourly cost of the crew.
-	var objective []saim.Monomial
 	for i, c := range hourly {
-		objective = append(objective, saim.Monomial{W: c, Vars: []int{i}})
+		b.Linear(i, c)
 	}
 
-	// Constraint 1: exactly crewSize on shift (linear).
-	var headcount []saim.Monomial
-	for i := range names {
-		headcount = append(headcount, saim.Monomial{W: 1, Vars: []int{i}})
+	// Constraint 1: exactly crewSize on shift (linear equality; converted
+	// to a polynomial automatically once the model turns high-order).
+	ones := make([]float64, len(names))
+	for i := range ones {
+		ones[i] = 1
 	}
-	headcount = append(headcount, saim.Monomial{W: -crewSize})
+	b.ConstrainEQ(ones, crewSize)
 
 	// Constraint 2: exactly one certified pair together — quadratic:
-	// x_ana·x_bo + x_chen·x_dana = 1.
-	certified := []saim.Monomial{
-		{W: 1, Vars: []int{0, 1}},
-		{W: 1, Vars: []int{2, 3}},
-		{W: -1},
-	}
+	// x_ana·x_bo + x_chen·x_dana = 1. Any polynomial constraint marks the
+	// model as high-order.
+	b.ConstrainPolyEQ(
+		saim.Monomial{W: 1, Vars: []int{0, 1}},
+		saim.Monomial{W: 1, Vars: []int{2, 3}},
+		saim.Monomial{W: -1},
+	)
 
-	res, err := saim.SolveHighOrder(len(names), objective,
-		[][]saim.Monomial{headcount, certified},
-		saim.Options{
-			Penalty:      3,
-			Eta:          0.5,
-			Iterations:   300,
-			SweepsPerRun: 200,
-			Seed:         21,
-		})
+	model, err := b.Model()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model form: %s (%d constraints)\n", model.Form(), model.NumConstraints())
+
+	res, err := saim.SolveModel(context.Background(), "saim", model,
+		saim.WithPenalty(3),
+		saim.WithEta(0.5),
+		saim.WithIterations(300),
+		saim.WithSweepsPerRun(200),
+		saim.WithSeed(21),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module github.com/ising-machines/saim
+
+go 1.24

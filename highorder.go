@@ -1,10 +1,9 @@
 package saim
 
 import (
+	"context"
 	"fmt"
 	"math"
-
-	"github.com/ising-machines/saim/internal/hoim"
 )
 
 // Monomial is one weighted product term w·Π_{i∈Vars} x_i of a higher-order
@@ -15,6 +14,8 @@ type Monomial struct {
 }
 
 // HighOrderResult reports a higher-order constrained solve.
+//
+// Deprecated: the unified API returns *Result for every form.
 type HighOrderResult struct {
 	// Assignment is the best feasible assignment (nil if none found).
 	Assignment []int
@@ -36,6 +37,9 @@ type HighOrderResult struct {
 // Options semantics match Solve, except the penalty weight must be given
 // explicitly via Options.Penalty (the α·d·N heuristic is specific to
 // quadratic couplings); it defaults to 1.
+//
+// Deprecated: build a high-order Model with Builder.Term /
+// Builder.ConstrainPolyEQ and run it through the "saim" Solver.
 func SolveHighOrder(n int, objective []Monomial, constraints [][]Monomial, o Options) (*HighOrderResult, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("saim: SolveHighOrder requires n > 0, got %d", n)
@@ -43,56 +47,32 @@ func SolveHighOrder(n int, objective []Monomial, constraints [][]Monomial, o Opt
 	if len(constraints) == 0 {
 		return nil, fmt.Errorf("saim: SolveHighOrder requires at least one constraint")
 	}
-	f, err := buildPoly(n, objective)
+	b := NewBuilder(n)
+	for _, t := range objective {
+		b.Term(t.W, t.Vars...)
+	}
+	for _, c := range constraints {
+		b.ConstrainPolyEQ(c...)
+	}
+	// Any ConstrainPolyEQ forces FormHighOrder, so the model always runs
+	// on the higher-order machine regardless of the objective's degree.
+	m, err := b.Model()
 	if err != nil {
 		return nil, err
 	}
-	gs := make([]*hoim.Poly, len(constraints))
-	for k, c := range constraints {
-		g, err := buildPoly(n, c)
-		if err != nil {
-			return nil, fmt.Errorf("constraint %d: %w", k, err)
-		}
-		gs[k] = g
-	}
-	res, err := hoim.SolveConstrained(f, gs, 1e-9, hoim.Options{
-		P:            o.Penalty,
-		Eta:          orDefaultF(o.Eta, 1),
-		Iterations:   orDefault(o.Iterations, 200),
-		SweepsPerRun: orDefault(o.SweepsPerRun, 200),
-		BetaMax:      orDefaultF(o.BetaMax, 10),
-		Seed:         o.Seed,
-	})
+	res, err := SolveModel(context.Background(), "saim", m, o.asOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	out := &HighOrderResult{
-		Cost:   res.BestCost,
-		Lambda: append([]float64(nil), res.Lambda...),
-	}
-	if res.Iterations > 0 {
-		out.FeasibleRatio = 100 * float64(res.FeasibleCount) / float64(res.Iterations)
-	}
-	if res.Best != nil {
-		out.Assignment = fromBits(res.Best)
-	}
-	return out, nil
+	return &HighOrderResult{
+		Assignment:    res.Assignment,
+		Cost:          res.Cost,
+		FeasibleRatio: res.FeasibleRatio,
+		Lambda:        res.Lambda,
+	}, nil
 }
 
 // Infeasible reports whether the solve found no feasible assignment.
 func (r *HighOrderResult) Infeasible() bool {
 	return r.Assignment == nil || math.IsInf(r.Cost, 1)
-}
-
-func buildPoly(n int, ms []Monomial) (*hoim.Poly, error) {
-	p := hoim.NewPoly(n)
-	for _, m := range ms {
-		for _, v := range m.Vars {
-			if v < 0 || v >= n {
-				return nil, fmt.Errorf("saim: monomial variable %d out of range [0,%d)", v, n)
-			}
-		}
-		p.Add(m.W, m.Vars...)
-	}
-	return p, nil
 }

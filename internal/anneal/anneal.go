@@ -6,6 +6,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 
 	"github.com/ising-machines/saim/internal/core"
@@ -26,6 +27,15 @@ type Options struct {
 	BetaMax float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Progress, when non-nil, is invoked once per annealing run with a
+	// snapshot of the solve (LambdaNorm is always zero: no multipliers).
+	Progress func(core.ProgressInfo)
+	// TargetCost, when non-nil, stops the solve early as soon as a
+	// feasible sample reaches a cost ≤ *TargetCost.
+	TargetCost *float64
+	// Patience, when positive, stops the solve after this many consecutive
+	// runs without an improvement of the best cost.
+	Patience int
 }
 
 func (o *Options) withDefaults() Options {
@@ -61,6 +71,8 @@ type Result struct {
 	// in run order; the experiment harness averages these for the paper's
 	// "Avg (feas)" columns.
 	FeasibleCosts []float64
+	// Stopped records why the solve returned.
+	Stopped core.StopReason
 }
 
 // FeasibleRatio returns the percentage of feasible runs.
@@ -76,6 +88,13 @@ func (r *Result) FeasibleRatio() float64 {
 // runs, reading the final sample of each (exactly the paper's baseline
 // protocol). No λ adaptation takes place.
 func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error) {
+	return SolvePenaltyContext(context.Background(), p, pWeight, opt)
+}
+
+// SolvePenaltyContext is SolvePenalty under a context, checked once per
+// annealing run. On cancellation the best-so-far result is returned with a
+// nil error and Stopped == core.StopCancelled.
+func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, opt Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,9 +105,16 @@ func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error
 	machine := pbit.New(model, src.Split())
 	sched := schedule.Linear{Start: 0, End: o.BetaMax}
 
-	res := &Result{BestCost: math.Inf(1), Runs: o.Runs, P: pWeight}
+	res := &Result{BestCost: math.Inf(1), P: pWeight}
+	sinceImprove := 0
 	for k := 0; k < o.Runs; k++ {
+		if ctx.Err() != nil {
+			res.Stopped = core.StopCancelled
+			break
+		}
+		res.Runs = k + 1
 		x := machine.Anneal(sched, o.SweepsPerRun).Bits()
+		sinceImprove++
 		if p.Ext.OrigFeasible(x, 1e-9) {
 			res.FeasibleCount++
 			cost := p.Cost(x[:p.Ext.NOrig])
@@ -96,7 +122,23 @@ func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error
 			if cost < res.BestCost {
 				res.BestCost = cost
 				res.Best = x[:p.Ext.NOrig].Clone()
+				sinceImprove = 0
 			}
+		}
+		if o.Progress != nil {
+			o.Progress(core.ProgressInfo{
+				Iteration: k, Total: o.Runs, BestCost: res.BestCost,
+				FeasibleCount: res.FeasibleCount, Samples: k + 1,
+				Sweeps: machine.Sweeps(),
+			})
+		}
+		if o.TargetCost != nil && res.Best != nil && res.BestCost <= *o.TargetCost {
+			res.Stopped = core.StopTarget
+			break
+		}
+		if o.Patience > 0 && sinceImprove >= o.Patience {
+			res.Stopped = core.StopPatience
+			break
 		}
 	}
 	res.TotalSweeps = machine.Sweeps()
@@ -109,6 +151,13 @@ func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error
 // how the tuning phase "worsens the global execution time" (Section I).
 // It returns the tuning outcome plus the total sweeps spent across probes.
 func TunePenalty(p *core.Problem, p0, growth, target float64, maxProbes int, opt Options) (penalty.TuneResult, int64, error) {
+	return TunePenaltyContext(context.Background(), p, p0, growth, target, maxProbes, opt)
+}
+
+// TunePenaltyContext is TunePenalty under a context: each probe solve
+// checks it once per annealing run, so cancellation abandons the tuning
+// loop within one run.
+func TunePenaltyContext(ctx context.Context, p *core.Problem, p0, growth, target float64, maxProbes int, opt Options) (penalty.TuneResult, int64, error) {
 	if err := p.Validate(); err != nil {
 		return penalty.TuneResult{}, 0, err
 	}
@@ -119,7 +168,10 @@ func TunePenalty(p *core.Problem, p0, growth, target float64, maxProbes int, opt
 		// Decorrelate probes without letting two probes share a stream.
 		o.Seed = opt.Seed + uint64(probe)*0x9e3779b9
 		probe++
-		res, err := SolvePenalty(p, pw, o)
+		if ctx.Err() != nil {
+			return 0, math.Inf(1)
+		}
+		res, err := SolvePenaltyContext(ctx, p, pw, o)
 		if err != nil {
 			return 0, math.Inf(1)
 		}
@@ -135,19 +187,67 @@ func TunePenalty(p *core.Problem, p0, growth, target float64, maxProbes int, opt
 // problems such as max-cut (the workload the paper's introduction uses to
 // motivate Ising machines).
 func MinimizeQUBO(q *ising.QUBO, opt Options) (ising.Bits, float64) {
+	res := MinimizeQUBOContext(context.Background(), q, opt)
+	return res.Best, res.BestEnergy
+}
+
+// QUBOResult summarizes a multi-run SA minimization of an unconstrained
+// QUBO.
+type QUBOResult struct {
+	// Best is the lowest-energy configuration seen (nil only when no run
+	// completed, e.g. immediate cancellation).
+	Best ising.Bits
+	// BestEnergy is the energy of Best (+Inf when Best is nil).
+	BestEnergy float64
+	// Runs is the number of annealing runs executed.
+	Runs int
+	// TotalSweeps is the cumulative MCS budget spent.
+	TotalSweeps int64
+	// Stopped records why the solve returned.
+	Stopped core.StopReason
+}
+
+// MinimizeQUBOContext is MinimizeQUBO under a context, checked once per
+// annealing run, with optional progress streaming and early stopping via
+// Options. On cancellation the best-so-far result is returned with
+// Stopped == core.StopCancelled.
+func MinimizeQUBOContext(ctx context.Context, q *ising.QUBO, opt Options) *QUBOResult {
 	o := opt.withDefaults()
 	model := q.ToIsing()
 	src := rng.New(o.Seed)
 	machine := pbit.New(model, src.Split())
 	sched := schedule.Linear{Start: 0, End: o.BetaMax}
-	bestE := math.Inf(1)
-	var best ising.Bits
+	res := &QUBOResult{BestEnergy: math.Inf(1)}
+	sinceImprove := 0
 	for k := 0; k < o.Runs; k++ {
+		if ctx.Err() != nil {
+			res.Stopped = core.StopCancelled
+			break
+		}
+		res.Runs = k + 1
 		s := machine.Anneal(sched, o.SweepsPerRun)
-		if e := model.Energy(s); e < bestE {
-			bestE = e
-			best = s.Bits()
+		sinceImprove++
+		if e := model.Energy(s); e < res.BestEnergy {
+			res.BestEnergy = e
+			res.Best = s.Bits()
+			sinceImprove = 0
+		}
+		if o.Progress != nil {
+			o.Progress(core.ProgressInfo{
+				Iteration: k, Total: o.Runs, BestCost: res.BestEnergy,
+				FeasibleCount: k + 1, Samples: k + 1,
+				Sweeps: machine.Sweeps(),
+			})
+		}
+		if o.TargetCost != nil && res.Best != nil && res.BestEnergy <= *o.TargetCost {
+			res.Stopped = core.StopTarget
+			break
+		}
+		if o.Patience > 0 && sinceImprove >= o.Patience {
+			res.Stopped = core.StopPatience
+			break
 		}
 	}
-	return best, bestE
+	res.TotalSweeps = machine.Sweeps()
+	return res
 }

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -115,6 +116,66 @@ type Options struct {
 	Factory MachineFactory
 	// Trace, when non-nil, records the per-iteration trajectory.
 	Trace *Trace
+	// Progress, when non-nil, is invoked once per iteration (after the λ
+	// update) with a snapshot of the solve. It runs on the solving
+	// goroutine; keep it cheap.
+	Progress func(ProgressInfo)
+	// TargetCost, when non-nil, stops the solve early as soon as a
+	// feasible sample reaches a cost ≤ *TargetCost.
+	TargetCost *float64
+	// Patience, when positive, stops the solve after this many consecutive
+	// iterations without an improvement of the best feasible cost.
+	Patience int
+}
+
+// ProgressInfo is the per-iteration snapshot streamed to Options.Progress.
+type ProgressInfo struct {
+	// Iteration is the zero-based index of the iteration just finished;
+	// Total is the configured iteration count.
+	Iteration, Total int
+	// BestCost is the best feasible cost so far (+Inf when none).
+	BestCost float64
+	// FeasibleCount is the number of feasible samples so far, out of
+	// Samples examined (one per iteration for the annealing loops, many
+	// per sweep for parallel tempering).
+	FeasibleCount int
+	// Samples is the number of samples examined so far.
+	Samples int
+	// LambdaNorm is the Euclidean norm of the current multiplier vector.
+	LambdaNorm float64
+	// Sweeps is the cumulative Monte-Carlo sweep count so far.
+	Sweeps int64
+}
+
+// StopReason records why an iterative solve returned.
+type StopReason int
+
+const (
+	// StopCompleted means the full iteration budget was spent.
+	StopCompleted StopReason = iota
+	// StopCancelled means the context was cancelled; the result holds the
+	// best-so-far state and is still valid.
+	StopCancelled
+	// StopTarget means a feasible sample reached the target cost.
+	StopTarget
+	// StopPatience means the improvement patience was exhausted.
+	StopPatience
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopCompleted:
+		return "completed"
+	case StopCancelled:
+		return "cancelled"
+	case StopTarget:
+		return "target-reached"
+	case StopPatience:
+		return "patience-exhausted"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
 }
 
 func (o *Options) withDefaults() Options {
@@ -182,6 +243,9 @@ type Result struct {
 	// DualBest is the largest measured L(x_k), a heuristic estimate of the
 	// optimal dual bound M_D.
 	DualBest float64
+	// Stopped records why the solve returned (budget spent, context
+	// cancelled, target cost reached, or patience exhausted).
+	Stopped StopReason
 }
 
 // FeasibleRatio returns FeasibleCount/Iterations in percent, the number the
@@ -193,8 +257,31 @@ func (r *Result) FeasibleRatio() float64 {
 	return 100 * float64(r.FeasibleCount) / float64(r.Iterations)
 }
 
+// HeuristicPenalty returns the paper's P = α·d·N penalty weight for the
+// problem, measuring the coupling density of the built energy (objective +
+// penalty quadratic structure at a nominal P) when the problem does not
+// carry an instance density. Solve uses it whenever Options.P is unset;
+// the penalty-method and parallel-tempering baselines share it so every
+// backend prices constraints from the same heuristic.
+func HeuristicPenalty(p *Problem, alpha float64) float64 {
+	d := p.Density
+	if d == 0 {
+		probe := penalty.Build(p.Objective, p.Ext, 1)
+		d = probe.ToIsing().Density()
+	}
+	return penalty.Heuristic(alpha, d, p.Ext.NTotal)
+}
+
 // Solve runs Algorithm 1 on the problem.
 func Solve(p *Problem, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext runs Algorithm 1 on the problem under a context. The context
+// is checked once per annealing run (not per sweep, keeping the hot path
+// unchanged); on cancellation the best-so-far result is returned with a nil
+// error and Stopped == StopCancelled.
+func SolveContext(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -202,16 +289,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	ext := p.Ext
 
 	// Energy E = f + P‖g‖², built once; λ terms only touch h afterwards.
-	density := p.Density
 	pen := o.P
 	if pen == 0 {
-		if density == 0 {
-			// Measure the coupling density of the full energy (objective +
-			// penalty quadratic structure) at a nominal P.
-			probe := penalty.Build(p.Objective, ext, 1)
-			density = probe.ToIsing().Density()
-		}
-		pen = penalty.Heuristic(o.Alpha, density, ext.NTotal)
+		pen = HeuristicPenalty(p, o.Alpha)
 	}
 	if pen < 0 {
 		return nil, fmt.Errorf("core: negative penalty weight %v", pen)
@@ -231,11 +311,17 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	sched := schedule.Linear{Start: 0, End: o.BetaMax}
 
 	var dual lagrange.DualTracker
-	res := &Result{BestCost: math.Inf(1), P: pen, Iterations: o.Iterations}
+	res := &Result{BestCost: math.Inf(1), P: pen}
 	biasDelta := vecmat.NewVec(ext.NTotal)
 	h := vecmat.NewVec(ext.NTotal)
+	sinceImprove := 0
 
 	for k := 0; k < o.Iterations; k++ {
+		if ctx.Err() != nil {
+			res.Stopped = StopCancelled
+			break
+		}
+		res.Iterations = k + 1
 		// Re-program the machine's biases with the current λ:
 		// h_k = baseH − Σ_m λ_m row_m / 2 (spin-domain image of λᵀg).
 		lagrange.BiasDelta(biasDelta, ext, lam)
@@ -250,11 +336,13 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 		feasible := ext.OrigFeasible(x, 1e-9)
 		cost := p.Cost(x[:ext.NOrig])
+		sinceImprove++
 		if feasible {
 			res.FeasibleCount++
 			if cost < res.BestCost {
 				res.BestCost = cost
 				res.Best = x[:ext.NOrig].Clone()
+				sinceImprove = 0
 			}
 		}
 
@@ -268,6 +356,26 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 		// λ ← λ + η_k g(x_k).
 		lam.UpdateScheduled(g, stepSched)
+
+		if o.Progress != nil {
+			o.Progress(ProgressInfo{
+				Iteration:     k,
+				Total:         o.Iterations,
+				BestCost:      res.BestCost,
+				FeasibleCount: res.FeasibleCount,
+				Samples:       k + 1,
+				LambdaNorm:    lam.Values.Norm2(),
+				Sweeps:        machine.Sweeps(),
+			})
+		}
+		if o.TargetCost != nil && res.Best != nil && res.BestCost <= *o.TargetCost {
+			res.Stopped = StopTarget
+			break
+		}
+		if o.Patience > 0 && sinceImprove >= o.Patience {
+			res.Stopped = StopPatience
+			break
+		}
 	}
 	res.TotalSweeps = machine.Sweeps()
 	res.Lambda = lam.Values.Clone()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -18,12 +19,24 @@ import (
 // aggregate feasibility statistics, the total sweep budget, and the λ
 // vector of the replica that produced the winner.
 func SolveParallel(p *Problem, opts Options, replicas int) (*Result, error) {
+	return SolveParallelContext(context.Background(), p, opts, replicas)
+}
+
+// SolveParallelContext is SolveParallel under a context: cancellation stops
+// every replica at its next annealing-run boundary and the merged
+// best-so-far result is returned with Stopped == StopCancelled.
+func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replicas int) (*Result, error) {
 	if replicas <= 0 {
 		return nil, fmt.Errorf("core: SolveParallel requires replicas > 0, got %d", replicas)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+
+	// A replica that reaches the target cost cancels its siblings so the
+	// early stop has wall-clock effect in parallel mode too.
+	ctx, stopSiblings := context.WithCancel(ctx)
+	defer stopSiblings()
 
 	results := make([]*Result, replicas)
 	errs := make([]error, replicas)
@@ -38,12 +51,16 @@ func SolveParallel(p *Problem, opts Options, replicas int) (*Result, error) {
 			o := opts
 			// Decorrelate replicas deterministically from the base seed.
 			o.Seed = opts.Seed ^ (uint64(r+1) * 0x9e3779b97f4a7c15)
-			// Traces cannot be shared across goroutines; replicas beyond
-			// the first drop them.
+			// Traces and progress callbacks cannot be shared across
+			// goroutines; replicas beyond the first drop them.
 			if r > 0 {
 				o.Trace = nil
+				o.Progress = nil
 			}
-			results[r], errs[r] = Solve(p, o)
+			results[r], errs[r] = SolveContext(ctx, p, o)
+			if results[r] != nil && results[r].Stopped == StopTarget {
+				stopSiblings()
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -55,6 +72,12 @@ func SolveParallel(p *Problem, opts Options, replicas int) (*Result, error) {
 
 	merged := &Result{BestCost: math.Inf(1)}
 	for _, res := range results {
+		// StopTarget wins: siblings of a target-reaching replica report
+		// StopCancelled only because it stopped them.
+		if res.Stopped == StopTarget ||
+			(res.Stopped != StopCompleted && merged.Stopped == StopCompleted) {
+			merged.Stopped = res.Stopped
+		}
 		merged.FeasibleCount += res.FeasibleCount
 		merged.Iterations += res.Iterations
 		merged.TotalSweeps += res.TotalSweeps

@@ -13,6 +13,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -105,11 +106,19 @@ type mkpSearch struct {
 	deadline  time.Time
 	hasDL     bool
 	truncated bool
+	ctx       context.Context
 }
 
 // SolveMKP solves the MKP instance by depth-first branch and bound with
 // LP-relaxation upper bounds.
 func SolveMKP(inst *mkp.Instance, opt Options) (*Result, error) {
+	return SolveMKPContext(context.Background(), inst, opt)
+}
+
+// SolveMKPContext is SolveMKP under a context, checked every few dozen
+// branch-and-bound nodes. On cancellation the incumbent (best-so-far)
+// solution is returned with Optimal == false and a nil error.
+func SolveMKPContext(ctx context.Context, inst *mkp.Instance, opt Options) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,6 +127,7 @@ func SolveMKP(inst *mkp.Instance, opt Options) (*Result, error) {
 		inst:      inst,
 		nodeLimit: opt.nodeLimit(),
 		bestX:     make(ising.Bits, inst.N),
+		ctx:       ctx,
 	}
 	if opt.TimeLimit > 0 {
 		s.deadline = start.Add(opt.TimeLimit)
@@ -189,8 +199,14 @@ func SolveMKP(inst *mkp.Instance, opt Options) (*Result, error) {
 // dfs explores the subtree with the given fixing; rhs already accounts for
 // fixed-to-1 items. base is the value of fixed-to-1 items.
 func (s *mkpSearch) dfs(fixed []int8, rhs []int, base int) {
+	// Once truncated (node limit, deadline, or cancellation), unwind the
+	// whole recursion instead of continuing into sibling branches.
+	if s.truncated {
+		return
+	}
 	s.nodes++
-	if s.nodes > s.nodeLimit || (s.hasDL && s.nodes%64 == 0 && time.Now().After(s.deadline)) {
+	if s.nodes > s.nodeLimit ||
+		(s.nodes%64 == 0 && (s.ctx.Err() != nil || (s.hasDL && time.Now().After(s.deadline)))) {
 		s.truncated = true
 		return
 	}
@@ -326,6 +342,7 @@ type qkpSearch struct {
 	deadline  time.Time
 	hasDL     bool
 	truncated bool
+	ctx       context.Context
 }
 
 // SolveQKP solves the QKP instance by depth-first branch and bound. The
@@ -335,6 +352,13 @@ type qkpSearch struct {
 // instances up to a few dozen items — enough to certify the reduced-scale
 // experiment suites.
 func SolveQKP(inst *qkp.Instance, opt Options) (*Result, error) {
+	return SolveQKPContext(context.Background(), inst, opt)
+}
+
+// SolveQKPContext is SolveQKP under a context, checked every few hundred
+// branch-and-bound nodes. On cancellation the incumbent (best-so-far)
+// solution is returned with Optimal == false and a nil error.
+func SolveQKPContext(ctx context.Context, inst *qkp.Instance, opt Options) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -343,6 +367,7 @@ func SolveQKP(inst *qkp.Instance, opt Options) (*Result, error) {
 		inst:      inst,
 		nodeLimit: opt.nodeLimit(),
 		bestX:     make(ising.Bits, inst.N),
+		ctx:       ctx,
 	}
 	if opt.TimeLimit > 0 {
 		s.deadline = start.Add(opt.TimeLimit)
@@ -389,8 +414,14 @@ func SolveQKP(inst *qkp.Instance, opt Options) (*Result, error) {
 // dfsQKP explores assignments to s.order[depth:]; val is the value of the
 // current partial selection and residual the remaining capacity.
 func (s *qkpSearch) dfsQKP(cur ising.Bits, depth, val, residual int) {
+	// Once truncated (node limit, deadline, or cancellation), unwind the
+	// whole recursion instead of continuing into sibling branches.
+	if s.truncated {
+		return
+	}
 	s.nodes++
-	if s.nodes > s.nodeLimit || (s.hasDL && s.nodes%256 == 0 && time.Now().After(s.deadline)) {
+	if s.nodes > s.nodeLimit ||
+		(s.nodes%256 == 0 && (s.ctx.Err() != nil || (s.hasDL && time.Now().After(s.deadline)))) {
 		s.truncated = true
 		return
 	}

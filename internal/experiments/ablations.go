@@ -65,11 +65,11 @@ func runSuite(cfg Config, insts []*qkp.Instance, enc constraint.SlackEncoding,
 			Trace: tr,
 		}
 		mod(&o)
-		res, err := core.Solve(prob, o)
+		res, err := core.SolveContext(cfg.Context(), prob, o)
 		if err != nil {
 			return AblationRow{}, err
 		}
-		opt, _ := qkpReference(inst, res.BestCost)
+		opt, _ := qkpReference(cfg.Context(), inst, res.BestCost)
 		ss := statsFromTrace(tr, opt)
 		if !math.IsNaN(ss.BestAcc) && ss.FeasPct > 0 {
 			bestAcc = append(bestAcc, ss.BestAcc)
@@ -198,7 +198,7 @@ func AblationCapacity(cfg Config) (*AblationResult, error) {
 			// instance, not the shrunken one.
 			trueProb := trueCostProblem(prob, inst)
 			tr := &core.Trace{}
-			res, err := core.Solve(trueProb, core.Options{
+			res, err := core.SolveContext(cfg.Context(), trueProb, core.Options{
 				Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
 				BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
 			})

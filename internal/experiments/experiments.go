@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -76,6 +77,18 @@ type Config struct {
 	Seed uint64
 	// Verbose enables per-instance progress lines on stderr.
 	Verbose bool
+	// Ctx, when non-nil, cancels the long-running solver loops inside the
+	// experiment drivers at their next annealing-run boundary (cmd/saimexp
+	// wires Ctrl-C here). Cancelled drivers report partial results.
+	Ctx context.Context
+}
+
+// Context returns the configured context, defaulting to Background.
+func (c Config) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // qkpBudget bundles the per-preset QKP experiment parameters (paper
@@ -149,12 +162,12 @@ func instanceSeed(family string, n int, klass, id int, offset uint64) uint64 {
 // B&B when it finishes within the node budget, otherwise the best cost any
 // solver has produced (best-known convention). It returns the cost (negative)
 // and whether it is a proven optimum.
-func qkpReference(inst *qkp.Instance, fallback ...float64) (float64, bool) {
+func qkpReference(ctx context.Context, inst *qkp.Instance, fallback ...float64) (float64, bool) {
 	limit := 3_000_000
 	if inst.N > 60 {
 		limit = 1_200_000
 	}
-	res, err := exact.SolveQKP(inst, exact.Options{NodeLimit: limit})
+	res, err := exact.SolveQKPContext(ctx, inst, exact.Options{NodeLimit: limit})
 	best := math.Inf(1)
 	if err == nil {
 		best = res.Cost

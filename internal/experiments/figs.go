@@ -40,14 +40,14 @@ func Fig3(cfg Config) (*TraceResult, error) {
 		fmt.Fprintf(os.Stderr, "fig3: %s\n", inst.Name)
 	}
 	tr := &core.Trace{}
-	res, err := core.Solve(prob, core.Options{
+	res, err := core.SolveContext(cfg.Context(), prob, core.Options{
 		Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
 		BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
 	})
 	if err != nil {
 		return nil, err
 	}
-	opt, _ := qkpReference(inst, res.BestCost)
+	opt, _ := qkpReference(cfg.Context(), inst, res.BestCost)
 	return traceResult(inst.Name, "Fig. 3", res, tr, opt, b.sweeps), nil
 }
 
@@ -65,7 +65,7 @@ func Fig5(cfg Config) (*TraceResult, error) {
 		fmt.Fprintf(os.Stderr, "fig5: %s\n", inst.Name)
 	}
 	tr := &core.Trace{}
-	res, err := core.Solve(prob, core.Options{
+	res, err := core.SolveContext(cfg.Context(), prob, core.Options{
 		Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
 		BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
 	})

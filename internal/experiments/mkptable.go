@@ -141,13 +141,13 @@ func table5Instance(cfg Config, b mkpBudget, n, m, id int) (*Table5Row, error) {
 	}
 
 	// Exact reference (the intlinprog stand-in); Table V reports its time.
-	bb, err := exact.SolveMKP(inst, exact.Options{TimeLimit: b.bbLimit})
+	bb, err := exact.SolveMKPContext(cfg.Context(), inst, exact.Options{TimeLimit: b.bbLimit})
 	if err != nil {
 		return nil, err
 	}
 
 	tr := &core.Trace{}
-	saim, err := core.Solve(prob, core.Options{
+	saim, err := core.SolveContext(cfg.Context(), prob, core.Options{
 		Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
 		BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
 	})
@@ -155,7 +155,7 @@ func table5Instance(cfg Config, b mkpBudget, n, m, id int) (*Table5Row, error) {
 		return nil, err
 	}
 
-	gaRes, err := ga.Solve(inst, ga.Options{Population: 100, Children: b.gaKids, Seed: seed ^ 0x7777})
+	gaRes, err := ga.SolveKnapsackContext(cfg.Context(), ga.FromMKP(inst), ga.Options{Population: 100, Children: b.gaKids, Seed: seed ^ 0x7777})
 	if err != nil {
 		return nil, err
 	}

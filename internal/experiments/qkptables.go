@@ -109,7 +109,7 @@ func table2Instance(cfg Config, b qkpBudget, d float64, id int) (*Table2Row, err
 
 	// SAIM at the untuned heuristic P = 2dN.
 	tr := &core.Trace{}
-	saim, err := core.Solve(prob, core.Options{
+	saim, err := core.SolveContext(cfg.Context(), prob, core.Options{
 		Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
 		BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
 	})
@@ -118,7 +118,7 @@ func table2Instance(cfg Config, b qkpBudget, d float64, id int) (*Table2Row, err
 	}
 
 	// Penalty method, same P and same sample budget.
-	pen, err := anneal.SolvePenalty(prob, saim.P, anneal.Options{
+	pen, err := anneal.SolvePenaltyContext(cfg.Context(), prob, saim.P, anneal.Options{
 		Runs: b.runs, SweepsPerRun: b.sweeps, BetaMax: b.betaMax, Seed: seed ^ 0x5a5a,
 	})
 	if err != nil {
@@ -127,20 +127,20 @@ func table2Instance(cfg Config, b qkpBudget, d float64, id int) (*Table2Row, err
 
 	// Tuned penalty method with few long runs: coarse tuning probes at a
 	// quarter of the long budget, then the final long runs at the tuned P.
-	tuned, _, err := anneal.TunePenalty(prob, saim.P, 2, 0.2, 7, anneal.Options{
+	tuned, _, err := anneal.TunePenaltyContext(cfg.Context(), prob, saim.P, 2, 0.2, 7, anneal.Options{
 		Runs: b.longRuns, SweepsPerRun: b.longMCS / 4, BetaMax: b.betaMax, Seed: seed ^ 0x3c3c,
 	})
 	if err != nil {
 		return nil, err
 	}
-	long, err := anneal.SolvePenalty(prob, tuned.P, anneal.Options{
+	long, err := anneal.SolvePenaltyContext(cfg.Context(), prob, tuned.P, anneal.Options{
 		Runs: b.longRuns, SweepsPerRun: b.longMCS, BetaMax: b.betaMax, Seed: seed ^ 0xc3c3,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	opt, proven := qkpReference(inst, saim.BestCost, pen.BestCost, long.BestCost, tuned.BestCost)
+	opt, proven := qkpReference(cfg.Context(), inst, saim.BestCost, pen.BestCost, long.BestCost, tuned.BestCost)
 	ss := statsFromTrace(tr, opt)
 	dn := d * float64(prob.Ext.NTotal)
 	row := &Table2Row{
@@ -249,7 +249,7 @@ func compareInstance(cfg Config, b qkpBudget, paperN int, d float64, id int) (*Q
 	}
 
 	tr := &core.Trace{}
-	saim, err := core.Solve(prob, core.Options{
+	saim, err := core.SolveContext(cfg.Context(), prob, core.Options{
 		Alpha: b.alpha, Eta: b.eta, Iterations: b.runs, SweepsPerRun: b.sweeps,
 		BetaMax: b.betaMax, Seed: seed ^ 0xa5a5, Trace: tr,
 	})
@@ -258,13 +258,13 @@ func compareInstance(cfg Config, b qkpBudget, paperN int, d float64, id int) (*Q
 	}
 
 	// Best-SA stand-in: penalty SA at a tuned P with the long-run budget.
-	tuned, _, err := anneal.TunePenalty(prob, saim.P, 2, 0.2, 7, anneal.Options{
+	tuned, _, err := anneal.TunePenaltyContext(cfg.Context(), prob, saim.P, 2, 0.2, 7, anneal.Options{
 		Runs: b.longRuns, SweepsPerRun: b.longMCS / 4, BetaMax: b.betaMax, Seed: seed ^ 0x1111,
 	})
 	if err != nil {
 		return nil, err
 	}
-	bestSA, err := anneal.SolvePenalty(prob, tuned.P, anneal.Options{
+	bestSA, err := anneal.SolvePenaltyContext(cfg.Context(), prob, tuned.P, anneal.Options{
 		Runs: b.longRuns, SweepsPerRun: b.longMCS, BetaMax: b.betaMax, Seed: seed ^ 0x2222,
 	})
 	if err != nil {
@@ -272,7 +272,7 @@ func compareInstance(cfg Config, b qkpBudget, paperN int, d float64, id int) (*Q
 	}
 
 	// PT-DA stand-in at the same tuned P.
-	ptRes, err := pt.SolvePenalty(prob, tuned.P, pt.Options{
+	ptRes, err := pt.SolvePenaltyContext(cfg.Context(), prob, tuned.P, pt.Options{
 		Replicas: b.ptRep, Sweeps: b.ptSweeps, BetaMin: 0.1, BetaMax: b.betaMax,
 		SampleEvery: 10, Seed: seed ^ 0x4444,
 	})
@@ -280,7 +280,7 @@ func compareInstance(cfg Config, b qkpBudget, paperN int, d float64, id int) (*Q
 		return nil, err
 	}
 
-	opt, proven := qkpReference(inst, saim.BestCost, bestSA.BestCost, ptRes.BestCost, tuned.BestCost)
+	opt, proven := qkpReference(cfg.Context(), inst, saim.BestCost, bestSA.BestCost, ptRes.BestCost, tuned.BestCost)
 	ss := statsFromTrace(tr, opt)
 	return &QKPCompareRow{
 		Instance:   inst.Name,

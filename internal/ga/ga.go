@@ -16,9 +16,12 @@
 package ga
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
+	"github.com/ising-machines/saim/internal/core"
 	"github.com/ising-machines/saim/internal/ising"
 	"github.com/ising-machines/saim/internal/mkp"
 	"github.com/ising-machines/saim/internal/rng"
@@ -32,6 +35,16 @@ type Options struct {
 	Children int
 	// Seed drives all randomness.
 	Seed uint64
+	// Progress, when non-nil, is invoked once per offspring with a
+	// snapshot of the search (every individual is feasible by
+	// construction, so FeasibleCount == Samples).
+	Progress func(core.ProgressInfo)
+	// TargetCost, when non-nil, stops the search early as soon as the
+	// best individual reaches a minimization cost (−value) ≤ *TargetCost.
+	TargetCost *float64
+	// Patience, when positive, stops the search after this many
+	// consecutive offspring without an improvement of the best value.
+	Patience int
 }
 
 func (o *Options) withDefaults() Options {
@@ -57,6 +70,8 @@ type Result struct {
 	Children int
 	// Improvements counts offspring that entered the population.
 	Improvements int
+	// Stopped records why the search returned.
+	Stopped core.StopReason
 }
 
 type individual struct {
@@ -64,15 +79,68 @@ type individual struct {
 	value int
 }
 
-// Solve runs the Chu–Beasley GA on the instance.
+// Knapsack is the problem structure the generic GA needs: M linear
+// capacity constraints A·x ≤ B for the repair operator, a pseudo-utility
+// per item driving repair order, and an arbitrary integer value function to
+// maximize (linear for MKP, quadratic for QKP, anything monotone-checkable
+// works as long as repair keeps x feasible).
+type Knapsack struct {
+	// N is the number of items, M the number of capacity constraints.
+	N, M int
+	// A[i][j] is the weight of item j in constraint i; B[i] the capacity.
+	A [][]int
+	B []int
+	// Util[j] orders the repair operator (higher = keep/insert first).
+	Util []float64
+	// Value returns the quantity to maximize for a feasible assignment.
+	Value func(x ising.Bits) int
+}
+
+// Validate checks structural invariants.
+func (k *Knapsack) Validate() error {
+	if k.N <= 0 || k.M <= 0 {
+		return fmt.Errorf("ga: non-positive dimensions N=%d M=%d", k.N, k.M)
+	}
+	if len(k.A) != k.M || len(k.B) != k.M || len(k.Util) != k.N || k.Value == nil {
+		return fmt.Errorf("ga: inconsistent knapsack structure")
+	}
+	for i := range k.A {
+		if len(k.A[i]) != k.N {
+			return fmt.Errorf("ga: A row %d has length %d", i, len(k.A[i]))
+		}
+	}
+	return nil
+}
+
+// FromMKP wraps an MKP instance in the generic knapsack structure using the
+// Chu–Beasley pseudo-utility ordering.
+func FromMKP(inst *mkp.Instance) *Knapsack {
+	return &Knapsack{
+		N: inst.N, M: inst.M, A: inst.A, B: inst.B,
+		Util:  pseudoUtilities(inst),
+		Value: inst.Value,
+	}
+}
+
+// Solve runs the Chu–Beasley GA on the MKP instance.
 func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return SolveKnapsackContext(context.Background(), FromMKP(inst), opt)
+}
+
+// SolveKnapsackContext runs the steady-state GA on a generic knapsack
+// structure. The context is checked once per offspring; on cancellation the
+// best individual so far is returned with a nil error.
+func SolveKnapsackContext(ctx context.Context, inst *Knapsack, opt Options) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	o := opt.withDefaults()
 	src := rng.New(o.Seed)
 
-	utility := pseudoUtilities(inst)
+	utility := inst.Util
 	// Items by decreasing utility for the ADD phase, increasing for DROP.
 	desc := make([]int, inst.N)
 	for j := range desc {
@@ -80,9 +148,20 @@ func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
 	}
 	sort.Slice(desc, func(a, b int) bool { return utility[desc[a]] > utility[desc[b]] })
 
-	pop := make([]*individual, 0, o.Population)
+	// Tiny instances cannot host a full population of *distinct*
+	// individuals (there are at most 2^N configurations, fewer after
+	// repair); cap the target and bound the fill attempts so population
+	// initialization always terminates.
+	target := o.Population
+	if inst.N < 20 && target > 1<<inst.N {
+		target = 1 << inst.N
+	}
+	pop := make([]*individual, 0, target)
 	seen := map[string]bool{}
-	for len(pop) < o.Population {
+	for attempts := 0; len(pop) < target && attempts < 50*target; attempts++ {
+		if ctx.Err() != nil {
+			break
+		}
 		x := make(ising.Bits, inst.N)
 		for j := range x {
 			if src.Bool(0.5) {
@@ -103,6 +182,12 @@ func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
 		seen[key] = true
 		pop = append(pop, &individual{x: x, value: inst.Value(x)})
 	}
+	if len(pop) == 0 {
+		// Degenerate fallback: the repaired empty selection is feasible.
+		x := make(ising.Bits, inst.N)
+		repair(inst, x, desc, utility)
+		pop = append(pop, &individual{x: x, value: inst.Value(x)})
+	}
 
 	best := pop[0]
 	for _, ind := range pop {
@@ -121,8 +206,9 @@ func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
 		return b
 	}
 
-	for c := 0; c < o.Children; c++ {
-		res.Children++
+	// offspring generates one child and steady-state-updates the
+	// population, reporting whether the best individual improved.
+	offspring := func() bool {
 		p1, p2 := tournament(), tournament()
 		child := make(ising.Bits, inst.N)
 		for j := range child {
@@ -139,7 +225,7 @@ func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
 
 		key := bitsKey(child)
 		if seen[key] {
-			continue
+			return false
 		}
 		val := inst.Value(child)
 		// Replace the worst member if the child improves on it.
@@ -150,7 +236,7 @@ func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
 			}
 		}
 		if val <= pop[worst].value {
-			continue
+			return false
 		}
 		delete(seen, bitsKey(pop[worst].x))
 		seen[key] = true
@@ -158,6 +244,35 @@ func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
 		res.Improvements++
 		if val > best.value {
 			best = pop[worst]
+			return true
+		}
+		return false
+	}
+
+	sinceImprove := 0
+	for c := 0; c < o.Children; c++ {
+		if ctx.Err() != nil {
+			res.Stopped = core.StopCancelled
+			break
+		}
+		res.Children++
+		sinceImprove++
+		if offspring() {
+			sinceImprove = 0
+		}
+		if o.Progress != nil {
+			o.Progress(core.ProgressInfo{
+				Iteration: c, Total: o.Children, BestCost: -float64(best.value),
+				FeasibleCount: c + 1, Samples: c + 1,
+			})
+		}
+		if o.TargetCost != nil && -float64(best.value) <= *o.TargetCost {
+			res.Stopped = core.StopTarget
+			break
+		}
+		if o.Patience > 0 && sinceImprove >= o.Patience {
+			res.Stopped = core.StopPatience
+			break
 		}
 	}
 
@@ -170,28 +285,35 @@ func Solve(inst *mkp.Instance, opt Options) (*Result, error) {
 // pseudoUtilities returns h_j / Σ_i a_ij/b_i, the surrogate-dual utility
 // ratio Chu & Beasley use for their repair operator.
 func pseudoUtilities(inst *mkp.Instance) []float64 {
+	k := &Knapsack{N: inst.N, M: inst.M, A: inst.A, B: inst.B}
 	u := make([]float64, inst.N)
 	for j := 0; j < inst.N; j++ {
-		agg := 0.0
-		for i := 0; i < inst.M; i++ {
-			if inst.B[i] > 0 {
-				agg += float64(inst.A[i][j]) / float64(inst.B[i])
-			} else {
-				agg += float64(inst.A[i][j])
-			}
-		}
-		if agg == 0 {
-			agg = math.SmallestNonzeroFloat64
-		}
-		u[j] = float64(inst.H[j]) / agg
+		u[j] = float64(inst.H[j]) / aggregateWeight(k, j)
 	}
 	return u
+}
+
+// aggregateWeight returns Σ_i a_ij/b_i, the capacity-normalized weight the
+// pseudo-utility ratios divide by.
+func aggregateWeight(inst *Knapsack, j int) float64 {
+	agg := 0.0
+	for i := 0; i < inst.M; i++ {
+		if inst.B[i] > 0 {
+			agg += float64(inst.A[i][j]) / float64(inst.B[i])
+		} else {
+			agg += float64(inst.A[i][j])
+		}
+	}
+	if agg == 0 {
+		agg = math.SmallestNonzeroFloat64
+	}
+	return agg
 }
 
 // repair makes x feasible in place: DROP selected items by increasing
 // utility until every constraint holds, then ADD unselected items by
 // decreasing utility where they fit.
-func repair(inst *mkp.Instance, x ising.Bits, desc []int, utility []float64) {
+func repair(inst *Knapsack, x ising.Bits, desc []int, utility []float64) {
 	load := make([]int, inst.M)
 	for i := 0; i < inst.M; i++ {
 		row := inst.A[i]

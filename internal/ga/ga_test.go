@@ -94,7 +94,7 @@ func TestRepairProducesFeasible(t *testing.T) {
 	for j := range x {
 		x[j] = 1
 	}
-	repair(inst, x, desc, utility)
+	repair(FromMKP(inst), x, desc, utility)
 	if !inst.Feasible(x) {
 		t.Fatal("repair left infeasible configuration")
 	}

@@ -15,10 +15,12 @@
 package hoim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"github.com/ising-machines/saim/internal/core"
 	"github.com/ising-machines/saim/internal/ising"
 	"github.com/ising-machines/saim/internal/rng"
 	"github.com/ising-machines/saim/internal/schedule"
@@ -262,6 +264,15 @@ type Options struct {
 	BetaMax float64
 	// Seed drives all stochasticity.
 	Seed uint64
+	// Progress, when non-nil, is invoked once per iteration with a
+	// snapshot of the solve.
+	Progress func(core.ProgressInfo)
+	// TargetCost, when non-nil, stops the solve early as soon as a
+	// feasible sample reaches a cost ≤ *TargetCost.
+	TargetCost *float64
+	// Patience, when positive, stops the solve after this many consecutive
+	// iterations without an improvement of the best feasible cost.
+	Patience int
 }
 
 func (o *Options) withDefaults() Options {
@@ -294,8 +305,12 @@ type Result struct {
 	FeasibleCount int
 	// Iterations is the number of runs executed.
 	Iterations int
+	// TotalSweeps is the cumulative MCS budget spent across runs.
+	TotalSweeps int64
 	// Lambda is the final multiplier vector.
 	Lambda []float64
+	// Stopped records why the solve returned.
+	Stopped core.StopReason
 }
 
 // SolveConstrained runs the polynomial SAIM loop: minimize f subject to
@@ -303,6 +318,13 @@ type Result struct {
 // L = f + P·Σ g_k² + Σ λ_k g_k and updating λ_k ← λ_k + η·g_k(x̄) after
 // each run. Feasibility means |g_k(x)| ≤ tol for all k.
 func SolveConstrained(f *Poly, constraints []*Poly, tol float64, opts Options) (*Result, error) {
+	return SolveConstrainedContext(context.Background(), f, constraints, tol, opts)
+}
+
+// SolveConstrainedContext is SolveConstrained under a context, checked once
+// per annealing run. On cancellation the best-so-far result is returned
+// with a nil error and Stopped == core.StopCancelled.
+func SolveConstrainedContext(ctx context.Context, f *Poly, constraints []*Poly, tol float64, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	for k, g := range constraints {
 		if g.N() != f.N() {
@@ -317,10 +339,17 @@ func SolveConstrained(f *Poly, constraints []*Poly, tol float64, opts Options) (
 
 	src := rng.New(o.Seed)
 	lambda := make([]float64, len(constraints))
-	res := &Result{BestCost: math.Inf(1), Iterations: o.Iterations}
+	res := &Result{BestCost: math.Inf(1)}
 	sched := schedule.Linear{Start: 0, End: o.BetaMax}
+	var sweeps int64
+	sinceImprove := 0
 
 	for k := 0; k < o.Iterations; k++ {
+		if ctx.Err() != nil {
+			res.Stopped = core.StopCancelled
+			break
+		}
+		res.Iterations = k + 1
 		// L_k = static + Σ λ_k g_k, rebuilt symbolically per iteration.
 		lag := static.Clone()
 		for c, g := range constraints {
@@ -330,6 +359,7 @@ func SolveConstrained(f *Poly, constraints []*Poly, tol float64, opts Options) (
 		}
 		m := New(lag, src.Split())
 		x := m.Anneal(sched, o.SweepsPerRun)
+		sweeps += m.Sweeps()
 
 		feasible := true
 		for c, g := range constraints {
@@ -339,14 +369,36 @@ func SolveConstrained(f *Poly, constraints []*Poly, tol float64, opts Options) (
 			}
 			lambda[c] += o.Eta * gv
 		}
+		sinceImprove++
 		if feasible {
 			res.FeasibleCount++
 			if cost := f.Energy(x); cost < res.BestCost {
 				res.BestCost = cost
 				res.Best = x.Clone()
+				sinceImprove = 0
 			}
 		}
+		if o.Progress != nil {
+			norm := 0.0
+			for _, l := range lambda {
+				norm += l * l
+			}
+			o.Progress(core.ProgressInfo{
+				Iteration: k, Total: o.Iterations, BestCost: res.BestCost,
+				FeasibleCount: res.FeasibleCount, Samples: k + 1,
+				LambdaNorm: math.Sqrt(norm), Sweeps: sweeps,
+			})
+		}
+		if o.TargetCost != nil && res.Best != nil && res.BestCost <= *o.TargetCost {
+			res.Stopped = core.StopTarget
+			break
+		}
+		if o.Patience > 0 && sinceImprove >= o.Patience {
+			res.Stopped = core.StopPatience
+			break
+		}
 	}
+	res.TotalSweeps = sweeps
 	res.Lambda = lambda
 	return res, nil
 }

@@ -15,6 +15,7 @@
 package pt
 
 import (
+	"context"
 	"math"
 
 	"github.com/ising-machines/saim/internal/core"
@@ -37,6 +38,12 @@ type Options struct {
 	SampleEvery int
 	// Seed drives all randomness.
 	Seed uint64
+	// Progress, when non-nil, is invoked at every sampling point with a
+	// snapshot of the solve (Iteration counts sweeps here).
+	Progress func(core.ProgressInfo)
+	// TargetCost, when non-nil, stops the solve early as soon as a
+	// feasible sample reaches a cost ≤ *TargetCost.
+	TargetCost *float64
 }
 
 func (o *Options) withDefaults() Options {
@@ -78,6 +85,8 @@ type Result struct {
 	// FeasibleCosts holds the problem cost of every feasible sample seen
 	// at sampling points.
 	FeasibleCosts []float64
+	// Stopped records why the solve returned.
+	Stopped core.StopReason
 }
 
 // FeasibleRatio returns the percentage of feasible samples.
@@ -91,6 +100,14 @@ func (r *Result) FeasibleRatio() float64 {
 // SolvePenalty runs parallel tempering on the penalty energy
 // E = f + P‖g‖² of the given problem.
 func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error) {
+	return SolvePenaltyContext(context.Background(), p, pWeight, opt)
+}
+
+// SolvePenaltyContext is SolvePenalty under a context, checked once per
+// sweep (a sweep covers every replica, the natural run granularity of PT).
+// On cancellation the best-so-far result is returned with a nil error and
+// Stopped == core.StopCancelled.
+func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, opt Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,6 +141,10 @@ func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error
 	}
 
 	for sweep := 1; sweep <= o.Sweeps; sweep++ {
+		if ctx.Err() != nil {
+			res.Stopped = core.StopCancelled
+			break
+		}
 		for r, m := range replicas {
 			m.Sweep(betas[r])
 			energies[r] = m.Energy()
@@ -146,6 +167,21 @@ func SolvePenalty(p *core.Problem, pWeight float64, opt Options) (*Result, error
 		if sweep%o.SampleEvery == 0 {
 			for _, m := range replicas {
 				record(m.State().Bits())
+			}
+			if o.Progress != nil {
+				var sweeps int64
+				for _, m := range replicas {
+					sweeps += m.Sweeps()
+				}
+				o.Progress(core.ProgressInfo{
+					Iteration: sweep - 1, Total: o.Sweeps, BestCost: res.BestCost,
+					FeasibleCount: res.FeasibleCount, Samples: res.SampleCount,
+					Sweeps: sweeps,
+				})
+			}
+			if o.TargetCost != nil && res.Best != nil && res.BestCost <= *o.TargetCost {
+				res.Stopped = core.StopTarget
+				break
 			}
 		}
 	}

@@ -60,6 +60,15 @@ func (v Vec) Sum() float64 {
 	return s
 }
 
+// Norm2 returns the Euclidean norm ‖v‖₂.
+func (v Vec) Norm2() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
 // MaxAbs returns the largest absolute value in v, or 0 for an empty vector.
 func (v Vec) MaxAbs() float64 {
 	m := 0.0

@@ -1,0 +1,92 @@
+package saim
+
+import "time"
+
+// Option configures a Solver.Solve call. Options are shared across
+// backends; each backend reads the subset that applies to it and ignores
+// the rest, so one option list can be reused when comparing solvers.
+type Option func(*config)
+
+// config is the merged option set a backend reads.
+type config struct {
+	alpha        float64
+	penalty      float64
+	eta          float64
+	iterations   int
+	sweepsPerRun int
+	betaMax      float64
+	seed         uint64
+	replicas     int
+	population   int
+	timeLimit    time.Duration
+	nodeLimit    int
+	progress     func(Progress)
+	targetCost   *float64
+	patience     int
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+// WithAlpha sets the penalty heuristic coefficient in P = α·d·N (paper: 2
+// for QKP, 5 for MKP). Ignored when WithPenalty is set.
+func WithAlpha(alpha float64) Option { return func(c *config) { c.alpha = alpha } }
+
+// WithPenalty sets the penalty weight P explicitly, overriding the α·d·N
+// heuristic. The penalty and pt backends also honor it.
+func WithPenalty(p float64) Option { return func(c *config) { c.penalty = p } }
+
+// WithEta sets the Lagrange multiplier step size η (paper: 20 for QKP,
+// 0.05 for MKP).
+func WithEta(eta float64) Option { return func(c *config) { c.eta = eta } }
+
+// WithIterations sets the number of annealing runs / λ updates (and scales
+// the equivalent effort knob of the non-annealing backends).
+func WithIterations(k int) Option { return func(c *config) { c.iterations = k } }
+
+// WithSweepsPerRun sets the Monte-Carlo sweep budget of each annealing run.
+func WithSweepsPerRun(s int) Option { return func(c *config) { c.sweepsPerRun = s } }
+
+// WithBetaMax sets the final inverse temperature of the linear β-schedule.
+func WithBetaMax(b float64) Option { return func(c *config) { c.betaMax = b } }
+
+// WithSeed makes the solve reproducible.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithReplicas sets the number of parallel-tempering temperature rungs
+// (default 26, as in PT-DA), or — for the saim backend on constrained
+// models — the number of independent restarts merged into one result
+// (default 1; the saim backend rejects replicas > 1 for unconstrained and
+// high-order models rather than silently running one chain).
+func WithReplicas(r int) Option { return func(c *config) { c.replicas = r } }
+
+// WithPopulation sets the GA population size (default 100).
+func WithPopulation(p int) Option { return func(c *config) { c.population = p } }
+
+// WithTimeLimit caps the wall-clock time of the exact solver.
+func WithTimeLimit(d time.Duration) Option { return func(c *config) { c.timeLimit = d } }
+
+// WithNodeLimit caps the branch-and-bound nodes of the exact solver.
+func WithNodeLimit(n int) Option { return func(c *config) { c.nodeLimit = n } }
+
+// WithProgress streams a per-iteration snapshot (iteration number, best
+// cost, feasible ratio, ‖λ‖) to the callback. The callback runs on the
+// solving goroutine; keep it cheap. Combined with a cancellable context it
+// enables responsive dashboards and custom stopping rules.
+func WithProgress(f func(Progress)) Option { return func(c *config) { c.progress = f } }
+
+// WithTargetCost stops the solve early as soon as a feasible assignment
+// reaches cost ≤ target; the result reports Stopped == StopTarget.
+func WithTargetCost(target float64) Option {
+	return func(c *config) { t := target; c.targetCost = &t }
+}
+
+// WithPatience stops the solve after k consecutive iterations without an
+// improvement of the best feasible cost; the result reports
+// Stopped == StopPatience.
+func WithPatience(k int) Option { return func(c *config) { c.patience = k } }

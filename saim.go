@@ -1,28 +1,48 @@
 package saim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"github.com/ising-machines/saim/internal/anneal"
 	"github.com/ising-machines/saim/internal/constraint"
-	"github.com/ising-machines/saim/internal/core"
 	"github.com/ising-machines/saim/internal/ising"
 	"github.com/ising-machines/saim/internal/vecmat"
 )
 
-// Builder assembles a constrained binary optimization problem
+// Builder assembles a binary optimization problem
 //
-//	min  Σ_i c_i x_i + Σ_{i<j} q_ij x_i x_j
-//	s.t. linear constraints (≤ or =),  x ∈ {0,1}^n.
+//	min  Σ_i c_i x_i + Σ_{i<j} q_ij x_i x_j + Σ higher-order terms
+//	s.t. linear constraints (≤ or =) and/or polynomial equalities,
+//	     x ∈ {0,1}^n.
 //
-// Coefficients are given in natural (un-normalized) units; Build normalizes
-// internally exactly as the paper prescribes.
+// Coefficients are given in natural (un-normalized) units; Model normalizes
+// internally exactly as the paper prescribes. One builder produces a Model
+// of any form: unconstrained (no constraints), linearly constrained (the
+// SAIM form), or high-order polynomial (any Term of degree ≥ 3 or any
+// ConstrainPolyEQ).
 type Builder struct {
-	n    int
-	obj  *ising.QUBO
-	sys  *constraint.System
-	errs []error
+	n       int
+	obj     *ising.QUBO
+	sys     *constraint.System
+	hterms  []Monomial
+	pcons   [][]Monomial
+	density float64
+	errs    []error
+}
+
+// Density records the instance coupling density d used by the P = α·d·N
+// penalty heuristic (e.g. the pair-value density for QKP, 2/(N+1) for
+// MKP). When unset, solvers measure the density of the built penalty
+// energy instead — which for knapsack-like constraints is close to 1 and
+// therefore prices P well above the paper's d-aware heuristic.
+func (b *Builder) Density(d float64) *Builder {
+	if d < 0 || d > 1 {
+		b.errs = append(b.errs, fmt.Errorf("saim: density %v outside [0,1]", d))
+		return b
+	}
+	b.density = d
+	return b
 }
 
 // NewBuilder returns a builder over n binary decision variables.
@@ -96,31 +116,33 @@ func (b *Builder) constrain(coeffs []float64, sense constraint.Sense, bound floa
 	return b
 }
 
-// Problem is a built, normalized problem ready for Solve. Obtain one from
-// Builder.Build.
+// Problem is a built, linearly constrained problem ready for Solve.
+//
+// Deprecated: build a Model with Builder.Model and run it through a
+// registered Solver instead; Problem remains as a thin wrapper for
+// compatibility.
 type Problem struct {
-	inner *core.Problem
-	n     int
-	// raw objective for evaluating reported costs in user units.
-	rawObj *ising.QUBO
+	m *Model
 }
 
+// Model returns the unified model underlying the problem.
+func (p *Problem) Model() *Model { return p.m }
+
 // N returns the number of decision variables.
-func (p *Problem) N() int { return p.n }
+func (p *Problem) N() int { return p.m.N() }
 
 // Evaluate returns the objective value of an assignment in the caller's
 // original units, and whether the assignment satisfies all constraints.
 func (p *Problem) Evaluate(assignment []int) (cost float64, feasible bool, err error) {
-	x, err := toBits(assignment, p.n)
-	if err != nil {
-		return 0, false, err
-	}
-	return p.rawObj.Energy(x), p.inner.Ext.Orig.Feasible(x, 1e-9), nil
+	return p.m.Evaluate(assignment)
 }
 
 // Build validates the accumulated problem and prepares the normalized SAIM
 // form. The builder can be reused afterwards, but further mutations do not
 // affect the built problem.
+//
+// Deprecated: use Builder.Model, which also handles unconstrained and
+// high-order problems.
 func (b *Builder) Build() (*Problem, error) {
 	if len(b.errs) > 0 {
 		return nil, b.errs[0]
@@ -128,37 +150,22 @@ func (b *Builder) Build() (*Problem, error) {
 	if b.sys.M() == 0 {
 		return nil, fmt.Errorf("saim: problem has no constraints; use an unconstrained QUBO solver instead")
 	}
-	ext := b.sys.Extend(constraint.Binary)
-	ext.Normalize()
-
-	raw := b.obj.Clone()
-	grown := ising.NewQUBO(ext.NTotal)
-	for i := 0; i < b.n; i++ {
-		grown.AddLinear(i, b.obj.C[i])
-		for j := i + 1; j < b.n; j++ {
-			if v := b.obj.Q.At(i, j); v != 0 {
-				grown.AddQuad(i, j, 2*v)
-			}
-		}
-	}
-	grown.Const = b.obj.Const
-	grown.Normalize()
-
-	inner := &core.Problem{
-		Objective: grown,
-		Ext:       ext,
-		Cost: func(x ising.Bits) float64 {
-			return raw.Energy(x)
-		},
-	}
-	if err := inner.Validate(); err != nil {
+	m, err := b.Model()
+	if err != nil {
 		return nil, err
 	}
-	return &Problem{inner: inner, n: b.n, rawObj: raw}, nil
+	if m.Form() != FormConstrained {
+		return nil, fmt.Errorf("saim: Build supports only linearly constrained problems (model form %v); use Builder.Model", m.Form())
+	}
+	return &Problem{m: m}, nil
 }
 
-// Options configures Solve. The zero value uses the paper's QKP defaults
-// (P = 2·d·N, η = 20, 2000 iterations of 1000 sweeps, βmax = 10).
+// Options configures the deprecated wrapper entry points. The zero value
+// uses the paper's QKP defaults (P = 2·d·N, η = 20, 2000 iterations of 1000
+// sweeps, βmax = 10).
+//
+// Deprecated: pass functional Options (WithEta, WithIterations, …) to a
+// Solver instead.
 type Options struct {
 	// Alpha sets the penalty heuristic P = α·d·N (default 2).
 	Alpha float64
@@ -176,90 +183,102 @@ type Options struct {
 	Seed uint64
 }
 
-func (o Options) coreOptions() core.Options {
-	return core.Options{
-		Alpha:        o.Alpha,
-		P:            o.Penalty,
-		Eta:          o.Eta,
-		Iterations:   o.Iterations,
-		SweepsPerRun: o.SweepsPerRun,
-		BetaMax:      o.BetaMax,
-		Seed:         o.Seed,
+// asOptions converts the legacy struct into the functional option list the
+// unified API consumes.
+func (o Options) asOptions() []Option {
+	var opts []Option
+	if o.Alpha != 0 {
+		opts = append(opts, WithAlpha(o.Alpha))
 	}
+	if o.Penalty != 0 {
+		opts = append(opts, WithPenalty(o.Penalty))
+	}
+	if o.Eta != 0 {
+		opts = append(opts, WithEta(o.Eta))
+	}
+	if o.Iterations != 0 {
+		opts = append(opts, WithIterations(o.Iterations))
+	}
+	if o.SweepsPerRun != 0 {
+		opts = append(opts, WithSweepsPerRun(o.SweepsPerRun))
+	}
+	if o.BetaMax != 0 {
+		opts = append(opts, WithBetaMax(o.BetaMax))
+	}
+	if o.Seed != 0 {
+		opts = append(opts, WithSeed(o.Seed))
+	}
+	return opts
 }
 
 // Result reports a solve outcome in the caller's original units.
 type Result struct {
+	// Solver is the name of the backend that produced the result.
+	Solver string
 	// Assignment is the best feasible assignment found (nil if none).
 	Assignment []int
 	// Cost is the objective value of Assignment (+Inf if none).
 	Cost float64
 	// FeasibleRatio is the percentage of annealing runs whose final sample
-	// was feasible.
+	// was feasible (100 for the constructive and exact backends).
 	FeasibleRatio float64
-	// Penalty is the penalty weight P used.
+	// Penalty is the penalty weight P used (zero for penalty-free backends).
 	Penalty float64
-	// Sweeps is the total Monte-Carlo sweep budget spent.
+	// Sweeps is the total Monte-Carlo sweep budget spent (zero for
+	// non-sampling backends).
 	Sweeps int64
-	// Lambda is the final Lagrange multiplier vector (one per constraint).
+	// Iterations is the number of iterations actually executed.
+	Iterations int
+	// Lambda is the final Lagrange multiplier vector (one per constraint),
+	// nil for backends without multipliers.
 	Lambda []float64
+	// Stopped records why the solve returned: StopCompleted, StopCancelled,
+	// StopTarget, or StopPatience.
+	Stopped StopReason
+	// Optimal reports whether the result was proven optimal (exact backend
+	// only).
+	Optimal bool
 }
+
+// Infeasible reports whether a result found no feasible assignment.
+func (r *Result) Infeasible() bool { return r.Assignment == nil || math.IsInf(r.Cost, 1) }
 
 // Solve runs the self-adaptive Ising machine (Algorithm 1 of the paper) on
 // the problem.
+//
+// Deprecated: use the "saim" Solver from the registry, which adds context
+// cancellation, progress streaming, and early stopping.
 func Solve(p *Problem, o Options) (*Result, error) {
-	res, err := core.Solve(p.inner, o.coreOptions())
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Assignment:    fromBits(res.Best),
-		Cost:          res.BestCost,
-		FeasibleRatio: res.FeasibleRatio(),
-		Penalty:       res.P,
-		Sweeps:        res.TotalSweeps,
-		Lambda:        append([]float64(nil), res.Lambda...),
-	}, nil
+	return SolveModel(context.Background(), "saim", p.m, o.asOptions()...)
 }
 
 // SolvePenaltyMethod runs the classical penalty-method baseline (no λ
 // adaptation) at the given penalty weight, with the same budget semantics
 // as Solve. It exists so downstream users can reproduce the paper's
 // comparison on their own problems.
+//
+// Deprecated: use the "penalty" Solver from the registry.
 func SolvePenaltyMethod(p *Problem, penaltyWeight float64, o Options) (*Result, error) {
 	if penaltyWeight <= 0 {
 		return nil, fmt.Errorf("saim: penalty weight must be positive, got %v", penaltyWeight)
 	}
-	res, err := anneal.SolvePenalty(p.inner, penaltyWeight, anneal.Options{
-		Runs:         orDefault(o.Iterations, 2000),
-		SweepsPerRun: orDefault(o.SweepsPerRun, 1000),
-		BetaMax:      orDefaultF(o.BetaMax, 10),
-		Seed:         o.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Assignment:    fromBits(res.Best),
-		Cost:          res.BestCost,
-		FeasibleRatio: res.FeasibleRatio(),
-		Penalty:       res.P,
-		Sweeps:        res.TotalSweeps,
-	}, nil
+	o.Penalty = penaltyWeight
+	return SolveModel(context.Background(), "penalty", p.m, o.asOptions()...)
 }
 
-func orDefault(v, d int) int {
-	if v == 0 {
-		return d
+// SolveParallel runs `replicas` independent SAIM solves concurrently with
+// decorrelated seeds and returns the merged best result. Independent
+// restarts are the natural parallelization of the algorithm: the λ
+// recursion within one solve is sequential, but separate replicas explore
+// different multiplier trajectories.
+//
+// Deprecated: use the "saim" Solver with WithReplicas.
+func SolveParallel(p *Problem, o Options, replicas int) (*Result, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("saim: SolveParallel requires replicas > 0, got %d", replicas)
 	}
-	return v
-}
-
-func orDefaultF(v, d float64) float64 {
-	if v == 0 {
-		return d
-	}
-	return v
+	opts := append(o.asOptions(), WithReplicas(replicas))
+	return SolveModel(context.Background(), "saim", p.m, opts...)
 }
 
 func toBits(assignment []int, n int) (ising.Bits, error) {
@@ -290,25 +309,16 @@ func fromBits(x ising.Bits) []int {
 	return out
 }
 
-// Infeasible reports whether a result found no feasible assignment.
-func (r *Result) Infeasible() bool { return r.Assignment == nil || math.IsInf(r.Cost, 1) }
-
-// SolveParallel runs `replicas` independent SAIM solves concurrently with
-// decorrelated seeds and returns the merged best result. Independent
-// restarts are the natural parallelization of the algorithm: the λ
-// recursion within one solve is sequential, but separate replicas explore
-// different multiplier trajectories.
-func SolveParallel(p *Problem, o Options, replicas int) (*Result, error) {
-	res, err := core.SolveParallel(p.inner, o.coreOptions(), replicas)
-	if err != nil {
-		return nil, err
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
 	}
-	return &Result{
-		Assignment:    fromBits(res.Best),
-		Cost:          res.BestCost,
-		FeasibleRatio: res.FeasibleRatio(),
-		Penalty:       res.P,
-		Sweeps:        res.TotalSweeps,
-		Lambda:        append([]float64(nil), res.Lambda...),
-	}, nil
+	return v
+}
+
+func orDefaultF(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
 }

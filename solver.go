@@ -1,0 +1,142 @@
+package saim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ising-machines/saim/internal/core"
+)
+
+// Solver is the unified solving contract: every backend — the paper's
+// self-adaptive Ising machine as well as the classical baselines — solves
+// the same Model type under a context. Implementations must honor
+// cancellation by returning promptly (within one annealing run or
+// equivalent) with the best result found so far and a nil error; the
+// result's Stopped field records why the solve ended.
+type Solver interface {
+	// Name is the registry key, e.g. "saim" or "pt".
+	Name() string
+	// Solve runs the backend on the model. Options a backend does not
+	// understand are ignored; zero/unset options fall back to the paper's
+	// defaults for that backend.
+	Solve(ctx context.Context, m *Model, opts ...Option) (*Result, error)
+	// Accepts reports whether the solver can run models of the given form.
+	Accepts(f Form) bool
+}
+
+// StopReason records why a solve returned. It aliases the internal core
+// type so every layer shares one vocabulary.
+type StopReason = core.StopReason
+
+// Re-exported stop reasons.
+const (
+	// StopCompleted means the full iteration budget was spent.
+	StopCompleted = core.StopCompleted
+	// StopCancelled means the context was cancelled; the result holds the
+	// best-so-far state and is still valid.
+	StopCancelled = core.StopCancelled
+	// StopTarget means a feasible sample reached WithTargetCost.
+	StopTarget = core.StopTarget
+	// StopPatience means WithPatience iterations passed without improvement.
+	StopPatience = core.StopPatience
+)
+
+// Progress is the per-iteration snapshot streamed to WithProgress
+// callbacks. Iterations are annealing runs for the Ising-machine solvers,
+// sweeps for parallel tempering, and offspring batches for the GA.
+type Progress struct {
+	// Solver is the name of the backend reporting.
+	Solver string
+	// Iteration is the zero-based iteration just finished; Iterations is
+	// the configured total.
+	Iteration, Iterations int
+	// BestCost is the best feasible cost found so far (+Inf if none).
+	BestCost float64
+	// FeasibleRatio is the percentage of samples so far that were feasible.
+	FeasibleRatio float64
+	// LambdaNorm is ‖λ‖₂, the Euclidean norm of the current Lagrange
+	// multiplier vector (zero for solvers without multipliers).
+	LambdaNorm float64
+	// Sweeps is the cumulative Monte-Carlo sweep count (zero for
+	// non-sampling solvers).
+	Sweeps int64
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Solver{}
+)
+
+// Register adds a solver to the global registry under its Name. It returns
+// an error for a nil solver, an empty name, or a duplicate registration.
+func Register(s Solver) error {
+	if s == nil {
+		return fmt.Errorf("saim: Register called with nil solver")
+	}
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("saim: Register called with empty solver name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("saim: solver %q already registered", name)
+	}
+	registry[name] = s
+	return nil
+}
+
+// mustRegister is Register for the built-in backends.
+func mustRegister(s Solver) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the registered solver with the given name.
+func Get(name string) (Solver, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("saim: unknown solver %q (registered: %v)", name, solverNames())
+	}
+	return s, nil
+}
+
+// Solvers returns the sorted names of all registered solvers.
+func Solvers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return solverNames()
+}
+
+func solverNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SolveModel is a convenience wrapper: look up a registered solver by name
+// and run it on the model.
+func SolveModel(ctx context.Context, solver string, m *Model, opts ...Option) (*Result, error) {
+	s, err := Get(solver)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(ctx, m, opts...)
+}
+
+func init() {
+	mustRegister(&saimSolver{})
+	mustRegister(&penaltySolver{})
+	mustRegister(&ptSolver{})
+	mustRegister(&gaSolver{})
+	mustRegister(&greedySolver{})
+	mustRegister(&exactSolver{})
+}

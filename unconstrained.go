@@ -1,23 +1,26 @@
 package saim
 
 import (
+	"context"
 	"fmt"
-
-	"github.com/ising-machines/saim/internal/anneal"
-	"github.com/ising-machines/saim/internal/ising"
 )
 
 // QUBOProblem is an unconstrained quadratic binary problem built with
 // Builder.BuildUnconstrained. It exists for workloads like max-cut that
 // Ising machines solve natively, without the SAIM constraint machinery.
+//
+// Deprecated: build a Model with Builder.Model (which reports
+// FormUnconstrained when no constraints were added) and run it through a
+// registered Solver.
 type QUBOProblem struct {
-	obj *ising.QUBO
-	n   int
+	m *Model
 }
 
 // BuildUnconstrained validates the accumulated objective and returns an
 // unconstrained QUBO problem. Constraints added to the builder cause an
 // error (use Build for constrained problems).
+//
+// Deprecated: use Builder.Model.
 func (b *Builder) BuildUnconstrained() (*QUBOProblem, error) {
 	if len(b.errs) > 0 {
 		return nil, b.errs[0]
@@ -25,38 +28,43 @@ func (b *Builder) BuildUnconstrained() (*QUBOProblem, error) {
 	if b.sys.M() != 0 {
 		return nil, fmt.Errorf("saim: builder has %d constraints; use Build", b.sys.M())
 	}
-	return &QUBOProblem{obj: b.obj.Clone(), n: b.n}, nil
+	m, err := b.Model()
+	if err != nil {
+		return nil, err
+	}
+	if m.Form() != FormUnconstrained {
+		return nil, fmt.Errorf("saim: BuildUnconstrained supports only quadratic objectives (model form %v); use Builder.Model", m.Form())
+	}
+	return &QUBOProblem{m: m}, nil
 }
 
+// Model returns the unified model underlying the problem.
+func (q *QUBOProblem) Model() *Model { return q.m }
+
 // N returns the number of variables.
-func (q *QUBOProblem) N() int { return q.n }
+func (q *QUBOProblem) N() int { return q.m.N() }
 
 // Evaluate returns the objective value of an assignment.
 func (q *QUBOProblem) Evaluate(assignment []int) (float64, error) {
-	x, err := toBits(assignment, q.n)
-	if err != nil {
-		return 0, err
-	}
-	return q.obj.Energy(x), nil
+	cost, _, err := q.m.Evaluate(assignment)
+	return cost, err
 }
 
 // Minimize runs multi-run simulated annealing on the p-bit Ising machine
 // and returns the best assignment found and its objective value. Options
 // semantics match Solve (Iterations = number of annealing runs).
+//
+// Deprecated: use the "saim" Solver on an unconstrained Model.
 func Minimize(q *QUBOProblem, o Options) ([]int, float64, error) {
-	if q == nil || q.obj == nil {
+	if q == nil || q.m == nil {
 		return nil, 0, fmt.Errorf("saim: nil QUBO problem")
 	}
-	normalized := q.obj.Clone()
-	normalized.Normalize() // argmin-preserving rescale so βmax=10 suits any data
-	x, _ := anneal.MinimizeQUBO(normalized, anneal.Options{
-		Runs:         orDefault(o.Iterations, 100),
-		SweepsPerRun: orDefault(o.SweepsPerRun, 1000),
-		BetaMax:      orDefaultF(o.BetaMax, 10),
-		Seed:         o.Seed,
-	})
-	if x == nil {
+	res, err := SolveModel(context.Background(), "saim", q.m, o.asOptions()...)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Assignment == nil {
 		return nil, 0, fmt.Errorf("saim: annealer returned no sample")
 	}
-	return fromBits(x), q.obj.Energy(x), nil
+	return res.Assignment, res.Cost, nil
 }
