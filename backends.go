@@ -101,6 +101,7 @@ func (s *saimSolver) solveConstrained(ctx context.Context, m *Model, cfg config)
 		SweepsPerRun: cfg.sweepsPerRun,
 		BetaMax:      cfg.betaMax,
 		Seed:         cfg.seed,
+		Machine:      cfg.machine,
 		Progress:     progressAdapter("saim", cfg.progress),
 		TargetCost:   cfg.targetCost,
 		Patience:     cfg.patience,
@@ -153,6 +154,7 @@ func (s *saimSolver) solveUnconstrained(ctx context.Context, m *Model, cfg confi
 		SweepsPerRun: orDefault(cfg.sweepsPerRun, 1000),
 		BetaMax:      orDefaultF(cfg.betaMax, 10),
 		Seed:         cfg.seed,
+		Machine:      cfg.machine,
 		Progress:     prog,
 		TargetCost:   target,
 		Patience:     cfg.patience,
@@ -231,6 +233,7 @@ func (s *penaltySolver) Solve(ctx context.Context, m *Model, opts ...Option) (*R
 		SweepsPerRun: orDefault(cfg.sweepsPerRun, 1000),
 		BetaMax:      orDefaultF(cfg.betaMax, 10),
 		Seed:         cfg.seed,
+		Machine:      cfg.machine,
 		Progress:     progressAdapter("penalty", cfg.progress),
 		TargetCost:   cfg.targetCost,
 		Patience:     cfg.patience,
@@ -286,6 +289,7 @@ func (s *ptSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 		BetaMax:     orDefaultF(cfg.betaMax, 10),
 		SampleEvery: 10,
 		Seed:        cfg.seed,
+		Machine:     cfg.machine,
 		Progress:    progressAdapter("pt", cfg.progress),
 		TargetCost:  cfg.targetCost,
 	})

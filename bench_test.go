@@ -222,6 +222,41 @@ func BenchmarkAnnealRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveAllocs guards the zero-allocation solve engine: run with
+// -benchmem and divide B/op by the 50 iterations — the steady-state cost
+// per SAIM iteration must amortize to zero (the residual B/op is per-solve
+// setup only; the hard assertion lives in core's
+// TestSolveSteadyStateZeroAllocs via testing.AllocsPerRun).
+func BenchmarkSolveAllocs(b *testing.B) {
+	inst := qkp.Generate(100, 0.5, 1, 3)
+	prob := inst.ToProblem(constraint.Binary)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(prob, core.Options{
+			Iterations: 50, SweepsPerRun: 10, Eta: 20, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveParallelPool measures the pooled replica solve: workers
+// compile the energy once and reuse one long-lived machine per worker
+// across replicas (DESIGN.md §5.4).
+func BenchmarkSolveParallelPool(b *testing.B) {
+	inst := qkp.Generate(60, 0.5, 1, 9)
+	prob := inst.ToProblem(constraint.Binary)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveParallel(prob, core.Options{
+			Iterations: 5, SweepsPerRun: 100, Eta: 20, Seed: uint64(i),
+		}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablation drivers (DESIGN.md §4) as benches ---
 
 // BenchmarkAblationEta regenerates the η-sensitivity ablation.
@@ -260,9 +295,9 @@ func BenchmarkAblationCapacity(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepSparseVsDense compares the dense O(N²) sweep against the
-// adjacency-list sweep at 25% coupling density (the sparse-IM design point
-// of the paper's ref [10]).
+// BenchmarkSweepSparseVsDense compares the dense sweep against the CSR
+// sweep at 25% coupling density (the sparse-IM design point of the paper's
+// ref [10]); the gap here sets the auto-selection threshold of DESIGN.md §5.
 func BenchmarkSweepSparseVsDense(b *testing.B) {
 	inst := qkp.Generate(200, 0.25, 1, 3)
 	model := inst.ToProblem(constraint.Binary).Objective.ToIsing()

@@ -1,0 +1,161 @@
+// Command benchjson parses `go test -bench` output into a compact JSON
+// document so CI can publish machine-readable performance artifacts
+// (BENCH_PR2.json and successors) and future PRs can diff throughput
+// against the recorded trajectory.
+//
+// Usage:
+//
+//	go test -bench 'Sweep|AnnealRun' -benchmem -count=3 . | benchjson -o bench.json
+//
+// Repeated runs of the same benchmark (from -count) are aggregated: the
+// minimum ns/op is reported as the headline number (least-noise estimate),
+// alongside the mean and the per-op allocation columns when -benchmem was
+// set.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// Entry is the aggregated record emitted per benchmark name. The memory
+// columns are pointers so that a measured 0 B/op / 0 allocs/op — the
+// zero-allocation outcome the engine targets — stays distinguishable in
+// the JSON from "-benchmem was not set".
+type Entry struct {
+	Runs        int      `json:"runs"`
+	NsPerOpMin  float64  `json:"ns_per_op_min"`
+	NsPerOpMean float64  `json:"ns_per_op_mean"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	Source     string           `json:"source"`
+	GOOS       string           `json:"goos,omitempty"`
+	GOARCH     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// parseLine extracts a benchmark sample from one output line, or reports
+// ok=false for non-benchmark lines.
+func parseLine(line string) (name string, s sample, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", sample{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iteration count, value "ns/op" [, bytes "B/op", allocs "allocs/op"].
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return "", sample{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	// Strip the parallelism suffix goimports-style names carry (-8 etc.).
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	s = sample{nsPerOp: ns}
+	if len(fields) >= 8 && fields[5] == "B/op" && fields[7] == "allocs/op" {
+		if b, err := strconv.ParseFloat(fields[4], 64); err == nil {
+			s.bytesPerOp = b
+			if a, err := strconv.ParseFloat(fields[6], 64); err == nil {
+				s.allocsPerOp = a
+				s.hasMem = true
+			}
+		}
+	}
+	return name, s, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{Source: "go test -bench", Benchmarks: map[string]Entry{}}
+	samples := map[string][]sample{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if name, s, ok := parseLine(line); ok {
+				samples[name] = append(samples[name], s)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := samples[name]
+		e := Entry{Runs: len(ss), NsPerOpMin: ss[0].nsPerOp}
+		sum := 0.0
+		for _, s := range ss {
+			sum += s.nsPerOp
+			if s.nsPerOp < e.NsPerOpMin {
+				e.NsPerOpMin = s.nsPerOp
+			}
+			if s.hasMem {
+				// Memory columns are deterministic per benchmark; keep the last.
+				b, a := s.bytesPerOp, s.allocsPerOp
+				e.BytesPerOp, e.AllocsPerOp = &b, &a
+			}
+		}
+		e.NsPerOpMean = sum / float64(len(ss))
+		doc.Benchmarks[name] = e
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}

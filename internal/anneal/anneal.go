@@ -11,7 +11,6 @@ import (
 
 	"github.com/ising-machines/saim/internal/core"
 	"github.com/ising-machines/saim/internal/ising"
-	"github.com/ising-machines/saim/internal/pbit"
 	"github.com/ising-machines/saim/internal/penalty"
 	"github.com/ising-machines/saim/internal/rng"
 	"github.com/ising-machines/saim/internal/schedule"
@@ -27,6 +26,9 @@ type Options struct {
 	BetaMax float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Machine selects the p-bit kernel (auto/dense/CSR); the zero value
+	// auto-selects from the energy's coupling density.
+	Machine core.MachineKind
 	// Progress, when non-nil, is invoked once per annealing run with a
 	// snapshot of the solve (LambdaNorm is always zero: no multipliers).
 	Progress func(core.ProgressInfo)
@@ -36,6 +38,16 @@ type Options struct {
 	// Patience, when positive, stops the solve after this many consecutive
 	// runs without an improvement of the best cost.
 	Patience int
+}
+
+// annealInto runs one annealing run writing the final state into dst,
+// taking the machine's zero-copy path when it offers one.
+func annealInto(m core.Machine, dst ising.Spins, sched schedule.Schedule, sweeps int) {
+	if ba, ok := m.(core.BufferedAnnealer); ok {
+		ba.AnnealInto(dst, sched, sweeps)
+		return
+	}
+	copy(dst, m.Anneal(sched, sweeps))
 }
 
 func (o *Options) withDefaults() Options {
@@ -102,8 +114,12 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 	energy := penalty.Build(p.Objective, p.Ext, pWeight)
 	model := energy.ToIsing()
 	src := rng.New(o.Seed)
-	machine := pbit.New(model, src.Split())
+	machine := o.Machine.Factory()(model, src.Split())
 	sched := schedule.Linear{Start: 0, End: o.BetaMax}
+
+	// Reusable per-run scratch: the run loop allocates only on improvement.
+	spins := ising.NewSpins(p.Ext.NTotal)
+	x := make(ising.Bits, p.Ext.NTotal)
 
 	res := &Result{BestCost: math.Inf(1), P: pWeight}
 	sinceImprove := 0
@@ -113,7 +129,8 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 			break
 		}
 		res.Runs = k + 1
-		x := machine.Anneal(sched, o.SweepsPerRun).Bits()
+		annealInto(machine, spins, sched, o.SweepsPerRun)
+		spins.BitsInto(x)
 		sinceImprove++
 		if p.Ext.OrigFeasible(x, 1e-9) {
 			res.FeasibleCount++
@@ -121,7 +138,10 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 			res.FeasibleCosts = append(res.FeasibleCosts, cost)
 			if cost < res.BestCost {
 				res.BestCost = cost
-				res.Best = x[:p.Ext.NOrig].Clone()
+				if res.Best == nil {
+					res.Best = make(ising.Bits, p.Ext.NOrig)
+				}
+				copy(res.Best, x[:p.Ext.NOrig])
 				sinceImprove = 0
 			}
 		}
@@ -215,8 +235,9 @@ func MinimizeQUBOContext(ctx context.Context, q *ising.QUBO, opt Options) *QUBOR
 	o := opt.withDefaults()
 	model := q.ToIsing()
 	src := rng.New(o.Seed)
-	machine := pbit.New(model, src.Split())
+	machine := o.Machine.Factory()(model, src.Split())
 	sched := schedule.Linear{Start: 0, End: o.BetaMax}
+	s := ising.NewSpins(model.N()) // reusable run scratch
 	res := &QUBOResult{BestEnergy: math.Inf(1)}
 	sinceImprove := 0
 	for k := 0; k < o.Runs; k++ {
@@ -225,7 +246,7 @@ func MinimizeQUBOContext(ctx context.Context, q *ising.QUBO, opt Options) *QUBOR
 			break
 		}
 		res.Runs = k + 1
-		s := machine.Anneal(sched, o.SweepsPerRun)
+		annealInto(machine, s, sched, o.SweepsPerRun)
 		sinceImprove++
 		if e := model.Energy(s); e < res.BestEnergy {
 			res.BestEnergy = e

@@ -258,10 +258,20 @@ func (e *Extended) M() int { return len(e.Rows) }
 
 // Residuals returns g(x) = A·x − B for an extended configuration.
 func (e *Extended) Residuals(x ising.Bits) vecmat.Vec {
+	g := vecmat.NewVec(len(e.Rows))
+	e.ResidualsInto(g, x)
+	return g
+}
+
+// ResidualsInto writes g(x) = A·x − B into the caller-owned dst (length
+// M), the allocation-free form of Residuals used by the solve hot loop.
+func (e *Extended) ResidualsInto(dst vecmat.Vec, x ising.Bits) {
 	if len(x) != e.NTotal {
 		panic("constraint: Residuals dimension mismatch")
 	}
-	g := vecmat.NewVec(len(e.Rows))
+	if len(dst) != len(e.Rows) {
+		panic("constraint: ResidualsInto dimension mismatch")
+	}
 	for i, row := range e.Rows {
 		s := -e.B[i]
 		for j, xj := range x {
@@ -269,9 +279,8 @@ func (e *Extended) Residuals(x ising.Bits) vecmat.Vec {
 				s += row[j]
 			}
 		}
-		g[i] = s
+		dst[i] = s
 	}
-	return g
 }
 
 // OrigFeasible checks the *original* (inequality) constraints on the leading

@@ -17,6 +17,11 @@
 //
 // Feasible samples are checked against the *original* inequality
 // constraints and the best one (by true objective value) is returned.
+//
+// The solve path is organized as a compiled program (energy model and base
+// biases, built once per problem) driving per-worker engines that own one
+// long-lived machine plus all hot-loop scratch; a steady-state SAIM
+// iteration performs zero heap allocations (see DESIGN.md §5.3).
 package core
 
 import (
@@ -36,7 +41,7 @@ import (
 
 // Machine is the Ising-machine contract SAIM needs. Any programmable
 // annealer that can re-program its bias vector between runs qualifies;
-// pbit.Machine is the default implementation.
+// the p-bit machines of package pbit are the default implementations.
 type Machine interface {
 	// UpdateBiases re-programs the field vector h of the machine's model.
 	UpdateBiases(h vecmat.Vec)
@@ -47,13 +52,106 @@ type Machine interface {
 	Sweeps() int64
 }
 
+// BufferedAnnealer is the optional fast path of Machine: a run that writes
+// its final state into a caller-owned buffer. Both pbit machines implement
+// it; custom machines fall back to the allocating Anneal. It is the single
+// definition of this contract — internal/anneal type-asserts against it
+// too, so a signature change breaks loudly at every call site.
+type BufferedAnnealer interface {
+	AnnealInto(dst ising.Spins, sched schedule.Schedule, sweeps int)
+}
+
+// reseedable is the optional reuse contract of Machine: swapping the
+// randomness source lets one long-lived machine serve many solves (the
+// replica pool reseeds instead of rebuilding). Machines without it are
+// rebuilt per solve.
+type reseedable interface {
+	Reseed(src *rng.Source)
+}
+
 // MachineFactory builds a Machine for a concrete Hamiltonian. The default
-// uses the p-bit emulator.
+// auto-selects between the dense and CSR p-bit emulators.
 type MachineFactory func(model *ising.Model, src *rng.Source) Machine
 
-// DefaultFactory returns the software p-bit machine of package pbit.
+// MachineKind selects which p-bit kernel a solve uses. The zero value
+// picks automatically from the model's coupling density; Dense and Sparse
+// force one kernel. All kinds produce bit-identical trajectories for the
+// same seed, so the choice affects throughput only.
+type MachineKind int
+
+const (
+	// MachineAuto picks dense or CSR from the model's OffDiagDensity.
+	MachineAuto MachineKind = iota
+	// MachineDense forces the dense-row kernel.
+	MachineDense
+	// MachineSparse forces the CSR kernel.
+	MachineSparse
+)
+
+// String implements fmt.Stringer.
+func (k MachineKind) String() string {
+	switch k {
+	case MachineAuto:
+		return "auto"
+	case MachineDense:
+		return "dense"
+	case MachineSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("MachineKind(%d)", int(k))
+	}
+}
+
+// SparseDensityThreshold is the coupling density below which MachineAuto
+// selects the CSR kernel. The CSR sweep costs O(Σ degree) against the dense
+// kernel's O(N·flips); the crossover sits near 50% density (the
+// adjacency-list comment of the paper's ref [10], confirmed by
+// BenchmarkSweepSparseVsDense).
+const SparseDensityThreshold = 0.5
+
+// Resolve returns the concrete kind MachineAuto selects for the model
+// (Dense and Sparse resolve to themselves).
+func (k MachineKind) Resolve(model *ising.Model) MachineKind {
+	if k != MachineAuto {
+		return k
+	}
+	if model.J.OffDiagDensity() < SparseDensityThreshold {
+		return MachineSparse
+	}
+	return MachineDense
+}
+
+// Factory returns the MachineFactory realizing the kind.
+func (k MachineKind) Factory() MachineFactory {
+	switch k {
+	case MachineDense:
+		return DenseFactory
+	case MachineSparse:
+		return SparseFactory
+	default:
+		return DefaultFactory
+	}
+}
+
+// DefaultFactory builds the p-bit machine best suited to the model: the
+// CSR kernel below SparseDensityThreshold, the dense kernel otherwise.
+// Both produce identical trajectories, so auto-selection never changes
+// results.
 func DefaultFactory(model *ising.Model, src *rng.Source) Machine {
+	if MachineAuto.Resolve(model) == MachineSparse {
+		return pbit.NewSparse(model, src)
+	}
 	return pbit.New(model, src)
+}
+
+// DenseFactory builds the dense-row p-bit machine unconditionally.
+func DenseFactory(model *ising.Model, src *rng.Source) Machine {
+	return pbit.New(model, src)
+}
+
+// SparseFactory builds the CSR p-bit machine unconditionally.
+func SparseFactory(model *ising.Model, src *rng.Source) Machine {
+	return pbit.NewSparse(model, src)
 }
 
 // Problem is a constrained binary optimization problem in the form SAIM
@@ -112,7 +210,11 @@ type Options struct {
 	Seed uint64
 	// NonNegative projects λ onto λ ≥ 0 after each update (ablation).
 	NonNegative bool
-	// Factory builds the Ising machine; nil means the p-bit emulator.
+	// Machine selects the p-bit kernel (auto/dense/CSR). Ignored when
+	// Factory is set.
+	Machine MachineKind
+	// Factory builds the Ising machine; nil means the kernel selected by
+	// Machine.
 	Factory MachineFactory
 	// Trace, when non-nil, records the per-iteration trajectory.
 	Trace *Trace
@@ -196,7 +298,7 @@ func (o *Options) withDefaults() Options {
 		out.BetaMax = 10
 	}
 	if out.Factory == nil {
-		out.Factory = DefaultFactory
+		out.Factory = out.Machine.Factory()
 	}
 	return out
 }
@@ -241,7 +343,7 @@ type Result struct {
 	// Lambda is the final multiplier vector.
 	Lambda vecmat.Vec
 	// DualBest is the largest measured L(x_k), a heuristic estimate of the
-	// optimal dual bound M_D.
+	// optimal dual bound M_D (−Inf when no iteration ran).
 	DualBest float64
 	// Stopped records why the solve returned (budget spent, context
 	// cancelled, target cost reached, or patience exhausted).
@@ -272,23 +374,27 @@ func HeuristicPenalty(p *Problem, alpha float64) float64 {
 	return penalty.Heuristic(alpha, d, p.Ext.NTotal)
 }
 
-// Solve runs Algorithm 1 on the problem.
-func Solve(p *Problem, opts Options) (*Result, error) {
-	return SolveContext(context.Background(), p, opts)
+// program is the compiled, shareable part of a solve: the penalty energy,
+// its Ising image, and the base biases, built once per problem. Engines —
+// including every replica-pool worker — share one program; nothing in it
+// is mutated after compile, so concurrent engines only copy H.
+type program struct {
+	prob   *Problem
+	o      Options // defaults applied
+	pen    float64
+	energy *ising.QUBO
+	model  *ising.Model
+	baseH  vecmat.Vec
+	sched  schedule.Schedule
 }
 
-// SolveContext runs Algorithm 1 on the problem under a context. The context
-// is checked once per annealing run (not per sweep, keeping the hot path
-// unchanged); on cancellation the best-so-far result is returned with a nil
-// error and Stopped == StopCancelled.
-func SolveContext(ctx context.Context, p *Problem, opts Options) (*Result, error) {
+// compile validates the problem and builds the energy model once.
+// E = f + P‖g‖²; λ terms only touch h afterwards.
+func compile(p *Problem, opts Options) (*program, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
-	ext := p.Ext
-
-	// Energy E = f + P‖g‖², built once; λ terms only touch h afterwards.
 	pen := o.P
 	if pen == 0 {
 		pen = HeuristicPenalty(p, o.Alpha)
@@ -296,24 +402,93 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (*Result, error
 	if pen < 0 {
 		return nil, fmt.Errorf("core: negative penalty weight %v", pen)
 	}
-	energy := penalty.Build(p.Objective, ext, pen)
+	energy := penalty.Build(p.Objective, p.Ext, pen)
 	model := energy.ToIsing()
-	baseH := model.H.Clone()
+	return &program{
+		prob:   p,
+		o:      o,
+		pen:    pen,
+		energy: energy,
+		model:  model,
+		baseH:  model.H.Clone(),
+		sched:  schedule.Linear{Start: 0, End: o.BetaMax},
+	}, nil
+}
 
-	src := rng.New(o.Seed)
-	machine := o.Factory(model, src.Split())
-	lam := lagrange.New(ext.M(), o.Eta)
-	lam.NonNegative = o.NonNegative
-	var stepSched lagrange.StepSchedule = lagrange.ConstantStep{Eta0: o.Eta}
-	if o.EtaDecayPower != 0 {
-		stepSched = lagrange.DecayStep{Eta0: o.Eta, Power: o.EtaDecayPower}
+// engine owns the mutable state of one solve worker: a long-lived machine
+// (reseeded — not rebuilt — per solve when it supports it), the multiplier
+// state, and every hot-loop scratch buffer. After warm-up a steady-state
+// iteration allocates nothing; a pool worker runs many replicas through
+// one engine.
+type engine struct {
+	pr      *program
+	model   *ising.Model // J shared with pr.model, H owned by this engine
+	machine Machine
+	lam     *lagrange.Multipliers
+	step    lagrange.StepSchedule
+	dual    lagrange.DualTracker
+
+	// Hot-loop scratch, sized once at engine construction.
+	biasDelta vecmat.Vec
+	h         vecmat.Vec
+	g         vecmat.Vec
+	spins     ising.Spins
+	x         ising.Bits
+}
+
+// newEngine builds a worker around the compiled program. The coupling
+// matrix is shared (machines never write J); the bias vector is copied so
+// concurrent engines can re-program independently.
+func (pr *program) newEngine() *engine {
+	ext := pr.prob.Ext
+	lam := lagrange.New(ext.M(), pr.o.Eta)
+	lam.NonNegative = pr.o.NonNegative
+	var step lagrange.StepSchedule = lagrange.ConstantStep{Eta0: pr.o.Eta}
+	if pr.o.EtaDecayPower != 0 {
+		step = lagrange.DecayStep{Eta0: pr.o.Eta, Power: pr.o.EtaDecayPower}
 	}
-	sched := schedule.Linear{Start: 0, End: o.BetaMax}
+	return &engine{
+		pr:        pr,
+		model:     &ising.Model{J: pr.model.J, H: pr.baseH.Clone(), Const: pr.model.Const},
+		lam:       lam,
+		step:      step,
+		biasDelta: vecmat.NewVec(ext.NTotal),
+		h:         vecmat.NewVec(ext.NTotal),
+		g:         vecmat.NewVec(ext.M()),
+		spins:     ising.NewSpins(ext.NTotal),
+		x:         make(ising.Bits, ext.NTotal),
+	}
+}
 
-	var dual lagrange.DualTracker
-	res := &Result{BestCost: math.Inf(1), P: pen}
-	biasDelta := vecmat.NewVec(ext.NTotal)
-	h := vecmat.NewVec(ext.NTotal)
+// solve runs Algorithm 1 once with the given seed, reusing the engine's
+// machine and scratch. Trace and progress come as arguments (not from the
+// program's Options) so the replica pool can redirect them per replica.
+//
+// Determinism contract: the machine's randomness stream is always
+// rng.New(seed).Split(), exactly what a freshly built solve consumes, so a
+// pooled replica reproduces the same trajectory as a standalone solve.
+func (e *engine) solve(ctx context.Context, seed uint64, trace *Trace, progress func(ProgressInfo)) (*Result, error) {
+	pr := e.pr
+	o := pr.o
+	ext := pr.prob.Ext
+
+	src := rng.New(seed)
+	switch m := e.machine.(type) {
+	case nil:
+		e.machine = o.Factory(e.model, src.Split())
+	case reseedable:
+		m.Reseed(src.Split())
+	default:
+		// Machines that cannot be reseeded are rebuilt per solve.
+		e.machine = o.Factory(e.model, src.Split())
+	}
+	e.lam.Reset()
+	e.dual.Reset()
+	e.dual.Reserve(o.Iterations)
+	startSweeps := e.machine.Sweeps()
+	buffered, _ := e.machine.(BufferedAnnealer)
+
+	res := &Result{BestCost: math.Inf(1), P: pr.pen}
 	sinceImprove := 0
 
 	for k := 0; k < o.Iterations; k++ {
@@ -324,48 +499,54 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (*Result, error
 		res.Iterations = k + 1
 		// Re-program the machine's biases with the current λ:
 		// h_k = baseH − Σ_m λ_m row_m / 2 (spin-domain image of λᵀg).
-		lagrange.BiasDelta(biasDelta, ext, lam)
-		for i := range h {
-			h[i] = baseH[i] - biasDelta[i]
-		}
-		machine.UpdateBiases(h)
+		lagrange.BiasDelta(e.biasDelta, ext, e.lam)
+		vecmat.SubInto(e.h, pr.baseH, e.biasDelta)
+		e.machine.UpdateBiases(e.h)
 
 		// One annealing run; the paper reads the run's last sample.
-		x := machine.Anneal(sched, o.SweepsPerRun).Bits()
-		g := ext.Residuals(x)
+		if buffered != nil {
+			buffered.AnnealInto(e.spins, pr.sched, o.SweepsPerRun)
+		} else {
+			copy(e.spins, e.machine.Anneal(pr.sched, o.SweepsPerRun))
+		}
+		e.spins.BitsInto(e.x)
+		ext.ResidualsInto(e.g, e.x)
 
-		feasible := ext.OrigFeasible(x, 1e-9)
-		cost := p.Cost(x[:ext.NOrig])
+		feasible := ext.OrigFeasible(e.x, 1e-9)
+		cost := pr.prob.Cost(e.x[:ext.NOrig])
 		sinceImprove++
 		if feasible {
 			res.FeasibleCount++
 			if cost < res.BestCost {
 				res.BestCost = cost
-				res.Best = x[:ext.NOrig].Clone()
+				if res.Best == nil {
+					res.Best = make(ising.Bits, ext.NOrig)
+				}
+				copy(res.Best, e.x[:ext.NOrig])
 				sinceImprove = 0
 			}
 		}
 
 		// Measured dual value L_k(x_k) = E(x_k) + λᵀg(x_k) for diagnostics
 		// and traces.
-		lk := energy.Energy(x) + lam.Values.Dot(g)
-		dual.Record(lk)
-		if o.Trace != nil {
-			o.Trace.record(cost, feasible, lam.Values, lk)
+		lk := pr.energy.Energy(e.x) + e.lam.Values.Dot(e.g)
+		e.dual.Record(lk)
+		if trace != nil {
+			trace.record(cost, feasible, e.lam.Values, lk)
 		}
 
 		// λ ← λ + η_k g(x_k).
-		lam.UpdateScheduled(g, stepSched)
+		e.lam.UpdateScheduled(e.g, e.step)
 
-		if o.Progress != nil {
-			o.Progress(ProgressInfo{
+		if progress != nil {
+			progress(ProgressInfo{
 				Iteration:     k,
 				Total:         o.Iterations,
 				BestCost:      res.BestCost,
 				FeasibleCount: res.FeasibleCount,
 				Samples:       k + 1,
-				LambdaNorm:    lam.Values.Norm2(),
-				Sweeps:        machine.Sweeps(),
+				LambdaNorm:    e.lam.Values.Norm2(),
+				Sweeps:        e.machine.Sweeps() - startSweeps,
 			})
 		}
 		if o.TargetCost != nil && res.Best != nil && res.BestCost <= *o.TargetCost {
@@ -377,8 +558,25 @@ func SolveContext(ctx context.Context, p *Problem, opts Options) (*Result, error
 			break
 		}
 	}
-	res.TotalSweeps = machine.Sweeps()
-	res.Lambda = lam.Values.Clone()
-	res.DualBest = dual.Best()
+	res.TotalSweeps = e.machine.Sweeps() - startSweeps
+	res.Lambda = e.lam.Values.Clone()
+	res.DualBest = e.dual.Best()
 	return res, nil
+}
+
+// Solve runs Algorithm 1 on the problem.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext runs Algorithm 1 on the problem under a context. The context
+// is checked once per annealing run (not per sweep, keeping the hot path
+// unchanged); on cancellation the best-so-far result is returned with a nil
+// error and Stopped == StopCancelled.
+func SolveContext(ctx context.Context, p *Problem, opts Options) (*Result, error) {
+	pr, err := compile(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pr.newEngine().solve(ctx, pr.o.Seed, pr.o.Trace, pr.o.Progress)
 }

@@ -8,12 +8,80 @@ import (
 	"sync"
 )
 
-// SolveParallel runs `replicas` independent SAIM solves concurrently (one
-// goroutine per replica, capped at GOMAXPROCS workers) with decorrelated
-// seeds, and merges their results. Independent restarts are the natural
-// parallelization of Algorithm 1 — the λ recursion inside one solve is
-// sequential, but replicas explore different multiplier trajectories, which
-// both exploits hardware parallelism and hedges against a bad λ path.
+// replicaSeed decorrelates replica r deterministically from the base seed.
+func replicaSeed(base uint64, r int) uint64 {
+	return base ^ (uint64(r+1) * 0x9e3779b97f4a7c15)
+}
+
+// progressAggregator merges the per-iteration streams of all replicas into
+// one thread-safe callback. Each replica reports cumulative values for its
+// own solve; the aggregator maintains fleet-wide running totals (best
+// cost, feasible/sample counts, sweeps) incrementally — O(1) per event —
+// so a dashboard sees monotone global progress instead of interleaved
+// per-replica counters.
+type progressAggregator struct {
+	mu  sync.Mutex
+	f   func(ProgressInfo)
+	agg ProgressInfo
+	// Last cumulative snapshot per replica, subtracted before adding the
+	// new one (per-solve best costs are monotone, so the fleet min needs
+	// no per-replica memory).
+	feasible []int
+	samples  []int
+	sweeps   []int64
+	// norm0 is replica 0's latest ‖λ‖. Multiplier norms from different
+	// replicas are unrelated trajectories, so the aggregate streams one
+	// coherent trajectory (replica 0's, as before pooling) rather than a
+	// last-writer-wins sawtooth.
+	norm0 float64
+}
+
+func newProgressAggregator(f func(ProgressInfo), replicas, totalIters int) *progressAggregator {
+	return &progressAggregator{
+		f:        f,
+		agg:      ProgressInfo{Total: totalIters, BestCost: math.Inf(1)},
+		feasible: make([]int, replicas),
+		samples:  make([]int, replicas),
+		sweeps:   make([]int64, replicas),
+	}
+}
+
+// callback returns the per-replica progress function handed to replica r's
+// solve. It is safe for concurrent use across replicas.
+func (a *progressAggregator) callback(r int) func(ProgressInfo) {
+	if a == nil {
+		return nil
+	}
+	return func(p ProgressInfo) {
+		a.mu.Lock()
+		// Per-replica streams are cumulative and per-solve best costs are
+		// monotone, so replacing replica r's deltas keeps exact totals and
+		// the running min stays correct without a rescan.
+		a.agg.FeasibleCount += p.FeasibleCount - a.feasible[r]
+		a.agg.Samples += p.Samples - a.samples[r]
+		a.agg.Sweeps += p.Sweeps - a.sweeps[r]
+		a.feasible[r], a.samples[r], a.sweeps[r] = p.FeasibleCount, p.Samples, p.Sweeps
+		if p.BestCost < a.agg.BestCost {
+			a.agg.BestCost = p.BestCost
+		}
+		a.agg.Iteration = a.agg.Samples - 1
+		if r == 0 {
+			a.norm0 = p.LambdaNorm
+		}
+		a.agg.LambdaNorm = a.norm0
+		// Invoke under the lock so user callbacks stay serialized (the
+		// WithProgress contract) even with many workers reporting.
+		a.f(a.agg)
+		a.mu.Unlock()
+	}
+}
+
+// SolveParallel runs `replicas` independent SAIM solves concurrently on a
+// fixed worker pool with decorrelated seeds, and merges their results.
+// Independent restarts are the natural parallelization of Algorithm 1 —
+// the λ recursion inside one solve is sequential, but replicas explore
+// different multiplier trajectories, which both exploits hardware
+// parallelism and hedges against a bad λ path.
 //
 // The merged result reports the best feasible solution across replicas,
 // aggregate feasibility statistics, the total sweep budget, and the λ
@@ -25,11 +93,20 @@ func SolveParallel(p *Problem, opts Options, replicas int) (*Result, error) {
 // SolveParallelContext is SolveParallel under a context: cancellation stops
 // every replica at its next annealing-run boundary and the merged
 // best-so-far result is returned with Stopped == StopCancelled.
+//
+// The energy model is compiled once and shared; each of the
+// min(GOMAXPROCS, replicas) workers owns one long-lived engine — machine,
+// multiplier state, and scratch — reused (reseeded) across every replica it
+// picks up, so per-replica setup is O(N) instead of an O(N²) model +
+// machine rebuild. Progress callbacks from all replicas are merged
+// thread-safely into fleet-wide totals, and the winning replica's
+// trajectory is copied into Options.Trace when one is supplied.
 func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replicas int) (*Result, error) {
 	if replicas <= 0 {
 		return nil, fmt.Errorf("core: SolveParallel requires replicas > 0, got %d", replicas)
 	}
-	if err := p.Validate(); err != nil {
+	pr, err := compile(p, opts)
+	if err != nil {
 		return nil, err
 	}
 
@@ -38,31 +115,59 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 	ctx, stopSiblings := context.WithCancel(ctx)
 	defer stopSiblings()
 
+	var agg *progressAggregator
+	if pr.o.Progress != nil {
+		agg = newProgressAggregator(pr.o.Progress, replicas, pr.o.Iterations*replicas)
+	}
 	results := make([]*Result, replicas)
 	errs := make([]error, replicas)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for r := 0; r < replicas; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			o := opts
-			// Decorrelate replicas deterministically from the base seed.
-			o.Seed = opts.Seed ^ (uint64(r+1) * 0x9e3779b97f4a7c15)
-			// Traces and progress callbacks cannot be shared across
-			// goroutines; replicas beyond the first drop them.
-			if r > 0 {
-				o.Trace = nil
-				o.Progress = nil
-			}
-			results[r], errs[r] = SolveContext(ctx, p, o)
-			if results[r] != nil && results[r].Stopped == StopTarget {
-				stopSiblings()
-			}
-		}(r)
+	// Each replica records a private trace (race-free), but losers are
+	// dropped as soon as they are beaten so at most one full trajectory
+	// per in-flight worker is ever retained. The kept trace replicates the
+	// merge's winner selection: lowest replica index among minimal cost.
+	var traceMu sync.Mutex
+	traceWinner, winnerCost := -1, math.Inf(1)
+	var winnerTrace *Trace
+	keepIfWinner := func(r int, cost float64, tr *Trace) {
+		traceMu.Lock()
+		defer traceMu.Unlock()
+		if traceWinner < 0 || cost < winnerCost || (cost == winnerCost && r < traceWinner) {
+			traceWinner, winnerCost, winnerTrace = r, cost, tr
+		}
 	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > replicas {
+		workers = replicas
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := pr.newEngine() // one machine + scratch, reused for every replica
+			for r := range jobs {
+				var tr *Trace
+				if pr.o.Trace != nil {
+					tr = &Trace{}
+				}
+				results[r], errs[r] = eng.solve(ctx, replicaSeed(pr.o.Seed, r), tr, agg.callback(r))
+				if results[r] != nil {
+					if tr != nil {
+						keepIfWinner(r, results[r].BestCost, tr)
+					}
+					if results[r].Stopped == StopTarget {
+						stopSiblings()
+					}
+				}
+			}
+		}()
+	}
+	for r := 0; r < replicas; r++ {
+		jobs <- r
+	}
+	close(jobs)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -70,7 +175,7 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 		}
 	}
 
-	merged := &Result{BestCost: math.Inf(1)}
+	merged := &Result{BestCost: math.Inf(1), DualBest: math.Inf(-1)}
 	for _, res := range results {
 		// StopTarget wins: siblings of a target-reaching replica report
 		// StopCancelled only because it stopped them.
@@ -87,12 +192,18 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 			merged.Best = res.Best
 			merged.Lambda = res.Lambda
 		}
-		if res.DualBest > merged.DualBest || merged.DualBest == 0 {
+		if res.DualBest > merged.DualBest {
 			merged.DualBest = res.DualBest
 		}
 	}
 	if merged.Lambda == nil && len(results) > 0 {
 		merged.Lambda = results[0].Lambda
+	}
+	if pr.o.Trace != nil && winnerTrace != nil {
+		// Surface the winning replica's trajectory through the caller's
+		// trace; keepIfWinner selected the same replica the merge above
+		// picked (lowest index among minimal cost).
+		*pr.o.Trace = *winnerTrace
 	}
 	return merged, nil
 }

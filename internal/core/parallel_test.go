@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"sync"
 	"testing"
 )
 
@@ -83,5 +85,106 @@ func TestSolveParallelKeepsFirstTrace(t *testing.T) {
 	}
 	if len(tr.Cost) != 10 {
 		t.Fatalf("trace length %d, want one replica's 10", len(tr.Cost))
+	}
+}
+
+// The merge must take the true maximum of the replica dual bounds. The old
+// code special-cased zero and broke on all-negative duals (knapsack duals
+// are typically negative), reporting 0 instead of the max.
+func TestSolveParallelDualBestMerge(t *testing.T) {
+	p, _ := knapsackProblem([]float64{6, 5, 8, 9}, []float64{2, 3, 6, 7}, 10)
+	// Shift the energy down so every measured dual value is negative —
+	// exactly the regime the old `|| merged.DualBest == 0` merge broke in.
+	p.Objective.AddConst(-1000)
+	o := Options{Iterations: 15, SweepsPerRun: 40, Eta: 0.5, Seed: 21}
+	const replicas = 3
+	merged, err := SolveParallel(p, o, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Inf(-1)
+	for r := 0; r < replicas; r++ {
+		ro := o
+		ro.Seed = replicaSeed(o.Seed, r)
+		res, err := Solve(p, ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DualBest > want {
+			want = res.DualBest
+		}
+	}
+	if merged.DualBest != want {
+		t.Fatalf("merged DualBest = %v, want max over replicas %v", merged.DualBest, want)
+	}
+	if want >= 0 {
+		t.Fatalf("test instance no longer exercises negative duals (max = %v); pick another", want)
+	}
+}
+
+// Replicas beyond the first used to silently drop progress; now every
+// replica streams through a thread-safe aggregator reporting fleet totals.
+func TestSolveParallelProgressAggregates(t *testing.T) {
+	p, _ := knapsackProblem([]float64{3, 4, 5}, []float64{2, 3, 4}, 5)
+	var mu sync.Mutex
+	count := 0
+	var last ProgressInfo
+	_, err := SolveParallel(p, Options{
+		Iterations: 10, SweepsPerRun: 10, Eta: 0.5, Seed: 4,
+		Progress: func(pi ProgressInfo) {
+			mu.Lock()
+			count++
+			if pi.Samples > last.Samples {
+				last = pi
+			}
+			mu.Unlock()
+		},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3*10 {
+		t.Fatalf("progress fired %d times, want one per replica iteration (30)", count)
+	}
+	if last.Samples != 30 {
+		t.Fatalf("final aggregate Samples = %d, want 30", last.Samples)
+	}
+	if last.Sweeps != 3*10*10 {
+		t.Fatalf("final aggregate Sweeps = %d, want 300", last.Sweeps)
+	}
+	if last.Total != 30 {
+		t.Fatalf("aggregate Total = %d, want replicas×iterations", last.Total)
+	}
+}
+
+// The pooled solve must reproduce exactly what goroutine-per-replica
+// produced: per-replica results equal standalone solves with the replica
+// seed, independent of worker count or scheduling.
+func TestSolveParallelMatchesStandaloneReplicas(t *testing.T) {
+	p, _ := knapsackProblem([]float64{6, 5, 8, 9, 6}, []float64{2, 3, 6, 7, 5}, 12)
+	o := Options{Iterations: 20, SweepsPerRun: 50, Eta: 0.5, Seed: 31}
+	const replicas = 4
+	merged, err := SolveParallel(p, o, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCost := math.Inf(1)
+	feasible, sweeps := 0, int64(0)
+	for r := 0; r < replicas; r++ {
+		ro := o
+		ro.Seed = replicaSeed(o.Seed, r)
+		res, err := Solve(p, ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible += res.FeasibleCount
+		sweeps += res.TotalSweeps
+		if res.BestCost < bestCost {
+			bestCost = res.BestCost
+		}
+	}
+	if merged.BestCost != bestCost || merged.FeasibleCount != feasible || merged.TotalSweeps != sweeps {
+		t.Fatalf("pool merge %v/%d/%d, standalone replicas %v/%d/%d",
+			merged.BestCost, merged.FeasibleCount, merged.TotalSweeps, bestCost, feasible, sweeps)
 	}
 }

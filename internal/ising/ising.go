@@ -46,12 +46,23 @@ func (s Spins) Clone() Spins {
 // Bits converts spins to binary variables via x = (m+1)/2.
 func (s Spins) Bits() Bits {
 	out := make(Bits, len(s))
+	s.BitsInto(out)
+	return out
+}
+
+// BitsInto writes the binary image of s into the caller-owned dst, the
+// allocation-free form of Bits. It panics on length mismatch.
+func (s Spins) BitsInto(dst Bits) {
+	if len(dst) != len(s) {
+		panic("ising: BitsInto dimension mismatch")
+	}
 	for i, m := range s {
 		if m > 0 {
-			out[i] = 1
+			dst[i] = 1
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
 }
 
 // Spins converts binary variables to spins via m = 2x-1.

@@ -50,6 +50,16 @@ func New(m int, eta float64) *Multipliers {
 // M returns the number of multipliers.
 func (l *Multipliers) M() int { return len(l.Values) }
 
+// Reset returns the multipliers to λ = 0 with a zero step count, so one
+// allocation can serve many solves (the replica pool resets between
+// replicas instead of rebuilding).
+func (l *Multipliers) Reset() {
+	for i := range l.Values {
+		l.Values[i] = 0
+	}
+	l.steps = 0
+}
+
 // Steps returns how many updates have been applied.
 func (l *Multipliers) Steps() int { return l.steps }
 
@@ -139,6 +149,24 @@ type DualTracker struct {
 	history []float64
 	best    float64
 	hasBest bool
+}
+
+// Reserve pre-grows the history buffer to capacity n so that the following
+// n Record calls do not allocate. The solve engine reserves the full
+// iteration budget up front to keep its steady-state loop allocation-free.
+func (d *DualTracker) Reserve(n int) {
+	if cap(d.history)-len(d.history) < n {
+		grown := make([]float64, len(d.history), len(d.history)+n)
+		copy(grown, d.history)
+		d.history = grown
+	}
+}
+
+// Reset clears the tracker for reuse, keeping the history buffer's capacity.
+func (d *DualTracker) Reset() {
+	d.history = d.history[:0]
+	d.best = 0
+	d.hasBest = false
 }
 
 // Record appends one measured L(x̄) value.

@@ -1,0 +1,96 @@
+package pbit
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Golden trajectory fingerprints captured from the seed kernels (the
+// pre-CSR adjacency-list sparse machine and the branchy dense flip). The
+// rebuilt kernels must reproduce these trajectories bit-for-bit: the sweep
+// is the contract every experiment's reproducibility rests on, so a kernel
+// optimization that changes a single flip anywhere in the run is a bug, not
+// a tuning difference.
+const (
+	goldenHashD035 = uint64(11116957373567348549)
+	goldenHashD100 = uint64(14006442021969948009)
+)
+
+// trajectoryMachine is the kernel surface the golden tests drive: both the
+// dense and the CSR machine implement it.
+type trajectoryMachine interface {
+	Randomize()
+	Sweep(beta float64)
+	UpdateBiases(h vecmat.Vec)
+	State() ising.Spins
+}
+
+// fnv1a folds one state snapshot into a running FNV-1a hash. Hashing every
+// spin after every sweep makes the final value a fingerprint of the entire
+// trajectory: any single diverging flip changes it.
+func fnv1a(h uint64, state ising.Spins) uint64 {
+	for _, s := range state {
+		h ^= uint64(uint8(s))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// goldenTrajectory replays the reference protocol: one annealing run, a
+// bias reprogramming (the SAIM λ-update path), a continuation run on the
+// new biases, then a fresh re-randomized run — hashing the state after
+// every sweep.
+func goldenTrajectory(m trajectoryMachine, n int) uint64 {
+	h := uint64(14695981039346656037)
+	sched := schedule.Linear{Start: 0, End: 10}
+	m.Randomize()
+	for t := 0; t < 60; t++ {
+		m.Sweep(sched.Beta(t, 60))
+		h = fnv1a(h, m.State())
+	}
+	// Reprogram biases deterministically (independent of machine rng).
+	hsrc := rng.New(4242)
+	newH := vecmat.NewVec(n)
+	for i := range newH {
+		newH[i] = hsrc.Sym() * 2
+	}
+	m.UpdateBiases(newH)
+	for t := 0; t < 60; t++ {
+		m.Sweep(2.0)
+		h = fnv1a(h, m.State())
+	}
+	m.Randomize()
+	for t := 0; t < 60; t++ {
+		m.Sweep(sched.Beta(t, 60))
+		h = fnv1a(h, m.State())
+	}
+	return h
+}
+
+// goldenModel rebuilds the reference Hamiltonian. UpdateBiases mutates the
+// model, so each machine under test gets a fresh build.
+func goldenModel(seed uint64, density float64) *ising.Model {
+	return sparseModel(rng.New(seed), 48, density)
+}
+
+func TestGoldenTrajectoryDense(t *testing.T) {
+	if h := goldenTrajectory(New(goldenModel(2024, 0.35), rng.New(555)), 48); h != goldenHashD035 {
+		t.Fatalf("dense kernel diverged from seed trajectory at d=0.35: hash %d, want %d", h, goldenHashD035)
+	}
+	if h := goldenTrajectory(New(goldenModel(2025, 1.0), rng.New(556)), 48); h != goldenHashD100 {
+		t.Fatalf("dense kernel diverged from seed trajectory at d=1.0: hash %d, want %d", h, goldenHashD100)
+	}
+}
+
+func TestGoldenTrajectoryCSR(t *testing.T) {
+	if h := goldenTrajectory(NewSparse(goldenModel(2024, 0.35), rng.New(555)), 48); h != goldenHashD035 {
+		t.Fatalf("CSR kernel diverged from seed trajectory at d=0.35: hash %d, want %d", h, goldenHashD035)
+	}
+	if h := goldenTrajectory(NewSparse(goldenModel(2025, 1.0), rng.New(556)), 48); h != goldenHashD100 {
+		t.Fatalf("CSR kernel diverged from seed trajectory at d=1.0: hash %d, want %d", h, goldenHashD100)
+	}
+}

@@ -18,6 +18,12 @@
 // The Machine maintains the local-field vector I incrementally: flipping
 // spin i adds 2·m_i·J_ji to every I_j, so one full sweep costs O(N·flips)
 // row operations instead of O(N²) field recomputations.
+//
+// Two machines implement the same update rule: the dense Machine (flat J
+// rows, unconditional flip propagation) and the CSR SparseMachine. Given
+// the same Hamiltonian and seed they produce bit-identical trajectories
+// (enforced by golden tests), so the density-based auto-selection in
+// internal/core never changes results, only throughput. See DESIGN.md §5.
 package pbit
 
 import (
@@ -35,10 +41,9 @@ type Machine struct {
 	model *ising.Model
 	state ising.Spins
 	field vecmat.Vec // I_i = Σ_j J_ij m_j + h_i, maintained incrementally
+	noise vecmat.Vec // per-sweep noise buffer, batch-filled from src
 	src   *rng.Source
-	// tanhLUT caches tanh evaluations per sweep when β is constant within
-	// the sweep; kept simple: we evaluate tanh directly (fast enough) but
-	// count sweeps for diagnostics.
+	// sweeps counts Monte-Carlo sweeps for budget accounting.
 	sweeps int64
 }
 
@@ -53,6 +58,7 @@ func New(model *ising.Model, src *rng.Source) *Machine {
 		model: model,
 		state: ising.NewSpins(model.N()),
 		field: vecmat.NewVec(model.N()),
+		noise: vecmat.NewVec(model.N()),
 		src:   src,
 	}
 	m.RecomputeFields()
@@ -71,6 +77,12 @@ func (m *Machine) State() ising.Spins { return m.state }
 
 // Sweeps returns the number of Monte-Carlo sweeps executed so far.
 func (m *Machine) Sweeps() int64 { return m.sweeps }
+
+// Reseed replaces the machine's randomness source. It lets one long-lived
+// machine be reused across independent solves (the replica pool reseeds
+// before every replica so a pooled solve reproduces exactly the stream a
+// freshly built machine would consume).
+func (m *Machine) Reseed(src *rng.Source) { m.src = src }
 
 // SetState overwrites the configuration and recomputes local fields.
 func (m *Machine) SetState(s ising.Spins) {
@@ -119,15 +131,21 @@ func (m *Machine) UpdateBiases(newH vecmat.Vec) {
 }
 
 // flip flips spin i and propagates the field change to all neighbors.
+//
+// Invariant: on entry field[j] == Σ_k J_jk·state[k] + h[j] for every j;
+// flipping state[i] changes each field[j] by J_ji·(new−old) = −2·old·J_ji,
+// so adding w·delta row-wise restores the invariant without recomputation.
+// The loop is deliberately unconditional — adding w·delta for zero weights
+// is a no-op, and dropping the zero test keeps the loop branch-free so it
+// vectorizes (see DESIGN.md §5.1).
 func (m *Machine) flip(i int) {
 	old := m.state[i]
 	m.state[i] = -old
 	delta := float64(-2 * old) // new - old ∈ {-2, +2}
 	row := m.model.J.Row(i)
+	field := m.field[:len(row)]
 	for j, w := range row {
-		if w != 0 {
-			m.field[j] += w * delta
-		}
+		field[j] += w * delta
 	}
 }
 
@@ -150,20 +168,50 @@ func tanhApprox(x float64) float64 {
 	return p / q
 }
 
+// wantSpin applies the p-bit update rule m' = sign(tanh(β·I) + noise) to
+// one β-scaled local field x. Saturated inputs (|x| beyond the tanhApprox
+// clamp) decide without evaluating the Padé polynomial: noise ∈ [-1, 1),
+// so at act = 1 the sum 1+noise ≥ 0 always (ties resolve to +1, matching
+// the reference rule at noise = -1 exactly), and at act = -1 the sum
+// noise−1 < 0 always. The Padé arithmetic is identical to tanhApprox, so
+// both sweep kernels calling this one helper stay trajectory-identical to
+// each other and to the reference rule. Kept tiny so it inlines into the
+// sweep loops.
+func wantSpin(x, noise float64) int8 {
+	if x > 5.06 {
+		return 1
+	}
+	if x < -5.06 {
+		return -1
+	}
+	x2 := x * x
+	p := x * (135135 + x2*(17325+x2*(378+x2)))
+	q := 135135 + x2*(62370+x2*(3150+x2*28))
+	if p/q+noise >= 0 {
+		return 1
+	}
+	return -1
+}
+
 // Sweep performs one Monte-Carlo sweep (MCS): a sequential pass updating
 // every p-bit once with inverse temperature beta, per paper eq. 10.
+//
+// The per-spin noise is pre-drawn in one batch (same stream order as
+// drawing inside the loop, so trajectories are unchanged), wantSpin's
+// saturation shortcut skips the Padé polynomial for frozen spins, and the
+// loop body indexes re-sliced buffers so bounds checks are hoisted.
 func (m *Machine) Sweep(beta float64) {
-	n := m.N()
+	n := len(m.state)
+	if n == 0 {
+		m.sweeps++
+		return
+	}
+	noise := m.noise[:n]
+	m.src.FillSym(noise)
+	state := m.state[:n]
+	field := m.field[:n]
 	for i := 0; i < n; i++ {
-		act := tanhApprox(beta * m.field[i])
-		noise := m.src.Sym()
-		var want int8
-		if act+noise >= 0 {
-			want = 1
-		} else {
-			want = -1
-		}
-		if want != m.state[i] {
+		if want := wantSpin(beta*field[i], noise[i]); want != state[i] {
 			m.flip(i)
 		}
 	}
@@ -172,13 +220,28 @@ func (m *Machine) Sweep(beta float64) {
 
 // Anneal runs `sweeps` Monte-Carlo sweeps with β following sched, starting
 // from a fresh random configuration, and returns the final state (the
-// paper reads the last sample of each run). The returned slice is a copy.
+// paper reads the last sample of each run). The returned slice is a copy;
+// allocation-sensitive callers should use AnnealInto.
 func (m *Machine) Anneal(sched schedule.Schedule, sweeps int) ising.Spins {
 	m.Randomize()
 	for t := 0; t < sweeps; t++ {
 		m.Sweep(sched.Beta(t, sweeps))
 	}
 	return m.state.Clone()
+}
+
+// AnnealInto is Anneal writing the final configuration into the
+// caller-owned dst (length N) instead of allocating a copy. It is the
+// zero-allocation run primitive of the solve engine.
+func (m *Machine) AnnealInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
+	if len(dst) != m.N() {
+		panic("pbit: AnnealInto dimension mismatch")
+	}
+	m.Randomize()
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+	copy(dst, m.state)
 }
 
 // AnnealFrom is Anneal without the re-randomization: it continues from the
@@ -188,6 +251,18 @@ func (m *Machine) AnnealFrom(sched schedule.Schedule, sweeps int) ising.Spins {
 		m.Sweep(sched.Beta(t, sweeps))
 	}
 	return m.state.Clone()
+}
+
+// AnnealFromInto is AnnealFrom writing the final configuration into the
+// caller-owned dst instead of allocating a copy.
+func (m *Machine) AnnealFromInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
+	if len(dst) != m.N() {
+		panic("pbit: AnnealFromInto dimension mismatch")
+	}
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+	copy(dst, m.state)
 }
 
 // Energy returns the model energy of the current state.

@@ -9,52 +9,72 @@ import (
 	"github.com/ising-machines/saim/internal/vecmat"
 )
 
-// SparseMachine is a p-bit machine over adjacency lists instead of a dense
-// coupling matrix. Sparse Ising machines are the variant that scales to
-// very large spin counts in hardware (Aadit et al., the paper's ref [10]);
-// in software the sweep costs O(Σ degree) instead of O(N²), which wins
-// whenever the coupling density is below ~50%.
+// SparseMachine is a p-bit machine over a compressed-sparse-row (CSR) view
+// of the coupling matrix instead of dense rows. Sparse Ising machines are
+// the variant that scales to very large spin counts in hardware (Aadit et
+// al., the paper's ref [10]); in software the sweep costs O(Σ degree)
+// instead of O(N²), which wins whenever the coupling density is below the
+// auto-selection threshold of internal/core.
+//
+// The CSR layout stores all non-zero couplings in three flat arrays:
+// rowPtr (N+1 offsets), colIdx and weight (one entry per non-zero, row by
+// row). Compared to per-spin adjacency slices this removes one pointer
+// indirection per neighbor visit, keeps every row's neighbors contiguous in
+// one allocation, and lets the flip kernel walk a single weight span — see
+// DESIGN.md §5.2.
 //
 // Given the same Hamiltonian and seed, SparseMachine reproduces the dense
 // Machine's trajectory bit-for-bit: both consume randomness in the same
-// order and apply identical update rules.
+// order and apply identical update rules (enforced by golden tests).
 type SparseMachine struct {
-	n         int
-	neighbors [][]int32
-	weights   [][]float64
-	h         vecmat.Vec
-	constant  float64
-	state     ising.Spins
-	field     vecmat.Vec
-	src       *rng.Source
-	sweeps    int64
+	n        int
+	rowPtr   []int32 // rowPtr[i]..rowPtr[i+1] spans spin i's entries
+	colIdx   []int32
+	weight   []float64
+	h        vecmat.Vec
+	constant float64
+	state    ising.Spins
+	field    vecmat.Vec
+	noise    vecmat.Vec
+	src      *rng.Source
+	sweeps   int64
 }
 
-// NewSparse builds a sparse machine from the model's non-zero couplings.
+// NewSparse builds a CSR machine from the model's non-zero couplings.
 // The model must satisfy Validate; NewSparse panics otherwise.
 func NewSparse(model *ising.Model, src *rng.Source) *SparseMachine {
 	if err := model.Validate(); err != nil {
 		panic(fmt.Sprintf("pbit: invalid model: %v", err))
 	}
 	n := model.N()
-	m := &SparseMachine{
-		n:         n,
-		neighbors: make([][]int32, n),
-		weights:   make([][]float64, n),
-		h:         model.H.Clone(),
-		constant:  model.Const,
-		state:     ising.NewSpins(n),
-		field:     vecmat.NewVec(n),
-		src:       src,
-	}
+	nnz := 0
 	for i := 0; i < n; i++ {
-		row := model.J.Row(i)
-		for j, w := range row {
+		for j, w := range model.J.Row(i) {
 			if w != 0 && j != i {
-				m.neighbors[i] = append(m.neighbors[i], int32(j))
-				m.weights[i] = append(m.weights[i], w)
+				nnz++
 			}
 		}
+	}
+	m := &SparseMachine{
+		n:        n,
+		rowPtr:   make([]int32, n+1),
+		colIdx:   make([]int32, 0, nnz),
+		weight:   make([]float64, 0, nnz),
+		h:        model.H.Clone(),
+		constant: model.Const,
+		state:    ising.NewSpins(n),
+		field:    vecmat.NewVec(n),
+		noise:    vecmat.NewVec(n),
+		src:      src,
+	}
+	for i := 0; i < n; i++ {
+		for j, w := range model.J.Row(i) {
+			if w != 0 && j != i {
+				m.colIdx = append(m.colIdx, int32(j))
+				m.weight = append(m.weight, w)
+			}
+		}
+		m.rowPtr[i+1] = int32(len(m.colIdx))
 	}
 	m.RecomputeFields()
 	return m
@@ -69,16 +89,25 @@ func (m *SparseMachine) State() ising.Spins { return m.state }
 // Sweeps returns the cumulative Monte-Carlo sweeps executed.
 func (m *SparseMachine) Sweeps() int64 { return m.sweeps }
 
+// Reseed replaces the machine's randomness source, allowing one long-lived
+// machine to be reused across independent solves (see Machine.Reseed).
+func (m *SparseMachine) Reseed(src *rng.Source) { m.src = src }
+
 // Degree returns the number of non-zero couplings of spin i.
-func (m *SparseMachine) Degree(i int) int { return len(m.neighbors[i]) }
+func (m *SparseMachine) Degree(i int) int { return int(m.rowPtr[i+1] - m.rowPtr[i]) }
+
+// row returns the CSR column/weight spans of spin i.
+func (m *SparseMachine) row(i int) ([]int32, []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.weight[lo:hi]
+}
 
 // RecomputeFields rebuilds local fields from scratch.
 func (m *SparseMachine) RecomputeFields() {
 	for i := 0; i < m.n; i++ {
 		acc := m.h[i]
-		nb := m.neighbors[i]
-		ws := m.weights[i]
-		for k, j := range nb {
+		cols, ws := m.row(i)
+		for k, j := range cols {
 			acc += ws[k] * float64(m.state[j])
 		}
 		m.field[i] = acc
@@ -97,6 +126,15 @@ func (m *SparseMachine) Randomize() {
 	m.RecomputeFields()
 }
 
+// SetState overwrites the configuration and recomputes local fields.
+func (m *SparseMachine) SetState(s ising.Spins) {
+	if len(s) != m.n {
+		panic("pbit: SetState dimension mismatch")
+	}
+	copy(m.state, s)
+	m.RecomputeFields()
+}
+
 // UpdateBiases replaces h and adjusts local fields in O(N).
 func (m *SparseMachine) UpdateBiases(newH vecmat.Vec) {
 	if len(newH) != m.n {
@@ -108,37 +146,43 @@ func (m *SparseMachine) UpdateBiases(newH vecmat.Vec) {
 	}
 }
 
-// flip flips spin i and propagates to its neighbors only.
+// flip flips spin i and propagates to its CSR neighbors only. The field
+// invariant is the same as Machine.flip; here the walk touches exactly the
+// Degree(i) stored couplings.
 func (m *SparseMachine) flip(i int) {
 	old := m.state[i]
 	m.state[i] = -old
 	delta := float64(-2 * old)
-	nb := m.neighbors[i]
-	ws := m.weights[i]
-	for k, j := range nb {
-		m.field[j] += ws[k] * delta
+	cols, ws := m.row(i)
+	field := m.field
+	for k, j := range cols {
+		field[j] += ws[k] * delta
 	}
 }
 
-// Sweep performs one sequential Monte-Carlo sweep (paper eq. 10).
+// Sweep performs one sequential Monte-Carlo sweep (paper eq. 10). The
+// structure mirrors Machine.Sweep: batch-drawn noise, wantSpin's
+// saturation shortcut, bounds-check-free buffers.
 func (m *SparseMachine) Sweep(beta float64) {
-	for i := 0; i < m.n; i++ {
-		act := tanhApprox(beta * m.field[i])
-		noise := m.src.Sym()
-		var want int8
-		if act+noise >= 0 {
-			want = 1
-		} else {
-			want = -1
-		}
-		if want != m.state[i] {
+	n := m.n
+	if n == 0 {
+		m.sweeps++
+		return
+	}
+	noise := m.noise[:n]
+	m.src.FillSym(noise)
+	state := m.state[:n]
+	field := m.field[:n]
+	for i := 0; i < n; i++ {
+		if want := wantSpin(beta*field[i], noise[i]); want != state[i] {
 			m.flip(i)
 		}
 	}
 	m.sweeps++
 }
 
-// Anneal runs one annealing run from a fresh random state.
+// Anneal runs one annealing run from a fresh random state. The returned
+// slice is a copy; allocation-sensitive callers should use AnnealInto.
 func (m *SparseMachine) Anneal(sched schedule.Schedule, sweeps int) ising.Spins {
 	m.Randomize()
 	for t := 0; t < sweeps; t++ {
@@ -147,15 +191,48 @@ func (m *SparseMachine) Anneal(sched schedule.Schedule, sweeps int) ising.Spins 
 	return m.state.Clone()
 }
 
+// AnnealInto is Anneal writing the final configuration into the
+// caller-owned dst (length N) instead of allocating a copy.
+func (m *SparseMachine) AnnealInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
+	if len(dst) != m.n {
+		panic("pbit: AnnealInto dimension mismatch")
+	}
+	m.Randomize()
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+	copy(dst, m.state)
+}
+
+// AnnealFrom continues annealing from the current state (no
+// re-randomization), mirroring Machine.AnnealFrom.
+func (m *SparseMachine) AnnealFrom(sched schedule.Schedule, sweeps int) ising.Spins {
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+	return m.state.Clone()
+}
+
+// AnnealFromInto is AnnealFrom writing the final configuration into the
+// caller-owned dst instead of allocating a copy.
+func (m *SparseMachine) AnnealFromInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
+	if len(dst) != m.n {
+		panic("pbit: AnnealFromInto dimension mismatch")
+	}
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+	copy(dst, m.state)
+}
+
 // Energy returns the Hamiltonian energy of the current state.
 func (m *SparseMachine) Energy() float64 {
 	e := m.constant
 	for i := 0; i < m.n; i++ {
 		si := float64(m.state[i])
-		nb := m.neighbors[i]
-		ws := m.weights[i]
+		cols, ws := m.row(i)
 		acc := 0.0
-		for k, j := range nb {
+		for k, j := range cols {
 			if int(j) > i { // count each pair once
 				acc += ws[k] * float64(m.state[j])
 			}
@@ -172,9 +249,8 @@ func (m *SparseMachine) FieldConsistencyError() float64 {
 	worst := 0.0
 	for i := 0; i < m.n; i++ {
 		acc := m.h[i]
-		nb := m.neighbors[i]
-		ws := m.weights[i]
-		for k, j := range nb {
+		cols, ws := m.row(i)
+		for k, j := range cols {
 			acc += ws[k] * float64(m.state[j])
 		}
 		d := m.field[i] - acc

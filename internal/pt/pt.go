@@ -38,6 +38,9 @@ type Options struct {
 	SampleEvery int
 	// Seed drives all randomness.
 	Seed uint64
+	// Machine selects the p-bit kernel (auto/dense/CSR) every replica
+	// runs on; the zero value auto-selects from the energy's density.
+	Machine core.MachineKind
 	// Progress, when non-nil, is invoked at every sampling point with a
 	// snapshot of the solve (Iteration counts sweeps here).
 	Progress func(core.ProgressInfo)
@@ -89,6 +92,17 @@ type Result struct {
 	Stopped core.StopReason
 }
 
+// machine is the replica contract PT needs from a p-bit kernel; both the
+// dense and CSR machines of package pbit satisfy it.
+type machine interface {
+	Sweep(beta float64)
+	State() ising.Spins
+	SetState(ising.Spins)
+	Randomize()
+	Energy() float64
+	Sweeps() int64
+}
+
 // FeasibleRatio returns the percentage of feasible samples.
 func (r *Result) FeasibleRatio() float64 {
 	if r.SampleCount == 0 {
@@ -116,18 +130,28 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 
 	src := rng.New(o.Seed)
 	betas := Ladder(o.BetaMin, o.BetaMax, o.Replicas)
-	replicas := make([]*pbit.Machine, o.Replicas)
+	// All replicas share one immutable model: PT never re-programs biases,
+	// and exchanges go through SetState, so only per-machine local fields
+	// differ. Sharing drops the former per-replica O(N²) model rebuild.
+	model := energy.ToIsing()
+	sparse := o.Machine.Resolve(model) == core.MachineSparse
+	replicas := make([]machine, o.Replicas)
 	energies := make([]float64, o.Replicas)
 	for r := range replicas {
-		// Each replica owns an independent copy of the model: exchanges
-		// swap configurations, and pbit maintains per-machine local fields.
-		replicas[r] = pbit.New(energy.ToIsing(), src.Split())
+		if sparse {
+			replicas[r] = pbit.NewSparse(model, src.Split())
+		} else {
+			replicas[r] = pbit.New(model, src.Split())
+		}
 		replicas[r].Randomize()
 		energies[r] = replicas[r].Energy()
 	}
 
 	res := &Result{BestCost: math.Inf(1), P: pWeight}
-	record := func(x ising.Bits) {
+	xbuf := make(ising.Bits, p.Ext.NTotal) // reusable sample scratch
+	record := func(s ising.Spins) {
+		s.BitsInto(xbuf)
+		x := xbuf
 		res.SampleCount++
 		if p.Ext.OrigFeasible(x, 1e-9) {
 			res.FeasibleCount++
@@ -135,11 +159,15 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 			res.FeasibleCosts = append(res.FeasibleCosts, cost)
 			if cost < res.BestCost {
 				res.BestCost = cost
-				res.Best = x[:p.Ext.NOrig].Clone()
+				if res.Best == nil {
+					res.Best = make(ising.Bits, p.Ext.NOrig)
+				}
+				copy(res.Best, x[:p.Ext.NOrig])
 			}
 		}
 	}
 
+	swap := ising.NewSpins(p.Ext.NTotal) // exchange scratch
 	for sweep := 1; sweep <= o.Sweeps; sweep++ {
 		if ctx.Err() != nil {
 			res.Stopped = core.StopCancelled
@@ -157,16 +185,17 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 			delta := (betas[r] - betas[r+1]) * (energies[r] - energies[r+1])
 			if delta >= 0 || src.Float64() < math.Exp(delta) {
 				res.SwapAccepts++
-				sa := replicas[r].State().Clone()
-				sb := replicas[r+1].State().Clone()
-				replicas[r].SetState(sb)
-				replicas[r+1].SetState(sa)
+				// SetState copies its argument before recomputing fields,
+				// so one scratch buffer suffices for the exchange.
+				copy(swap, replicas[r].State())
+				replicas[r].SetState(replicas[r+1].State())
+				replicas[r+1].SetState(swap)
 				energies[r], energies[r+1] = energies[r+1], energies[r]
 			}
 		}
 		if sweep%o.SampleEvery == 0 {
 			for _, m := range replicas {
-				record(m.State().Bits())
+				record(m.State())
 			}
 			if o.Progress != nil {
 				var sweeps int64

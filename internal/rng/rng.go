@@ -74,10 +74,33 @@ func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
-// Sym returns a uniform float64 in (-1, 1), matching the rand(-1,1) noise
-// term of the p-bit update rule (paper eq. 10).
+// Sym returns a uniform float64 in [-1, 1) — Float64 can return exactly
+// 0, so -1 is (rarely) attainable — matching the rand(-1,1) noise term of
+// the p-bit update rule (paper eq. 10).
 func (s *Source) Sym() float64 {
 	return 2*s.Float64() - 1
+}
+
+// FillSym fills dst with uniform draws in [-1, 1), bit-identical to calling
+// Sym once per element. Keeping the generator state in locals for the whole
+// batch lets the compiler hold it in registers, which is substantially
+// faster than len(dst) pointer-chasing Sym calls; the p-bit sweep kernels
+// pre-draw their per-spin noise through this path.
+func (s *Source) FillSym(dst []float64) {
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	for i := range dst {
+		result := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		// Same arithmetic as Sym∘Float64 so the stream is reproduced exactly.
+		dst[i] = 2*(float64(result>>11)/(1<<53)) - 1
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

@@ -51,6 +51,18 @@ func (v Vec) Scale(a float64) {
 	}
 }
 
+// SubInto sets dst = a − b element-wise without allocating; the solve
+// engine uses it to re-program biases (h = h₀ − Δ(λ)) each iteration.
+// It panics on length mismatch.
+func SubInto(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(fmt.Sprintf("vecmat: SubInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
 // Sum returns the sum of the elements of v.
 func (v Vec) Sum() float64 {
 	s := 0.0

@@ -202,3 +202,22 @@ func TestRowViewReflectsSet(t *testing.T) {
 		t.Fatalf("Row view = %v", row)
 	}
 }
+
+func TestSubInto(t *testing.T) {
+	a := Vec{5, 3, 1}
+	b := Vec{1, 2, 3}
+	dst := NewVec(3)
+	SubInto(dst, a, b)
+	want := Vec{4, 1, -2}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SubInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubInto accepted mismatched lengths")
+		}
+	}()
+	SubInto(dst, a, Vec{1})
+}

@@ -1,6 +1,28 @@
 package saim
 
-import "time"
+import (
+	"time"
+
+	"github.com/ising-machines/saim/internal/core"
+)
+
+// MachineKind selects which p-bit sweep kernel the annealing backends
+// (saim, penalty, pt) run on. It aliases the internal core type so every
+// layer shares one vocabulary.
+type MachineKind = core.MachineKind
+
+// Re-exported machine kinds.
+const (
+	// MachineAuto (the default) picks the dense or CSR kernel per model
+	// from its off-diagonal coupling density. Both kernels produce
+	// bit-identical trajectories for the same seed, so auto-selection
+	// affects throughput only, never results.
+	MachineAuto = core.MachineAuto
+	// MachineDense forces the dense-row kernel (O(N·flips) per sweep).
+	MachineDense = core.MachineDense
+	// MachineSparse forces the CSR kernel (O(Σ degree) per sweep).
+	MachineSparse = core.MachineSparse
+)
 
 // Option configures a Solver.Solve call. Options are shared across
 // backends; each backend reads the subset that applies to it and ignores
@@ -16,6 +38,7 @@ type config struct {
 	sweepsPerRun int
 	betaMax      float64
 	seed         uint64
+	machine      MachineKind
 	replicas     int
 	population   int
 	timeLimit    time.Duration
@@ -57,6 +80,12 @@ func WithBetaMax(b float64) Option { return func(c *config) { c.betaMax = b } }
 
 // WithSeed makes the solve reproducible.
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithMachine forces the dense or CSR sweep kernel for the annealing
+// backends (saim, penalty, pt), overriding the density-based
+// auto-selection. Kernel choice never changes results — the kernels are
+// trajectory-identical for the same seed — only throughput.
+func WithMachine(k MachineKind) Option { return func(c *config) { c.machine = k } }
 
 // WithReplicas sets the number of parallel-tempering temperature rungs
 // (default 26, as in PT-DA), or — for the saim backend on constrained
