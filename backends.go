@@ -60,6 +60,15 @@ func heuristicPenalty(m *Model, alpha float64) float64 {
 	return core.HeuristicPenalty(m.inner, alpha)
 }
 
+// initialBits validates a WithInitial assignment against the model (length
+// and 0/1 entries), returning nil when no warm start was requested.
+func initialBits(m *Model, cfg config) (ising.Bits, error) {
+	if cfg.initial == nil {
+		return nil, nil
+	}
+	return toBits(cfg.initial, m.n)
+}
+
 // ---------------------------------------------------------------- saim ---
 
 // saimSolver is the paper's self-adaptive Ising machine (Algorithm 1). It
@@ -93,6 +102,10 @@ func (s *saimSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Resu
 }
 
 func (s *saimSolver) solveConstrained(ctx context.Context, m *Model, cfg config) (*Result, error) {
+	init, err := initialBits(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	o := core.Options{
 		Alpha:        cfg.alpha,
 		P:            cfg.penalty,
@@ -105,9 +118,9 @@ func (s *saimSolver) solveConstrained(ctx context.Context, m *Model, cfg config)
 		Progress:     progressAdapter("saim", cfg.progress),
 		TargetCost:   cfg.targetCost,
 		Patience:     cfg.patience,
+		Initial:      init,
 	}
 	var res *core.Result
-	var err error
 	if cfg.replicas > 1 {
 		res, err = core.SolveParallelContext(ctx, m.inner, o, cfg.replicas)
 	} else {
@@ -130,6 +143,10 @@ func (s *saimSolver) solveConstrained(ctx context.Context, m *Model, cfg config)
 }
 
 func (s *saimSolver) solveUnconstrained(ctx context.Context, m *Model, cfg config) (*Result, error) {
+	init, err := initialBits(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	normalized := m.rawObj.Clone()
 	inv := normalized.Normalize() // argmin-preserving rescale so βmax=10 suits any data
 	// The annealer observes normalized energies; rescale the target into
@@ -158,6 +175,7 @@ func (s *saimSolver) solveUnconstrained(ctx context.Context, m *Model, cfg confi
 		Progress:     prog,
 		TargetCost:   target,
 		Patience:     cfg.patience,
+		Initial:      init,
 	})
 	out := &Result{
 		Solver:        "saim",
@@ -228,6 +246,10 @@ func (s *penaltySolver) Solve(ctx context.Context, m *Model, opts ...Option) (*R
 	if pw <= 0 {
 		return nil, fmt.Errorf("saim: penalty weight must be positive, got %v", pw)
 	}
+	init, err := initialBits(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	res, err := anneal.SolvePenaltyContext(ctx, m.inner, pw, anneal.Options{
 		Runs:         orDefault(cfg.iterations, 2000),
 		SweepsPerRun: orDefault(cfg.sweepsPerRun, 1000),
@@ -237,6 +259,7 @@ func (s *penaltySolver) Solve(ctx context.Context, m *Model, opts ...Option) (*R
 		Progress:     progressAdapter("penalty", cfg.progress),
 		TargetCost:   cfg.targetCost,
 		Patience:     cfg.patience,
+		Initial:      init,
 	})
 	if err != nil {
 		return nil, err
@@ -283,6 +306,10 @@ func (s *ptSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 	if sweeps < 1 {
 		sweeps = 1
 	}
+	init, err := initialBits(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	res, err := pt.SolvePenaltyContext(ctx, m.inner, pw, pt.Options{
 		Replicas:    replicas,
 		Sweeps:      sweeps,
@@ -292,6 +319,7 @@ func (s *ptSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 		Machine:     cfg.machine,
 		Progress:    progressAdapter("pt", cfg.progress),
 		TargetCost:  cfg.targetCost,
+		Initial:     init,
 	})
 	if err != nil {
 		return nil, err
@@ -414,7 +442,7 @@ func (m *Model) asMKP() (*mkp.Instance, error) {
 	}
 	for k, c := range m.sys.Cons {
 		if c.Sense != constraint.LE {
-			return nil, fmt.Errorf("saim: constraint %d is an equality; combinatorial backends need ≤ knapsack constraints", k)
+			return nil, fmt.Errorf("saim: constraint %d is a %v constraint; combinatorial backends need ≤ knapsack constraints", k, c.Sense)
 		}
 		b, ok := nearInt(c.B)
 		if !ok || b < 0 {
@@ -523,6 +551,10 @@ func (s *gaSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 			}
 		}
 	}
+	init, err := initialBits(m, cfg)
+	if err != nil {
+		return nil, err
+	}
 	// Map the shared iteration knob onto offspring count (one iteration ≈
 	// 20 offspring, so budgets roughly match the annealing backends);
 	// zero falls back to the GA's own default (10000 children). Patience
@@ -534,6 +566,7 @@ func (s *gaSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 		Progress:   prog,
 		TargetCost: target,
 		Patience:   cfg.patience * 20,
+		Initial:    init,
 	})
 	if err != nil {
 		return nil, err

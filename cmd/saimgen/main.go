@@ -5,10 +5,14 @@
 //
 //	saimgen -family qkp -n 100 -density 0.5 -id 1 -seed 42 -o 100-50-1.qkp
 //	saimgen -family mkp -n 100 -m 5 -tightness 0.5 -id 1 -o 100-5-1.mkp
+//	saimgen -family qubo -n 64 -density 0.1 -o cut-64.qubo
 //
-// With -o "-" (the default) the instance is written to stdout. Seeds
-// default to a deterministic hash of the parameters so regenerating the
-// same instance id yields identical data.
+// The qubo family draws a random max-cut graph through the public problems
+// catalog and writes its declarative model as a portable qbsolv-format
+// QUBO via model.Save; solve it with `saimsolve -load file.qubo` or any
+// other qbsolv-compatible tool. With -o "-" (the default) the instance is
+// written to stdout. Seeds default to a deterministic hash of the
+// parameters so regenerating the same instance id yields identical data.
 package main
 
 import (
@@ -19,14 +23,16 @@ import (
 
 	"github.com/ising-machines/saim/internal/mkp"
 	"github.com/ising-machines/saim/internal/qkp"
+	"github.com/ising-machines/saim/model"
+	"github.com/ising-machines/saim/problems"
 )
 
 func main() {
 	var (
-		family    = flag.String("family", "qkp", "instance family: qkp or mkp")
-		n         = flag.Int("n", 100, "number of items")
+		family    = flag.String("family", "qkp", "instance family: qkp, mkp, or qubo (random max-cut energy)")
+		n         = flag.Int("n", 100, "number of items / vertices")
 		m         = flag.Int("m", 5, "number of constraints (mkp only)")
-		density   = flag.Float64("density", 0.5, "pair-value density in (0,1] (qkp only)")
+		density   = flag.Float64("density", 0.5, "pair-value / edge density in (0,1] (qkp and qubo)")
 		tightness = flag.Float64("tightness", 0.5, "capacity tightness in (0,1) (mkp only)")
 		id        = flag.Int("id", 1, "instance id (names the instance)")
 		seed      = flag.Uint64("seed", 0, "generator seed (0 = derive from parameters)")
@@ -60,8 +66,24 @@ func main() {
 		if err := inst.Write(w); err != nil {
 			fatal(err)
 		}
+	case "qubo":
+		// A random max-cut energy as a portable QUBO. The file format
+		// holds minimization energies, so the cut −w·(x_u + x_v − 2x_ux_v)
+		// enters negated; the file's minimum is the maximum cut.
+		g := problems.RandomGraph(*n, *density, 10, s)
+		qm := model.New()
+		x := qm.Binary("x", g.N)
+		terms := make([]model.Expr, 0, 3*len(g.Edges))
+		for _, e := range g.Edges {
+			terms = append(terms,
+				x[e.U].Mul(-e.W), x[e.V].Mul(-e.W), x[e.U].Times(x[e.V]).Mul(2*e.W))
+		}
+		qm.Minimize(model.Sum(terms...))
+		if err := model.Save(w, qm); err != nil {
+			fatal(err)
+		}
 	default:
-		fatal(fmt.Errorf("unknown family %q (want qkp or mkp)", *family))
+		fatal(fmt.Errorf("unknown family %q (want qkp, mkp, or qubo)", *family))
 	}
 }
 

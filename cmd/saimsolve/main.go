@@ -1,24 +1,27 @@
-// Command saimsolve solves a QKP, MKP, or QUBO instance file with any
-// registered solver backend.
+// Command saimsolve solves a QKP, MKP, or QUBO instance with any
+// registered solver backend, through the declarative modeling layer.
 //
 // Usage:
 //
 //	saimsolve -family qkp -solver saim   instance.qkp
 //	saimsolve -family mkp -solver ga     instance.mkp
 //	saimsolve -family qkp -solver exact  instance.qkp
-//	saimsolve -family qubo               instance.qubo
+//	saimsolve -load model.qubo -solver saim
 //
 // Solvers come from the unified registry (saim.Solvers()): saim (the
 // self-adaptive Ising machine), penalty (classical penalty method), pt
 // (parallel tempering), ga (Chu–Beasley genetic algorithm), greedy, and
-// exact (branch and bound). Every family is converted to the unified
-// saim.Model, so every solver that accepts the model's form works on it.
+// exact (branch and bound). Knapsack families build through the public
+// problems catalog; -load reads a portable qbsolv-format QUBO through
+// model.Load. Every path produces a declarative model, so every solver
+// that accepts the model's form works on it, and results are reported
+// with a named per-constraint slack/violation table.
 //
 // Ctrl-C cancels the solve gracefully: the best solution found so far is
 // printed before exiting. If the solve ends without a feasible solution
 // the command prints a message to stderr and exits with status 2.
 //
-// The instance format is the one produced by saimgen (see packages
+// Instance files are the ones produced by saimgen (see packages
 // internal/qkp and internal/mkp for the grammar).
 package main
 
@@ -34,12 +37,14 @@ import (
 	saim "github.com/ising-machines/saim"
 	"github.com/ising-machines/saim/internal/mkp"
 	"github.com/ising-machines/saim/internal/qkp"
-	"github.com/ising-machines/saim/internal/qubofile"
+	"github.com/ising-machines/saim/model"
+	"github.com/ising-machines/saim/problems"
 )
 
 func main() {
 	var (
 		family   = flag.String("family", "qkp", "instance family: qkp, mkp, or qubo (qbsolv file, unconstrained)")
+		load     = flag.String("load", "", "load a qbsolv-format QUBO model file (alternative to a positional instance)")
 		solver   = flag.String("solver", "saim", "registered solver: "+strings.Join(saim.Solvers(), ", "))
 		runs     = flag.Int("runs", 500, "annealing runs / SAIM iterations")
 		sweeps   = flag.Int("sweeps", 1000, "Monte-Carlo sweeps per run")
@@ -54,20 +59,12 @@ func main() {
 		every    = flag.Int("progress", 0, "print a progress line to stderr every N iterations (0 = off)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("expected exactly one instance file, got %d", flag.NArg()))
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
 
 	// Ctrl-C cancels the context; every backend returns its best-so-far.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	model, name, opts, err := buildModel(f, *family, *eta, *alpha, *betaMax, *solver)
+	m, name, opts, err := buildModel(*load, *family, *eta, *alpha, *betaMax, *solver)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,20 +94,36 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := saim.SolveModel(ctx, *solver, model, opts...)
+	sol, err := m.Solve(ctx, *solver, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	printResult(name, res, start)
-	if res.Infeasible() {
+	printSolution(name, sol, start)
+	if !sol.Feasible() {
 		fmt.Fprintln(os.Stderr, "saimsolve: no feasible solution found")
 		os.Exit(2)
 	}
 }
 
-// buildModel reads the instance file and converts it to the unified Model,
-// returning the instance name and the family's default solver options.
-func buildModel(f *os.File, family string, eta, alpha, betaMax float64, solver string) (*saim.Model, string, []saim.Option, error) {
+// buildModel reads the instance and builds the declarative model, the
+// instance name, and the family's default solver options.
+func buildModel(load, family string, eta, alpha, betaMax float64, solver string) (*model.Model, string, []saim.Option, error) {
+	if load != "" {
+		m, err := model.LoadFile(load)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return m, load, []saim.Option{saim.WithBetaMax(orF(betaMax, 10))}, nil
+	}
+	if flag.NArg() != 1 {
+		return nil, "", nil, fmt.Errorf("expected exactly one instance file (or -load), got %d", flag.NArg())
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return nil, "", nil, err
+	}
+	defer f.Close()
+
 	var opts []saim.Option
 	addDefaults := func(defEta, defAlpha, defBeta float64) {
 		opts = append(opts, saim.WithEta(orF(eta, defEta)), saim.WithBetaMax(orF(betaMax, defBeta)))
@@ -129,82 +142,92 @@ func buildModel(f *os.File, family string, eta, alpha, betaMax float64, solver s
 			return nil, "", nil, err
 		}
 		addDefaults(20, 2, 10)
-		b := saim.NewBuilder(inst.N)
-		b.Density(inst.Density) // keep the paper's P = α·d·N pricing
-		weights := make([]float64, inst.N)
+		spec := problems.KnapsackSpec{
+			Values:     make([]float64, inst.N),
+			PairValues: make([][]float64, inst.N),
+			Weights:    [][]float64{make([]float64, inst.N)},
+			Capacities: []float64{float64(inst.B)},
+			Density:    inst.Density, // keep the paper's P = α·d·N pricing
+		}
 		for i := 0; i < inst.N; i++ {
-			b.Linear(i, -float64(inst.H[i]))
-			weights[i] = float64(inst.A[i])
-			for j := i + 1; j < inst.N; j++ {
-				if inst.W[i][j] != 0 {
-					b.Quadratic(i, j, -float64(inst.W[i][j]))
-				}
+			spec.Values[i] = float64(inst.H[i])
+			spec.Weights[0][i] = float64(inst.A[i])
+			spec.PairValues[i] = make([]float64, inst.N)
+			for j := 0; j < inst.N; j++ {
+				spec.PairValues[i][j] = float64(inst.W[i][j])
 			}
 		}
-		b.ConstrainLE(weights, float64(inst.B))
-		m, err := b.Model()
-		return m, inst.Name, opts, err
+		p, err := problems.Knapsack(spec)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return p.Model, inst.Name, opts, nil
 	case "mkp":
 		inst, err := mkp.Read(f)
 		if err != nil {
 			return nil, "", nil, err
 		}
 		addDefaults(0.05, 5, 50)
-		b := saim.NewBuilder(inst.N)
-		b.Density(inst.ApproxDensity()) // paper's MKP surrogate d = 2/(N+1)
+		spec := problems.KnapsackSpec{
+			Values:     make([]float64, inst.N),
+			Weights:    make([][]float64, inst.M),
+			Capacities: make([]float64, inst.M),
+			Density:    inst.ApproxDensity(), // paper's MKP surrogate d = 2/(N+1)
+		}
 		for j := 0; j < inst.N; j++ {
-			b.Linear(j, -float64(inst.H[j]))
+			spec.Values[j] = float64(inst.H[j])
 		}
 		for i := 0; i < inst.M; i++ {
-			row := make([]float64, inst.N)
+			spec.Weights[i] = make([]float64, inst.N)
 			for j, w := range inst.A[i] {
-				row[j] = float64(w)
+				spec.Weights[i][j] = float64(w)
 			}
-			b.ConstrainLE(row, float64(inst.B[i]))
+			spec.Capacities[i] = float64(inst.B[i])
 		}
-		m, err := b.Model()
-		return m, inst.Name, opts, err
+		p, err := problems.Knapsack(spec)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return p.Model, inst.Name, opts, nil
 	case "qubo":
-		q, err := qubofile.Read(f)
+		m, err := model.Load(f)
 		if err != nil {
 			return nil, "", nil, err
 		}
 		opts = append(opts, saim.WithBetaMax(orF(betaMax, 10)))
-		b := saim.NewBuilder(q.N())
-		b.Term(q.Const)
-		for i := 0; i < q.N(); i++ {
-			b.Linear(i, q.C[i])
-			for j := i + 1; j < q.N(); j++ {
-				if v := q.Q.At(i, j); v != 0 {
-					b.Quadratic(i, j, 2*v)
-				}
-			}
-		}
-		m, err := b.Model()
-		return m, fmt.Sprintf("qubo-%dvars", q.N()), opts, err
+		return m, fmt.Sprintf("qubo-%dvars", m.N()), opts, nil
 	default:
 		return nil, "", nil, fmt.Errorf("unknown family %q", family)
 	}
 }
 
-func printResult(name string, res *saim.Result, start time.Time) {
+func printSolution(name string, sol *model.Solution, start time.Time) {
+	res := sol.Result()
 	fmt.Printf("instance: %s\nsolver: %s\n", name, res.Solver)
 	if res.Stopped != saim.StopCompleted {
 		fmt.Printf("stopped: %s\n", res.Stopped)
 	}
-	if res.Assignment == nil {
+	if !sol.Feasible() {
 		fmt.Println("result: no feasible solution found")
 		fmt.Printf("wall time: %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
+	asn := sol.Assignment()
 	selected := 0
-	for _, v := range res.Assignment {
+	for _, v := range asn {
 		if v != 0 {
 			selected++
 		}
 	}
 	fmt.Printf("cost: %.0f (value %.0f)\nselected items: %d/%d\nfeasible samples: %.1f%%\n",
-		res.Cost, -res.Cost, selected, len(res.Assignment), res.FeasibleRatio)
+		res.Cost, -res.Cost, selected, len(asn), res.FeasibleRatio)
+	if report := sol.Constraints(); len(report) > 0 {
+		fmt.Println("constraints:")
+		for _, cs := range report {
+			fmt.Printf("  %-14s %v %8.0f  activity %8.2f  slack %8.2f\n",
+				cs.Name, cs.Sense, cs.Bound, cs.Activity, cs.Slack)
+		}
+	}
 	if res.Sweeps > 0 {
 		fmt.Printf("Monte-Carlo sweeps: %d\n", res.Sweeps)
 	}

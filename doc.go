@@ -47,6 +47,18 @@
 // SolveHighOrder, SolveParallel) remain as thin deprecated wrappers over
 // the unified API.
 //
+// # The declarative layer
+//
+// Package model is the recommended front door for application code: named,
+// indexed variable families, algebraic expressions (Dot, Sum, Times),
+// Minimize/Maximize, named constraints in all three senses (LE/EQ/GE), and
+// name-aware solution extraction with a per-constraint slack report — all
+// compiling losslessly onto this package's Builder. Package problems is a
+// catalog of ready-made workloads (knapsack, max-cut, coloring,
+// assignment, scheduling, portfolio, set cover) built on it, each pairing
+// a declarative model with a typed decoder. WithInitial warm-starts the
+// saim, penalty, pt, and ga backends from a known-good assignment.
+//
 // The module also ships the paper's full benchmark suites (quadratic and
 // multidimensional knapsack problems), the penalty-method, parallel-
 // tempering and genetic-algorithm baselines, exact branch-and-bound

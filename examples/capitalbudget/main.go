@@ -1,6 +1,7 @@
 // Capital budgeting as a multidimensional knapsack — the resource-
-// allocation workload the paper's introduction motivates (capital
-// budgeting, portfolio selection, production planning all reduce to MKP).
+// allocation workload the paper's introduction motivates — through the
+// public problem catalog, with a greedy warm start and a full registry
+// sweep on the identical model.
 //
 //	go run ./examples/capitalbudget
 //
@@ -10,9 +11,9 @@
 // three budgets — an MKP with M=3 constraints.
 //
 // Because the model is integer knapsack-shaped, *every* registered backend
-// can solve it: the example runs SAIM first, then sweeps the whole
-// registry (penalty method, parallel tempering, genetic algorithm, greedy,
-// exact branch and bound) on the same Model for comparison.
+// can solve it: the example runs the instant greedy heuristic first, feeds
+// its portfolio to SAIM as a warm start (WithInitial — the solve can never
+// return worse than the seed), then sweeps the remaining registry.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"log"
 
 	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/problems"
 )
 
 type project struct {
@@ -50,85 +52,88 @@ func main() {
 		{"brand-refresh", 120, 60, 70, 2},
 		{"safety-retrofit", 160, 100, 50, 2},
 	}
-	budgets := map[string]float64{"capital-y1": 1500, "capital-y2": 1000, "engineering": 30}
+	resources := []string{"capital-y1", "capital-y2", "engineering"}
+	budgets := []float64{1500, 1000, 30}
 
 	n := len(projects)
-	b := saim.NewBuilder(n)
-	capY1 := make([]float64, n)
-	capY2 := make([]float64, n)
-	eng := make([]float64, n)
-	for i, p := range projects {
-		b.Linear(i, -p.npv)
-		capY1[i] = p.capY1
-		capY2[i] = p.capY2
-		eng[i] = p.eng
+	spec := problems.KnapsackSpec{
+		Values:     make([]float64, n),
+		Weights:    [][]float64{make([]float64, n), make([]float64, n), make([]float64, n)},
+		Capacities: budgets,
 	}
-	b.ConstrainLE(capY1, budgets["capital-y1"])
-	b.ConstrainLE(capY2, budgets["capital-y2"])
-	b.ConstrainLE(eng, budgets["engineering"])
-	model, err := b.Model()
+	for i, p := range projects {
+		spec.Values[i] = p.npv
+		spec.Weights[0][i] = p.capY1
+		spec.Weights[1][i] = p.capY2
+		spec.Weights[2][i] = p.eng
+	}
+	kp, err := problems.Knapsack(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	ctx := context.Background()
-	opts := []saim.Option{
+	opts := append(kp.Recommended(), // MKP settings: η=0.05, α=5, βmax=50
 		saim.WithIterations(600),
 		saim.WithSweepsPerRun(300),
-		saim.WithEta(1.0),
-		saim.WithBetaMax(50), // MKP setting: no quadratic objective, anneal colder
-		saim.WithAlpha(5),    // P = 5·d·N as in the paper's MKP experiments
+		saim.WithEta(1.0), // override: tiny instance anneals fine with a larger step
 		saim.WithSeed(7),
-	}
-	res, err := saim.SolveModel(ctx, "saim", model, opts...)
+	)
+
+	// Instant constructive baseline, reused as SAIM's warm start.
+	greedySol, err := kp.Model.Solve(ctx, "greedy")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Infeasible() {
+	fmt.Printf("greedy warm start: NPV %.0fk$\n\n", greedySol.Objective())
+
+	sol, err := kp.Model.Solve(ctx, "saim",
+		append(opts, saim.WithInitial(greedySol.Assignment()))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sol.Feasible() {
 		log.Fatal("no feasible portfolio found")
 	}
 
 	fmt.Println("== SAIM portfolio ==")
-	used := map[string]float64{}
-	for i, take := range res.Assignment {
-		if take != 1 {
-			continue
-		}
-		p := projects[i]
-		fmt.Printf("  %-24s NPV %4.0fk$\n", p.name, p.npv)
-		used["capital-y1"] += p.capY1
-		used["capital-y2"] += p.capY2
-		used["engineering"] += p.eng
+	for _, i := range kp.Selected(sol) {
+		fmt.Printf("  %-24s NPV %4.0fk$\n", projects[i].name, projects[i].npv)
 	}
-	fmt.Printf("portfolio NPV: %.0fk$\n", -res.Cost)
-	for _, r := range []string{"capital-y1", "capital-y2", "engineering"} {
-		fmt.Printf("  %-12s %5.0f / %5.0f\n", r, used[r], budgets[r])
+	fmt.Printf("portfolio NPV: %.0fk$\n", sol.Objective())
+	for i, cs := range sol.Constraints() {
+		fmt.Printf("  %-12s %5.0f / %5.0f\n", resources[i], cs.Activity, cs.Bound)
 	}
+	res := sol.Result()
 	fmt.Printf("multipliers (shadow-price-like): %v\n", res.Lambda)
 
 	// Every other registered backend on the same Model. The penalty method
 	// reuses SAIM's untuned P, showing the tuning problem SAIM removes.
 	fmt.Println("\n== solver comparison on the same model ==")
+	compiled, err := kp.Model.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, name := range saim.Solvers() {
-		if name == "saim" {
+		if name == "saim" || name == "greedy" {
 			continue
 		}
 		s, err := saim.Get(name)
-		if err != nil || !s.Accepts(model.Form()) {
+		if err != nil || !s.Accepts(compiled.Form()) {
 			continue
 		}
-		cmp, err := s.Solve(ctx, model, append(opts, saim.WithPenalty(res.Penalty))...)
+		cmp, err := kp.Model.Solve(ctx, name, append(opts, saim.WithPenalty(res.Penalty))...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if cmp.Infeasible() {
+		if !cmp.Feasible() {
 			fmt.Printf("  %-8s no feasible portfolio (P below critical value)\n", name)
 			continue
 		}
 		note := ""
-		if cmp.Optimal {
+		if cmp.Result().Optimal {
 			note = " (proven optimal)"
 		}
-		fmt.Printf("  %-8s NPV %4.0fk$%s\n", name, -cmp.Cost, note)
+		fmt.Printf("  %-8s NPV %4.0fk$%s\n", name, cmp.Objective(), note)
 	}
 }

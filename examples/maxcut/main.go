@@ -1,14 +1,13 @@
 // Max-cut on the p-bit Ising machine — the unconstrained workload the
-// paper's introduction uses to motivate Ising machines (minimizing the
-// Ising Hamiltonian is equivalent to maximizing a graph cut).
+// paper's introduction uses to motivate Ising machines — through the
+// public problem catalog.
 //
 //	go run ./examples/maxcut
 //
-// We cut a random 3-regular-ish graph. For each edge (i,j) with weight w,
-// the cut gains w when x_i ≠ x_j; in QUBO form that is
-// −w·(x_i + x_j − 2·x_i·x_j), and the Ising machine minimizes the total.
-// With no constraints added, Builder.Model reports FormUnconstrained and
-// the "saim" solver runs plain multi-run annealing on it.
+// We cut a deterministic ring-plus-chords graph. The catalog constructor
+// builds the declarative model (maximize the crossing weight) and pairs it
+// with a typed decoder, so the example never touches QUBO coefficients or
+// variable indices.
 package main
 
 import (
@@ -17,65 +16,35 @@ import (
 	"log"
 
 	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/problems"
 )
 
-type edge struct {
-	u, v int
-	w    float64
-}
-
 func main() {
-	const n = 24
-	// Deterministic pseudo-random graph: ring plus chords.
-	var edges []edge
-	for i := 0; i < n; i++ {
-		edges = append(edges, edge{i, (i + 1) % n, 1})
-		if i%3 == 0 {
-			edges = append(edges, edge{i, (i + n/2) % n, 2})
-		}
-	}
+	// Ring of 24 vertices plus a heavy chord from every third vertex.
+	g := problems.RingChordsGraph(24, 3, 2)
 
-	b := saim.NewBuilder(n)
-	for _, e := range edges {
-		b.Linear(e.u, -e.w)
-		b.Linear(e.v, -e.w)
-		b.Quadratic(e.u, e.v, 2*e.w)
-	}
-	model, err := b.Model()
+	p, err := problems.MaxCut(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model form: %s\n", model.Form())
-
-	res, err := saim.SolveModel(context.Background(), "saim", model,
-		saim.WithIterations(100), // annealing runs
-		saim.WithSweepsPerRun(500),
-		saim.WithSeed(3),
-	)
+	compiled, err := p.Model.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
-	x := res.Assignment
+	fmt.Printf("model form: %s\n", compiled.Form())
 
-	cut := 0.0
-	for _, e := range edges {
-		if x[e.u] != x[e.v] {
-			cut += e.w
-		}
+	sol, err := p.Model.Solve(context.Background(), "saim",
+		append(p.Recommended(), saim.WithSeed(3))...)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var left, right []int
-	for i, side := range x {
-		if side == 0 {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
+
+	left, right := p.Partition(sol)
 	total := 0.0
-	for _, e := range edges {
-		total += e.w
+	for _, e := range g.Edges {
+		total += e.W
 	}
-	fmt.Printf("graph: %d vertices, %d edges, total weight %.0f\n", n, len(edges), total)
-	fmt.Printf("cut weight: %.0f (energy %.0f)\n", cut, res.Cost)
+	fmt.Printf("graph: %d vertices, %d edges, total weight %.0f\n", g.N, len(g.Edges), total)
+	fmt.Printf("cut weight: %.0f\n", p.CutValue(sol))
 	fmt.Printf("partition sizes: %d | %d\n", len(left), len(right))
 }

@@ -1,6 +1,7 @@
 // Production planning with synergies and an exact staffing constraint —
-// demonstrates quadratic objectives together with mixed ≤/= constraints,
-// plus the progress-streaming hook of the unified Solver API.
+// demonstrates quadratic objectives together with mixed ≤/= constraints on
+// the declarative layer, plus progress streaming and the named
+// per-constraint slack report.
 //
 //	go run ./examples/production
 //
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
 )
 
 func main() {
@@ -38,30 +40,17 @@ func main() {
 	}
 	const linesToStaff = 4
 
-	n := len(names)
-	b := saim.NewBuilder(n)
-	for i := range names {
-		b.Linear(i, -margin[i])
-	}
+	m := model.New()
+	run := m.Binary("run", len(names))
+	obj := model.Dot(margin, run)
 	for _, s := range synergies {
-		b.Quadratic(s.a, s.b, -s.bonus)
+		obj = obj.Add(run[s.a].Times(run[s.b]).Mul(s.bonus))
 	}
-	b.ConstrainLE(hours, hourBudget)
-	ones := make([]float64, n)
-	for i := range ones {
-		ones[i] = 1
-	}
-	b.ConstrainEQ(ones, linesToStaff)
-	model, err := b.Model()
-	if err != nil {
-		log.Fatal(err)
-	}
+	m.Maximize(obj)
+	m.Constrain("hours", model.Dot(hours, run).LE(hourBudget))
+	m.Constrain("lines", run.Sum().EQ(linesToStaff))
 
-	solver, err := saim.Get("saim")
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := solver.Solve(context.Background(), model,
+	sol, err := m.Solve(context.Background(), "saim",
 		saim.WithIterations(800),
 		saim.WithSweepsPerRun(400),
 		saim.WithEta(2),
@@ -77,25 +66,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Infeasible() {
+	if !sol.Feasible() {
 		log.Fatal("no feasible plan found")
 	}
 
 	fmt.Println("production plan:")
-	usedHours, lines := 0.0, 0
-	for i, run := range res.Assignment {
-		if run == 1 {
-			fmt.Printf("  %-12s margin %3.0f, hours %2.0f\n", names[i], margin[i], hours[i])
-			usedHours += hours[i]
-			lines++
+	for i, name := range names {
+		if sol.Value("run", i) == 1 {
+			fmt.Printf("  %-12s margin %3.0f, hours %2.0f\n", name, margin[i], hours[i])
 		}
 	}
-	cost, feasible, err := model.Evaluate(res.Assignment)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("total margin incl. synergies: %.0f\n", sol.Objective())
+	for _, cs := range sol.Constraints() {
+		fmt.Printf("  %-6s %v %4.0f  used %4.0f  slack %4.0f  satisfied=%v\n",
+			cs.Name, cs.Sense, cs.Bound, cs.Activity, cs.Slack, cs.Satisfied)
 	}
-	fmt.Printf("total margin incl. synergies: %.0f\n", -cost)
-	fmt.Printf("machine hours: %.0f / %d, lines staffed: %d (must be %d)\n",
-		usedHours, hourBudget, lines, linesToStaff)
-	fmt.Printf("constraint check: feasible=%v, feasible samples %.1f%%\n", feasible, res.FeasibleRatio)
+	fmt.Printf("feasible samples %.1f%%\n", sol.Result().FeasibleRatio)
 }

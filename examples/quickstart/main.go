@@ -1,12 +1,13 @@
 // Quickstart: solve a small knapsack problem with the self-adaptive Ising
-// machine in a dozen lines.
+// machine through the declarative modeling layer.
 //
 //	go run ./examples/quickstart
 //
 // We pack a 10-item knapsack: maximize total value subject to one weight
-// limit. The builder takes the *minimization* objective, so values enter
-// with negative signs. The built Model runs through the unified Solver
-// API; swap "saim" for any name in saim.Solvers() to compare backends.
+// limit. Variables are declared by name, the objective is stated as a
+// maximization directly (no sign flipping), and the solution is read back
+// by name — no index arithmetic anywhere. Swap "saim" for any name in
+// saim.Solvers() to compare backends on the identical model.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"log"
 
 	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
 )
 
 func main() {
@@ -22,17 +24,12 @@ func main() {
 	weights := []float64{10, 20, 30, 15, 18, 9, 21, 27, 7, 12}
 	const capacity = 80
 
-	b := saim.NewBuilder(len(values))
-	for i, v := range values {
-		b.Linear(i, -v) // minimize −value = maximize value
-	}
-	b.ConstrainLE(weights, capacity)
-	model, err := b.Model()
-	if err != nil {
-		log.Fatal(err)
-	}
+	m := model.New()
+	take := m.Binary("take", len(values))
+	m.Maximize(model.Dot(values, take))
+	m.Constrain("weight", model.Dot(weights, take).LE(capacity))
 
-	res, err := saim.SolveModel(context.Background(), "saim", model,
+	sol, err := m.Solve(context.Background(), "saim",
 		saim.WithIterations(300),   // annealing runs (λ updates)
 		saim.WithSweepsPerRun(300), // Monte-Carlo sweeps per run
 		saim.WithEta(5),            // Lagrange step size
@@ -41,20 +38,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Infeasible() {
+	if !sol.Feasible() {
 		log.Fatal("no feasible packing found")
 	}
 
-	total, weight := 0.0, 0.0
 	fmt.Println("selected items:")
-	for i, take := range res.Assignment {
-		if take == 1 {
+	for i := range values {
+		if sol.Value("take", i) == 1 {
 			fmt.Printf("  item %d: value %v, weight %v\n", i, values[i], weights[i])
-			total += values[i]
-			weight += weights[i]
 		}
 	}
-	fmt.Printf("total value: %v (weight %v / %v)\n", total, weight, float64(capacity))
+	fmt.Printf("total value: %v\n", sol.Objective())
+	weight := sol.Constraints()[0]
+	fmt.Printf("weight used: %.0f / %.0f (slack %.0f)\n", weight.Activity, weight.Bound, weight.Slack)
+	res := sol.Result()
 	fmt.Printf("feasible samples during search: %.1f%%\n", res.FeasibleRatio)
 	fmt.Printf("penalty P=%.1f (untuned heuristic), final lambda=%v\n", res.Penalty, res.Lambda)
 }

@@ -1,6 +1,6 @@
 // Shift scheduling on a higher-order Ising machine — exercises the
-// high-order form of the unified Model (polynomial objectives AND
-// polynomial constraints), the capability the paper attributes to
+// high-order form of the unified Model (polynomial constraints) through
+// the public problem catalog, the capability the paper attributes to
 // high-order IMs [19].
 //
 //	go run ./examples/scheduling
@@ -9,13 +9,9 @@
 // cheapest crew such that:
 //
 //   - exactly three technicians are on shift (linear equality),
-//   - at least one *certified pair* works together — certification
+//   - exactly one *certified pair* works together — certification
 //     requires two specific people simultaneously, which is a product
-//     term x_i·x_j, making the constraint genuinely quadratic:
-//     x₀x₁ + x₂x₃ ≥ 1 is imposed as equality via an indicator trick
-//     (we require x₀x₁ + x₂x₃ − s = 0 with a decision bit s forced to 1
-//     — here simplified to the equality x₀x₁ + x₂x₃ = 1: exactly one
-//     certified pair on shift).
+//     term x_i·x_j, making the constraint genuinely quadratic.
 package main
 
 import (
@@ -24,68 +20,46 @@ import (
 	"log"
 
 	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/problems"
 )
 
 func main() {
 	names := []string{"ana", "bo", "chen", "dana", "emil", "fay"}
 	hourly := []float64{52, 48, 61, 45, 38, 41}
-	const crewSize = 3
 
-	b := saim.NewBuilder(len(names))
-
-	// Objective: minimize total hourly cost of the crew.
-	for i, c := range hourly {
-		b.Linear(i, c)
-	}
-
-	// Constraint 1: exactly crewSize on shift (linear equality; converted
-	// to a polynomial automatically once the model turns high-order).
-	ones := make([]float64, len(names))
-	for i := range ones {
-		ones[i] = 1
-	}
-	b.ConstrainEQ(ones, crewSize)
-
-	// Constraint 2: exactly one certified pair together — quadratic:
-	// x_ana·x_bo + x_chen·x_dana = 1. Any polynomial constraint marks the
-	// model as high-order.
-	b.ConstrainPolyEQ(
-		saim.Monomial{W: 1, Vars: []int{0, 1}},
-		saim.Monomial{W: 1, Vars: []int{2, 3}},
-		saim.Monomial{W: -1},
-	)
-
-	model, err := b.Model()
+	p, err := problems.ShiftScheduling(problems.ShiftSpec{
+		Rates:          hourly,
+		CrewSize:       3,
+		CertifiedPairs: [][2]int{{0, 1}, {2, 3}}, // ana+bo, chen+dana
+		RequiredPairs:  1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("model form: %s (%d constraints)\n", model.Form(), model.NumConstraints())
-
-	res, err := saim.SolveModel(context.Background(), "saim", model,
-		saim.WithPenalty(3),
-		saim.WithEta(0.5),
-		saim.WithIterations(300),
-		saim.WithSweepsPerRun(200),
-		saim.WithSeed(21),
-	)
+	compiled, err := p.Model.Compile()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Infeasible() {
+	fmt.Printf("model form: %s (%d constraints)\n", compiled.Form(), compiled.NumConstraints())
+
+	sol, err := p.Model.Solve(context.Background(), "saim",
+		append(p.Recommended(), saim.WithSeed(21))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crew := p.Crew(sol)
+	if crew == nil {
 		log.Fatal("no feasible crew found")
 	}
 
 	fmt.Println("crew:")
-	total := 0.0
-	for i, on := range res.Assignment {
-		if on == 1 {
-			fmt.Printf("  %-5s (%v/h)\n", names[i], hourly[i])
-			total += hourly[i]
-		}
+	for _, i := range crew {
+		fmt.Printf("  %-5s (%v/h)\n", names[i], hourly[i])
 	}
-	fmt.Printf("total rate: %v/h\n", total)
+	fmt.Printf("total rate: %v/h\n", p.TotalRate(sol))
 	fmt.Printf("certified pair on shift: ana+bo=%v, chen+dana=%v\n",
-		res.Assignment[0] == 1 && res.Assignment[1] == 1,
-		res.Assignment[2] == 1 && res.Assignment[3] == 1)
+		sol.Value("onshift", 0) == 1 && sol.Value("onshift", 1) == 1,
+		sol.Value("onshift", 2) == 1 && sol.Value("onshift", 3) == 1)
+	res := sol.Result()
 	fmt.Printf("feasible samples: %.1f%%, multipliers: %v\n", res.FeasibleRatio, res.Lambda)
 }

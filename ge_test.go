@@ -1,0 +1,224 @@
+package saim
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// geCover builds a tiny weighted set cover through ConstrainGE:
+// min Σ c_j x_j s.t. each element covered at least once.
+func geCover(t *testing.T) (*Model, []float64, [][]float64) {
+	t.Helper()
+	costs := []float64{3, 4, 2, 2, 3}
+	rows := [][]float64{ // one coverage row per element
+		{1, 1, 0, 0, 0},
+		{1, 0, 1, 0, 0},
+		{0, 1, 1, 0, 1},
+		{0, 0, 0, 1, 1},
+	}
+	b := NewBuilder(len(costs))
+	for j, c := range costs {
+		b.Linear(j, c)
+	}
+	for _, row := range rows {
+		b.ConstrainGE(row, 1)
+	}
+	m, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, costs, rows
+}
+
+// TestGEEvaluateSemantics checks feasibility gating of ≥ rows through
+// Model.Evaluate against a brute-force check of the original constraints.
+func TestGEEvaluateSemantics(t *testing.T) {
+	m, costs, rows := geCover(t)
+	n := len(costs)
+	asn := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		want := true
+		wantCost := 0.0
+		for i := range asn {
+			asn[i] = mask >> i & 1
+			if asn[i] == 1 {
+				wantCost += costs[i]
+			}
+		}
+		for _, row := range rows {
+			s := 0.0
+			for j, a := range row {
+				s += a * float64(asn[j])
+			}
+			if s < 1 {
+				want = false
+			}
+		}
+		cost, feasible, err := m.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if feasible != want || cost != wantCost {
+			t.Fatalf("assignment %v: got (%v, %v), want (%v, %v)", asn, cost, feasible, wantCost, want)
+		}
+	}
+}
+
+// TestGERoundTripVsExact solves the GE model with SAIM and compares
+// against the exact backend run on the complemented (≤-form) model —
+// the round-trip of the negation lowering.
+func TestGERoundTripVsExact(t *testing.T) {
+	m, costs, rows := geCover(t)
+	n := len(costs)
+
+	// Complement y = 1 − x: min Σc − Σ c_j y_j with per-element rows
+	// Σ y_j ≤ (#covering sets) − 1 — an integer MKP for the exact backend.
+	cb := NewBuilder(n)
+	total := 0.0
+	for j, c := range costs {
+		cb.Linear(j, -c)
+		total += c
+	}
+	for _, row := range rows {
+		k := 0.0
+		for _, a := range row {
+			k += a
+		}
+		cb.ConstrainLE(row, k-1)
+	}
+	comp, err := cb.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := SolveModel(context.Background(), "exact", comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Optimal {
+		t.Fatal("exact backend did not prove optimality")
+	}
+	optimum := total + exact.Cost
+
+	// The complemented exact optimum is feasible on the GE model at the
+	// same cost.
+	x := make([]int, n)
+	for j, y := range exact.Assignment {
+		x[j] = 1 - y
+	}
+	cost, feasible, err := m.Evaluate(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feasible || math.Abs(cost-optimum) > 1e-9 {
+		t.Fatalf("complement round-trip broken: cost %v feasible %v, want %v", cost, feasible, optimum)
+	}
+
+	// SAIM reaches the optimum on the GE model directly.
+	res, err := SolveModel(context.Background(), "saim", m,
+		WithIterations(400), WithSweepsPerRun(200), WithEta(1), WithBetaMax(20), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible() {
+		t.Fatal("saim found no cover")
+	}
+	if math.Abs(res.Cost-optimum) > 1e-9 {
+		t.Fatalf("saim cost %v, optimum %v", res.Cost, optimum)
+	}
+}
+
+// TestGEBuilderErrors pins the builder-level validation of ≥ constraints.
+func TestGEBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	b.ConstrainGE([]float64{-1, 1}, 1)
+	if _, err := b.Model(); err == nil {
+		t.Fatal("accepted negative ≥ coefficient")
+	}
+	b = NewBuilder(2)
+	b.ConstrainGE([]float64{1, 1}, -1)
+	if _, err := b.Model(); err == nil {
+		t.Fatal("accepted negative ≥ bound")
+	}
+	b = NewBuilder(2)
+	b.ConstrainGE([]float64{1, 1}, 3)
+	if _, err := b.Model(); err == nil {
+		t.Fatal("accepted unsatisfiable ≥ bound")
+	}
+	// GE cannot join a high-order model.
+	b = NewBuilder(3)
+	b.Term(1, 0, 1, 2)
+	b.ConstrainGE([]float64{1, 1, 1}, 1)
+	if _, err := b.Model(); err == nil {
+		t.Fatal("accepted ≥ constraint in a high-order model")
+	}
+}
+
+// TestModelErrorPaths pins Builder/Model error handling: out-of-range
+// variables through Model(), Evaluate on malformed assignments.
+func TestModelErrorPaths(t *testing.T) {
+	b := NewBuilder(2)
+	b.Linear(7, 1)
+	if _, err := b.Model(); err == nil {
+		t.Fatal("Model() accepted out-of-range variable")
+	}
+	b = NewBuilder(2)
+	b.Term(1, 0, 5)
+	if _, err := b.Model(); err == nil {
+		t.Fatal("Model() accepted out-of-range Term variable")
+	}
+
+	m, err := NewBuilder(3).Linear(0, 1).ConstrainLE([]float64{1, 1, 1}, 2).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Evaluate([]int{1, 0}); err == nil {
+		t.Fatal("Evaluate accepted wrong-length assignment")
+	}
+	if _, _, err := m.Evaluate([]int{1, 0, 2}); err == nil {
+		t.Fatal("Evaluate accepted non-binary entry")
+	}
+}
+
+// TestDedupVarsHighArity pins the map-based dedup path: a high-arity Term
+// with many repeated variables collapses to the right monomial.
+func TestDedupVarsHighArity(t *testing.T) {
+	b := NewBuilder(5)
+	// 12 entries, 5 distinct — beyond the linear-scan threshold.
+	b.Term(3, 0, 1, 0, 2, 1, 0, 3, 2, 1, 0, 4, 3)
+	b.Linear(0, 1)
+	m, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Form() != FormHighOrder {
+		t.Fatalf("form %v, want high-order (degree-5 monomial)", m.Form())
+	}
+	cost, _, err := m.Evaluate([]int{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 4 { // 3·(x0x1x2x3x4) + 1·x0
+		t.Fatalf("all-ones cost %v, want 4", cost)
+	}
+	cost, _, err = m.Evaluate([]int{1, 1, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 1 { // monomial vanishes without x4
+		t.Fatalf("cost %v, want 1", cost)
+	}
+	// Low-arity (linear-scan) path: same collapse semantics.
+	b2 := NewBuilder(3)
+	b2.Term(2, 1, 1, 2)
+	m2, err := b2.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Form() != FormUnconstrained {
+		t.Fatalf("form %v, want unconstrained (x1·x2 after collapse)", m2.Form())
+	}
+	if cost, _, _ := m2.Evaluate([]int{0, 1, 1}); cost != 2 {
+		t.Fatalf("cost %v, want 2", cost)
+	}
+}

@@ -7,6 +7,7 @@ package anneal
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"github.com/ising-machines/saim/internal/core"
@@ -38,6 +39,12 @@ type Options struct {
 	// Patience, when positive, stops the solve after this many consecutive
 	// runs without an improvement of the best cost.
 	Patience int
+	// Initial, when non-empty, warm-starts the solve: the first annealing
+	// run continues from this assignment instead of a random state, and a
+	// feasible initial also seeds the best-so-far. For SolvePenalty the
+	// length is the decision-bit count (slack bits are completed greedily);
+	// for MinimizeQUBO it is the full variable count.
+	Initial ising.Bits
 }
 
 // annealInto runs one annealing run writing the final state into dst,
@@ -48,6 +55,32 @@ func annealInto(m core.Machine, dst ising.Spins, sched schedule.Schedule, sweeps
 		return
 	}
 	copy(dst, m.Anneal(sched, sweeps))
+}
+
+// seedExtended writes the extended image of a decision-bit warm start into
+// the caller's scratch: decision bits copied, slack bits completed
+// greedily, and the spin conversion into spins.
+func seedExtended(p *core.Problem, initial ising.Bits, x ising.Bits, spins ising.Spins) {
+	copy(x[:p.Ext.NOrig], initial)
+	for j := p.Ext.NOrig; j < p.Ext.NTotal; j++ {
+		x[j] = 0
+	}
+	p.Ext.CompleteSlacks(x)
+	x.SpinsInto(spins)
+}
+
+// annealFromInto seeds the machine with the given configuration and
+// continues one annealing run from it, writing the final state into dst.
+// It reports false when the machine cannot adopt a state, leaving the
+// caller on the cold-start path.
+func annealFromInto(m core.Machine, init ising.Spins, dst ising.Spins, sched schedule.Schedule, sweeps int) bool {
+	wm, ok := m.(core.WarmStartable)
+	if !ok {
+		return false
+	}
+	wm.SetState(init)
+	wm.AnnealFromInto(dst, sched, sweeps)
+	return true
 }
 
 func (o *Options) withDefaults() Options {
@@ -123,13 +156,37 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 
 	res := &Result{BestCost: math.Inf(1), P: pWeight}
 	sinceImprove := 0
-	for k := 0; k < o.Runs; k++ {
+	warm := len(o.Initial) > 0
+	runs := o.Runs
+	if warm {
+		if len(o.Initial) != p.Ext.NOrig {
+			return nil, fmt.Errorf("anneal: initial assignment length %d, want %d", len(o.Initial), p.Ext.NOrig)
+		}
+		// A feasible warm start seeds the best-so-far: the solve never
+		// returns a worse result than the assignment supplied.
+		if p.Ext.Orig.Feasible(o.Initial, 1e-9) {
+			res.BestCost = p.Cost(o.Initial)
+			res.Best = o.Initial.Clone()
+			if o.TargetCost != nil && res.BestCost <= *o.TargetCost {
+				res.Stopped = core.StopTarget
+				runs = 0
+			}
+		}
+	}
+	for k := 0; k < runs; k++ {
 		if ctx.Err() != nil {
 			res.Stopped = core.StopCancelled
 			break
 		}
 		res.Runs = k + 1
-		annealInto(machine, spins, sched, o.SweepsPerRun)
+		if k == 0 && warm {
+			seedExtended(p, o.Initial, x, spins)
+			if !annealFromInto(machine, spins, spins, sched, o.SweepsPerRun) {
+				annealInto(machine, spins, sched, o.SweepsPerRun)
+			}
+		} else {
+			annealInto(machine, spins, sched, o.SweepsPerRun)
+		}
 		spins.BitsInto(x)
 		sinceImprove++
 		if p.Ext.OrigFeasible(x, 1e-9) {
@@ -240,13 +297,33 @@ func MinimizeQUBOContext(ctx context.Context, q *ising.QUBO, opt Options) *QUBOR
 	s := ising.NewSpins(model.N()) // reusable run scratch
 	res := &QUBOResult{BestEnergy: math.Inf(1)}
 	sinceImprove := 0
-	for k := 0; k < o.Runs; k++ {
+	// Warm start: seed the best-so-far from the initial assignment and
+	// continue the first run from it (length mismatches are ignored
+	// defensively — the public layer validates before calling).
+	warm := len(o.Initial) == model.N()
+	runs := o.Runs
+	if warm {
+		res.BestEnergy = q.Energy(o.Initial)
+		res.Best = o.Initial.Clone()
+		if o.TargetCost != nil && res.BestEnergy <= *o.TargetCost {
+			res.Stopped = core.StopTarget
+			runs = 0
+		}
+	}
+	for k := 0; k < runs; k++ {
 		if ctx.Err() != nil {
 			res.Stopped = core.StopCancelled
 			break
 		}
 		res.Runs = k + 1
-		annealInto(machine, s, sched, o.SweepsPerRun)
+		if k == 0 && warm {
+			o.Initial.SpinsInto(s)
+			if !annealFromInto(machine, s, s, sched, o.SweepsPerRun) {
+				annealInto(machine, s, sched, o.SweepsPerRun)
+			}
+		} else {
+			annealInto(machine, s, sched, o.SweepsPerRun)
+		}
 		sinceImprove++
 		if e := model.Energy(s); e < res.BestEnergy {
 			res.BestEnergy = e

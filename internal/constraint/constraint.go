@@ -3,10 +3,11 @@
 // constraints into the equality constraints g(x) = 0 an Ising machine can
 // penalize.
 //
-// A System holds M linear constraints over N binary variables, each either
-// aᵀx ≤ b or aᵀx = b. Extend converts every inequality into an equality
-// aᵀx + Σ_q c_q s_q = b by appending slack bits s_q with coefficients c_q
-// given by a SlackEncoding:
+// A System holds M linear constraints over N binary variables, each
+// aᵀx ≤ b, aᵀx = b, or aᵀx ≥ b. Extend converts every inequality into an
+// equality aᵀx ± Σ_q c_q s_q = b by appending slack bits s_q (surplus bits
+// with negated coefficients for ≥ rows) with coefficients c_q given by a
+// SlackEncoding:
 //
 //   - Binary: c = (1, 2, 4, …, 2^(Q-1)) with Q = floor(log2(b)+1), exactly
 //     the paper's encoding (Section IV.A). Its range [0, 2^Q−1] can exceed
@@ -34,6 +35,10 @@ const (
 	LE Sense = iota
 	// EQ is aᵀx = b.
 	EQ
+	// GE is aᵀx ≥ b. Extend lowers it by negation: the surplus
+	// s = aᵀx − b ∈ [0, Σa − b] is binary-encoded like an LE slack and
+	// enters the equality row with negated coefficients, aᵀx − Σc_q s_q = b.
+	GE
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +48,8 @@ func (s Sense) String() string {
 		return "<="
 	case EQ:
 		return "=="
+	case GE:
+		return ">="
 	default:
 		return fmt.Sprintf("Sense(%d)", int(s))
 	}
@@ -69,10 +76,14 @@ func (l Linear) Residual(x ising.Bits) float64 {
 // Satisfied reports whether x satisfies the constraint within tol.
 func (l Linear) Satisfied(x ising.Bits, tol float64) bool {
 	r := l.Residual(x)
-	if l.Sense == LE {
+	switch l.Sense {
+	case LE:
 		return r <= tol
+	case GE:
+		return r >= -tol
+	default:
+		return math.Abs(r) <= tol
 	}
-	return math.Abs(r) <= tol
 }
 
 // System is a set of linear constraints over n binary variables.
@@ -106,12 +117,17 @@ func (s *System) Feasible(x ising.Bits, tol float64) bool {
 }
 
 // Violation returns the vector of residuals (aᵀx−b per constraint), with
-// inequality residuals clamped at zero from below (only excess violates).
+// inequality residuals clamped at zero on their satisfied side: ≤ rows
+// clamp negative residuals (only excess violates), ≥ rows clamp positive
+// residuals (only deficit violates, reported as a negative residual).
 func (s *System) Violation(x ising.Bits) vecmat.Vec {
 	out := vecmat.NewVec(len(s.Cons))
 	for i, c := range s.Cons {
 		r := c.Residual(x)
 		if c.Sense == LE && r < 0 {
+			r = 0
+		}
+		if c.Sense == GE && r > 0 {
 			r = 0
 		}
 		out[i] = r
@@ -190,6 +206,22 @@ func SlackCoeffs(b float64, enc SlackEncoding) []float64 {
 	}
 }
 
+// surplusRange returns the largest surplus aᵀx − b a GE constraint can
+// attain over binary x (negative coefficients contribute nothing to the
+// maximum), the value range its surplus bits must cover.
+func surplusRange(c Linear) float64 {
+	s := -c.B
+	for _, a := range c.A {
+		if a > 0 {
+			s += a
+		}
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
 // MaxSlackValue returns the largest value representable by the coefficient
 // set (all bits on).
 func MaxSlackValue(coeffs []float64) float64 {
@@ -220,17 +252,29 @@ type Extended struct {
 }
 
 // Extend converts s into equality form using the given slack encoding.
+// LE rows gain slack bits with positive coefficients covering [0, b]; GE
+// rows gain surplus bits with negated coefficients covering [0, Σa − b]
+// (the negation lowering: aᵀx − Σc_q s_q = b); EQ rows gain no bits.
 func (s *System) Extend(enc SlackEncoding) *Extended {
 	total := s.N
 	spans := make([][2]int, len(s.Cons))
 	coeffs := make([][]float64, len(s.Cons))
 	for i, c := range s.Cons {
-		if c.Sense == LE {
+		switch c.Sense {
+		case LE:
 			cs := SlackCoeffs(c.B, enc)
 			coeffs[i] = cs
 			spans[i] = [2]int{total, total + len(cs)}
 			total += len(cs)
-		} else {
+		case GE:
+			cs := SlackCoeffs(surplusRange(c), enc)
+			for k := range cs {
+				cs[k] = -cs[k]
+			}
+			coeffs[i] = cs
+			spans[i] = [2]int{total, total + len(cs)}
+			total += len(cs)
+		default:
 			spans[i] = [2]int{total, total}
 		}
 	}
@@ -318,10 +362,11 @@ func (e *Extended) SlackBitsFor(i int) int {
 }
 
 // CompleteSlacks sets the slack bits of x (in place) to greedily absorb any
-// remaining capacity of satisfied inequality constraints. It is used when
-// seeding the machine with known-feasible decision assignments: a feasible
-// x over the original variables extends to an exactly-feasible extended
-// configuration when each residual can be represented by its slack bits.
+// remaining capacity (LE) or surplus (GE) of satisfied inequality
+// constraints. It is used when seeding the machine with known-feasible
+// decision assignments: a feasible x over the original variables extends to
+// an exactly-feasible extended configuration when each residual can be
+// represented by its slack bits.
 func (e *Extended) CompleteSlacks(x ising.Bits) {
 	if len(x) != e.NTotal {
 		panic("constraint: CompleteSlacks dimension mismatch")
@@ -331,7 +376,7 @@ func (e *Extended) CompleteSlacks(x ising.Bits) {
 		if span[0] == span[1] {
 			continue
 		}
-		// Remaining capacity from the decision bits only.
+		// Remaining capacity (or surplus) from the decision bits only.
 		used := 0.0
 		for j := 0; j < e.NOrig; j++ {
 			if x[j] != 0 {
@@ -339,12 +384,18 @@ func (e *Extended) CompleteSlacks(x ising.Bits) {
 			}
 		}
 		remaining := e.B[i] - used
-		// Greedy fit from the largest slack coefficient down.
+		if e.Orig.Cons[i].Sense == GE {
+			// GE surplus bits carry negated coefficients: the row needs
+			// Σ|row_k|·s_k = used − B to close the equality.
+			remaining = -remaining
+		}
+		// Greedy fit from the largest slack coefficient down (slack columns
+		// are emitted in increasing coefficient magnitude).
 		for k := span[1] - 1; k >= span[0]; k-- {
 			x[k] = 0
-			if row[k] <= remaining+1e-12 {
+			if c := math.Abs(row[k]); c <= remaining+1e-12 {
 				x[k] = 1
-				remaining -= row[k]
+				remaining -= c
 			}
 		}
 	}

@@ -1,0 +1,77 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// TestGEExtendLowersByNegation checks the surplus encoding: a ≥ row gains
+// binary surplus bits with negated coefficients covering [0, Σa − b], and
+// every feasible decision assignment extends (via CompleteSlacks) to an
+// exact equality.
+func TestGEExtendLowersByNegation(t *testing.T) {
+	sys := NewSystem(3)
+	sys.Add(vecmat.Vec{2, 3, 4}, GE, 3)
+	ext := sys.Extend(Binary)
+
+	// Surplus range is 2+3+4−3 = 6 → Q = 3 bits (1, 2, 4), negated.
+	if got := ext.SlackBitsFor(0); got != 3 {
+		t.Fatalf("surplus bits = %d, want 3", got)
+	}
+	span := ext.SlackSpan[0]
+	wantCoeffs := []float64{-1, -2, -4}
+	for k := span[0]; k < span[1]; k++ {
+		if ext.Rows[0][k] != wantCoeffs[k-span[0]] {
+			t.Fatalf("surplus coeff %d = %v, want %v", k-span[0], ext.Rows[0][k], wantCoeffs[k-span[0]])
+		}
+	}
+
+	// Every GE-feasible decision assignment closes to equality.
+	for mask := 0; mask < 8; mask++ {
+		x := make(ising.Bits, ext.NTotal)
+		lhs := 0.0
+		coeffs := []float64{2, 3, 4}
+		for i := 0; i < 3; i++ {
+			x[i] = int8(mask >> i & 1)
+			lhs += coeffs[i] * float64(x[i])
+		}
+		feasible := lhs >= 3
+		if sys.Feasible(x[:3], 1e-9) != feasible {
+			t.Fatalf("mask %d: Feasible mismatch", mask)
+		}
+		if !feasible {
+			continue
+		}
+		ext.CompleteSlacks(x)
+		g := ext.Residuals(x)
+		if math.Abs(g[0]) > 1e-9 {
+			t.Fatalf("mask %d: residual %v after CompleteSlacks, want 0", mask, g[0])
+		}
+		if !ext.OrigFeasible(x, 1e-9) {
+			t.Fatalf("mask %d: extended configuration lost original feasibility", mask)
+		}
+	}
+}
+
+// TestGEViolationClampsDeficitOnly pins the Violation sign convention for
+// ≥ rows: surplus clamps to zero, deficit reports negative.
+func TestGEViolationClampsDeficitOnly(t *testing.T) {
+	sys := NewSystem(2)
+	sys.Add(vecmat.Vec{1, 1}, GE, 1)
+	if v := sys.Violation(ising.Bits{1, 1})[0]; v != 0 {
+		t.Fatalf("surplus violation %v, want 0", v)
+	}
+	if v := sys.Violation(ising.Bits{0, 0})[0]; v != -1 {
+		t.Fatalf("deficit violation %v, want -1", v)
+	}
+}
+
+// TestSenseStringGE covers the new stringer case.
+func TestSenseStringGE(t *testing.T) {
+	if GE.String() != ">=" {
+		t.Fatalf("GE.String() = %q", GE.String())
+	}
+}

@@ -69,6 +69,15 @@ type reseedable interface {
 	Reseed(src *rng.Source)
 }
 
+// WarmStartable is the optional warm-start contract of Machine: a machine
+// that can adopt an explicit configuration and continue annealing from it
+// instead of re-randomizing. Both pbit machines implement it; custom
+// machines without it silently fall back to a cold (random) first run.
+type WarmStartable interface {
+	SetState(ising.Spins)
+	AnnealFromInto(dst ising.Spins, sched schedule.Schedule, sweeps int)
+}
+
 // MachineFactory builds a Machine for a concrete Hamiltonian. The default
 // auto-selects between the dense and CSR p-bit emulators.
 type MachineFactory func(model *ising.Model, src *rng.Source) Machine
@@ -228,6 +237,12 @@ type Options struct {
 	// Patience, when positive, stops the solve after this many consecutive
 	// iterations without an improvement of the best feasible cost.
 	Patience int
+	// Initial, when non-empty, warm-starts the solve: the first annealing
+	// run starts from this decision-bit assignment (slack bits completed
+	// greedily) instead of a random state, and — when the assignment is
+	// feasible — it also seeds the best-so-far, so the solve never returns
+	// a worse result than the warm start. Length must be Ext.NOrig.
+	Initial ising.Bits
 }
 
 // ProgressInfo is the per-iteration snapshot streamed to Options.Progress.
@@ -351,7 +366,10 @@ type Result struct {
 }
 
 // FeasibleRatio returns FeasibleCount/Iterations in percent, the number the
-// paper reports in parentheses next to average accuracies.
+// paper reports in parentheses next to average accuracies. Each iteration
+// examines exactly one sample (the annealing run's final state), so this
+// is the percentage of feasible samples — the same definition every layer
+// (Result.FeasibleRatio, Progress.FeasibleRatio) documents.
 func (r *Result) FeasibleRatio() float64 {
 	if r.Iterations == 0 {
 		return 0
@@ -395,6 +413,9 @@ func compile(p *Problem, opts Options) (*program, error) {
 		return nil, err
 	}
 	o := opts.withDefaults()
+	if len(o.Initial) > 0 && len(o.Initial) != p.Ext.NOrig {
+		return nil, fmt.Errorf("core: initial assignment length %d, want %d", len(o.Initial), p.Ext.NOrig)
+	}
 	pen := o.P
 	if pen == 0 {
 		pen = HeuristicPenalty(p, o.Alpha)
@@ -491,7 +512,21 @@ func (e *engine) solve(ctx context.Context, seed uint64, trace *Trace, progress 
 	res := &Result{BestCost: math.Inf(1), P: pr.pen}
 	sinceImprove := 0
 
-	for k := 0; k < o.Iterations; k++ {
+	// Warm start: a feasible initial assignment seeds the best-so-far (the
+	// solve never returns worse than it), and the first annealing run
+	// continues from it instead of a random state.
+	warm := len(o.Initial) > 0
+	iters := o.Iterations
+	if warm && ext.Orig.Feasible(o.Initial, 1e-9) {
+		res.BestCost = pr.prob.Cost(o.Initial)
+		res.Best = o.Initial.Clone()
+		if o.TargetCost != nil && res.BestCost <= *o.TargetCost {
+			res.Stopped = StopTarget
+			iters = 0
+		}
+	}
+
+	for k := 0; k < iters; k++ {
 		if ctx.Err() != nil {
 			res.Stopped = StopCancelled
 			break
@@ -503,8 +538,11 @@ func (e *engine) solve(ctx context.Context, seed uint64, trace *Trace, progress 
 		vecmat.SubInto(e.h, pr.baseH, e.biasDelta)
 		e.machine.UpdateBiases(e.h)
 
-		// One annealing run; the paper reads the run's last sample.
-		if buffered != nil {
+		// One annealing run; the paper reads the run's last sample. The
+		// first run of a warm-started solve continues from the seeded state.
+		if k == 0 && warm && e.annealFromInitial(o) {
+			// e.spins holds the run's final state already.
+		} else if buffered != nil {
 			buffered.AnnealInto(e.spins, pr.sched, o.SweepsPerRun)
 		} else {
 			copy(e.spins, e.machine.Anneal(pr.sched, o.SweepsPerRun))
@@ -562,6 +600,29 @@ func (e *engine) solve(ctx context.Context, seed uint64, trace *Trace, progress 
 	res.Lambda = e.lam.Values.Clone()
 	res.DualBest = e.dual.Best()
 	return res, nil
+}
+
+// annealFromInitial runs the first annealing sweep budget from the
+// warm-start assignment instead of a random state: the decision bits are
+// extended with greedily completed slacks, installed on the machine, and
+// the run continues from there into e.spins. It reports false — leaving
+// the caller on the cold-start path — when the machine does not support
+// adopting a state.
+func (e *engine) annealFromInitial(o Options) bool {
+	wm, ok := e.machine.(WarmStartable)
+	if !ok {
+		return false
+	}
+	ext := e.pr.prob.Ext
+	copy(e.x[:ext.NOrig], o.Initial)
+	for j := ext.NOrig; j < ext.NTotal; j++ {
+		e.x[j] = 0
+	}
+	ext.CompleteSlacks(e.x)
+	e.x.SpinsInto(e.spins)
+	wm.SetState(e.spins)
+	wm.AnnealFromInto(e.spins, e.pr.sched, o.SweepsPerRun)
+	return true
 }
 
 // Solve runs Algorithm 1 on the problem.

@@ -45,6 +45,11 @@ type Options struct {
 	// Patience, when positive, stops the search after this many
 	// consecutive offspring without an improvement of the best value.
 	Patience int
+	// Initial, when non-empty, warm-starts the search: the assignment is
+	// repaired to feasibility and injected into the initial population
+	// (replacing the worst member when the population is full), so the
+	// search never returns a worse result than the repaired warm start.
+	Initial ising.Bits
 }
 
 func (o *Options) withDefaults() Options {
@@ -187,6 +192,29 @@ func SolveKnapsackContext(ctx context.Context, inst *Knapsack, opt Options) (*Re
 		x := make(ising.Bits, inst.N)
 		repair(inst, x, desc, utility)
 		pop = append(pop, &individual{x: x, value: inst.Value(x)})
+	}
+
+	// Warm start: repair the supplied assignment and inject it into the
+	// population unless an identical individual is already present.
+	if len(o.Initial) == inst.N {
+		x := o.Initial.Clone()
+		repair(inst, x, desc, utility)
+		if key := bitsKey(x); !seen[key] {
+			ind := &individual{x: x, value: inst.Value(x)}
+			if len(pop) < target {
+				pop = append(pop, ind)
+			} else {
+				worst := 0
+				for i := range pop {
+					if pop[i].value < pop[worst].value {
+						worst = i
+					}
+				}
+				delete(seen, bitsKey(pop[worst].x))
+				pop[worst] = ind
+			}
+			seen[key] = true
+		}
 	}
 
 	best := pop[0]

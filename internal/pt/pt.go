@@ -16,6 +16,7 @@ package pt
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"github.com/ising-machines/saim/internal/core"
@@ -47,6 +48,11 @@ type Options struct {
 	// TargetCost, when non-nil, stops the solve early as soon as a
 	// feasible sample reaches a cost ≤ *TargetCost.
 	TargetCost *float64
+	// Initial, when non-empty, warm-starts the solve: the coldest replica
+	// (highest β) starts from this decision-bit assignment (slack bits
+	// completed greedily) instead of a random state, and — when feasible —
+	// it also seeds the best-so-far. Length must be Ext.NOrig.
+	Initial ising.Bits
 }
 
 func (o *Options) withDefaults() Options {
@@ -148,6 +154,28 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 	}
 
 	res := &Result{BestCost: math.Inf(1), P: pWeight}
+	// Warm start: the coldest replica adopts the initial assignment, and a
+	// feasible initial seeds the best-so-far so the solve never returns a
+	// worse result than the assignment supplied.
+	if len(o.Initial) > 0 {
+		if len(o.Initial) != p.Ext.NOrig {
+			return nil, fmt.Errorf("pt: initial assignment length %d, want %d", len(o.Initial), p.Ext.NOrig)
+		}
+		xw := make(ising.Bits, p.Ext.NTotal)
+		copy(xw, o.Initial)
+		p.Ext.CompleteSlacks(xw)
+		cold := o.Replicas - 1
+		replicas[cold].SetState(xw.Spins())
+		energies[cold] = replicas[cold].Energy()
+		if p.Ext.Orig.Feasible(o.Initial, 1e-9) {
+			res.BestCost = p.Cost(o.Initial)
+			res.Best = o.Initial.Clone()
+			if o.TargetCost != nil && res.BestCost <= *o.TargetCost {
+				res.Stopped = core.StopTarget
+				o.Sweeps = 0
+			}
+		}
+	}
 	xbuf := make(ising.Bits, p.Ext.NTotal) // reusable sample scratch
 	record := func(s ising.Spins) {
 		s.BitsInto(xbuf)

@@ -241,7 +241,7 @@ func (b *Builder) buildHighOrder() (*Model, error) {
 	var gs []*hoim.Poly
 	for i, c := range b.sys.Cons {
 		if c.Sense != constraint.EQ {
-			return nil, fmt.Errorf("saim: linear ≤ constraint %d cannot join a high-order model (only equality constraints are supported there)", i)
+			return nil, fmt.Errorf("saim: linear %v constraint %d cannot join a high-order model (only equality constraints are supported there)", c.Sense, i)
 		}
 		g := hoim.NewPoly(b.n)
 		for j, a := range c.A {
@@ -267,22 +267,38 @@ func (b *Builder) buildHighOrder() (*Model, error) {
 	return &Model{form: FormHighOrder, n: b.n, hobj: f, hcons: gs}, nil
 }
 
+// dedupVars returns vars with duplicates removed, preserving first-seen
+// order (x² = x, so repeated variables collapse). Monomials of the typical
+// degree ≤ 4 stay on an allocation-light linear scan; high-arity monomials
+// switch to a map so dedup is O(k) instead of O(k²).
 func dedupVars(vars []int) []int {
 	if len(vars) == 0 {
 		return nil
 	}
+	const linearScanMax = 8
 	out := make([]int, 0, len(vars))
-	for _, v := range vars {
-		dup := false
-		for _, u := range out {
-			if u == v {
-				dup = true
-				break
+	if len(vars) <= linearScanMax {
+		for _, v := range vars {
+			dup := false
+			for _, u := range out {
+				if u == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, v)
 			}
 		}
-		if !dup {
-			out = append(out, v)
+		return out
+	}
+	seen := make(map[int]struct{}, len(vars))
+	for _, v := range vars {
+		if _, dup := seen[v]; dup {
+			continue
 		}
+		seen[v] = struct{}{}
+		out = append(out, v)
 	}
 	return out
 }

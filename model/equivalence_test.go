@@ -1,0 +1,305 @@
+package model_test
+
+// Compile-equivalence suite: for every Form, a declaratively-built model
+// and the equivalent hand-built saim.Builder model must evaluate
+// identically (cost and feasibility) on every shared assignment, and a
+// solver run with the same seed must follow the identical trajectory —
+// pinning the declarative layer to the Builder pipeline so solver behavior
+// cannot drift.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
+)
+
+// assertEvaluateEqual checks cost and feasibility agreement on every
+// assignment of n bits.
+func assertEvaluateEqual(t *testing.T, a, b *saim.Model, n int) {
+	t.Helper()
+	if a.Form() != b.Form() {
+		t.Fatalf("forms differ: %v vs %v", a.Form(), b.Form())
+	}
+	if a.N() != b.N() || a.N() != n {
+		t.Fatalf("sizes differ: %d vs %d (want %d)", a.N(), b.N(), n)
+	}
+	if a.NumConstraints() != b.NumConstraints() {
+		t.Fatalf("constraint counts differ: %d vs %d", a.NumConstraints(), b.NumConstraints())
+	}
+	asn := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range asn {
+			asn[i] = mask >> i & 1
+		}
+		ca, fa, err := a.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, fb, err := b.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca != cb || fa != fb {
+			t.Fatalf("assignment %v: declarative (%v, %v) vs hand-built (%v, %v)", asn, ca, fa, cb, fb)
+		}
+	}
+}
+
+// assertSolveEqual runs the same solver with the same seed on both models
+// and requires identical outcomes — the trajectory depends on every
+// coefficient of the compiled internals, so agreement pins them.
+func assertSolveEqual(t *testing.T, solver string, a, b *saim.Model, opts ...saim.Option) {
+	t.Helper()
+	ra, err := saim.SolveModel(context.Background(), solver, a, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := saim.SolveModel(context.Background(), solver, b, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cost != rb.Cost || ra.FeasibleRatio != rb.FeasibleRatio || ra.Penalty != rb.Penalty {
+		t.Fatalf("solves diverge: (%v, %v%%, P=%v) vs (%v, %v%%, P=%v)",
+			ra.Cost, ra.FeasibleRatio, ra.Penalty, rb.Cost, rb.FeasibleRatio, rb.Penalty)
+	}
+	if len(ra.Assignment) != len(rb.Assignment) {
+		t.Fatalf("assignment lengths differ")
+	}
+	for i := range ra.Assignment {
+		if ra.Assignment[i] != rb.Assignment[i] {
+			t.Fatalf("assignments diverge at %d", i)
+		}
+	}
+	for i := range ra.Lambda {
+		if ra.Lambda[i] != rb.Lambda[i] {
+			t.Fatalf("multipliers diverge at %d: %v vs %v", i, ra.Lambda[i], rb.Lambda[i])
+		}
+	}
+}
+
+func TestEquivalenceUnconstrained(t *testing.T) {
+	// Ring + chords max-cut over 8 vertices, with a constant offset.
+	n := 8
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		edges = append(edges, edge{i, (i + 1) % n, float64(1 + i%3)})
+		if i%2 == 0 {
+			edges = append(edges, edge{i, (i + n/2) % n, 2})
+		}
+	}
+
+	m := model.New()
+	x := m.Binary("side", n)
+	obj := model.Const(1.5)
+	for _, e := range edges {
+		obj = obj.Add(x[e.u].Mul(-e.w)).Add(x[e.v].Mul(-e.w)).Add(x[e.u].Times(x[e.v]).Mul(2 * e.w))
+	}
+	m.Minimize(obj)
+	declared, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := saim.NewBuilder(n)
+	b.Term(1.5)
+	for _, e := range edges {
+		b.Linear(e.u, -e.w)
+		b.Linear(e.v, -e.w)
+		b.Quadratic(e.u, e.v, 2*e.w)
+	}
+	hand, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertEvaluateEqual(t, declared, hand, n)
+	assertSolveEqual(t, "saim", declared, hand,
+		saim.WithIterations(20), saim.WithSweepsPerRun(100), saim.WithSeed(7))
+}
+
+func TestEquivalenceConstrained(t *testing.T) {
+	// Quadratic objective with one constraint of each sense.
+	n := 6
+	values := []float64{60, 100, 120, 70, 80, 50}
+	weights := []float64{10, 20, 30, 15, 18, 9}
+	ones := []float64{1, 1, 1, 1, 1, 1}
+
+	m := model.New()
+	x := m.Binary("x", n)
+	obj := model.Dot(values, x).Mul(-1).Add(x[0].Times(x[2]).Mul(-25))
+	m.Minimize(obj)
+	m.Constrain("cap", model.Dot(weights, x).LE(60))
+	m.Constrain("count", model.Dot(ones, x).EQ(3))
+	m.Constrain("spread", model.Dot(ones, x).GE(2))
+	m.Density(0.4)
+	declared, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := saim.NewBuilder(n)
+	b.Density(0.4)
+	for i, v := range values {
+		b.Linear(i, -v)
+	}
+	b.Quadratic(0, 2, -25)
+	b.ConstrainLE(weights, 60)
+	b.ConstrainEQ(ones, 3)
+	b.ConstrainGE(ones, 2)
+	hand, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertEvaluateEqual(t, declared, hand, n)
+	assertSolveEqual(t, "saim", declared, hand,
+		saim.WithIterations(40), saim.WithSweepsPerRun(100),
+		saim.WithEta(2), saim.WithSeed(11))
+	assertSolveEqual(t, "penalty", declared, hand,
+		saim.WithIterations(40), saim.WithSweepsPerRun(100),
+		saim.WithPenalty(8), saim.WithSeed(11))
+}
+
+func TestEquivalenceHighOrder(t *testing.T) {
+	// Degree-3 objective term plus a quadratic equality constraint.
+	n := 5
+	rates := []float64{5, 4, 6, 3, 2}
+
+	m := model.New()
+	x := m.Binary("x", n)
+	obj := model.Dot(rates, x).Add(model.Prod(x[0], x[1], x[2]).Mul(-4))
+	m.Minimize(obj)
+	m.Constrain("crew", x.Sum().EQ(2))
+	m.Constrain("pair", x[0].Times(x[1]).Add(x[2].Times(x[3])).EQ(1))
+	declared, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if declared.Form() != saim.FormHighOrder {
+		t.Fatalf("form %v, want high-order", declared.Form())
+	}
+
+	b := saim.NewBuilder(n)
+	for i, r := range rates {
+		b.Linear(i, r)
+	}
+	b.Term(-4, 0, 1, 2)
+	ones := []float64{1, 1, 1, 1, 1}
+	b.ConstrainEQ(ones, 2)
+	b.ConstrainPolyEQ(
+		saim.Monomial{W: -1},
+		saim.Monomial{W: 1, Vars: []int{0, 1}},
+		saim.Monomial{W: 1, Vars: []int{2, 3}},
+	)
+	hand, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertEvaluateEqual(t, declared, hand, n)
+	assertSolveEqual(t, "saim", declared, hand,
+		saim.WithPenalty(3), saim.WithEta(0.5),
+		saim.WithIterations(50), saim.WithSweepsPerRun(100), saim.WithSeed(21))
+}
+
+// TestGERoundTripVsExact pins the GE lowering end to end on a tiny
+// set-cover instance: the declarative GE model must reach the optimum the
+// exact backend proves on the complemented (≤-form) model.
+func TestGERoundTripVsExact(t *testing.T) {
+	// 5 candidate sets covering 4 elements.
+	costs := []float64{4, 3, 2, 3, 2}
+	covers := [][]int{ // covers[e] lists the sets containing element e
+		{0, 1},
+		{0, 2, 3},
+		{1, 2},
+		{3, 4},
+	}
+	n := len(costs)
+
+	m := model.New()
+	x := m.Binary("pick", n)
+	m.Minimize(model.Dot(costs, x))
+	for _, sets := range covers {
+		row := make([]float64, n)
+		for _, s := range sets {
+			row[s] = 1
+		}
+		m.Constrain("", model.Dot(row, x).GE(1))
+	}
+	declared, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Complemented model y = 1 − x: min Σc − Σ c_j y_j s.t. per element,
+	// Σ_{j∋e} y_j ≤ |cover(e)| − 1 — an integer MKP the exact backend
+	// proves optimal.
+	cb := saim.NewBuilder(n)
+	totalCost := 0.0
+	for j, c := range costs {
+		cb.Linear(j, -c)
+		totalCost += c
+	}
+	for _, sets := range covers {
+		row := make([]float64, n)
+		for _, s := range sets {
+			row[s] = 1
+		}
+		cb.ConstrainLE(row, float64(len(sets)-1))
+	}
+	comp, err := cb.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := saim.SolveModel(context.Background(), "exact", comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Optimal {
+		t.Fatal("exact backend did not prove optimality")
+	}
+	optimum := totalCost + exact.Cost // Σc − max Σ c_j y_j
+
+	// The complement of the exact solution must be feasible on the GE
+	// model with the same cost (round-trip of the lowering).
+	xOpt := make([]int, n)
+	for j, y := range exact.Assignment {
+		xOpt[j] = 1 - y
+	}
+	cost, feas, err := declared.Evaluate(xOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feas {
+		t.Fatalf("complemented exact optimum infeasible on the GE model: %v", xOpt)
+	}
+	if math.Abs(cost-optimum) > 1e-9 {
+		t.Fatalf("cost mismatch: GE model %v, exact complement %v", cost, optimum)
+	}
+
+	// And SAIM on the declarative GE model reaches that optimum.
+	sol, err := m.Solve(context.Background(), "saim",
+		saim.WithIterations(400), saim.WithSweepsPerRun(200),
+		saim.WithEta(1), saim.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("saim found no feasible cover")
+	}
+	if math.Abs(sol.Objective()-optimum) > 1e-9 {
+		t.Fatalf("saim cover cost %v, exact optimum %v", sol.Objective(), optimum)
+	}
+	for _, cs := range sol.Constraints() {
+		if !cs.Satisfied {
+			t.Fatalf("unsatisfied constraint in report: %+v", cs)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/qubofile"
+)
+
+// Load reads a QUBO in the qbsolv text format — the de-facto interchange
+// format of the Ising-machine ecosystem — into a declarative model: one
+// variable family "x" of the file's size, with the file's energy as the
+// minimization objective. The loaded model solves on any backend that
+// accepts unconstrained models and round-trips through Save with
+// identical energies.
+func Load(r io.Reader) (*Model, error) {
+	q, err := qubofile.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	m := New()
+	x := m.Binary("x", q.N())
+	obj := Expr{m: m, c: q.Const}
+	for i := 0; i < q.N(); i++ {
+		if w := q.C[i]; w != 0 {
+			obj.lin = append(obj.lin, linTerm{v: x[i].id, w: w})
+		}
+		for j := i + 1; j < q.N(); j++ {
+			// Q stores half the pair weight per symmetric entry.
+			if w := 2 * q.Q.At(i, j); w != 0 {
+				obj.quad = append(obj.quad, quadTerm{i: x[i].id, j: x[j].id, w: w})
+			}
+		}
+	}
+	m.Minimize(obj)
+	return m, nil
+}
+
+// LoadFile is Load on a file path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save writes the model's objective as a qbsolv-format QUBO. The format
+// holds an unconstrained minimization QUBO, so the model must have no
+// constraints, a Minimize objective (negate a Maximize model first), and
+// no monomials of degree ≥ 3. Writing and re-Loading yields an
+// energy-identical model.
+func Save(w io.Writer, m *Model) error {
+	if err := m.Err(); err != nil {
+		return err
+	}
+	if m.vars == 0 {
+		return fmt.Errorf("model: Save on a model with no variables")
+	}
+	if len(m.cons) > 0 {
+		return fmt.Errorf("model: the QUBO format cannot express constraints (model has %d)", len(m.cons))
+	}
+	if m.max {
+		return fmt.Errorf("model: the QUBO format holds minimization energies; negate the objective and use Minimize")
+	}
+	lin, quad, poly := m.obj.canonical()
+	if len(poly) > 0 {
+		return fmt.Errorf("model: the QUBO format cannot express monomials of degree ≥ 3 (objective has %d)", len(poly))
+	}
+	q := ising.NewQUBO(m.vars)
+	q.AddConst(m.obj.c)
+	for _, t := range lin {
+		q.AddLinear(t.v, t.w)
+	}
+	for _, t := range quad {
+		q.AddQuad(t.i, t.j, t.w)
+	}
+	return qubofile.Write(w, q)
+}
+
+// SaveFile is Save on a file path.
+func SaveFile(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}

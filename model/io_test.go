@@ -1,0 +1,109 @@
+package model_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/ising-machines/saim/model"
+)
+
+// TestQUBORoundTrip pins Load→Save→Load to equal energies: a model written
+// and re-read must evaluate identically on every assignment, and the
+// second serialization must be byte-identical to the first.
+func TestQUBORoundTrip(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 5)
+	obj := model.Const(2.5).
+		Add(x[0].Mul(-1.25)).Add(x[2].Mul(3)).Add(x[4].Mul(-0.5)).
+		Add(x[0].Times(x[1]).Mul(2)).Add(x[1].Times(x[3]).Mul(-4.5)).Add(x[2].Times(x[4]).Mul(0.75))
+	m.Minimize(obj)
+
+	var buf1 bytes.Buffer
+	if err := model.Save(&buf1, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := model.Load(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := model.Save(&buf2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("serializations differ:\n%s\nvs\n%s", buf1.String(), buf2.String())
+	}
+	loaded2, err := model.Load(bytes.NewReader(buf2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := loaded2.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := make([]int, 5)
+	for mask := 0; mask < 1<<5; mask++ {
+		for i := range asn {
+			asn[i] = mask >> i & 1
+		}
+		ea, _, err := a.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, _, err := b.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ec, _, err := c.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea != eb || eb != ec {
+			t.Fatalf("assignment %v: energies %v, %v, %v", asn, ea, eb, ec)
+		}
+	}
+}
+
+func TestSaveRejectsUnsupportedModels(t *testing.T) {
+	t.Run("constraints", func(t *testing.T) {
+		m := model.New()
+		x := m.Binary("x", 2)
+		m.Minimize(x.Sum())
+		m.Constrain("c", x.Sum().LE(1))
+		if err := model.Save(&bytes.Buffer{}, m); err == nil || !strings.Contains(err.Error(), "constraints") {
+			t.Fatalf("want constraints error, got %v", err)
+		}
+	})
+	t.Run("maximize", func(t *testing.T) {
+		m := model.New()
+		x := m.Binary("x", 2)
+		m.Maximize(x.Sum())
+		if err := model.Save(&bytes.Buffer{}, m); err == nil || !strings.Contains(err.Error(), "minimization") {
+			t.Fatalf("want minimization error, got %v", err)
+		}
+	})
+	t.Run("high order", func(t *testing.T) {
+		m := model.New()
+		x := m.Binary("x", 3)
+		m.Minimize(model.Prod(x[0], x[1], x[2]))
+		if err := model.Save(&bytes.Buffer{}, m); err == nil || !strings.Contains(err.Error(), "degree") {
+			t.Fatalf("want degree error, got %v", err)
+		}
+	})
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := model.Load(strings.NewReader("not a qubo file\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+}

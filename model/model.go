@@ -1,0 +1,409 @@
+// Package model is the declarative front door of the saim library: named,
+// indexed binary variables, algebraic objective and constraint
+// expressions, and name-aware solution extraction — compiled losslessly
+// onto the low-level saim.Builder/saim.Model pipeline, so every registered
+// solver backend runs the result unchanged.
+//
+// A minimal knapsack:
+//
+//	m := model.New()
+//	x := m.Binary("take", len(values))
+//	m.Maximize(model.Dot(values, x))
+//	m.Constrain("weight", model.Dot(weights, x).LE(capacity))
+//	sol, err := m.Solve(ctx, "saim", saim.WithSeed(1))
+//	if sol.Feasible() {
+//	    picked := sol.Value("take", 3)        // 0 or 1, by name
+//	    report := sol.Constraints()           // per-constraint slack
+//	}
+//
+// Constraints come in all three senses — LE, EQ, GE — with GE lowered by
+// negation onto the same slack-bit machinery as LE. Equality constraints
+// of degree ≥ 2 become polynomial constraints and mark the model
+// high-order. Maximize negates the objective into the minimization frame
+// and Solution maps costs back, so callers never see the flip.
+package model
+
+import (
+	"context"
+	"fmt"
+
+	saim "github.com/ising-machines/saim"
+)
+
+// Model is a declarative optimization problem under construction: binary
+// variable families, one objective, and named constraints. Construction
+// errors accumulate and surface at Compile/Solve, so call sites can chain
+// without per-call checks. A Model is not safe for concurrent mutation.
+type Model struct {
+	vars    int
+	fams    []*family
+	byName  map[string]*family
+	obj     Expr
+	objSet  bool
+	max     bool
+	cons    []namedConstraint
+	density float64
+	errs    []error
+}
+
+// family is one named block of variables.
+type family struct {
+	name string
+	base int // first variable id
+	n    int
+}
+
+// Var is a handle to one binary decision variable of a Model.
+type Var struct {
+	m  *Model
+	id int
+}
+
+// Vars is an indexed family of variables, as returned by Model.Binary.
+type Vars []Var
+
+// Index returns the position of the variable in the compiled model's
+// assignment vector (variables are numbered in declaration order).
+func (v Var) Index() int { return v.id }
+
+// Name returns the variable's display name, e.g. "take[3]" (families of
+// size one omit the index).
+func (v Var) Name() string {
+	if v.m == nil {
+		return fmt.Sprintf("var[%d]", v.id)
+	}
+	for _, f := range v.m.fams {
+		if v.id >= f.base && v.id < f.base+f.n {
+			if f.n == 1 {
+				return f.name
+			}
+			return fmt.Sprintf("%s[%d]", f.name, v.id-f.base)
+		}
+	}
+	return fmt.Sprintf("var[%d]", v.id)
+}
+
+// namedConstraint is one declared constraint.
+type namedConstraint struct {
+	name  string
+	expr  Expr // constant folded into bound at compile
+	sense Sense
+	bound float64
+}
+
+// Sense is the relational sense of a constraint.
+type Sense int
+
+const (
+	// LE is expr ≤ bound.
+	LE Sense = iota
+	// EQ is expr = bound.
+	EQ
+	// GE is expr ≥ bound.
+	GE
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// New returns an empty model.
+func New() *Model {
+	return &Model{byName: map[string]*family{}}
+}
+
+func (m *Model) errf(format string, args ...any) {
+	m.errs = append(m.errs, fmt.Errorf(format, args...))
+}
+
+// Binary declares a family of n binary variables under a unique name and
+// returns their handles. Solution.Value(name, i) reads them back after a
+// solve. On a bad or duplicate name the error accumulates (surfacing at
+// Compile) and the returned handles are anonymous placeholders, so
+// chained call sites keep working; only n ≤ 0 yields a nil slice.
+func (m *Model) Binary(name string, n int) Vars {
+	if n <= 0 {
+		m.errf("model: Binary(%q) requires n > 0, got %d", name, n)
+		return nil
+	}
+	if name == "" {
+		m.errf("model: Binary requires a non-empty name")
+		return m.placeholders(n)
+	}
+	if _, dup := m.byName[name]; dup {
+		m.errf("model: variable family %q declared twice", name)
+		return m.placeholders(n)
+	}
+	f := &family{name: name, base: m.vars, n: n}
+	m.fams = append(m.fams, f)
+	m.byName[name] = f
+	m.vars += n
+	out := make(Vars, n)
+	for i := range out {
+		out[i] = Var{m: m, id: f.base + i}
+	}
+	return out
+}
+
+// placeholders reserves n fresh variable ids without registering a family,
+// keeping handles valid on error paths until the accumulated error
+// surfaces at Compile.
+func (m *Model) placeholders(n int) Vars {
+	out := make(Vars, n)
+	for i := range out {
+		out[i] = Var{m: m, id: m.vars + i}
+	}
+	m.vars += n
+	return out
+}
+
+// BinaryVar declares a single binary variable (a family of size one).
+func (m *Model) BinaryVar(name string) Var {
+	return m.Binary(name, 1)[0]
+}
+
+// N returns the number of declared variables.
+func (m *Model) N() int { return m.vars }
+
+// Minimize sets the objective to minimize. A model has exactly one
+// objective; a second Minimize/Maximize call is an error.
+func (m *Model) Minimize(e Expr) { m.setObjective(e, false) }
+
+// Maximize sets the objective to maximize. It compiles as the negated
+// minimization objective; Solution.Objective maps values back into the
+// maximization frame.
+func (m *Model) Maximize(e Expr) { m.setObjective(e, true) }
+
+func (m *Model) setObjective(e Expr, max bool) {
+	if m.objSet {
+		m.errf("model: objective set twice")
+		return
+	}
+	if !m.owns(e) {
+		return
+	}
+	if !e.valid() {
+		m.errf("model: objective has a non-finite coefficient")
+		return
+	}
+	m.obj = e
+	m.objSet = true
+	m.max = max
+}
+
+// Constrain adds a named constraint, e.g.
+//
+//	m.Constrain("weight", model.Dot(weights, x).LE(capacity))
+//
+// Names must be unique; an empty name is auto-assigned "c<index>". Any
+// constant in the expression folds into the bound. LE and GE constraints
+// must be linear with non-negative coefficients and a non-negative folded
+// bound (the slack-encoding form of the paper); EQ constraints may be
+// polynomial, which marks the model high-order.
+func (m *Model) Constrain(name string, c Constraint) {
+	if name == "" {
+		name = fmt.Sprintf("c%d", len(m.cons))
+	}
+	for _, prev := range m.cons {
+		if prev.name == name {
+			m.errf("model: constraint %q declared twice", name)
+			return
+		}
+	}
+	if !m.owns(c.expr) {
+		return
+	}
+	if !c.expr.valid() {
+		m.errf("model: constraint %q has a non-finite coefficient", name)
+		return
+	}
+	m.cons = append(m.cons, namedConstraint{name: name, expr: c.expr, sense: c.sense, bound: c.bound})
+}
+
+// Density records the instance coupling density d used by the paper's
+// P = α·d·N penalty heuristic (see saim.Builder.Density).
+func (m *Model) Density(d float64) {
+	if d < 0 || d > 1 {
+		m.errf("model: density %v outside [0,1]", d)
+		return
+	}
+	m.density = d
+}
+
+// owns reports whether the expression belongs to this model (or is a pure
+// constant), recording an error otherwise.
+func (m *Model) owns(e Expr) bool {
+	if e.m != nil && e.m != m {
+		m.errf("model: expression built from another model's variables")
+		return false
+	}
+	return true
+}
+
+// Err returns the first accumulated construction error, or nil.
+func (m *Model) Err() error {
+	if len(m.errs) > 0 {
+		return m.errs[0]
+	}
+	return nil
+}
+
+// Constraint pairs an expression with a sense and bound; build one with
+// Expr.LE, Expr.EQ, or Expr.GE and register it via Model.Constrain.
+type Constraint struct {
+	expr  Expr
+	sense Sense
+	bound float64
+}
+
+// LE returns the constraint e ≤ bound.
+func (e Expr) LE(bound float64) Constraint { return Constraint{expr: e, sense: LE, bound: bound} }
+
+// EQ returns the constraint e = bound.
+func (e Expr) EQ(bound float64) Constraint { return Constraint{expr: e, sense: EQ, bound: bound} }
+
+// GE returns the constraint e ≥ bound.
+func (e Expr) GE(bound float64) Constraint { return Constraint{expr: e, sense: GE, bound: bound} }
+
+// Compile lowers the declarative model onto the saim.Builder pipeline and
+// returns the built saim.Model, which any registered solver accepts. The
+// lowering is lossless and deterministic: merged monomials are emitted in
+// canonical order (constant, linear by id, quadratic by pair, higher-order
+// in declaration order), constraints in declaration order, and a model
+// built by equivalent hand-written Builder calls evaluates identically.
+func (m *Model) Compile() (*saim.Model, error) {
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	if m.vars == 0 {
+		return nil, fmt.Errorf("model: no variables declared")
+	}
+	b := saim.NewBuilder(m.vars)
+	if m.density != 0 {
+		b.Density(m.density)
+	}
+
+	obj := m.obj
+	if m.max {
+		obj = obj.Mul(-1)
+	}
+	lin, quad, poly := obj.canonical()
+	if obj.c != 0 {
+		b.Term(obj.c)
+	}
+	for _, t := range lin {
+		b.Linear(t.v, t.w)
+	}
+	for _, t := range quad {
+		b.Quadratic(t.i, t.j, t.w)
+	}
+	for _, t := range poly {
+		b.Term(t.w, t.vars...)
+	}
+
+	for _, c := range m.cons {
+		if err := m.compileConstraint(b, c); err != nil {
+			return nil, err
+		}
+	}
+	built, err := b.Model()
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	return built, nil
+}
+
+// compileConstraint lowers one named constraint onto the builder,
+// translating builder-level restrictions into errors that carry the
+// constraint's name.
+func (m *Model) compileConstraint(b *saim.Builder, c namedConstraint) error {
+	bound := c.bound - c.expr.c // fold the expression's constant
+	deg := c.expr.degree()
+	if deg > 1 && c.sense != EQ {
+		return fmt.Errorf("model: constraint %q: %v constraints must be linear (degree %d); only equality constraints may be polynomial", c.name, c.sense, deg)
+	}
+	switch c.sense {
+	case LE, GE:
+		coeffs := c.expr.linearCoeffs(m.vars)
+		for i, w := range coeffs {
+			if w < 0 {
+				return fmt.Errorf("model: constraint %q: negative coefficient %v on %v in a %v constraint", c.name, w, Var{m: m, id: i}.Name(), c.sense)
+			}
+		}
+		if bound < 0 {
+			return fmt.Errorf("model: constraint %q: folded bound %v is negative", c.name, bound)
+		}
+		if c.sense == LE {
+			b.ConstrainLE(coeffs, bound)
+		} else {
+			sum := 0.0
+			for _, w := range coeffs {
+				sum += w
+			}
+			if bound > sum {
+				return fmt.Errorf("model: constraint %q: bound %v exceeds coefficient sum %v (unsatisfiable)", c.name, bound, sum)
+			}
+			b.ConstrainGE(coeffs, bound)
+		}
+	case EQ:
+		if deg <= 1 {
+			coeffs := c.expr.linearCoeffs(m.vars)
+			if bound < 0 {
+				// The builder requires non-negative bounds; negating both
+				// sides preserves the constraint exactly.
+				for i := range coeffs {
+					coeffs[i] = -coeffs[i]
+				}
+				bound = -bound
+			}
+			b.ConstrainEQ(coeffs, bound)
+			break
+		}
+		// Polynomial equality: expr − bound = 0 as weighted monomials.
+		lin, quad, poly := c.expr.canonical()
+		var terms []saim.Monomial
+		if bound != 0 {
+			terms = append(terms, saim.Monomial{W: -bound})
+		}
+		for _, t := range lin {
+			terms = append(terms, saim.Monomial{W: t.w, Vars: []int{t.v}})
+		}
+		for _, t := range quad {
+			terms = append(terms, saim.Monomial{W: t.w, Vars: []int{t.i, t.j}})
+		}
+		for _, t := range poly {
+			terms = append(terms, saim.Monomial{W: t.w, Vars: t.vars})
+		}
+		if len(terms) == 0 {
+			return fmt.Errorf("model: constraint %q is identically zero", c.name)
+		}
+		b.ConstrainPolyEQ(terms...)
+	default:
+		return fmt.Errorf("model: constraint %q has unknown sense %v", c.name, c.sense)
+	}
+	return nil
+}
+
+// Solve compiles the model and runs it on the named registered solver
+// (see saim.Solvers), returning a name-aware Solution.
+func (m *Model) Solve(ctx context.Context, solver string, opts ...saim.Option) (*Solution, error) {
+	compiled, err := m.Compile()
+	if err != nil {
+		return nil, err
+	}
+	res, err := saim.SolveModel(ctx, solver, compiled, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{model: m, compiled: compiled, res: res}, nil
+}

@@ -1,0 +1,301 @@
+package model_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
+)
+
+func TestDeclarativeKnapsack(t *testing.T) {
+	values := []float64{60, 100, 120, 70, 80, 50, 90, 110, 30, 40}
+	weights := []float64{10, 20, 30, 15, 18, 9, 21, 27, 7, 12}
+
+	m := model.New()
+	x := m.Binary("take", len(values))
+	m.Maximize(model.Dot(values, x))
+	m.Constrain("weight", model.Dot(weights, x).LE(80))
+
+	sol, err := m.Solve(context.Background(), "saim",
+		saim.WithIterations(300), saim.WithSweepsPerRun(300),
+		saim.WithEta(5), saim.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("no feasible packing found")
+	}
+
+	// Name-aware extraction agrees with the raw assignment.
+	asn := sol.Assignment()
+	total, wt := 0.0, 0.0
+	for i := range values {
+		if sol.Value("take", i) != asn[i] {
+			t.Fatalf("Value(take,%d) = %d, assignment %d", i, sol.Value("take", i), asn[i])
+		}
+		if sol.Value("take", i) == 1 {
+			total += values[i]
+			wt += weights[i]
+		}
+	}
+	if got := sol.Objective(); got != total {
+		t.Fatalf("Objective() = %v, recomputed %v", got, total)
+	}
+	if vs := sol.Values("take"); len(vs) != len(values) {
+		t.Fatalf("Values length %d", len(vs))
+	}
+
+	// Constraint report: one satisfied ≤ row with the right slack.
+	report := sol.Constraints()
+	if len(report) != 1 {
+		t.Fatalf("want 1 constraint status, got %d", len(report))
+	}
+	cs := report[0]
+	if cs.Name != "weight" || cs.Sense != model.LE || !cs.Satisfied {
+		t.Fatalf("bad status %+v", cs)
+	}
+	if cs.Activity != wt || cs.Bound != 80 || cs.Slack != 80-wt || cs.Violation != 0 {
+		t.Fatalf("bad slack arithmetic %+v (weight %v)", cs, wt)
+	}
+}
+
+func TestScalarVarAndObjectiveFrame(t *testing.T) {
+	m := model.New()
+	y := m.BinaryVar("y")
+	z := m.BinaryVar("z")
+	// max y − 2z → picks y=1, z=0.
+	m.Maximize(y.Mul(1).Add(z.Mul(-2)))
+	sol, err := m.Solve(context.Background(), "saim",
+		saim.WithIterations(20), saim.WithSweepsPerRun(100), saim.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value("y") != 1 || sol.Value("z") != 0 {
+		t.Fatalf("got y=%d z=%d", sol.Value("y"), sol.Value("z"))
+	}
+	if sol.Objective() != 1 {
+		t.Fatalf("Objective = %v, want 1", sol.Objective())
+	}
+	if y.Name() != "y" {
+		t.Fatalf("scalar name %q", y.Name())
+	}
+}
+
+func TestVarNames(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 3)
+	if x[2].Name() != "x[2]" {
+		t.Fatalf("got %q", x[2].Name())
+	}
+	if x[1].Index() != 1 {
+		t.Fatalf("index %d", x[1].Index())
+	}
+}
+
+func TestConstraintStatusGEAndEQ(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 3)
+	m.Minimize(x.Sum())
+	m.Constrain("cover", model.Dot([]float64{1, 1, 1}, x).GE(2))
+	m.Constrain("pin", x[0].Mul(1).EQ(1))
+	sol, err := m.Solve(context.Background(), "saim",
+		saim.WithIterations(200), saim.WithSweepsPerRun(100),
+		saim.WithEta(1), saim.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("infeasible")
+	}
+	if sol.Objective() != 2 {
+		t.Fatalf("objective %v, want 2 (smallest cover with x0 pinned)", sol.Objective())
+	}
+	if sol.Value("x", 0) != 1 {
+		t.Fatal("pin constraint not honored")
+	}
+	report := sol.Constraints()
+	if report[0].Slack != report[0].Activity-2 || !report[0].Satisfied {
+		t.Fatalf("GE status %+v", report[0])
+	}
+	if report[1].Violation != 0 || !report[1].Satisfied {
+		t.Fatalf("EQ status %+v", report[1])
+	}
+}
+
+func TestModelErrorPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *model.Model
+		want  string
+	}{
+		{"dup family", func() *model.Model {
+			m := model.New()
+			m.Binary("x", 2)
+			m.Binary("x", 3)
+			return m
+		}, "declared twice"},
+		{"zero vars family", func() *model.Model {
+			m := model.New()
+			m.Binary("x", 0)
+			return m
+		}, "n > 0"},
+		{"empty name", func() *model.Model {
+			m := model.New()
+			m.Binary("", 2)
+			return m
+		}, "non-empty name"},
+		{"no variables", func() *model.Model {
+			return model.New()
+		}, "no variables"},
+		{"objective twice", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 2)
+			m.Minimize(x.Sum())
+			m.Maximize(x.Sum())
+			return m
+		}, "objective set twice"},
+		{"dup constraint name", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 2)
+			m.Constrain("c", x.Sum().LE(1))
+			m.Constrain("c", x.Sum().LE(2))
+			return m
+		}, "declared twice"},
+		{"nonlinear LE", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 2)
+			m.Constrain("q", x[0].Times(x[1]).LE(1))
+			return m
+		}, "must be linear"},
+		{"negative LE coefficient", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 2)
+			m.Constrain("neg", x[0].Mul(-1).LE(1))
+			return m
+		}, "negative coefficient"},
+		{"negative folded bound", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 2)
+			m.Constrain("b", x.Sum().Add(model.Const(5)).LE(1))
+			return m
+		}, "negative"},
+		{"unsatisfiable GE", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 2)
+			m.Constrain("g", x.Sum().GE(3))
+			return m
+		}, "unsatisfiable"},
+		{"dot mismatch", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 3)
+			m.Minimize(model.Dot([]float64{1, 2}, x))
+			return m
+		}, "Dot over"},
+		{"non-finite", func() *model.Model {
+			m := model.New()
+			x := m.Binary("x", 2)
+			m.Minimize(x[0].Mul(math.NaN()))
+			return m
+		}, "non-finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build().Compile()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestMixedModelsPanics(t *testing.T) {
+	m1, m2 := model.New(), model.New()
+	a := m1.Binary("a", 1)
+	b := m2.Binary("b", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cross-model expression")
+		}
+	}()
+	_ = a[0].Times(b[0])
+}
+
+func TestValuePanics(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 2)
+	m.Minimize(x.Sum())
+	sol, err := m.Solve(context.Background(), "saim",
+		saim.WithIterations(5), saim.WithSweepsPerRun(50), saim.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(){
+		"unknown family": func() { sol.Value("nope", 0) },
+		"missing index":  func() { sol.Value("x") },
+		"bad index":      func() { sol.Value("x", 5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+// TestEqualityNegativeBound checks the lossless negation of an equality
+// with a negative folded bound: x0 − x1 = −1 forces x0=0, x1=1.
+func TestEqualityNegativeBound(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 2)
+	m.Minimize(model.Const(0))
+	m.Constrain("diff", x[0].Mul(1).Sub(x[1].Mul(1)).EQ(-1))
+	compiled, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		asn  []int
+		feas bool
+	}{
+		{[]int{0, 1}, true},
+		{[]int{1, 0}, false},
+		{[]int{0, 0}, false},
+		{[]int{1, 1}, false},
+	} {
+		_, feas, err := compiled.Evaluate(tc.asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if feas != tc.feas {
+			t.Fatalf("assignment %v: feasible=%v, want %v", tc.asn, feas, tc.feas)
+		}
+	}
+}
+
+// TestProdCollapsesDuplicates pins Prod's x² = x collapse: Prod(x,x,y) is
+// the quadratic x·y, not a degree-3 monomial, so the model stays quadratic.
+func TestProdCollapsesDuplicates(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 2)
+	m.Minimize(model.Prod(x[0], x[0], x[1]).Mul(3))
+	compiled, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Form() != saim.FormUnconstrained {
+		t.Fatalf("form %v, want unconstrained (quadratic)", compiled.Form())
+	}
+	cost, _, err := compiled.Evaluate([]int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 3 {
+		t.Fatalf("cost %v, want 3", cost)
+	}
+}

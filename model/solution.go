@@ -1,0 +1,141 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	saim "github.com/ising-machines/saim"
+)
+
+// Solution wraps a solver result with name-aware extraction: values are
+// read back by variable name and index, the objective is reported in the
+// user's frame (maximization values are mapped back), and every named
+// constraint gets a slack/violation report. Callers never touch raw index
+// slices.
+type Solution struct {
+	model    *Model
+	compiled *saim.Model
+	res      *saim.Result
+}
+
+// Result returns the underlying solver result (solver name, stop reason,
+// sweep counts, multipliers, …).
+func (s *Solution) Result() *saim.Result { return s.res }
+
+// Feasible reports whether the solve found a feasible assignment.
+func (s *Solution) Feasible() bool { return !s.res.Infeasible() }
+
+// Objective returns the objective value of the best assignment in the
+// frame the model declared: a Maximize model reports the maximized value.
+// It returns ±Inf when no feasible assignment was found.
+func (s *Solution) Objective() float64 {
+	if s.res.Infeasible() {
+		if s.model.max {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	if s.model.max {
+		return -s.res.Cost
+	}
+	return s.res.Cost
+}
+
+// Assignment returns a copy of the best assignment over all declared
+// variables (nil when infeasible).
+func (s *Solution) Assignment() []int {
+	if s.res.Assignment == nil {
+		return nil
+	}
+	return append([]int(nil), s.res.Assignment...)
+}
+
+// Value returns the 0/1 value of the named variable. Families of size one
+// take no index; indexed families take exactly one. It panics on an
+// unknown name, a bad index, or an infeasible solution — use Feasible
+// first.
+func (s *Solution) Value(name string, idx ...int) int {
+	f, ok := s.model.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("model: no variable family %q", name))
+	}
+	i := 0
+	switch len(idx) {
+	case 0:
+		if f.n != 1 {
+			panic(fmt.Sprintf("model: family %q has %d variables; Value needs an index", name, f.n))
+		}
+	case 1:
+		i = idx[0]
+		if i < 0 || i >= f.n {
+			panic(fmt.Sprintf("model: index %d out of range for family %q of size %d", i, name, f.n))
+		}
+	default:
+		panic("model: Value takes at most one index")
+	}
+	if s.res.Assignment == nil {
+		panic("model: Value on an infeasible solution")
+	}
+	return s.res.Assignment[f.base+i]
+}
+
+// Values returns the 0/1 values of a whole family in index order. It
+// panics on an unknown name or an infeasible solution.
+func (s *Solution) Values(name string) []int {
+	f, ok := s.model.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("model: no variable family %q", name))
+	}
+	if s.res.Assignment == nil {
+		panic("model: Values on an infeasible solution")
+	}
+	return append([]int(nil), s.res.Assignment[f.base:f.base+f.n]...)
+}
+
+// ConstraintStatus reports how the best assignment sits against one named
+// constraint.
+type ConstraintStatus struct {
+	// Name is the constraint's declared name.
+	Name string
+	// Sense is the relational sense (LE, EQ, GE).
+	Sense Sense
+	// Activity is the constraint expression's value at the assignment
+	// (including any constant term); Bound is the declared right-hand side.
+	Activity, Bound float64
+	// Slack is the satisfied-side margin: Bound − Activity for ≤,
+	// Activity − Bound for ≥, zero for equalities. Negative slack means
+	// the constraint is violated by that amount.
+	Slack float64
+	// Violation is the amount by which the constraint is broken
+	// (zero when satisfied).
+	Violation float64
+	// Satisfied reports Violation ≤ 1e-9.
+	Satisfied bool
+}
+
+// Constraints returns the slack/violation report of every named constraint
+// at the best assignment, in declaration order. It returns nil when the
+// solve found no assignment.
+func (s *Solution) Constraints() []ConstraintStatus {
+	if s.res.Assignment == nil {
+		return nil
+	}
+	out := make([]ConstraintStatus, len(s.model.cons))
+	for i, c := range s.model.cons {
+		act := c.expr.Eval(s.res.Assignment)
+		st := ConstraintStatus{Name: c.name, Sense: c.sense, Activity: act, Bound: c.bound}
+		switch c.sense {
+		case LE:
+			st.Slack = c.bound - act
+			st.Violation = math.Max(0, -st.Slack)
+		case GE:
+			st.Slack = act - c.bound
+			st.Violation = math.Max(0, -st.Slack)
+		default:
+			st.Violation = math.Abs(act - c.bound)
+		}
+		st.Satisfied = st.Violation <= 1e-9
+		out[i] = st
+	}
+	return out
+}

@@ -46,6 +46,7 @@ type config struct {
 	progress     func(Progress)
 	targetCost   *float64
 	patience     int
+	initial      []int
 }
 
 func buildConfig(opts []Option) config {
@@ -119,3 +120,15 @@ func WithTargetCost(target float64) Option {
 // improvement of the best feasible cost; the result reports
 // Stopped == StopPatience.
 func WithPatience(k int) Option { return func(c *config) { c.patience = k } }
+
+// WithInitial warm-starts the solve from the given assignment over the
+// decision variables (length N, entries 0/1). The saim and penalty
+// backends seed their first annealing run's state from it (slack bits are
+// completed greedily); parallel tempering seeds its coldest replica; the
+// GA injects the repaired assignment into its initial population. In every
+// case a feasible warm start also seeds the best-so-far, so the result is
+// never worse than the assignment supplied. The greedy, exact, and
+// high-order paths ignore it. The slice is not retained or mutated.
+func WithInitial(assignment []int) Option {
+	return func(c *config) { c.initial = append([]int(nil), assignment...) }
+}

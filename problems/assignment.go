@@ -1,0 +1,116 @@
+package problems
+
+import (
+	"fmt"
+	"math"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/internal/assignment"
+	"github.com/ising-machines/saim/model"
+)
+
+// AssignmentProblem is the linear assignment problem: assign each of n
+// workers to exactly one of n jobs, minimizing total cost. Variable
+// "assign" holds the n×n one-hot matrix (worker i takes job j when bit
+// i·n+j is set); rows carry the named constraints "worker[i]", columns
+// "job[j]".
+type AssignmentProblem struct {
+	// Model is the declarative model; extend it freely before solving.
+	Model *model.Model
+	cost  [][]float64
+	x     model.Vars
+}
+
+// Assignment builds the declarative model of the square cost matrix
+// (cost[i][j] = cost of assigning worker i to job j).
+func Assignment(cost [][]float64) (*AssignmentProblem, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, fmt.Errorf("problems: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, fmt.Errorf("problems: cost row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("problems: cost[%d][%d] not finite", i, j)
+			}
+		}
+	}
+	m := model.New()
+	x := m.Binary("assign", n*n)
+	idx := func(i, j int) model.Var { return x[i*n+j] }
+
+	terms := make([]model.Expr, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if cost[i][j] != 0 {
+				terms = append(terms, idx(i, j).Mul(cost[i][j]))
+			}
+		}
+	}
+	m.Minimize(model.Sum(terms...))
+
+	for i := 0; i < n; i++ {
+		row := make(model.Vars, n)
+		for j := 0; j < n; j++ {
+			row[j] = idx(i, j)
+		}
+		m.Constrain(fmt.Sprintf("worker[%d]", i), row.Sum().EQ(1))
+	}
+	for j := 0; j < n; j++ {
+		col := make(model.Vars, n)
+		for i := 0; i < n; i++ {
+			col[i] = idx(i, j)
+		}
+		m.Constrain(fmt.Sprintf("job[%d]", j), col.Sum().EQ(1))
+	}
+	return &AssignmentProblem{Model: m, cost: cost, x: x}, nil
+}
+
+// Recommended returns assignment-appropriate solver settings, matching the
+// reproduction's LAP defaults.
+func (p *AssignmentProblem) Recommended() []saim.Option {
+	return []saim.Option{
+		saim.WithPenalty(2), saim.WithEta(1), saim.WithBetaMax(20),
+		saim.WithIterations(400), saim.WithSweepsPerRun(300),
+	}
+}
+
+// Permutation decodes the one-hot matrix into perm (perm[i] = job of
+// worker i). ok is false when the solution is infeasible or not a
+// permutation matrix.
+func (p *AssignmentProblem) Permutation(sol *model.Solution) (perm []int, ok bool) {
+	if !sol.Feasible() {
+		return nil, false
+	}
+	n := len(p.cost)
+	bits := sol.Values("assign")
+	perm = make([]int, n)
+	used := make([]bool, n)
+	for i := 0; i < n; i++ {
+		found := -1
+		for j := 0; j < n; j++ {
+			if bits[i*n+j] == 1 {
+				if found >= 0 {
+					return nil, false
+				}
+				found = j
+			}
+		}
+		if found < 0 || used[found] {
+			return nil, false
+		}
+		used[found] = true
+		perm[i] = found
+	}
+	return perm, true
+}
+
+// Hungarian solves the linear assignment problem exactly in O(n³) and
+// returns the optimal permutation and its cost — the reference the paper's
+// assignment experiments gap against.
+func Hungarian(cost [][]float64) ([]int, float64, error) {
+	return assignment.Hungarian(assignment.Cost(cost))
+}

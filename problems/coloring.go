@@ -1,0 +1,98 @@
+package problems
+
+import (
+	"fmt"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
+)
+
+// ColoringProblem is graph k-coloring in one-hot encoding: variable
+// "color" holds N·k bits (vertex v gets color c when bit v·k+c is set),
+// each vertex carries the named equality constraint "onehot[v]", and the
+// objective counts monochromatic edges — a zero-objective feasible
+// solution is a proper coloring. Edge weights of the graph are ignored.
+type ColoringProblem struct {
+	// Model is the declarative model; extend it freely before solving.
+	Model *model.Model
+	g     Graph
+	k     int
+	x     model.Vars
+}
+
+// Coloring builds the declarative k-coloring model of the graph.
+func Coloring(g Graph, k int) (*ColoringProblem, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("problems: coloring needs k ≥ 1, got %d", k)
+	}
+	m := model.New()
+	x := m.Binary("color", g.N*k)
+	idx := func(v, c int) model.Var { return x[v*k+c] }
+
+	terms := make([]model.Expr, 0, len(g.Edges)*k)
+	for _, e := range g.Edges {
+		for c := 0; c < k; c++ {
+			terms = append(terms, idx(e.U, c).Times(idx(e.V, c)))
+		}
+	}
+	m.Minimize(model.Sum(terms...))
+
+	for v := 0; v < g.N; v++ {
+		row := make(model.Vars, k)
+		for c := 0; c < k; c++ {
+			row[c] = idx(v, c)
+		}
+		m.Constrain(fmt.Sprintf("onehot[%d]", v), row.Sum().EQ(1))
+	}
+	return &ColoringProblem{Model: m, g: g, k: k, x: x}, nil
+}
+
+// Recommended returns coloring-appropriate solver settings (small penalty,
+// unit step, cold anneal), matching the reproduction's coloring defaults.
+func (p *ColoringProblem) Recommended() []saim.Option {
+	return []saim.Option{
+		saim.WithPenalty(2), saim.WithEta(1), saim.WithBetaMax(20),
+		saim.WithIterations(300), saim.WithSweepsPerRun(300),
+	}
+}
+
+// Colors decodes the one-hot assignment into one color per vertex. ok is
+// false when the solution is infeasible or some vertex is not exactly
+// one-hot.
+func (p *ColoringProblem) Colors(sol *model.Solution) (colors []int, ok bool) {
+	if !sol.Feasible() {
+		return nil, false
+	}
+	bits := sol.Values("color")
+	colors = make([]int, p.g.N)
+	for v := 0; v < p.g.N; v++ {
+		found := -1
+		for c := 0; c < p.k; c++ {
+			if bits[v*p.k+c] == 1 {
+				if found >= 0 {
+					return nil, false
+				}
+				found = c
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		colors[v] = found
+	}
+	return colors, true
+}
+
+// Conflicts counts monochromatic edges under a color assignment.
+func (p *ColoringProblem) Conflicts(colors []int) int {
+	n := 0
+	for _, e := range p.g.Edges {
+		if colors[e.U] == colors[e.V] {
+			n++
+		}
+	}
+	return n
+}

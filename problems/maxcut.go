@@ -1,0 +1,60 @@
+package problems
+
+import (
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
+)
+
+// MaxCutProblem is maximum cut on a weighted graph — the canonical
+// unconstrained Ising workload. The objective is the cut weight (edges
+// crossing the bipartition); Solution.Objective reports it directly.
+// Variables are the family "side" (0/1 = partition side of each vertex).
+type MaxCutProblem struct {
+	// Model is the declarative model; extend it freely before solving.
+	Model *model.Model
+	g     Graph
+	x     model.Vars
+}
+
+// MaxCut builds the declarative max-cut model of the graph: for each edge
+// (u,v,w) the cut gains w when the endpoints take different sides, i.e.
+// maximize Σ w·(x_u + x_v − 2·x_u·x_v).
+func MaxCut(g Graph) (*MaxCutProblem, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := model.New()
+	x := m.Binary("side", g.N)
+	terms := make([]model.Expr, 0, 3*len(g.Edges))
+	for _, e := range g.Edges {
+		terms = append(terms,
+			x[e.U].Mul(e.W), x[e.V].Mul(e.W), x[e.U].Times(x[e.V]).Mul(-2*e.W))
+	}
+	m.Maximize(model.Sum(terms...))
+	return &MaxCutProblem{Model: m, g: g, x: x}, nil
+}
+
+// Recommended returns multi-run annealing settings suited to max-cut.
+func (p *MaxCutProblem) Recommended() []saim.Option {
+	return []saim.Option{saim.WithIterations(100), saim.WithSweepsPerRun(500)}
+}
+
+// Partition returns the two vertex sets of the best cut (nil, nil when no
+// assignment was found).
+func (p *MaxCutProblem) Partition(sol *model.Solution) (left, right []int) {
+	if !sol.Feasible() {
+		return nil, nil
+	}
+	for v, side := range sol.Values("side") {
+		if side == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	return left, right
+}
+
+// CutValue returns the weight of the best cut (−Inf when no assignment
+// was found).
+func (p *MaxCutProblem) CutValue(sol *model.Solution) float64 { return sol.Objective() }

@@ -1,0 +1,157 @@
+package problems
+
+import (
+	"fmt"
+	"math"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/internal/portfolio"
+	"github.com/ising-machines/saim/model"
+)
+
+// PortfolioSpec describes risk-averse asset selection:
+//
+//	min  −μᵀx + γ·xᵀΣx   s.t.  priceᵀx ≤ budget,  x ∈ {0,1}^n
+//
+// Unlike the quadratic knapsack — whose pair values are bonuses — the
+// covariance term is a positive quadratic penalty, exercising the solver
+// on the opposite coupling sign.
+type PortfolioSpec struct {
+	// Returns[i] is the expected return μ_i of asset i.
+	Returns []float64
+	// Covariance is the symmetric n×n return covariance Σ.
+	Covariance [][]float64
+	// RiskAversion is the γ weight on the quadratic risk term.
+	RiskAversion float64
+	// Prices[i] is the capital consumed by asset i; Budget the limit.
+	Prices []float64
+	Budget float64
+}
+
+// Validate checks dimensions and sign conventions.
+func (s PortfolioSpec) Validate() error {
+	n := len(s.Returns)
+	if n == 0 {
+		return fmt.Errorf("problems: portfolio needs at least one asset")
+	}
+	if len(s.Prices) != n || len(s.Covariance) != n {
+		return fmt.Errorf("problems: inconsistent portfolio dimensions")
+	}
+	for i, row := range s.Covariance {
+		if len(row) != n {
+			return fmt.Errorf("problems: covariance row %d has %d entries, want %d", i, len(row), n)
+		}
+		if row[i] < 0 {
+			return fmt.Errorf("problems: negative variance at asset %d", i)
+		}
+		for j := range row {
+			if row[j] != s.Covariance[j][i] {
+				return fmt.Errorf("problems: covariance not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i, p := range s.Prices {
+		if p <= 0 {
+			return fmt.Errorf("problems: non-positive price at asset %d", i)
+		}
+	}
+	if s.RiskAversion < 0 || s.Budget < 0 {
+		return fmt.Errorf("problems: negative risk aversion or budget")
+	}
+	return nil
+}
+
+// PortfolioProblem is a built asset selection: the declarative model plus
+// its decoder. Variables are the family "hold"; the capital constraint is
+// named "budget". Solution.Objective reports −return + γ·risk (lower is
+// better).
+type PortfolioProblem struct {
+	// Model is the declarative model; extend it freely before solving.
+	Model *model.Model
+	spec  PortfolioSpec
+	x     model.Vars
+}
+
+// Portfolio builds the declarative model of the spec.
+func Portfolio(spec PortfolioSpec) (*PortfolioProblem, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(spec.Returns)
+	m := model.New()
+	x := m.Binary("hold", n)
+	terms := make([]model.Expr, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		// The diagonal covariance contributes linearly (x² = x).
+		w := -spec.Returns[i] + spec.RiskAversion*spec.Covariance[i][i]
+		if w != 0 {
+			terms = append(terms, x[i].Mul(w))
+		}
+		for j := i + 1; j < n; j++ {
+			if v := spec.Covariance[i][j]; v != 0 {
+				terms = append(terms, x[i].Times(x[j]).Mul(2*spec.RiskAversion*v))
+			}
+		}
+	}
+	m.Minimize(model.Sum(terms...))
+	m.Constrain("budget", model.Dot(spec.Prices, x).LE(spec.Budget))
+	return &PortfolioProblem{Model: m, spec: spec, x: x}, nil
+}
+
+// RandomPortfolio draws a spec from a k-factor covariance model (Σ = LLᵀ+D,
+// guaranteed PSD), deterministically from seed — the reproduction's
+// portfolio instance generator.
+func RandomPortfolio(n, factors int, gamma float64, seed uint64) PortfolioSpec {
+	inst := portfolio.Generate(n, factors, gamma, seed)
+	cov := make([][]float64, n)
+	for i := range cov {
+		cov[i] = make([]float64, n)
+		for j := range cov[i] {
+			cov[i][j] = inst.Sigma.At(i, j)
+		}
+	}
+	return PortfolioSpec{
+		Returns:      inst.Mu,
+		Covariance:   cov,
+		RiskAversion: inst.Gamma,
+		Prices:       inst.Price,
+		Budget:       inst.Budget,
+	}
+}
+
+// Recommended returns portfolio-appropriate solver settings.
+func (p *PortfolioProblem) Recommended() []saim.Option {
+	return []saim.Option{
+		saim.WithEta(1), saim.WithAlpha(2), saim.WithBetaMax(20),
+		saim.WithIterations(400), saim.WithSweepsPerRun(300),
+	}
+}
+
+// Selected returns the indices of the held assets (nil when infeasible).
+func (p *PortfolioProblem) Selected(sol *model.Solution) []int {
+	if !sol.Feasible() {
+		return nil
+	}
+	var out []int
+	for i, v := range sol.Values("hold") {
+		if v == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Spend returns the capital consumed by the selection (NaN when
+// infeasible).
+func (p *PortfolioProblem) Spend(sol *model.Solution) float64 {
+	if !sol.Feasible() {
+		return math.NaN()
+	}
+	s := 0.0
+	for i, v := range sol.Values("hold") {
+		if v == 1 {
+			s += p.spec.Prices[i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+// Package problems is the public catalog of ready-made optimization
+// workloads for the saim library: knapsack (linear, quadratic, and
+// multidimensional), max-cut, graph coloring, linear assignment, shift
+// scheduling, portfolio selection, and set cover. Each constructor
+// validates a plain spec, builds the declarative model (package model)
+// with named variables and named constraints, and pairs it with a typed
+// decoder, so callers go from domain data to solver and back without
+// touching variable indices:
+//
+//	p, err := problems.Knapsack(problems.KnapsackSpec{
+//	    Values:     values,
+//	    Weights:    [][]float64{weights},
+//	    Capacities: []float64{capacity},
+//	})
+//	sol, err := p.Model.Solve(ctx, "saim", p.Recommended()...)
+//	items := p.Selected(sol)
+//
+// Every problem exposes its declarative model directly — add extra
+// constraints or swap the objective before solving — plus Recommended,
+// the paper-derived solver options for the domain.
+package problems
+
+import (
+	"fmt"
+
+	"github.com/ising-machines/saim/internal/maxcut"
+)
+
+// Edge is one weighted undirected edge of a Graph.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is a weighted undirected graph on vertices [0, N), shared by the
+// max-cut and coloring constructors (coloring ignores the weights).
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// Validate checks vertex ranges and rejects self-loops.
+func (g Graph) Validate() error {
+	if g.N <= 0 {
+		return fmt.Errorf("problems: graph needs N > 0, got %d", g.N)
+	}
+	for i, e := range g.Edges {
+		if e.U < 0 || e.U >= g.N || e.V < 0 || e.V >= g.N {
+			return fmt.Errorf("problems: edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, g.N)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("problems: edge %d is a self-loop at %d", i, e.U)
+		}
+	}
+	return nil
+}
+
+// RandomGraph draws a G(n, p) random graph with uniform integer weights in
+// [1, maxW], deterministically from seed.
+func RandomGraph(n int, p float64, maxW int, seed uint64) Graph {
+	g := maxcut.ErdosRenyi(n, p, maxW, seed)
+	out := Graph{N: g.N, Edges: make([]Edge, len(g.Edges))}
+	for i, e := range g.Edges {
+		out.Edges[i] = Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+// RingChordsGraph builds a connected ring of n vertices plus a chord from
+// every k-th vertex to its antipode — a deterministic benchmark topology.
+func RingChordsGraph(n, k int, chordW float64) Graph {
+	g := maxcut.RingChords(n, k, chordW)
+	out := Graph{N: g.N, Edges: make([]Edge, len(g.Edges))}
+	for i, e := range g.Edges {
+		out.Edges[i] = Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}

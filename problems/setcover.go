@@ -1,0 +1,120 @@
+package problems
+
+import (
+	"fmt"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
+)
+
+// SetCoverSpec describes weighted set cover: pick the cheapest collection
+// of sets covering every element at least once — the catalog's showcase of
+// GE (≥) constraints, lowered by negation onto the same slack machinery as
+// the knapsack ≤ rows.
+type SetCoverSpec struct {
+	// NumElements is the universe size; elements are [0, NumElements).
+	NumElements int
+	// Sets[j] lists the elements covered by set j.
+	Sets [][]int
+	// Costs[j] is the cost of set j; nil means unit costs.
+	Costs []float64
+}
+
+// Validate checks ranges and that every element is coverable.
+func (s SetCoverSpec) Validate() error {
+	if s.NumElements <= 0 {
+		return fmt.Errorf("problems: set cover needs NumElements > 0, got %d", s.NumElements)
+	}
+	if len(s.Sets) == 0 {
+		return fmt.Errorf("problems: set cover needs at least one set")
+	}
+	if s.Costs != nil && len(s.Costs) != len(s.Sets) {
+		return fmt.Errorf("problems: %d costs for %d sets", len(s.Costs), len(s.Sets))
+	}
+	covered := make([]bool, s.NumElements)
+	for j, set := range s.Sets {
+		for _, e := range set {
+			if e < 0 || e >= s.NumElements {
+				return fmt.Errorf("problems: set %d covers element %d outside [0,%d)", j, e, s.NumElements)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("problems: element %d is covered by no set (unsatisfiable)", e)
+		}
+	}
+	for j, c := range s.Costs {
+		if c < 0 {
+			return fmt.Errorf("problems: negative cost %v for set %d", c, j)
+		}
+	}
+	return nil
+}
+
+// SetCoverProblem is a built set cover: the declarative model plus its
+// decoder. Variables are the family "pick"; each element e carries the
+// named constraint "cover[e]" requiring coverage ≥ 1.
+type SetCoverProblem struct {
+	// Model is the declarative model; extend it freely before solving.
+	Model *model.Model
+	spec  SetCoverSpec
+	x     model.Vars
+}
+
+// SetCover builds the declarative model of the spec.
+func SetCover(spec SetCoverSpec) (*SetCoverProblem, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(spec.Sets)
+	costs := spec.Costs
+	if costs == nil {
+		costs = make([]float64, n)
+		for j := range costs {
+			costs[j] = 1
+		}
+	}
+	m := model.New()
+	x := m.Binary("pick", n)
+	m.Minimize(model.Dot(costs, x))
+	for e := 0; e < spec.NumElements; e++ {
+		row := make([]float64, n)
+		for j, set := range spec.Sets {
+			for _, el := range set {
+				if el == e {
+					row[j] = 1
+				}
+			}
+		}
+		m.Constrain(fmt.Sprintf("cover[%d]", e), model.Dot(row, x).GE(1))
+	}
+	return &SetCoverProblem{Model: m, spec: spec, x: x}, nil
+}
+
+// Recommended returns set-cover-appropriate solver settings.
+func (p *SetCoverProblem) Recommended() []saim.Option {
+	return []saim.Option{
+		saim.WithEta(1), saim.WithAlpha(2), saim.WithBetaMax(20),
+		saim.WithIterations(400), saim.WithSweepsPerRun(200),
+	}
+}
+
+// Chosen returns the indices of the selected sets (nil when infeasible).
+func (p *SetCoverProblem) Chosen(sol *model.Solution) []int {
+	if !sol.Feasible() {
+		return nil
+	}
+	var out []int
+	for j, v := range sol.Values("pick") {
+		if v == 1 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TotalCost returns the combined cost of the chosen sets (+Inf when
+// infeasible).
+func (p *SetCoverProblem) TotalCost(sol *model.Solution) float64 { return sol.Objective() }

@@ -13,7 +13,7 @@ import (
 // Builder assembles a binary optimization problem
 //
 //	min  Σ_i c_i x_i + Σ_{i<j} q_ij x_i x_j + Σ higher-order terms
-//	s.t. linear constraints (≤ or =) and/or polynomial equalities,
+//	s.t. linear constraints (≤, =, or ≥) and/or polynomial equalities,
 //	     x ∈ {0,1}^n.
 //
 // Coefficients are given in natural (un-normalized) units; Model normalizes
@@ -95,6 +95,15 @@ func (b *Builder) ConstrainEQ(coeffs []float64, bound float64) *Builder {
 	return b.constrain(coeffs, constraint.EQ, bound)
 }
 
+// ConstrainGE adds Σ coeffs_i·x_i ≥ bound. Coefficients and bound must be
+// non-negative, and the bound must not exceed the coefficient sum (the
+// constraint would be unsatisfiable over binary x). The constraint is
+// lowered by negation: the surplus Σ coeffs_i·x_i − bound is binary-encoded
+// like an LE slack and enters the equality system with negated coefficients.
+func (b *Builder) ConstrainGE(coeffs []float64, bound float64) *Builder {
+	return b.constrain(coeffs, constraint.GE, bound)
+}
+
 func (b *Builder) constrain(coeffs []float64, sense constraint.Sense, bound float64) *Builder {
 	if len(coeffs) != b.n {
 		b.errs = append(b.errs, fmt.Errorf("saim: constraint over %d coefficients, want %d", len(coeffs), b.n))
@@ -104,12 +113,18 @@ func (b *Builder) constrain(coeffs []float64, sense constraint.Sense, bound floa
 		b.errs = append(b.errs, fmt.Errorf("saim: negative constraint bound %v", bound))
 		return b
 	}
-	if sense == constraint.LE {
+	if sense == constraint.LE || sense == constraint.GE {
+		sum := 0.0
 		for i, c := range coeffs {
 			if c < 0 {
-				b.errs = append(b.errs, fmt.Errorf("saim: negative coefficient %v at %d in ≤ constraint", c, i))
+				b.errs = append(b.errs, fmt.Errorf("saim: negative coefficient %v at %d in %v constraint", c, i, sense))
 				return b
 			}
+			sum += c
+		}
+		if sense == constraint.GE && bound > sum {
+			b.errs = append(b.errs, fmt.Errorf("saim: ≥ constraint bound %v exceeds coefficient sum %v (unsatisfiable)", bound, sum))
+			return b
 		}
 	}
 	b.sys.Add(vecmat.Vec(coeffs), sense, bound)
@@ -219,8 +234,13 @@ type Result struct {
 	Assignment []int
 	// Cost is the objective value of Assignment (+Inf if none).
 	Cost float64
-	// FeasibleRatio is the percentage of annealing runs whose final sample
-	// was feasible (100 for the constructive and exact backends).
+	// FeasibleRatio is the percentage of examined samples that were
+	// feasible. The annealing backends (saim, penalty) examine exactly one
+	// sample per run — the run's final state — so for them this equals the
+	// percentage of feasible runs; parallel tempering examines every
+	// replica at each sampling point; the constructive and exact backends
+	// report 100. Progress.FeasibleRatio streams the same statistic
+	// per-iteration.
 	FeasibleRatio float64
 	// Penalty is the penalty weight P used (zero for penalty-free backends).
 	Penalty float64

@@ -54,7 +54,11 @@ type Progress struct {
 	Iteration, Iterations int
 	// BestCost is the best feasible cost found so far (+Inf if none).
 	BestCost float64
-	// FeasibleRatio is the percentage of samples so far that were feasible.
+	// FeasibleRatio is the percentage of examined samples so far that were
+	// feasible — the running value of Result.FeasibleRatio, under the same
+	// definition: the annealing backends examine one sample per run (the
+	// run's final state), parallel tempering examines every replica at
+	// each sampling point.
 	FeasibleRatio float64
 	// LambdaNorm is ‖λ‖₂, the Euclidean norm of the current Lagrange
 	// multiplier vector (zero for solvers without multipliers).

@@ -1,0 +1,171 @@
+package saim
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestWarmStartNeverWorse seeds every warm-start-capable backend with the
+// proven optimum under a minimal search budget: the guarantee is that a
+// feasible warm start also seeds the best-so-far, so the result can never
+// be worse than the assignment supplied.
+func TestWarmStartNeverWorse(t *testing.T) {
+	m := smallQKP(t)
+	ctx := context.Background()
+	exact, err := SolveModel(ctx, "exact", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Optimal {
+		t.Fatal("exact backend did not prove optimality")
+	}
+	opt := exact.Assignment
+
+	for _, tc := range []struct {
+		solver string
+		opts   []Option
+	}{
+		{"saim", []Option{WithIterations(2), WithSweepsPerRun(10)}},
+		{"saim", []Option{WithIterations(2), WithSweepsPerRun(10), WithReplicas(3)}},
+		{"penalty", []Option{WithIterations(2), WithSweepsPerRun(10), WithPenalty(1)}},
+		{"pt", []Option{WithIterations(1), WithSweepsPerRun(30), WithPenalty(1)}},
+		{"ga", []Option{WithIterations(2)}},
+	} {
+		opts := append(append([]Option{}, tc.opts...), WithSeed(3), WithInitial(opt))
+		res, err := SolveModel(ctx, tc.solver, m, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.solver, err)
+		}
+		if res.Infeasible() {
+			t.Fatalf("%s: warm-started solve reports infeasible", tc.solver)
+		}
+		if res.Cost > exact.Cost {
+			t.Fatalf("%s: warm-started cost %v worse than seeded optimum %v", tc.solver, res.Cost, exact.Cost)
+		}
+	}
+}
+
+// TestWarmStartUnconstrained seeds the multi-run annealer on a QUBO: the
+// result can never be worse than the energy of the warm start.
+func TestWarmStartUnconstrained(t *testing.T) {
+	b := NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.Linear(i, -1)
+		for j := i + 1; j < 6; j++ {
+			b.Quadratic(i, j, 2)
+		}
+	}
+	m, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one bit on minimizes: energy −1.
+	init := []int{0, 0, 1, 0, 0, 0}
+	res, err := SolveModel(context.Background(), "saim", m,
+		WithIterations(1), WithSweepsPerRun(5), WithSeed(1), WithInitial(init))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > -1 {
+		t.Fatalf("cost %v worse than warm-start energy −1", res.Cost)
+	}
+}
+
+// TestWarmStartTargetShortCircuits pins the immediate stop: a warm start
+// that already meets the target cost ends the solve without spending any
+// iterations.
+func TestWarmStartTargetShortCircuits(t *testing.T) {
+	m := smallQKP(t)
+	ctx := context.Background()
+	exact, err := SolveModel(ctx, "exact", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveModel(ctx, "saim", m,
+		WithIterations(500), WithSweepsPerRun(100), WithSeed(1),
+		WithInitial(exact.Assignment), WithTargetCost(exact.Cost))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopTarget {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, StopTarget)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("spent %d iterations on an already-satisfied target", res.Iterations)
+	}
+	if res.Cost != exact.Cost {
+		t.Fatalf("cost %v, want %v", res.Cost, exact.Cost)
+	}
+}
+
+// TestWarmStartValidation rejects malformed initial assignments uniformly
+// across backends.
+func TestWarmStartValidation(t *testing.T) {
+	m := smallQKP(t)
+	ctx := context.Background()
+	for _, solver := range []string{"saim", "penalty", "pt", "ga"} {
+		if _, err := SolveModel(ctx, solver, m, WithInitial([]int{1, 0})); err == nil {
+			t.Fatalf("%s: accepted wrong-length initial", solver)
+		}
+		bad := make([]int, m.N())
+		bad[0] = 2
+		if _, err := SolveModel(ctx, solver, m, WithInitial(bad)); err == nil {
+			t.Fatalf("%s: accepted non-binary initial", solver)
+		}
+	}
+}
+
+// TestWarmStartInfeasibleInitial checks that an infeasible warm start does
+// not poison the result: it seeds nothing and the solve proceeds normally.
+func TestWarmStartInfeasibleInitial(t *testing.T) {
+	m := smallQKP(t)
+	all := make([]int, m.N())
+	for i := range all {
+		all[i] = 1 // picks everything: far over capacity
+	}
+	res, err := SolveModel(context.Background(), "saim", m,
+		WithIterations(60), WithSweepsPerRun(100), WithEta(2), WithSeed(5),
+		WithInitial(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible() {
+		t.Fatal("solve found nothing despite a normal budget")
+	}
+	if cost, feasible, _ := m.Evaluate(res.Assignment); !feasible || cost != res.Cost {
+		t.Fatalf("result inconsistent: cost %v feasible %v vs reported %v", cost, feasible, res.Cost)
+	}
+}
+
+// TestFeasibleRatioDefinitionConsistent pins the one documented definition
+// of FeasibleRatio — percentage of examined samples that were feasible —
+// across the streaming and final reports of the annealing and
+// parallel-tempering backends.
+func TestFeasibleRatioDefinitionConsistent(t *testing.T) {
+	m := smallQKP(t)
+	for _, tc := range []struct {
+		solver string
+		opts   []Option
+	}{
+		{"saim", []Option{WithIterations(40), WithSweepsPerRun(50)}},
+		{"penalty", []Option{WithIterations(40), WithSweepsPerRun(50), WithPenalty(2)}},
+		{"pt", []Option{WithIterations(2), WithSweepsPerRun(200), WithPenalty(2)}},
+	} {
+		var last Progress
+		saw := false
+		opts := append(append([]Option{}, tc.opts...), WithSeed(7),
+			WithProgress(func(p Progress) { last = p; saw = true }))
+		res, err := SolveModel(context.Background(), tc.solver, m, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.solver, err)
+		}
+		if !saw {
+			t.Fatalf("%s: no progress streamed", tc.solver)
+		}
+		if math.Abs(last.FeasibleRatio-res.FeasibleRatio) > 1e-9 {
+			t.Fatalf("%s: final Progress.FeasibleRatio %v != Result.FeasibleRatio %v",
+				tc.solver, last.FeasibleRatio, res.FeasibleRatio)
+		}
+	}
+}
