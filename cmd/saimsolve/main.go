@@ -7,15 +7,22 @@
 //	saimsolve -family mkp -solver ga     instance.mkp
 //	saimsolve -family qkp -solver exact  instance.qkp
 //	saimsolve -load model.qubo -solver saim
+//	saimsolve -load model.qubo -solver decomp -sub 512 -inner saim
 //
 // Solvers come from the unified registry (saim.Solvers()): saim (the
 // self-adaptive Ising machine), penalty (classical penalty method), pt
-// (parallel tempering), ga (Chu–Beasley genetic algorithm), greedy, and
-// exact (branch and bound). Knapsack families build through the public
-// problems catalog; -load reads a portable qbsolv-format QUBO through
-// model.Load. Every path produces a declarative model, so every solver
-// that accepts the model's form works on it, and results are reported
-// with a named per-constraint slack/violation table.
+// (parallel tempering), ga (Chu–Beasley genetic algorithm), greedy,
+// exact (branch and bound), and decomp (the qbsolv-style decomposition
+// meta-solver — see -sub, -inner, -rounds, -tenure). Knapsack families
+// build through the public problems catalog; -load reads a portable
+// qbsolv-format QUBO through model.Load. Every path produces a
+// declarative model, so every solver that accepts the model's form works
+// on it, and results are reported with a named per-constraint
+// slack/violation table.
+//
+// Under -solver decomp, -runs and -sweeps budget each inner subproblem
+// solve and default to the decomposition defaults (12 runs of 400
+// sweeps) rather than the whole-problem defaults.
 //
 // Ctrl-C cancels the solve gracefully: the best solution found so far is
 // printed before exiting. If the solve ends without a feasible solution
@@ -29,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,38 +50,72 @@ import (
 )
 
 func main() {
-	var (
-		family   = flag.String("family", "qkp", "instance family: qkp, mkp, or qubo (qbsolv file, unconstrained)")
-		load     = flag.String("load", "", "load a qbsolv-format QUBO model file (alternative to a positional instance)")
-		solver   = flag.String("solver", "saim", "registered solver: "+strings.Join(saim.Solvers(), ", "))
-		runs     = flag.Int("runs", 500, "annealing runs / SAIM iterations")
-		sweeps   = flag.Int("sweeps", 1000, "Monte-Carlo sweeps per run")
-		eta      = flag.Float64("eta", 0, "Lagrange step size (0 = family default)")
-		alpha    = flag.Float64("alpha", 0, "penalty heuristic coefficient (0 = family/solver default)")
-		pweight  = flag.Float64("p", 0, "explicit penalty weight (penalty/pt solvers; 0 = heuristic)")
-		betaMax  = flag.Float64("betamax", 0, "final inverse temperature (0 = family default)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		replicas = flag.Int("replicas", 0, "PT replicas / SAIM parallel restarts (0 = solver default)")
-		limit    = flag.Duration("timelimit", time.Minute, "exact solver time limit")
-		target   = flag.Float64("target", 0, "stop early when a feasible cost ≤ target is found (0 = disabled)")
-		every    = flag.Int("progress", 0, "print a progress line to stderr every N iterations (0 = off)")
-	)
-	flag.Parse()
-
-	// Ctrl-C cancels the context; every backend returns its best-so-far.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	m, name, opts, err := buildModel(*load, *family, *eta, *alpha, *betaMax, *solver)
+// run is the testable entry point: it parses args, solves, prints the
+// report to stdout, and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("saimsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		family   = fs.String("family", "qkp", "instance family: qkp, mkp, or qubo (qbsolv file, unconstrained)")
+		load     = fs.String("load", "", "load a qbsolv-format QUBO model file (alternative to a positional instance)")
+		solver   = fs.String("solver", "saim", "registered solver: "+strings.Join(saim.Solvers(), ", "))
+		runs     = fs.Int("runs", 500, "annealing runs / SAIM iterations (decomp: budget per subproblem)")
+		sweeps   = fs.Int("sweeps", 1000, "Monte-Carlo sweeps per run")
+		eta      = fs.Float64("eta", 0, "Lagrange step size (0 = family default)")
+		alpha    = fs.Float64("alpha", 0, "penalty heuristic coefficient (0 = family/solver default)")
+		pweight  = fs.Float64("p", 0, "explicit penalty weight (penalty/pt/decomp solvers; 0 = heuristic)")
+		betaMax  = fs.Float64("betamax", 0, "final inverse temperature (0 = family default)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		replicas = fs.Int("replicas", 0, "PT replicas / SAIM parallel restarts (0 = solver default)")
+		limit    = fs.Duration("timelimit", time.Minute, "exact solver time limit")
+		target   = fs.Float64("target", 0, "stop early when a feasible cost ≤ target is found (0 = disabled)")
+		every    = fs.Int("progress", 0, "print a progress line to stderr every N iterations (0 = off)")
+		sub      = fs.Int("sub", 0, "decomp: variables per subproblem (0 = default 256)")
+		inner    = fs.String("inner", "", "decomp: inner solver for subproblems (default saim)")
+		rounds   = fs.Int("rounds", 0, "decomp: round cap (0 = until convergence)")
+		tenure   = fs.Int("tenure", -1, "decomp: tabu tenure in rounds (-1 = default 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	m, name, opts, err := buildModel(fs, *load, *family, *eta, *alpha, *betaMax, *solver)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "saimsolve:", err)
+		return 1
+	}
+	decomp := *solver == "decomp"
+	// Under decomp, -runs/-sweeps budget the inner solves; fall back to
+	// the decomposition defaults unless the user set them explicitly.
+	if !decomp || explicit["runs"] {
+		opts = append(opts, saim.WithIterations(*runs))
+	}
+	if !decomp || explicit["sweeps"] {
+		opts = append(opts, saim.WithSweepsPerRun(*sweeps))
 	}
 	opts = append(opts,
-		saim.WithIterations(*runs),
-		saim.WithSweepsPerRun(*sweeps),
 		saim.WithSeed(*seed),
 		saim.WithTimeLimit(*limit),
 	)
+	if *sub != 0 {
+		opts = append(opts, saim.WithSubproblemSize(*sub))
+	}
+	if *inner != "" {
+		opts = append(opts, saim.WithInnerSolver(*inner))
+	}
+	if *rounds != 0 {
+		opts = append(opts, saim.WithRounds(*rounds))
+	}
+	if *tenure >= 0 {
+		opts = append(opts, saim.WithTabuTenure(*tenure))
+	}
 	if *pweight != 0 {
 		opts = append(opts, saim.WithPenalty(*pweight))
 	}
@@ -87,7 +129,7 @@ func main() {
 		n := *every
 		opts = append(opts, saim.WithProgress(func(p saim.Progress) {
 			if (p.Iteration+1)%n == 0 {
-				fmt.Fprintf(os.Stderr, "%s: iter %d/%d best %.0f feas %.1f%% |lambda| %.3f\n",
+				fmt.Fprintf(stderr, "%s: iter %d/%d best %.0f feas %.1f%% |lambda| %.3f\n",
 					p.Solver, p.Iteration+1, p.Iterations, p.BestCost, p.FeasibleRatio, p.LambdaNorm)
 			}
 		}))
@@ -96,18 +138,20 @@ func main() {
 	start := time.Now()
 	sol, err := m.Solve(ctx, *solver, opts...)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "saimsolve:", err)
+		return 1
 	}
-	printSolution(name, sol, start)
+	printSolution(stdout, name, sol, start)
 	if !sol.Feasible() {
-		fmt.Fprintln(os.Stderr, "saimsolve: no feasible solution found")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "saimsolve: no feasible solution found")
+		return 2
 	}
+	return 0
 }
 
 // buildModel reads the instance and builds the declarative model, the
 // instance name, and the family's default solver options.
-func buildModel(load, family string, eta, alpha, betaMax float64, solver string) (*model.Model, string, []saim.Option, error) {
+func buildModel(fs *flag.FlagSet, load, family string, eta, alpha, betaMax float64, solver string) (*model.Model, string, []saim.Option, error) {
 	if load != "" {
 		m, err := model.LoadFile(load)
 		if err != nil {
@@ -115,10 +159,10 @@ func buildModel(load, family string, eta, alpha, betaMax float64, solver string)
 		}
 		return m, load, []saim.Option{saim.WithBetaMax(orF(betaMax, 10))}, nil
 	}
-	if flag.NArg() != 1 {
-		return nil, "", nil, fmt.Errorf("expected exactly one instance file (or -load), got %d", flag.NArg())
+	if fs.NArg() != 1 {
+		return nil, "", nil, fmt.Errorf("expected exactly one instance file (or -load), got %d", fs.NArg())
 	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -131,7 +175,7 @@ func buildModel(load, family string, eta, alpha, betaMax float64, solver string)
 		// its own aggressive default when no α is forced explicitly.
 		if alpha != 0 {
 			opts = append(opts, saim.WithAlpha(alpha))
-		} else if solver == "saim" || solver == "penalty" {
+		} else if solver == "saim" || solver == "penalty" || solver == "decomp" {
 			opts = append(opts, saim.WithAlpha(defAlpha))
 		}
 	}
@@ -201,15 +245,15 @@ func buildModel(load, family string, eta, alpha, betaMax float64, solver string)
 	}
 }
 
-func printSolution(name string, sol *model.Solution, start time.Time) {
+func printSolution(w io.Writer, name string, sol *model.Solution, start time.Time) {
 	res := sol.Result()
-	fmt.Printf("instance: %s\nsolver: %s\n", name, res.Solver)
+	fmt.Fprintf(w, "instance: %s\nsolver: %s\n", name, res.Solver)
 	if res.Stopped != saim.StopCompleted {
-		fmt.Printf("stopped: %s\n", res.Stopped)
+		fmt.Fprintf(w, "stopped: %s\n", res.Stopped)
 	}
 	if !sol.Feasible() {
-		fmt.Println("result: no feasible solution found")
-		fmt.Printf("wall time: %s\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(w, "result: no feasible solution found")
+		fmt.Fprintf(w, "wall time: %s\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	asn := sol.Assignment()
@@ -219,28 +263,28 @@ func printSolution(name string, sol *model.Solution, start time.Time) {
 			selected++
 		}
 	}
-	fmt.Printf("cost: %.0f (value %.0f)\nselected items: %d/%d\nfeasible samples: %.1f%%\n",
+	fmt.Fprintf(w, "cost: %.0f (value %.0f)\nselected items: %d/%d\nfeasible samples: %.1f%%\n",
 		res.Cost, -res.Cost, selected, len(asn), res.FeasibleRatio)
 	if report := sol.Constraints(); len(report) > 0 {
-		fmt.Println("constraints:")
+		fmt.Fprintln(w, "constraints:")
 		for _, cs := range report {
-			fmt.Printf("  %-14s %v %8.0f  activity %8.2f  slack %8.2f\n",
+			fmt.Fprintf(w, "  %-14s %v %8.0f  activity %8.2f  slack %8.2f\n",
 				cs.Name, cs.Sense, cs.Bound, cs.Activity, cs.Slack)
 		}
 	}
 	if res.Sweeps > 0 {
-		fmt.Printf("Monte-Carlo sweeps: %d\n", res.Sweeps)
+		fmt.Fprintf(w, "Monte-Carlo sweeps: %d\n", res.Sweeps)
 	}
 	if res.Penalty != 0 {
-		fmt.Printf("penalty P: %.2f\n", res.Penalty)
+		fmt.Fprintf(w, "penalty P: %.2f\n", res.Penalty)
 	}
 	if len(res.Lambda) > 0 {
-		fmt.Printf("final lambda: %v\n", res.Lambda)
+		fmt.Fprintf(w, "final lambda: %v\n", res.Lambda)
 	}
 	if res.Solver == "exact" {
-		fmt.Printf("proven optimal: %v\n", res.Optimal)
+		fmt.Fprintf(w, "proven optimal: %v\n", res.Optimal)
 	}
-	fmt.Printf("wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
 func orF(v, d float64) float64 {
@@ -248,9 +292,4 @@ func orF(v, d float64) float64 {
 		return d
 	}
 	return v
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "saimsolve:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// wallTimeRE strips the only non-deterministic output line.
+var wallTimeRE = regexp.MustCompile(`(?m)^wall time: .*\n`)
+
+// golden runs the CLI and compares stdout (minus wall time) against a
+// checked-in golden file, so any output or solver-trajectory regression
+// is caught by plain `go test ./...`.
+func golden(t *testing.T, name string, wantCode int, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	if code != wantCode {
+		t.Fatalf("exit code %d, want %d\nstderr: %s", code, wantCode, stderr.String())
+	}
+	got := wallTimeRE.ReplaceAllString(stdout.String(), "")
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenExactQKP(t *testing.T) {
+	golden(t, "exact-qkp", 0,
+		"-family", "qkp", "-solver", "exact", "testdata/tiny.qkp")
+}
+
+func TestGoldenSaimQKP(t *testing.T) {
+	golden(t, "saim-qkp", 0,
+		"-family", "qkp", "-solver", "saim", "-seed", "7", "-runs", "60", "-sweeps", "200",
+		"testdata/tiny.qkp")
+}
+
+func TestGoldenGreedyQKP(t *testing.T) {
+	golden(t, "greedy-qkp", 0,
+		"-family", "qkp", "-solver", "greedy", "testdata/tiny.qkp")
+}
+
+func TestGoldenDecompQUBO(t *testing.T) {
+	golden(t, "decomp-qubo", 0,
+		"-load", "testdata/small.qubo", "-solver", "decomp",
+		"-sub", "4", "-seed", "2", "-runs", "5", "-sweeps", "50")
+}
+
+func TestGoldenDecompInnerFlagQUBO(t *testing.T) {
+	golden(t, "decomp-inner-qubo", 0,
+		"-load", "testdata/small.qubo", "-solver", "decomp",
+		"-sub", "2", "-inner", "saim", "-rounds", "4", "-tenure", "0", "-seed", "3")
+}
+
+func TestCLIErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-family", "nope", "testdata/tiny.qkp"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown family: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown family") {
+		t.Fatalf("stderr %q lacks family error", stderr.String())
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-family", "qkp", "no-such-file.qkp"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-bogus-flag"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad flag: exit %d, want 1", code)
+	}
+}

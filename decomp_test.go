@@ -1,0 +1,268 @@
+package saim
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// randomQUBOBuilder builds a deterministic dense-ish test QUBO.
+func randomQUBOBuilder(n int, seed uint64) *Builder {
+	// Tiny deterministic LCG so the test has no rng dependency.
+	state := seed*2862933555777941757 + 3037000493
+	next := func() float64 {
+		state = state*2862933555777941757 + 3037000493
+		return float64(int64(state>>33)%1000)/100 - 5
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Linear(i, next())
+		for j := i + 1; j < n; j++ {
+			if int(state>>21)%3 == 0 {
+				b.Quadratic(i, j, next())
+			} else {
+				next()
+			}
+		}
+	}
+	return b
+}
+
+// bruteMin enumerates the optimum of a small model.
+func bruteMin(t *testing.T, m *Model) float64 {
+	t.Helper()
+	n := m.N()
+	if n > 20 {
+		t.Fatalf("bruteMin on %d vars", n)
+	}
+	best := math.Inf(1)
+	x := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range x {
+			x[i] = mask >> i & 1
+		}
+		cost, feasible, err := m.Evaluate(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if feasible && cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+func TestDecompUnconstrainedMatchesWholeSolve(t *testing.T) {
+	m, err := randomQUBOBuilder(14, 5).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := bruteMin(t, m)
+
+	whole, err := SolveModel(context.Background(), "saim", m,
+		WithSeed(3), WithIterations(120), WithSweepsPerRun(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole-block decomposition: one subproblem covering everything, so
+	// the inner solve is a whole solve and the clamp is a formality.
+	wide, err := SolveModel(context.Background(), "decomp", m,
+		WithSeed(3), WithSubproblemSize(14), WithIterations(60), WithSweepsPerRun(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrow blocks with tabu rotation must land on the same optimum.
+	narrow, err := SolveModel(context.Background(), "decomp", m,
+		WithSeed(3), WithSubproblemSize(5), WithTabuTenure(1), WithIterations(60), WithSweepsPerRun(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"whole": whole, "wide": wide, "narrow": narrow} {
+		if res.Infeasible() {
+			t.Fatalf("%s: no assignment", name)
+		}
+		if math.Abs(res.Cost-opt) > 1e-9 {
+			t.Fatalf("%s cost %v, optimum %v", name, res.Cost, opt)
+		}
+		cost, _, err := m.Evaluate(res.Assignment)
+		if err != nil || math.Abs(cost-res.Cost) > 1e-9 {
+			t.Fatalf("%s: reported cost %v but assignment evaluates to %v (%v)", name, res.Cost, cost, err)
+		}
+	}
+	if wide.Iterations == 0 {
+		t.Fatal("wide decomp reported 0 rounds")
+	}
+}
+
+func TestDecompConstrainedKnapsack(t *testing.T) {
+	// A small QKP: maximize value under one capacity constraint.
+	b := NewBuilder(10)
+	weights := make([]float64, 10)
+	for i := 0; i < 10; i++ {
+		b.Linear(i, -float64(3+i%5))
+		weights[i] = float64(2 + i%4)
+	}
+	b.Quadratic(0, 5, -4).Quadratic(2, 7, -6).Quadratic(1, 8, -3)
+	b.ConstrainLE(weights, 14)
+	m, err := b.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := bruteMin(t, m)
+
+	res, err := SolveModel(context.Background(), "decomp", m,
+		WithSeed(11), WithSubproblemSize(6), WithIterations(30), WithSweepsPerRun(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible() {
+		t.Fatal("decomp found no feasible assignment on a tiny knapsack")
+	}
+	cost, feasible, err := m.Evaluate(res.Assignment)
+	if err != nil || !feasible {
+		t.Fatalf("reported assignment infeasible on re-check (err %v)", err)
+	}
+	if math.Abs(cost-res.Cost) > 1e-9 {
+		t.Fatalf("reported cost %v, assignment evaluates to %v", res.Cost, cost)
+	}
+	if cost < opt-1e-9 {
+		t.Fatalf("decomp cost %v beats proven optimum %v", cost, opt)
+	}
+	if res.Penalty <= 0 {
+		t.Fatalf("constrained decomp should report its penalty weight, got %v", res.Penalty)
+	}
+}
+
+func TestDecompWarmStartAndTarget(t *testing.T) {
+	m, err := randomQUBOBuilder(12, 9).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]int, 12)
+	seedCost, _, err := m.Evaluate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveModel(context.Background(), "decomp", m,
+		WithSeed(1), WithInitial(seed), WithSubproblemSize(4), WithIterations(10), WithSweepsPerRun(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > seedCost+1e-9 {
+		t.Fatalf("warm-started decomp returned %v, worse than seed %v", res.Cost, seedCost)
+	}
+	// A warm start already at the target stops before any round.
+	res, err = SolveModel(context.Background(), "decomp", m,
+		WithInitial(seed), WithTargetCost(seedCost))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopTarget || res.Iterations != 0 {
+		t.Fatalf("Stopped = %v after %d rounds, want StopTarget after 0", res.Stopped, res.Iterations)
+	}
+}
+
+func TestDecompOptionValidation(t *testing.T) {
+	m, err := randomQUBOBuilder(8, 2).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]Option{
+		"self-inner":      {WithInnerSolver("decomp")},
+		"unknown-inner":   {WithInnerSolver("no-such-solver")},
+		"inner-form":      {WithInnerSolver("penalty")}, // rejects unconstrained subproblems
+		"negative-tenure": {WithTabuTenure(-1)},
+		"negative-sub":    {WithSubproblemSize(-2)},
+	}
+	for name, opts := range cases {
+		if _, err := SolveModel(context.Background(), "decomp", m, opts...); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+	// High-order models are rejected by form.
+	hb := NewBuilder(4)
+	hb.Term(1, 0, 1, 2)
+	hm, err := hb.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveModel(context.Background(), "decomp", hm); err == nil {
+		t.Error("expected a form error for a high-order model")
+	}
+}
+
+func TestDecompCancellation(t *testing.T) {
+	m, err := randomQUBOBuilder(16, 4).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveModel(ctx, "decomp", m, WithSeed(1), WithSubproblemSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopCancelled {
+		t.Fatalf("Stopped = %v, want StopCancelled", res.Stopped)
+	}
+}
+
+// TestDecompProgressAggregationUnderLoad hammers WithProgress with
+// GOMAXPROCS concurrent round workers: callbacks must stay serialized
+// (the WithProgress contract), fleet totals monotone, and the best cost
+// monotone non-increasing. Run under -race this also pins the shared
+// aggregated-progress path of the PR 2 replica pool.
+func TestDecompProgressAggregationUnderLoad(t *testing.T) {
+	m, err := randomQUBOBuilder(160, 7).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		inFlight   atomic.Int32
+		calls      int
+		lastSweeps int64
+		lastSample int
+		lastBest   = math.Inf(1)
+	)
+	res, err := SolveModel(context.Background(), "decomp", m,
+		WithSeed(5),
+		WithSubproblemSize(16),
+		WithRounds(6),
+		WithIterations(4),
+		WithSweepsPerRun(50),
+		WithProgress(func(p Progress) {
+			if inFlight.Add(1) != 1 {
+				t.Error("progress callback entered concurrently")
+			}
+			calls++
+			if p.Solver != "decomp" {
+				t.Errorf("Progress.Solver = %q", p.Solver)
+			}
+			if p.Sweeps < lastSweeps {
+				t.Errorf("fleet sweeps went backwards: %d -> %d", lastSweeps, p.Sweeps)
+			}
+			if p.Iteration+1 < lastSample {
+				t.Errorf("fleet samples went backwards: %d -> %d", lastSample, p.Iteration+1)
+			}
+			if !math.IsInf(p.BestCost, 1) && p.BestCost > lastBest+1e-9 {
+				t.Errorf("best cost went backwards: %v -> %v", lastBest, p.BestCost)
+			}
+			lastSweeps, lastSample = p.Sweeps, p.Iteration+1
+			if p.BestCost < lastBest {
+				lastBest = p.BestCost
+			}
+			inFlight.Add(-1)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minCalls := runtime.GOMAXPROCS(0)
+	if calls < minCalls {
+		t.Fatalf("progress fired %d times, want at least %d", calls, minCalls)
+	}
+	if res.Infeasible() {
+		t.Fatal("decomp found nothing on an unconstrained model")
+	}
+}

@@ -1,0 +1,325 @@
+// Package decompose is the large-instance front end of the saim library:
+// qbsolv-style subproblem decomposition applied directly to declarative
+// models (package model), without ever materializing the dense coupling
+// matrix every whole-problem backend needs.
+//
+// The registry's "decomp" solver (saim.SolveModel(ctx, "decomp", m, ...))
+// already decomposes any compiled saim.Model — use it when the model fits
+// in dense form anyway and you want the option set of the unified API.
+// This package exists for the regime beyond that: a compiled N-variable
+// model costs O(N²) memory (3.2 GB at N = 20000), while Solve here streams
+// the declarative model's terms into a sparse O(N + terms) view and runs
+// the same decomposition engine (internal/decompose, DESIGN.md §6) on it.
+//
+//	g := problems.RandomGraph(20000, 5e-4, 10, 1)
+//	p, _ := problems.MaxCut(g)
+//	sol, err := decompose.Solve(ctx, p.Model, decompose.Options{
+//	    SubproblemSize: 512,
+//	})
+//	cut := p.CutValue(sol)
+//
+// Subproblems are extracted with the frozen complement folded into linear
+// terms, solved concurrently by any registered inner backend, and clamped
+// back only on strict global improvement; tabu tenure steers consecutive
+// rounds toward different regions. The sparse path handles unconstrained
+// quadratic models only — constrained models go through the registry
+// solver, which decomposes their fixed-penalty energy instead.
+package decompose
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/decompose"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/model"
+)
+
+// Options configures one large-instance decomposition solve. The zero
+// value is usable: 256-variable subproblems, tabu tenure 1, the "saim"
+// inner backend, GOMAXPROCS workers, and rounds until convergence.
+type Options struct {
+	// SubproblemSize is the number of variables per subproblem
+	// (default 256, clamped to the model size).
+	SubproblemSize int
+	// Rounds caps the outer loop; 0 iterates until convergence
+	// (TabuTenure+1 consecutive rounds without an accepted improvement).
+	Rounds int
+	// TabuTenure is how many rounds a just-optimized variable is excluded
+	// from selection. Zero uses the default of 1; negative disables tabu.
+	TabuTenure int
+	// Inner names the registered backend for the subproblem solves
+	// (default "saim"); it must accept unconstrained models.
+	Inner string
+	// Iterations and SweepsPerRun budget each inner solve (defaults 12
+	// and 400).
+	Iterations, SweepsPerRun int
+	// Workers sizes the concurrent block-solving pool (default
+	// GOMAXPROCS).
+	Workers int
+	// Seed drives the initial assignment and all inner solves.
+	Seed uint64
+	// Initial, when non-empty, is the starting assignment over the
+	// model's variables; otherwise a seeded random assignment is used.
+	Initial []int
+	// TargetObjective stops the solve early once the objective — in the
+	// declared frame, so "at least T" for a Maximize model — is reached.
+	TargetObjective *float64
+	// Progress streams fleet-wide totals: Iteration counts inner samples
+	// plus finished rounds, BestCost is the best energy in the
+	// minimization frame, Sweeps the cumulative inner sweep count. The
+	// callback is serialized across the concurrent workers.
+	Progress func(saim.Progress)
+}
+
+// Solve runs the decomposition meta-solver on an unconstrained
+// declarative model, however large, and returns a name-aware Solution.
+// The model's terms are streamed into a sparse view — memory stays
+// O(N + terms) — so this is the entry point for instances no dense
+// backend can represent.
+func Solve(ctx context.Context, m *model.Model, o Options) (*model.Solution, error) {
+	if m == nil {
+		return nil, fmt.Errorf("decompose: nil model")
+	}
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	if m.N() == 0 {
+		return nil, fmt.Errorf("decompose: model has no variables")
+	}
+	if mc := m.NumConstraints(); mc > 0 {
+		return nil, fmt.Errorf("decompose: the sparse path handles unconstrained models only (model has %d constraints); solve constrained models with the registry's \"decomp\" solver", mc)
+	}
+
+	innerName := o.Inner
+	if innerName == "" {
+		innerName = "saim"
+	}
+	if innerName == "decomp" {
+		return nil, fmt.Errorf("decompose: the registry decomp solver cannot serve as its own inner backend")
+	}
+	inner, err := saim.Get(innerName)
+	if err != nil {
+		return nil, err
+	}
+	if !inner.Accepts(saim.FormUnconstrained) {
+		return nil, fmt.Errorf("decompose: inner solver %q does not accept the unconstrained subproblems decomposition produces", innerName)
+	}
+
+	// Stream the declarative terms into the sparse view.
+	vb := decompose.NewViewBuilder(m.N())
+	var termErr error
+	err = m.ObjectiveTerms(func(w float64, ids []int) {
+		switch len(ids) {
+		case 0:
+			vb.AddConst(w)
+		case 1:
+			vb.AddLinear(ids[0], w)
+		case 2:
+			vb.AddPair(ids[0], ids[1], w)
+		default:
+			if termErr == nil {
+				termErr = fmt.Errorf("decompose: objective has a degree-%d monomial; the sparse path handles quadratic models only", len(ids))
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if termErr != nil {
+		return nil, termErr
+	}
+	view := vb.Build()
+
+	tenure := o.TabuTenure
+	switch {
+	case tenure == 0:
+		tenure = 1
+	case tenure < 0:
+		tenure = 0
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	iters := o.Iterations
+	if iters == 0 {
+		iters = 12
+	}
+	sweeps := o.SweepsPerRun
+	if sweeps == 0 {
+		sweeps = 400
+	}
+	var initial ising.Bits
+	if len(o.Initial) > 0 {
+		if len(o.Initial) != m.N() {
+			return nil, fmt.Errorf("decompose: initial assignment length %d, want %d", len(o.Initial), m.N())
+		}
+		initial = make(ising.Bits, m.N())
+		for i, v := range o.Initial {
+			switch v {
+			case 0:
+			case 1:
+				initial[i] = 1
+			default:
+				return nil, fmt.Errorf("decompose: initial[%d] = %d, want 0 or 1", i, v)
+			}
+		}
+	}
+	// The engine only accepts strict improvements, so its evolving energy
+	// is the running best; TargetObjective maps into the minimization
+	// frame the engine sees.
+	var target *float64
+	if o.TargetObjective != nil {
+		t := *o.TargetObjective
+		if m.Maximizing() {
+			t = -t
+		}
+		target = &t
+	}
+
+	var agg *core.ProgressAggregator
+	var sweepsTotal atomic.Int64
+	baseSamples := make([]int, workers)
+	baseSweeps := make([]int64, workers)
+	var bestSeen atomic.Value // float64, monotone under OnAccept/OnRound ordering
+	bestSeen.Store(math.Inf(1))
+	if o.Progress != nil {
+		agg = core.NewProgressAggregator(func(p core.ProgressInfo) {
+			ratio := 0.0
+			if p.Samples > 0 {
+				ratio = 100 * float64(p.FeasibleCount) / float64(p.Samples)
+			}
+			o.Progress(saim.Progress{
+				Solver:        "decomp",
+				Iteration:     p.Iteration,
+				Iterations:    p.Total,
+				BestCost:      p.BestCost,
+				FeasibleRatio: ratio,
+				Sweeps:        p.Sweeps,
+			})
+		}, workers+1, o.Rounds)
+	}
+
+	// This block-solving closure intentionally parallels the one in the
+	// registry's decomp solver (the saim package's decomp.go) minus its
+	// constrained branches; the import graph forbids sharing it — saim
+	// cannot import this package, which imports saim. Keep the two in
+	// step when changing inner-option wiring or progress semantics.
+	solveBlock := func(ctx context.Context, worker int, sub *decompose.Sub, seed uint64) (ising.Bits, error) {
+		b := saim.NewBuilder(len(sub.Vars))
+		for i, w := range sub.Lin {
+			if w != 0 {
+				b.Linear(i, w)
+			}
+		}
+		for _, p := range sub.Pairs {
+			b.Quadratic(p.I, p.J, p.W)
+		}
+		sm, err := b.Model()
+		if err != nil {
+			return nil, err
+		}
+		warm := make([]int, len(sub.Warm))
+		for i, v := range sub.Warm {
+			warm[i] = int(v)
+		}
+		innerOpts := []saim.Option{
+			saim.WithSeed(seed),
+			saim.WithIterations(iters),
+			saim.WithSweepsPerRun(sweeps),
+			saim.WithInitial(warm),
+		}
+		if agg != nil {
+			emit := agg.Callback(worker)
+			innerOpts = append(innerOpts, saim.WithProgress(func(p saim.Progress) {
+				samples := baseSamples[worker] + p.Iteration + 1
+				emit(core.ProgressInfo{
+					Iteration:     samples - 1,
+					Total:         o.Rounds,
+					BestCost:      bestSeen.Load().(float64),
+					FeasibleCount: samples, // unconstrained: every sample is feasible
+					Samples:       samples,
+					Sweeps:        baseSweeps[worker] + p.Sweeps,
+				})
+			}))
+		}
+		res, err := inner.Solve(ctx, sm, innerOpts...)
+		if err != nil {
+			return nil, err
+		}
+		sweepsTotal.Add(res.Sweeps)
+		if agg != nil {
+			baseSamples[worker] += res.Iterations
+			baseSweeps[worker] += res.Sweeps
+		}
+		if res.Assignment == nil {
+			return nil, nil
+		}
+		out := make(ising.Bits, len(res.Assignment))
+		for i, v := range res.Assignment {
+			out[i] = int8(v)
+		}
+		return out, nil
+	}
+
+	stopReason := saim.StopCompleted
+	out, err := decompose.Run(ctx, view, decompose.Options{
+		SubSize:    o.SubproblemSize,
+		Rounds:     o.Rounds,
+		TabuTenure: tenure,
+		Workers:    workers,
+		Seed:       o.Seed,
+		Initial:    initial,
+		SolveBlock: solveBlock,
+		OnAccept: func(x ising.Bits, e float64) {
+			bestSeen.Store(e)
+		},
+		OnRound: func(r decompose.Round) bool {
+			bestSeen.Store(r.Energy)
+			if agg != nil {
+				rounds := r.Index + 1
+				agg.Callback(workers)(core.ProgressInfo{
+					Iteration: r.Index,
+					Total:     o.Rounds,
+					BestCost:  r.Energy,
+					Samples:   rounds, FeasibleCount: rounds,
+				})
+			}
+			if target != nil && r.Energy <= *target {
+				stopReason = saim.StopTarget
+				return true
+			}
+			return false
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	stopped := saim.StopCompleted
+	switch out.Stopped {
+	case decompose.Cancelled:
+		stopped = saim.StopCancelled
+	case decompose.StoppedByCallback:
+		stopped = stopReason
+	}
+	asn := make([]int, len(out.X))
+	for i, v := range out.X {
+		asn[i] = int(v)
+	}
+	return model.NewSolution(m, &saim.Result{
+		Solver:        "decomp",
+		Assignment:    asn,
+		Cost:          out.Energy,
+		FeasibleRatio: 100,
+		Sweeps:        sweepsTotal.Load(),
+		Iterations:    out.Rounds,
+		Stopped:       stopped,
+	}), nil
+}

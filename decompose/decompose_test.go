@@ -1,0 +1,190 @@
+package decompose_test
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/decompose"
+	"github.com/ising-machines/saim/model"
+	"github.com/ising-machines/saim/problems"
+)
+
+// TestControlInstanceWithinTwoPercentOfWholeSolve is the scale-axis
+// acceptance check: on a 2000-variable max-cut — the largest size the
+// dense whole-problem backends handle comfortably — the decomposition
+// meta-solver must come within 2% of the best whole-problem solve.
+func TestControlInstanceWithinTwoPercentOfWholeSolve(t *testing.T) {
+	g := problems.RandomGraph(2000, 0.005, 10, 42)
+	pWhole, err := problems.MaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := pWhole.Model.Solve(context.Background(), "saim",
+		saim.WithSeed(1), saim.WithIterations(40), saim.WithSweepsPerRun(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeCut := pWhole.CutValue(whole)
+
+	pDec, err := problems.MaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := decompose.Solve(context.Background(), pDec.Model, decompose.Options{
+		SubproblemSize: 512,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decompCut := pDec.CutValue(sol)
+
+	t.Logf("whole cut %.0f, decomposed cut %.0f (%.2f%%)", wholeCut, decompCut, 100*decompCut/wholeCut)
+	if decompCut < 0.98*wholeCut {
+		t.Fatalf("decomposed cut %.0f is more than 2%% below the whole-problem cut %.0f", decompCut, wholeCut)
+	}
+}
+
+// TestLargeInstanceBeyondDenseBackends runs the sparse path on a
+// 20000-vertex graph from the problems catalog — a size whose dense
+// compilation alone would need a 3.2 GB coupling matrix — and checks the
+// solve terminates with a high-quality cut.
+func TestLargeInstanceBeyondDenseBackends(t *testing.T) {
+	const n = 20000
+	g := problems.RingChordsGraph(n, 8, 1)
+	p, err := problems.MaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds atomic.Int64
+	sol, err := decompose.Solve(context.Background(), p.Model, decompose.Options{
+		SubproblemSize: 512,
+		Rounds:         8,
+		Seed:           3,
+		Iterations:     4,
+		SweepsPerRun:   120,
+		Progress: func(pr saim.Progress) {
+			rounds.Store(int64(pr.Iteration + 1))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := p.CutValue(sol)
+	// The ring alone carries n unit edges and is fully cuttable; a solve
+	// that explores the instance at all lands well above 90% of that.
+	if cut < 0.9*n {
+		t.Fatalf("20k-vertex cut %.0f, want at least %.0f", cut, 0.9*n)
+	}
+	if sol.Result().Iterations == 0 || rounds.Load() == 0 {
+		t.Fatal("no rounds reported")
+	}
+	left, right := p.Partition(sol)
+	if len(left)+len(right) != n {
+		t.Fatalf("partition covers %d vertices, want %d", len(left)+len(right), n)
+	}
+}
+
+// TestSparseMatchesRegistryDecomp pins the two front ends against each
+// other: on a model small enough to compile densely, the sparse
+// declarative path and the registry decomp solver see the same energy
+// landscape and reach the same optimum.
+func TestSparseMatchesRegistryDecomp(t *testing.T) {
+	g := problems.RandomGraph(40, 0.3, 5, 7)
+	p1, err := problems.MaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := decompose.Solve(context.Background(), p1.Model, decompose.Options{
+		SubproblemSize: 12,
+		Seed:           2,
+		Iterations:     30,
+		SweepsPerRun:   300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := problems.MaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := p2.Model.Solve(context.Background(), "decomp",
+		saim.WithSeed(2), saim.WithSubproblemSize(12),
+		saim.WithIterations(30), saim.WithSweepsPerRun(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1, c2 := p1.CutValue(sparse), p2.CutValue(sol2)
+	if math.Abs(c1-c2) > 1e-9 {
+		t.Fatalf("sparse path cut %.0f, registry decomp cut %.0f", c1, c2)
+	}
+	if sparse.Result().Solver != "decomp" {
+		t.Fatalf("Solver = %q", sparse.Result().Solver)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	ctx := context.Background()
+
+	m := model.New()
+	x := m.Binary("x", 4)
+	m.Minimize(model.Dot([]float64{1, -2, 3, -1}, x))
+	m.Constrain("c", x.Sum().LE(2))
+	if _, err := decompose.Solve(ctx, m, decompose.Options{}); err == nil {
+		t.Error("expected an error for a constrained model on the sparse path")
+	}
+
+	hm := model.New()
+	y := hm.Binary("y", 4)
+	hm.Minimize(model.Prod(y[0], y[1], y[2]))
+	if _, err := decompose.Solve(ctx, hm, decompose.Options{}); err == nil {
+		t.Error("expected an error for a high-order objective")
+	}
+
+	um := model.New()
+	z := um.Binary("z", 4)
+	um.Minimize(model.Dot([]float64{1, -2, 3, -1}, z))
+	if _, err := decompose.Solve(ctx, um, decompose.Options{Inner: "decomp"}); err == nil {
+		t.Error("expected an error for decomp-as-inner")
+	}
+	if _, err := decompose.Solve(ctx, um, decompose.Options{Inner: "greedy"}); err == nil {
+		t.Error("expected an error for an inner solver that rejects unconstrained models")
+	}
+	if _, err := decompose.Solve(ctx, um, decompose.Options{Initial: []int{1}}); err == nil {
+		t.Error("expected an error for a bad initial length")
+	}
+	if _, err := decompose.Solve(ctx, nil, decompose.Options{}); err == nil {
+		t.Error("expected an error for a nil model")
+	}
+	if _, err := decompose.Solve(ctx, model.New(), decompose.Options{}); err == nil {
+		t.Error("expected an error, not a panic, for a model with no variables")
+	}
+}
+
+func TestTargetObjectiveStopsEarly(t *testing.T) {
+	g := problems.RandomGraph(60, 0.3, 5, 9)
+	p, err := problems.MaxCut(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 1.0 // any positive cut reaches this immediately
+	sol, err := decompose.Solve(context.Background(), p.Model, decompose.Options{
+		SubproblemSize:  16,
+		Seed:            4,
+		TargetObjective: &target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Result().Stopped != saim.StopTarget {
+		t.Fatalf("Stopped = %v, want StopTarget", sol.Result().Stopped)
+	}
+	if p.CutValue(sol) < target {
+		t.Fatalf("cut %.0f below the target %v that stopped the solve", p.CutValue(sol), target)
+	}
+}

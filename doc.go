@@ -38,7 +38,11 @@
 // fixed-P baseline; "pt" — parallel tempering (the PT-DA stand-in); "ga" —
 // the Chu–Beasley genetic algorithm generalized to quadratic knapsacks;
 // "greedy" — constructive density heuristics; "exact" — certified branch
-// and bound. Every backend honors context cancellation by returning its
+// and bound; "decomp" — qbsolv-style subproblem decomposition that runs
+// any of the other backends on extracted subproblems (WithSubproblemSize,
+// WithInnerSolver, WithRounds, WithTabuTenure; see also the decompose
+// package for instances beyond the dense-matrix limit). Every backend
+// honors context cancellation by returning its
 // best-so-far result promptly (Result.Stopped == StopCancelled), streams
 // Progress snapshots via WithProgress, and supports early stopping via
 // WithTargetCost and WithPatience. Custom backends register with Register.

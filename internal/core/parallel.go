@@ -13,13 +13,14 @@ func replicaSeed(base uint64, r int) uint64 {
 	return base ^ (uint64(r+1) * 0x9e3779b97f4a7c15)
 }
 
-// progressAggregator merges the per-iteration streams of all replicas into
-// one thread-safe callback. Each replica reports cumulative values for its
-// own solve; the aggregator maintains fleet-wide running totals (best
-// cost, feasible/sample counts, sweeps) incrementally — O(1) per event —
-// so a dashboard sees monotone global progress instead of interleaved
-// per-replica counters.
-type progressAggregator struct {
+// ProgressAggregator merges the per-iteration streams of a fleet of
+// concurrent workers into one thread-safe callback. Each worker reports
+// cumulative values for its own stream; the aggregator maintains
+// fleet-wide running totals (best cost, feasible/sample counts, sweeps)
+// incrementally — O(1) per event — so a dashboard sees monotone global
+// progress instead of interleaved per-worker counters. The replica pool
+// and the decomposition meta-solver's round workers share this path.
+type ProgressAggregator struct {
 	mu  sync.Mutex
 	f   func(ProgressInfo)
 	agg ProgressInfo
@@ -36,19 +37,22 @@ type progressAggregator struct {
 	norm0 float64
 }
 
-func newProgressAggregator(f func(ProgressInfo), replicas, totalIters int) *progressAggregator {
-	return &progressAggregator{
+// NewProgressAggregator returns an aggregator over `workers` cumulative
+// streams relaying merged totals to f; totalIters seeds the Total field of
+// every relayed snapshot (use 0 when the total is unknown up front).
+func NewProgressAggregator(f func(ProgressInfo), workers, totalIters int) *ProgressAggregator {
+	return &ProgressAggregator{
 		f:        f,
 		agg:      ProgressInfo{Total: totalIters, BestCost: math.Inf(1)},
-		feasible: make([]int, replicas),
-		samples:  make([]int, replicas),
-		sweeps:   make([]int64, replicas),
+		feasible: make([]int, workers),
+		samples:  make([]int, workers),
+		sweeps:   make([]int64, workers),
 	}
 }
 
-// callback returns the per-replica progress function handed to replica r's
-// solve. It is safe for concurrent use across replicas.
-func (a *progressAggregator) callback(r int) func(ProgressInfo) {
+// Callback returns the progress function handed to worker r's stream. It
+// is safe for concurrent use across workers; a nil aggregator returns nil.
+func (a *ProgressAggregator) Callback(r int) func(ProgressInfo) {
 	if a == nil {
 		return nil
 	}
@@ -115,9 +119,9 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 	ctx, stopSiblings := context.WithCancel(ctx)
 	defer stopSiblings()
 
-	var agg *progressAggregator
+	var agg *ProgressAggregator
 	if pr.o.Progress != nil {
-		agg = newProgressAggregator(pr.o.Progress, replicas, pr.o.Iterations*replicas)
+		agg = NewProgressAggregator(pr.o.Progress, replicas, pr.o.Iterations*replicas)
 	}
 	results := make([]*Result, replicas)
 	errs := make([]error, replicas)
@@ -152,7 +156,7 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 				if pr.o.Trace != nil {
 					tr = &Trace{}
 				}
-				results[r], errs[r] = eng.solve(ctx, replicaSeed(pr.o.Seed, r), tr, agg.callback(r))
+				results[r], errs[r] = eng.solve(ctx, replicaSeed(pr.o.Seed, r), tr, agg.Callback(r))
 				if results[r] != nil {
 					if tr != nil {
 						keepIfWinner(r, results[r].BestCost, tr)

@@ -1,0 +1,719 @@
+// Package decompose implements the qbsolv-style subproblem decomposition
+// loop that lets the library attack instances far beyond what any whole-
+// problem backend can materialize (DESIGN.md §6).
+//
+// The engine operates on a sparse View of a QUBO energy
+//
+//	E(x) = C + Σ_i c_i x_i + Σ_{i<j} w_ij x_i x_j,   x ∈ {0,1}^N,
+//
+// stored as CSR adjacency so memory is O(N + nnz) rather than the O(N²) of
+// the dense solvers. Each round it
+//
+//  1. ranks the non-tabu variables by local-field magnitude |f_i| where
+//     f_i = c_i + Σ_j w_ij x_j (|ΔE of flipping i| = |f_i|, so the ranking
+//     orders variables by how much the current assignment has at stake in
+//     them),
+//  2. grows disjoint blocks of SubSize variables: each block is seeded at
+//     the highest-impact unclaimed variable and expanded through the
+//     coupling graph, always claiming the highest-impact frontier
+//     variable next, so a subproblem holds variables that actually
+//     interact (on sparse instances a pure impact top-k would scatter,
+//     degenerate into independent single-bit decisions, and stall in
+//     single-flip local optima); selected variables go tabu for
+//     TabuTenure rounds so consecutive rounds explore different regions,
+//  3. extracts each block's induced subproblem — the frozen complement is
+//     folded into the block's linear terms, so the sub-energy differs from
+//     the global energy only by a constant — and solves the blocks
+//     concurrently on a fixed worker pool via the caller's SolveBlock,
+//  4. clamps each proposal back sequentially, accepting it only when the
+//     exact global energy strictly improves (proposals were solved against
+//     the round-start assignment, so later blocks re-test against the
+//     evolving one),
+//
+// and stops when no round improves anymore: at least TabuTenure+1
+// consecutive rounds accepted nothing AND the stale rounds together
+// re-examined at least N variables (tabu rotation makes consecutive
+// selections near-disjoint, so that is one full look at the instance
+// since the last improvement). It also stops when the round cap is
+// reached, the caller's OnRound requests a stop, or the context is
+// cancelled.
+//
+// The engine is solver-agnostic: SolveBlock receives the extracted
+// subproblem and returns proposed bits, so any backend — or any remote
+// service — can serve as the inner solver. The saim registry's "decomp"
+// solver and the public decompose package are the two front ends.
+package decompose
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+// View is a sparse, immutable QUBO energy over n binary variables. Build
+// one with a ViewBuilder. Pair weights are stored symmetrically (each edge
+// appears in both endpoint rows with the full weight w_ij).
+type View struct {
+	n      int
+	c      float64
+	lin    []float64
+	rowPtr []int32
+	colIdx []int32
+	weight []float64
+}
+
+// N returns the number of variables.
+func (v *View) N() int { return v.n }
+
+// NNZ returns the number of stored pair couplings (each pair counted once).
+func (v *View) NNZ() int { return len(v.colIdx) / 2 }
+
+// Energy returns E(x) by a full pass over the view, O(N + nnz).
+func (v *View) Energy(x ising.Bits) float64 {
+	if len(x) != v.n {
+		panic("decompose: Energy dimension mismatch")
+	}
+	e := v.c
+	for i := 0; i < v.n; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		e += v.lin[i]
+		for k := v.rowPtr[i]; k < v.rowPtr[i+1]; k++ {
+			if j := v.colIdx[k]; int(j) > i && x[j] != 0 {
+				e += v.weight[k]
+			}
+		}
+	}
+	return e
+}
+
+// ViewBuilder accumulates terms of a sparse QUBO energy.
+type ViewBuilder struct {
+	n     int
+	c     float64
+	lin   []float64
+	pairs map[[2]int32]float64
+}
+
+// NewViewBuilder returns a builder over n variables. It panics for n ≤ 0.
+func NewViewBuilder(n int) *ViewBuilder {
+	if n <= 0 {
+		panic(fmt.Sprintf("decompose: NewViewBuilder requires n > 0, got %d", n))
+	}
+	return &ViewBuilder{n: n, lin: make([]float64, n), pairs: map[[2]int32]float64{}}
+}
+
+// AddConst accumulates a constant offset.
+func (b *ViewBuilder) AddConst(w float64) { b.c += w }
+
+// AddLinear accumulates w·x_i.
+func (b *ViewBuilder) AddLinear(i int, w float64) { b.lin[i] += w }
+
+// AddPair accumulates the full pair weight w·x_i·x_j (i ≠ j). Duplicate
+// pairs merge. It panics on i == j; fold x_i² = x_i into AddLinear instead.
+func (b *ViewBuilder) AddPair(i, j int, w float64) {
+	if i == j {
+		panic(fmt.Sprintf("decompose: AddPair requires i != j (got %d)", i))
+	}
+	if i > j {
+		i, j = j, i
+	}
+	b.pairs[[2]int32{int32(i), int32(j)}] += w
+}
+
+// Build freezes the accumulated terms into an immutable CSR View. Zero
+// merged pair weights are dropped. The builder may be reused afterwards.
+func (b *ViewBuilder) Build() *View {
+	deg := make([]int32, b.n)
+	for p, w := range b.pairs {
+		if w == 0 {
+			continue
+		}
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	rowPtr := make([]int32, b.n+1)
+	for i := 0; i < b.n; i++ {
+		rowPtr[i+1] = rowPtr[i] + deg[i]
+	}
+	nnz := rowPtr[b.n]
+	colIdx := make([]int32, nnz)
+	weight := make([]float64, nnz)
+	next := make([]int32, b.n)
+	copy(next, rowPtr[:b.n])
+	for p, w := range b.pairs {
+		if w == 0 {
+			continue
+		}
+		i, j := p[0], p[1]
+		colIdx[next[i]], weight[next[i]] = j, w
+		next[i]++
+		colIdx[next[j]], weight[next[j]] = i, w
+		next[j]++
+	}
+	// Sort each row by column so extraction and energy passes are
+	// deterministic regardless of map iteration order.
+	for i := 0; i < b.n; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		row := colIdx[lo:hi]
+		ws := weight[lo:hi]
+		sort.Sort(&rowSorter{row, ws})
+	}
+	return &View{
+		n:      b.n,
+		c:      b.c,
+		lin:    append([]float64(nil), b.lin...),
+		rowPtr: rowPtr,
+		colIdx: colIdx,
+		weight: weight,
+	}
+}
+
+type rowSorter struct {
+	idx []int32
+	w   []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.idx) }
+func (s *rowSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// Pair is one intra-block coupling of an extracted subproblem, in local
+// (block) variable indices.
+type Pair struct {
+	I, J int
+	W    float64
+}
+
+// Sub is one extracted subproblem: the induced QUBO over Vars with the
+// frozen complement folded into Lin. Minimizing Lin/Pairs over the block
+// bits minimizes the global energy restricted to the block (they differ by
+// a constant).
+type Sub struct {
+	// Vars maps local index → global variable id, in impact-rank order.
+	Vars []int
+	// Lin[k] is the local linear coefficient of Vars[k]: the global linear
+	// term plus Σ over frozen neighbors of w_ij·x̄_j.
+	Lin []float64
+	// Pairs are the couplings with both endpoints inside the block.
+	Pairs []Pair
+	// Warm is the current assignment of the block bits — the natural warm
+	// start for the inner solve, and the fallback proposal.
+	Warm ising.Bits
+}
+
+// Round is the per-round progress snapshot passed to Options.OnRound.
+type Round struct {
+	// Index is the zero-based round just finished; Blocks is how many
+	// subproblems it solved, Accepted how many proposals improved the
+	// global energy, Moved how many bits changed.
+	Index, Blocks, Accepted, Moved int
+	// Energy is the global energy after the round's clamps.
+	Energy float64
+}
+
+// Options configures one decomposition run.
+type Options struct {
+	// SubSize is the number of variables per subproblem (default 256,
+	// clamped to N).
+	SubSize int
+	// Rounds caps the number of rounds; 0 means run until convergence.
+	Rounds int
+	// TabuTenure is how many rounds a just-selected variable is excluded
+	// from selection (0 disables tabu). Convergence is declared after
+	// TabuTenure+1 consecutive rounds with no accepted proposal.
+	TabuTenure int
+	// MaxBlocks caps the subproblems per round. The default is
+	// max(4, ⌈N/(SubSize·(TabuTenure+1))⌉) — enough blocks that the tabu
+	// rotation sweeps the whole instance every TabuTenure+1 rounds.
+	// Without that floor, impact ranking starves the untouched regions:
+	// already-optimized variables sit in steep local minima and out-rank
+	// the flat fields of never-visited ones. The default deliberately
+	// ignores Workers so that, for a fixed seed, results are identical on
+	// any machine — block proposals are seeded per (round, block) and
+	// merged in block order, so parallelism never touches the trajectory.
+	MaxBlocks int
+	// Workers is the size of the block-solving worker pool (default
+	// GOMAXPROCS, clamped to the block count).
+	Workers int
+	// Seed drives the initial assignment and the per-block inner seeds.
+	Seed uint64
+	// Initial, when non-empty, is the starting assignment (length N);
+	// otherwise the engine starts from a seeded random assignment.
+	Initial ising.Bits
+	// SolveBlock solves one extracted subproblem and returns the proposed
+	// block bits (length len(sub.Vars)). worker identifies the pool slot
+	// (stable across rounds) so callers can keep per-worker cumulative
+	// progress state. Returning sub.Warm (or nil) proposes no change.
+	SolveBlock func(ctx context.Context, worker int, sub *Sub, seed uint64) (ising.Bits, error)
+	// OnAccept, when non-nil, runs after every accepted clamp with the
+	// evolving assignment and its energy. The slice is the engine's
+	// buffer — copy it to retain it.
+	OnAccept func(x ising.Bits, energy float64)
+	// OnRound, when non-nil, runs after every round; returning true stops
+	// the solve with StoppedByCallback.
+	OnRound func(r Round) bool
+}
+
+// StopCause records why a run returned.
+type StopCause int
+
+const (
+	// Converged means TabuTenure+1 consecutive rounds accepted nothing.
+	Converged StopCause = iota
+	// RoundCap means the configured round budget was spent.
+	RoundCap
+	// Cancelled means the context was cancelled mid-run.
+	Cancelled
+	// StoppedByCallback means OnRound requested the stop.
+	StoppedByCallback
+)
+
+// String implements fmt.Stringer.
+func (c StopCause) String() string {
+	switch c {
+	case Converged:
+		return "converged"
+	case RoundCap:
+		return "round-cap"
+	case Cancelled:
+		return "cancelled"
+	case StoppedByCallback:
+		return "callback"
+	default:
+		return fmt.Sprintf("StopCause(%d)", int(c))
+	}
+}
+
+// Outcome is the result of a Run.
+type Outcome struct {
+	// X is the final assignment; Energy its exact global energy. Clamps
+	// only ever accept strict improvements, so this is also the best
+	// assignment the run visited.
+	X      ising.Bits
+	Energy float64
+	// Rounds is the number of rounds executed, Accepted the total accepted
+	// proposals, Moved the total bits flipped.
+	Rounds, Accepted, Moved int
+	// Stopped records why the run returned.
+	Stopped StopCause
+}
+
+// state is the mutable solve state: assignment, local fields, energy.
+type state struct {
+	v     *View
+	x     ising.Bits
+	field []float64 // field[i] = c_i + Σ_j w_ij x_j; |field[i]| = |ΔE of flipping i|
+	e     float64
+}
+
+func newState(v *View, x ising.Bits) *state {
+	s := &state{v: v, x: x, field: make([]float64, v.n)}
+	copy(s.field, v.lin)
+	for i := 0; i < v.n; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		for k := v.rowPtr[i]; k < v.rowPtr[i+1]; k++ {
+			s.field[v.colIdx[k]] += v.weight[k]
+		}
+	}
+	s.e = v.Energy(x)
+	return s
+}
+
+// flip toggles bit i, maintaining fields and energy incrementally, and
+// returns the energy change. O(degree(i)).
+func (s *state) flip(i int) float64 {
+	de := s.field[i]
+	if s.x[i] != 0 {
+		de = -de
+		s.x[i] = 0
+	} else {
+		s.x[i] = 1
+	}
+	sign := float64(2*int(s.x[i]) - 1) // +1 when the bit turned on
+	for k := s.v.rowPtr[i]; k < s.v.rowPtr[i+1]; k++ {
+		s.field[s.v.colIdx[k]] += sign * s.v.weight[k]
+	}
+	s.e += de
+	return de
+}
+
+// extract builds the induced subproblem of the block vars against the
+// frozen complement of the current assignment.
+func (s *state) extract(vars []int) *Sub {
+	k := len(vars)
+	local := make(map[int32]int, k)
+	for li, g := range vars {
+		local[int32(g)] = li
+	}
+	sub := &Sub{
+		Vars: vars,
+		Lin:  make([]float64, k),
+		Warm: make(ising.Bits, k),
+	}
+	for li, g := range vars {
+		sub.Warm[li] = s.x[g]
+		// field already folds every neighbor in; un-fold the in-block
+		// neighbors so their contribution stays quadratic.
+		lin := s.field[g]
+		for p := s.v.rowPtr[g]; p < s.v.rowPtr[g+1]; p++ {
+			j := s.v.colIdx[p]
+			lj, in := local[j]
+			if !in {
+				continue
+			}
+			if s.x[j] != 0 {
+				lin -= s.v.weight[p]
+			}
+			if int(j) > g {
+				sub.Pairs = append(sub.Pairs, Pair{I: li, J: lj, W: s.v.weight[p]})
+			}
+		}
+		sub.Lin[li] = lin
+	}
+	return sub
+}
+
+// blockSeed decorrelates the inner seed of (round, block) from the base
+// seed with the same multiplicative mix the replica pool uses.
+func blockSeed(base uint64, round, block int) uint64 {
+	return base ^ ((uint64(round)<<20 + uint64(block) + 1) * 0x9e3779b97f4a7c15)
+}
+
+// Run executes the decomposition loop on the view.
+func Run(ctx context.Context, v *View, o Options) (*Outcome, error) {
+	if v == nil || v.n == 0 {
+		return nil, fmt.Errorf("decompose: nil or empty view")
+	}
+	if o.SolveBlock == nil {
+		return nil, fmt.Errorf("decompose: Options.SolveBlock is required")
+	}
+	sub := o.SubSize
+	if sub == 0 {
+		sub = 256
+	}
+	if sub < 1 {
+		return nil, fmt.Errorf("decompose: subproblem size %d < 1", sub)
+	}
+	if sub > v.n {
+		sub = v.n
+	}
+	if o.TabuTenure < 0 {
+		return nil, fmt.Errorf("decompose: negative tabu tenure %d", o.TabuTenure)
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxBlocks := o.MaxBlocks
+	if maxBlocks <= 0 {
+		maxBlocks = 4
+		if floor := (v.n + sub*(o.TabuTenure+1) - 1) / (sub * (o.TabuTenure + 1)); floor > maxBlocks {
+			maxBlocks = floor
+		}
+	}
+
+	x := make(ising.Bits, v.n)
+	if len(o.Initial) > 0 {
+		if len(o.Initial) != v.n {
+			return nil, fmt.Errorf("decompose: initial assignment length %d, want %d", len(o.Initial), v.n)
+		}
+		copy(x, o.Initial)
+	} else {
+		src := rng.New(o.Seed)
+		for i := range x {
+			x[i] = int8(src.Uint64() & 1)
+		}
+	}
+	st := newState(v, x)
+
+	out := &Outcome{X: st.x, Stopped: Converged}
+	sel := &selector{
+		tabuUntil: make([]int, v.n),
+		claimedAt: make([]int, v.n),
+		cand:      make([]int, 0, v.n),
+	}
+	for i := range sel.claimedAt {
+		sel.claimedAt[i] = -1
+	}
+	flipped := make([]int, 0, sub)
+	stale, staleExamined := 0, 0
+
+	for round := 0; o.Rounds == 0 || round < o.Rounds; round++ {
+		if ctx.Err() != nil {
+			out.Stopped = Cancelled
+			break
+		}
+		out.Rounds = round + 1
+
+		// 1+2. Select impact-ranked seeds, grow connected blocks, and mark
+		// them tabu; then extract each block's induced subproblem.
+		blockVars := sel.selectBlocks(st, round, sub, maxBlocks, o.TabuTenure)
+		blocks := len(blockVars)
+		if blocks == 0 {
+			// Defensive: the selector's tabu fallback guarantees at least
+			// one block, so an empty selection means nothing is selectable
+			// at all.
+			out.Stopped = Converged
+			break
+		}
+		subs := make([]*Sub, blocks)
+		for b, vars := range blockVars {
+			subs[b] = st.extract(vars)
+		}
+
+		// 3. Solve the blocks concurrently on the fixed worker pool.
+		props := make([]ising.Bits, blocks)
+		errs := make([]error, blocks)
+		w := workers
+		if w > blocks {
+			w = blocks
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for b := range jobs {
+					props[b], errs[b] = o.SolveBlock(ctx, worker, subs[b], blockSeed(o.Seed, round, b))
+				}
+			}(wi)
+		}
+		for b := 0; b < blocks; b++ {
+			jobs <- b
+		}
+		close(jobs)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// 4. Clamp: re-test every proposal against the exact, evolving
+		// global energy and keep only strict improvements.
+		accepted, moved := 0, 0
+		for b := 0; b < blocks; b++ {
+			prop := props[b]
+			if prop == nil {
+				continue
+			}
+			if len(prop) != len(subs[b].Vars) {
+				return nil, fmt.Errorf("decompose: block %d proposal length %d, want %d", b, len(prop), len(subs[b].Vars))
+			}
+			flipped = flipped[:0]
+			de := 0.0
+			for li, g := range subs[b].Vars {
+				if prop[li] != st.x[g] {
+					de += st.flip(g)
+					flipped = append(flipped, g)
+				}
+			}
+			if len(flipped) == 0 {
+				continue
+			}
+			if de < -acceptTol(st.e) {
+				accepted++
+				moved += len(flipped)
+				if o.OnAccept != nil {
+					o.OnAccept(st.x, st.e)
+				}
+				continue
+			}
+			// Revert: flip back in reverse order.
+			for i := len(flipped) - 1; i >= 0; i-- {
+				st.flip(flipped[i])
+			}
+		}
+		out.Accepted += accepted
+		out.Moved += moved
+
+		if o.OnRound != nil && o.OnRound(Round{
+			Index: round, Blocks: blocks, Accepted: accepted, Moved: moved, Energy: st.e,
+		}) {
+			out.Stopped = StoppedByCallback
+			break
+		}
+		if accepted == 0 {
+			stale++
+			for _, vars := range blockVars {
+				staleExamined += len(vars)
+			}
+			// Converged: tabu rotation got its look-around and a full
+			// instance's worth of variables failed to improve anything.
+			if stale > o.TabuTenure && staleExamined >= v.n {
+				out.Stopped = Converged
+				break
+			}
+		} else {
+			stale = 0
+			staleExamined = 0
+		}
+		if o.Rounds > 0 && round == o.Rounds-1 {
+			out.Stopped = RoundCap
+		}
+	}
+	out.Energy = st.e
+	return out, nil
+}
+
+// selector owns the per-round block selection state: tabu tenures, the
+// claimed-this-round stamps, and the impact-ordered candidate list.
+type selector struct {
+	tabuUntil []int
+	claimedAt []int // round stamp; claimedAt[v] == round ⇒ v is in a block
+	cand      []int
+	heap      impactHeap
+}
+
+// selectBlocks builds up to maxBlocks disjoint blocks of size sub. Seeds
+// come from the non-tabu candidates in decreasing |field| order; each
+// block grows by repeatedly claiming the highest-impact variable on its
+// coupling frontier, falling back to the next seed when the frontier is
+// exhausted (disconnected components). Every claimed variable goes tabu
+// until round+1+tenure. If tabu has silenced every variable (tiny N, long
+// tenure), the round ignores tabu rather than selecting nothing.
+func (s *selector) selectBlocks(st *state, round, sub, maxBlocks, tenure int) [][]int {
+	n := st.v.n
+	s.cand = s.cand[:0]
+	for i := 0; i < n; i++ {
+		if s.tabuUntil[i] <= round {
+			s.cand = append(s.cand, i)
+		}
+	}
+	if len(s.cand) == 0 {
+		for i := 0; i < n; i++ {
+			s.cand = append(s.cand, i)
+		}
+	}
+	sort.Slice(s.cand, func(a, b int) bool {
+		fa, fb := math.Abs(st.field[s.cand[a]]), math.Abs(st.field[s.cand[b]])
+		if fa != fb {
+			return fa > fb
+		}
+		return s.cand[a] < s.cand[b]
+	})
+	blocks := (len(s.cand) + sub - 1) / sub
+	if blocks > maxBlocks {
+		blocks = maxBlocks
+	}
+
+	eligible := func(v int) bool {
+		return s.tabuUntil[v] <= round && s.claimedAt[v] != round
+	}
+	out := make([][]int, 0, blocks)
+	cursor := 0
+	for b := 0; b < blocks; b++ {
+		vars := make([]int, 0, sub)
+		s.heap.reset()
+		for len(vars) < sub {
+			v, ok := s.heap.pop()
+			if !ok || !eligible(v) {
+				if !ok {
+					// Frontier exhausted: seed (or re-seed) from the next
+					// unclaimed candidate in impact order.
+					for cursor < len(s.cand) && s.claimedAt[s.cand[cursor]] == round {
+						cursor++
+					}
+					if cursor == len(s.cand) {
+						break
+					}
+					v = s.cand[cursor]
+				} else {
+					continue
+				}
+			}
+			s.claimedAt[v] = round
+			s.tabuUntil[v] = round + 1 + tenure
+			vars = append(vars, v)
+			for k := st.v.rowPtr[v]; k < st.v.rowPtr[v+1]; k++ {
+				if j := int(st.v.colIdx[k]); eligible(j) {
+					s.heap.push(j, math.Abs(st.field[j]))
+				}
+			}
+		}
+		if len(vars) == 0 {
+			break
+		}
+		out = append(out, vars)
+	}
+	return out
+}
+
+// impactHeap is a small max-heap of (variable, |field|) pairs used to
+// grow blocks highest-impact-frontier-first. Stale or duplicate entries
+// are tolerated — pop callers re-check eligibility.
+type impactHeap struct {
+	idx []int
+	key []float64
+}
+
+func (h *impactHeap) reset() {
+	h.idx = h.idx[:0]
+	h.key = h.key[:0]
+}
+
+func (h *impactHeap) push(v int, k float64) {
+	h.idx = append(h.idx, v)
+	h.key = append(h.key, k)
+	i := len(h.idx) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.key[p] >= h.key[i] {
+			break
+		}
+		h.idx[p], h.idx[i] = h.idx[i], h.idx[p]
+		h.key[p], h.key[i] = h.key[i], h.key[p]
+		i = p
+	}
+}
+
+func (h *impactHeap) pop() (int, bool) {
+	if len(h.idx) == 0 {
+		return 0, false
+	}
+	top := h.idx[0]
+	last := len(h.idx) - 1
+	h.idx[0], h.key[0] = h.idx[last], h.key[last]
+	h.idx, h.key = h.idx[:last], h.key[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.idx) && h.key[l] > h.key[big] {
+			big = l
+		}
+		if r < len(h.idx) && h.key[r] > h.key[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.idx[i], h.idx[big] = h.idx[big], h.idx[i]
+		h.key[i], h.key[big] = h.key[big], h.key[i]
+		i = big
+	}
+	return top, true
+}
+
+// acceptTol is the strict-improvement threshold: proposals must lower the
+// energy by more than a relative epsilon, which both absorbs float noise
+// in the incremental bookkeeping and guarantees termination (the energy is
+// bounded below and every acceptance decreases it by at least the
+// tolerance).
+func acceptTol(e float64) float64 {
+	return 1e-9 * (1 + math.Abs(e))
+}

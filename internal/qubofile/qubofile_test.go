@@ -113,6 +113,9 @@ func TestReadRejectsGarbage(t *testing.T) {
 		"p qubo 0 2 1 0\n5 5 1\n",                        // index out of range
 		"p qubo 0 2 1 0\n0 0 z\n",                        // bad weight
 		"p qubo 0 2 1 0\n0 0\n",                          // short line
+		"p qubo 0 999999999 0 0\n",                       // memory-bomb header (> MaxReadNodes)
+		"p qubo 0 2 2 0\n0 0 Inf\n1 1 NaN\n",             // non-finite weights
+		"c constant Inf\np qubo 0 1 1 0\n0 0 1\n",        // non-finite constant
 	}
 	for _, c := range cases {
 		if _, err := Read(strings.NewReader(c)); err == nil {

@@ -1,0 +1,146 @@
+package testkit
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	saim "github.com/ising-machines/saim"
+)
+
+// extractionBackends may reject structurally incompatible models (they
+// need integer knapsack form); every other backend must solve whatever
+// form it Accepts.
+var extractionBackends = map[string]bool{"ga": true, "greedy": true, "exact": true}
+
+// oracleBudget returns a small deterministic budget per backend.
+func oracleBudget(name string) []saim.Option {
+	opts := []saim.Option{
+		saim.WithSeed(7),
+		saim.WithIterations(80),
+		saim.WithSweepsPerRun(150),
+	}
+	switch name {
+	case "pt":
+		opts = append(opts, saim.WithReplicas(8))
+	case "decomp":
+		opts = append(opts, saim.WithSubproblemSize(6), saim.WithIterations(20))
+	}
+	return opts
+}
+
+// TestCrossBackendOracle is the differential net: every registered
+// backend, on every suite instance it accepts, must report results
+// consistent with the brute-force oracle — costs never beat the proven
+// optimum, assignments re-evaluate to the reported cost and feasibility,
+// and proven-optimal results equal the optimum exactly.
+func TestCrossBackendOracle(t *testing.T) {
+	ctx := context.Background()
+	for _, inst := range Suite(1) {
+		compiled, err := inst.Model.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", inst.Name, err)
+		}
+		opt, _, feasExists := BruteForce(compiled)
+		if !feasExists {
+			t.Fatalf("%s: generator produced an infeasible instance", inst.Name)
+		}
+		for _, name := range saim.Solvers() {
+			s, err := saim.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Accepts(compiled.Form()) {
+				continue
+			}
+			res, err := s.Solve(ctx, compiled, oracleBudget(name)...)
+			if err != nil {
+				if extractionBackends[name] && strings.Contains(err.Error(), "knapsack") {
+					// Structural mismatch: the combinatorial backends only
+					// run integer knapsack forms.
+					continue
+				}
+				t.Errorf("%s / %s: %v", inst.Name, name, err)
+				continue
+			}
+			if res.Assignment == nil {
+				// A heuristic may fail to find a feasible point; that is a
+				// quality issue, not a soundness one. But it must say so.
+				if !res.Infeasible() {
+					t.Errorf("%s / %s: nil assignment but Infeasible() == false", inst.Name, name)
+				}
+				continue
+			}
+			cost, feasible, err := compiled.Evaluate(res.Assignment)
+			if err != nil {
+				t.Errorf("%s / %s: assignment does not evaluate: %v", inst.Name, name, err)
+				continue
+			}
+			if !feasible {
+				t.Errorf("%s / %s: reported assignment violates the constraints", inst.Name, name)
+			}
+			if math.Abs(cost-res.Cost) > 1e-6*(1+math.Abs(cost)) {
+				t.Errorf("%s / %s: reported cost %v but assignment evaluates to %v", inst.Name, name, res.Cost, cost)
+			}
+			if res.Cost < opt-1e-6 {
+				t.Errorf("%s / %s: cost %v beats the proven optimum %v", inst.Name, name, res.Cost, opt)
+			}
+			if name == "exact" && res.Optimal && math.Abs(res.Cost-opt) > 1e-6 {
+				t.Errorf("%s / exact: claims optimality at %v, oracle says %v", inst.Name, res.Cost, opt)
+			}
+		}
+	}
+}
+
+// TestDecomposedEqualsWholeSolve pins the decomposition meta-solver
+// against whole-problem solves on instances small enough to do both:
+// with exhaustive budgets all three — the whole solve, a decomposition
+// whose single block covers the model, and a genuinely decomposed solve
+// with narrow tabu-rotated blocks — must land on the same proven optimum.
+//
+// The pin covers the unconstrained form, where subproblem extraction is
+// exact (the frozen complement is a constant of the block). Constrained
+// models decompose a fixed-penalty surrogate with no λ adaptation, so
+// cost parity with the adaptive whole solve is a quality aspiration, not
+// an invariant; their soundness is enforced by TestCrossBackendOracle.
+func TestDecomposedEqualsWholeSolve(t *testing.T) {
+	ctx := context.Background()
+	for _, inst := range Suite(2) {
+		if !strings.HasPrefix(inst.Name, "qubo") {
+			continue
+		}
+		compiled, err := inst.Model.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", inst.Name, err)
+		}
+		opt, _, _ := BruteForce(compiled)
+
+		whole, err := saim.SolveModel(ctx, "saim", compiled,
+			saim.WithSeed(3), saim.WithIterations(150), saim.WithSweepsPerRun(200))
+		if err != nil {
+			t.Fatalf("%s: whole solve: %v", inst.Name, err)
+		}
+		wide, err := saim.SolveModel(ctx, "decomp", compiled,
+			saim.WithSeed(3), saim.WithSubproblemSize(compiled.N()),
+			saim.WithIterations(60), saim.WithSweepsPerRun(200))
+		if err != nil {
+			t.Fatalf("%s: wide decomp: %v", inst.Name, err)
+		}
+		narrow, err := saim.SolveModel(ctx, "decomp", compiled,
+			saim.WithSeed(3), saim.WithSubproblemSize(5), saim.WithTabuTenure(1),
+			saim.WithIterations(60), saim.WithSweepsPerRun(200))
+		if err != nil {
+			t.Fatalf("%s: narrow decomp: %v", inst.Name, err)
+		}
+		for kind, res := range map[string]*saim.Result{"whole": whole, "wide": wide, "narrow": narrow} {
+			if res.Infeasible() {
+				t.Errorf("%s / %s: no feasible assignment", inst.Name, kind)
+				continue
+			}
+			if math.Abs(res.Cost-opt) > 1e-9 {
+				t.Errorf("%s / %s: cost %v, proven optimum %v — decomposed and whole solves disagree with the oracle", inst.Name, kind, res.Cost, opt)
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package testkit is the differential-testing net over the solver
+// registry: a deterministic random-model generator covering every model
+// form the library supports — unconstrained QUBOs, knapsack-structured
+// and mixed-sense (LE/EQ/GE) constrained models, and high-order
+// polynomials — plus a brute-force oracle that proves the optimum of any
+// instance small enough to enumerate.
+//
+// The cross-backend oracle test (oracle_test.go) solves every registered
+// backend on every instance it accepts and asserts three invariants no
+// heuristic is allowed to break: a reported cost is never better than the
+// proven optimum, a reported assignment re-evaluates to exactly the
+// reported cost and feasibility, and the exact backend's proven optima
+// match the oracle. It also pins the decomposition meta-solver against
+// whole-problem solves on instances small enough to do both.
+//
+// Generators draw all randomness from a seeded source, so a failing
+// instance reproduces from its name.
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/model"
+)
+
+// Instance is one generated test model.
+type Instance struct {
+	// Name encodes the generator kind, size, and seed, e.g. "qubo-12-3".
+	Name string
+	// Model is the declarative model; compile it to run solvers.
+	Model *model.Model
+}
+
+// Suite returns the deterministic differential-test suite for a seed:
+// a spread of kinds and sizes, all small enough for BruteForce.
+func Suite(seed uint64) []Instance {
+	var out []Instance
+	add := func(kind string, n int, m *model.Model) {
+		out = append(out, Instance{Name: fmt.Sprintf("%s-%d-%d", kind, n, seed), Model: m})
+	}
+	src := rng.New(seed ^ 0xd1f2e3c4b5a69788)
+	for _, n := range []int{6, 10, 14} {
+		add("qubo", n, RandomQUBO(n, 0.5, src.Split()))
+	}
+	add("qubo", 18, RandomQUBO(18, 0.3, src.Split()))
+	for _, n := range []int{8, 12} {
+		add("knap", n, RandomKnapsack(n, 0.4, src.Split()))
+	}
+	add("mkp", 10, RandomMKP(10, 3, src.Split()))
+	for _, n := range []int{8, 12} {
+		add("mixed", n, RandomMixed(n, src.Split()))
+	}
+	add("ho", 8, RandomHighOrder(8, src.Split()))
+	return out
+}
+
+// RandomQUBO draws an unconstrained quadratic model: integer linear
+// weights in [−5, 5] and pair weights in [−5, 5] present with the given
+// density.
+func RandomQUBO(n int, density float64, src *rng.Source) *model.Model {
+	m := model.New()
+	x := m.Binary("x", n)
+	terms := make([]model.Expr, 0, n*n/2)
+	for i := 0; i < n; i++ {
+		if w := src.IntRange(-5, 5); w != 0 {
+			terms = append(terms, x[i].Mul(float64(w)))
+		}
+		for j := i + 1; j < n; j++ {
+			if src.Bool(density) {
+				if w := src.IntRange(-5, 5); w != 0 {
+					terms = append(terms, x[i].Times(x[j]).Mul(float64(w)))
+				}
+			}
+		}
+	}
+	terms = append(terms, model.Const(float64(src.IntRange(-3, 3))))
+	m.Minimize(model.Sum(terms...))
+	return m
+}
+
+// RandomKnapsack draws a quadratic knapsack in the integer form the
+// combinatorial backends (ga, greedy, exact) extract: positive item
+// values and weights, non-negative pair values at the given density, one
+// ≤ capacity constraint with room for roughly 40% of the total weight.
+func RandomKnapsack(n int, density float64, src *rng.Source) *model.Model {
+	m := model.New()
+	x := m.Binary("take", n)
+	weights := make([]float64, n)
+	totalW := 0.0
+	terms := make([]model.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		terms = append(terms, x[i].Mul(float64(src.IntRange(1, 20))))
+		weights[i] = float64(src.IntRange(1, 9))
+		totalW += weights[i]
+		for j := i + 1; j < n; j++ {
+			if src.Bool(density) {
+				terms = append(terms, x[i].Times(x[j]).Mul(float64(src.IntRange(1, 10))))
+			}
+		}
+	}
+	m.Maximize(model.Sum(terms...))
+	m.Constrain("capacity", model.Dot(weights, x).LE(math.Max(1, math.Floor(0.4*totalW))))
+	return m
+}
+
+// RandomMKP draws a multidimensional knapsack: linear integer values and
+// mc integer ≤ constraints, the form the MKP extraction path accepts.
+func RandomMKP(n, mc int, src *rng.Source) *model.Model {
+	m := model.New()
+	x := m.Binary("take", n)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(src.IntRange(1, 30))
+	}
+	m.Maximize(model.Dot(values, x))
+	for k := 0; k < mc; k++ {
+		w := make([]float64, n)
+		total := 0.0
+		for i := range w {
+			w[i] = float64(src.IntRange(0, 9))
+			total += w[i]
+		}
+		m.Constrain(fmt.Sprintf("cap%d", k), model.Dot(w, x).LE(math.Max(1, math.Floor(0.5*total))))
+	}
+	return m
+}
+
+// RandomMixed draws a constrained model exercising all three constraint
+// senses at once. Bounds derive from a random reference assignment, so
+// the feasible set is non-empty by construction.
+func RandomMixed(n int, src *rng.Source) *model.Model {
+	m := model.New()
+	x := m.Binary("x", n)
+	ref := make([]float64, n)
+	for i := range ref {
+		if src.Bool(0.5) {
+			ref[i] = 1
+		}
+	}
+	at := func(c []float64) float64 {
+		s := 0.0
+		for i, v := range c {
+			s += v * ref[i]
+		}
+		return s
+	}
+	terms := make([]model.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		terms = append(terms, x[i].Mul(float64(src.IntRange(-6, 6))))
+		if j := src.Intn(n); j != i {
+			terms = append(terms, x[i].Times(x[j]).Mul(float64(src.IntRange(-3, 3))))
+		}
+	}
+	m.Minimize(model.Sum(terms...))
+
+	le := make([]float64, n)
+	for i := range le {
+		le[i] = float64(src.IntRange(1, 5))
+	}
+	m.Constrain("le", model.Dot(le, x).LE(at(le)+float64(src.IntRange(0, 4))))
+
+	ge := make([]float64, n)
+	for i := range ge {
+		ge[i] = float64(src.IntRange(1, 5))
+	}
+	m.Constrain("ge", model.Dot(ge, x).GE(math.Max(0, at(ge)-float64(src.IntRange(0, 4)))))
+
+	eq := make([]float64, n)
+	for i := range eq {
+		eq[i] = float64(src.IntRange(1, 4))
+	}
+	m.Constrain("eq", model.Dot(eq, x).EQ(at(eq)))
+	return m
+}
+
+// RandomHighOrder draws a polynomial model: a quadratic base plus cubic
+// monomials, which restricts it to backends accepting FormHighOrder.
+func RandomHighOrder(n int, src *rng.Source) *model.Model {
+	m := model.New()
+	x := m.Binary("x", n)
+	terms := make([]model.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		terms = append(terms, x[i].Mul(float64(src.IntRange(-4, 4))))
+	}
+	for k := 0; k < 3; k++ {
+		i, j, l := src.Intn(n), src.Intn(n), src.Intn(n)
+		if i != j && j != l && i != l {
+			terms = append(terms, model.Prod(x[i], x[j], x[l]).Mul(float64(src.IntRange(-5, 5))))
+		}
+	}
+	m.Minimize(model.Sum(terms...))
+	return m
+}
+
+// BruteForce enumerates every assignment of a compiled model and returns
+// the optimal feasible cost, one argmin, and whether any feasible
+// assignment exists. It refuses models beyond 20 variables.
+func BruteForce(m *saim.Model) (cost float64, argmin []int, feasible bool) {
+	n := m.N()
+	if n > 20 {
+		panic(fmt.Sprintf("testkit: BruteForce on %d variables", n))
+	}
+	best := math.Inf(1)
+	var bestX []int
+	x := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range x {
+			x[i] = mask >> i & 1
+		}
+		c, feas, err := m.Evaluate(x)
+		if err != nil {
+			panic(err)
+		}
+		if feas && c < best {
+			best = c
+			bestX = append(bestX[:0], x...)
+		}
+	}
+	return best, bestX, bestX != nil
+}

@@ -1,0 +1,77 @@
+package testkit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/model"
+)
+
+// TestSuiteIsDeterministic: the same seed must yield models that evaluate
+// identically — a failing oracle instance has to reproduce from its name.
+func TestSuiteIsDeterministic(t *testing.T) {
+	a, b := Suite(9), Suite(9)
+	if len(a) != len(b) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ca, err := a[i].Model.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", a[i].Name, err)
+		}
+		cb, err := b[i].Model.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca.N() != cb.N() || ca.Form() != cb.Form() {
+			t.Fatalf("%s: shape mismatch across generations", a[i].Name)
+		}
+		x := make([]int, ca.N())
+		for probe := 0; probe < 4; probe++ {
+			for j := range x {
+				x[j] = (j*7 + probe*3) % 2
+			}
+			va, fa, _ := ca.Evaluate(x)
+			vb, fb, _ := cb.Evaluate(x)
+			if va != vb || fa != fb {
+				t.Fatalf("%s: evaluation diverged: (%v,%v) vs (%v,%v)", a[i].Name, va, fa, vb, fb)
+			}
+		}
+	}
+}
+
+// TestBruteForceKnownOptimum checks the oracle itself on a hand-solvable
+// model: min x0 − 2x1 subject to x0 + x1 = 1 has optimum −2 at (0, 1).
+func TestBruteForceKnownOptimum(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 2)
+	m.Minimize(x[0].Mul(1).Add(x[1].Mul(-2)))
+	m.Constrain("pick", x.Sum().EQ(1))
+	compiled, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, argmin, feasible := BruteForce(compiled)
+	if !feasible || math.Abs(opt-(-2)) > 1e-12 {
+		t.Fatalf("BruteForce = (%v, %v), want optimum -2", opt, feasible)
+	}
+	if argmin[0] != 0 || argmin[1] != 1 {
+		t.Fatalf("argmin = %v, want [0 1]", argmin)
+	}
+}
+
+// TestMixedInstancesAreFeasible: the mixed-sense generator promises a
+// non-empty feasible set by construction.
+func TestMixedInstancesAreFeasible(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		m := RandomMixed(10, rng.New(seed))
+		compiled, err := m.Compile()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, _, feasible := BruteForce(compiled); !feasible {
+			t.Fatalf("seed %d: mixed instance has an empty feasible set", seed)
+		}
+	}
+}

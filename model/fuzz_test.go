@@ -1,0 +1,110 @@
+package model_test
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/ising-machines/saim/model"
+)
+
+// fuzzEnergy evaluates a model's objective on a probe assignment through
+// the sparse term stream, so the fuzzer never materializes the dense
+// compiled form (a hostile header can declare thousands of variables).
+func fuzzEnergy(t *testing.T, m *model.Model, probe func(id int) bool) float64 {
+	t.Helper()
+	e := 0.0
+	err := m.ObjectiveTerms(func(w float64, ids []int) {
+		for _, id := range ids {
+			if !probe(id) {
+				return
+			}
+		}
+		e += w
+	})
+	if err != nil {
+		t.Fatalf("ObjectiveTerms on a loaded model: %v", err)
+	}
+	return e
+}
+
+// headerNodes extracts maxNodes from the problem line the reader would
+// act on, mirroring its tokenization: comments and blanks are skipped,
+// the first non-comment line starting with "p" is the header, and any
+// other leading line makes the reader error out before allocating.
+func headerNodes(data []byte) int {
+	for _, line := range strings.Split(string(data), "\n") {
+		text := strings.TrimSpace(line)
+		switch {
+		case text == "" || strings.HasPrefix(text, "c"):
+			continue
+		case strings.HasPrefix(text, "p"):
+			fields := strings.Fields(text)
+			if len(fields) != 6 || fields[1] != "qubo" {
+				return 0
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return 0
+			}
+			return n
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+// FuzzLoadRoundTrip is the native fuzz target for the qbsolv model I/O:
+// malformed input must never panic, and any input Load accepts must
+// survive Save → Load with the variable count and objective energies
+// preserved exactly.
+func FuzzLoadRoundTrip(f *testing.F) {
+	f.Add([]byte("c comment\np qubo 0 3 3 1\n0 0 -1\n1 1 2.5\n2 2 0\n0 2 -3\n"))
+	f.Add([]byte("c constant 4.25\np qubo 0 2 2 1\n0 0 1\n1 1 -1\n0 1 2\n"))
+	f.Add([]byte("p qubo 0 1 1 0\n0 0 7e-3\n"))
+	f.Add([]byte("p qubo 0 4 0 0\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("p qubo 0 99999999 0 0\n"))
+	f.Add([]byte("p qubo 0 2 2 0\n0 0 Inf\n1 1 NaN\n"))
+	f.Add([]byte("0 0 1\np qubo 0 2 0 0\n"))
+	f.Add([]byte("p qubo 0 2 9 9\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Pre-screen headers that would make Load allocate a huge (but
+		// legal, sub-MaxReadNodes) dense matrix: the parse path is
+		// identical at any size, and fuzzing shouldn't thrash gigabytes.
+		if n := headerNodes(data); n > 1024 {
+			t.Skip()
+		}
+		m, err := model.Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		var buf bytes.Buffer
+		if err := model.Save(&buf, m); err != nil {
+			t.Fatalf("Save after successful Load: %v", err)
+		}
+		m2, err := model.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Load after Save: %v\nfile:\n%s", err, buf.Bytes())
+		}
+		if m.N() != m2.N() {
+			t.Fatalf("round trip changed variable count: %d -> %d", m.N(), m2.N())
+		}
+		probes := []func(id int) bool{
+			func(int) bool { return false },
+			func(int) bool { return true },
+			func(id int) bool { return id%2 == 0 },
+			func(id int) bool { return id%3 != 0 },
+		}
+		for pi, probe := range probes {
+			e1 := fuzzEnergy(t, m, probe)
+			e2 := fuzzEnergy(t, m2, probe)
+			if math.Abs(e1-e2) > 1e-9*(1+math.Abs(e1)) {
+				t.Fatalf("probe %d: energy %v before round trip, %v after\nfile:\n%s", pi, e1, e2, buf.Bytes())
+			}
+		}
+	})
+}

@@ -405,5 +405,5 @@ func (m *Model) Solve(ctx context.Context, solver string, opts ...saim.Option) (
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{model: m, compiled: compiled, res: res}, nil
+	return &Solution{model: m, res: res}, nil
 }

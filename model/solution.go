@@ -13,9 +13,18 @@ import (
 // constraint gets a slack/violation report. Callers never touch raw index
 // slices.
 type Solution struct {
-	model    *Model
-	compiled *saim.Model
-	res      *saim.Result
+	model *Model
+	res   *saim.Result
+}
+
+// NewSolution wraps a solver result produced outside Model.Solve — e.g. by
+// the decompose package's large-instance path — into the same name-aware
+// Solution that Solve returns. The result's Assignment must be indexed by
+// the model's variable ids and its Cost expressed in the minimization
+// frame (a Maximize model's Objective maps the sign back, exactly as for
+// Solve).
+func NewSolution(m *Model, res *saim.Result) *Solution {
+	return &Solution{model: m, res: res}
 }
 
 // Result returns the underlying solver result (solver name, stop reason,

@@ -1,0 +1,52 @@
+package model
+
+import "fmt"
+
+// NumConstraints returns the number of declared constraints.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// Maximizing reports whether the objective was declared with Maximize.
+func (m *Model) Maximizing() bool { return m.max }
+
+// ObjectiveTerms visits the model's objective in canonical minimization
+// form — the exact monomials Compile would hand to the builder, without
+// building anything dense. A Maximize objective arrives negated, so
+// minimizing the visited terms always optimizes the declared objective.
+//
+// The visitor receives each merged, non-zero monomial once: the constant
+// with no ids, linear terms with one id (ascending), quadratic terms with
+// two (i < j, lexicographic), higher-order terms in declaration order.
+// The ids slice is reused between calls — copy it to retain it.
+//
+// This is the sparse gateway for meta-solvers: a 10⁵-variable model's
+// terms stream through here in O(terms) while Compile would need an
+// O(N²) matrix.
+func (m *Model) ObjectiveTerms(visit func(w float64, ids []int)) error {
+	if err := m.Err(); err != nil {
+		return err
+	}
+	if m.vars == 0 {
+		return fmt.Errorf("model: no variables declared")
+	}
+	obj := m.obj
+	if m.max {
+		obj = obj.Mul(-1)
+	}
+	lin, quad, poly := obj.canonical()
+	var buf [2]int
+	if obj.c != 0 {
+		visit(obj.c, nil)
+	}
+	for _, t := range lin {
+		buf[0] = t.v
+		visit(t.w, buf[:1])
+	}
+	for _, t := range quad {
+		buf[0], buf[1] = t.i, t.j
+		visit(t.w, buf[:2])
+	}
+	for _, t := range poly {
+		visit(t.w, t.vars)
+	}
+	return nil
+}

@@ -47,6 +47,10 @@ type config struct {
 	targetCost   *float64
 	patience     int
 	initial      []int
+	subSize      int
+	innerSolver  string
+	rounds       int
+	tabuTenure   *int
 }
 
 func buildConfig(opts []Option) config {
@@ -120,6 +124,33 @@ func WithTargetCost(target float64) Option {
 // improvement of the best feasible cost; the result reports
 // Stopped == StopPatience.
 func WithPatience(k int) Option { return func(c *config) { c.patience = k } }
+
+// WithSubproblemSize sets the number of variables the decomposition
+// meta-solver ("decomp") optimizes per subproblem (default 256). Larger
+// subproblems see more of the energy landscape per inner solve; smaller
+// ones iterate faster. Other backends ignore it.
+func WithSubproblemSize(k int) Option { return func(c *config) { c.subSize = k } }
+
+// WithInnerSolver names the registered backend the decomposition
+// meta-solver runs on each extracted subproblem (default "saim"). The
+// inner solver must accept unconstrained models — subproblems arrive with
+// the frozen complement already folded into their linear terms. Other
+// backends ignore it.
+func WithInnerSolver(name string) Option { return func(c *config) { c.innerSolver = name } }
+
+// WithRounds caps the decomposition meta-solver's round count; zero (the
+// default) iterates until convergence — TabuTenure+1 consecutive rounds
+// in which no subproblem improved the global energy. Other backends
+// ignore it.
+func WithRounds(k int) Option { return func(c *config) { c.rounds = k } }
+
+// WithTabuTenure sets how many rounds a just-optimized variable is
+// excluded from the decomposition meta-solver's subproblem selection
+// (default 1), steering consecutive rounds toward different regions.
+// Zero disables tabu. Other backends ignore it.
+func WithTabuTenure(rounds int) Option {
+	return func(c *config) { t := rounds; c.tabuTenure = &t }
+}
 
 // WithInitial warm-starts the solve from the given assignment over the
 // decision variables (length N, entries 0/1). The saim and penalty

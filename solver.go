@@ -143,4 +143,5 @@ func init() {
 	mustRegister(&gaSolver{})
 	mustRegister(&greedySolver{})
 	mustRegister(&exactSolver{})
+	mustRegister(&decompSolver{})
 }

@@ -42,7 +42,7 @@ func smallQKP(t *testing.T) *Model {
 }
 
 func TestRegistryHasAllBackends(t *testing.T) {
-	want := []string{"exact", "ga", "greedy", "penalty", "pt", "saim"}
+	want := []string{"decomp", "exact", "ga", "greedy", "penalty", "pt", "saim"}
 	got := Solvers()
 	for _, name := range want {
 		found := false
