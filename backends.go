@@ -2,8 +2,10 @@ package saim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/ising-machines/saim/internal/anneal"
 	"github.com/ising-machines/saim/internal/constraint"
@@ -17,6 +19,27 @@ import (
 	"github.com/ising-machines/saim/internal/pt"
 	"github.com/ising-machines/saim/internal/qkp"
 )
+
+// deadline applies WithTimeLimit by deriving a context with the configured
+// wall-clock deadline. The backends already check their context at every
+// cancellation point, so the deadline is enforced at exactly that cadence
+// with no new hot-path cost. The returned stamp rewrites a StopCancelled
+// caused by the expiring deadline — rather than by the caller — into
+// StopTimeLimit, so results report the true stop reason.
+func deadline(ctx context.Context, cfg config) (context.Context, context.CancelFunc, func(StopReason) StopReason) {
+	if cfg.timeLimit <= 0 {
+		return ctx, func() {}, func(s StopReason) StopReason { return s }
+	}
+	parent := ctx
+	dctx, cancel := context.WithTimeout(ctx, cfg.timeLimit)
+	stamp := func(s StopReason) StopReason {
+		if s == StopCancelled && parent.Err() == nil && errors.Is(dctx.Err(), context.DeadlineExceeded) {
+			return StopTimeLimit
+		}
+		return s
+	}
+	return dctx, cancel, stamp
+}
 
 // progressAdapter bridges an internal core.ProgressInfo stream to the
 // public Progress callback.
@@ -85,20 +108,31 @@ func (s *saimSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Resu
 		return nil, err
 	}
 	cfg := buildConfig(opts)
+	ctx, cancel, stamp := deadline(ctx, cfg)
+	defer cancel()
+	var (
+		res *Result
+		err error
+	)
 	switch m.form {
 	case FormConstrained:
-		return s.solveConstrained(ctx, m, cfg)
+		res, err = s.solveConstrained(ctx, m, cfg)
 	case FormUnconstrained:
 		if cfg.replicas > 1 {
 			return nil, fmt.Errorf("saim: WithReplicas is only supported for constrained models (model form %v)", m.form)
 		}
-		return s.solveUnconstrained(ctx, m, cfg)
+		res, err = s.solveUnconstrained(ctx, m, cfg)
 	default:
 		if cfg.replicas > 1 {
 			return nil, fmt.Errorf("saim: WithReplicas is only supported for constrained models (model form %v)", m.form)
 		}
-		return s.solveHighOrder(ctx, m, cfg)
+		res, err = s.solveHighOrder(ctx, m, cfg)
 	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stopped = stamp(res.Stopped)
+	return res, nil
 }
 
 func (s *saimSolver) solveConstrained(ctx context.Context, m *Model, cfg config) (*Result, error) {
@@ -250,6 +284,8 @@ func (s *penaltySolver) Solve(ctx context.Context, m *Model, opts ...Option) (*R
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel, stamp := deadline(ctx, cfg)
+	defer cancel()
 	res, err := anneal.SolvePenaltyContext(ctx, m.inner, pw, anneal.Options{
 		Runs:         orDefault(cfg.iterations, 2000),
 		SweepsPerRun: orDefault(cfg.sweepsPerRun, 1000),
@@ -272,7 +308,7 @@ func (s *penaltySolver) Solve(ctx context.Context, m *Model, opts ...Option) (*R
 		Penalty:       res.P,
 		Sweeps:        res.TotalSweeps,
 		Iterations:    res.Runs,
-		Stopped:       res.Stopped,
+		Stopped:       stamp(res.Stopped),
 	}, nil
 }
 
@@ -310,6 +346,8 @@ func (s *ptSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel, stamp := deadline(ctx, cfg)
+	defer cancel()
 	res, err := pt.SolvePenaltyContext(ctx, m.inner, pw, pt.Options{
 		Replicas:    replicas,
 		Sweeps:      sweeps,
@@ -332,7 +370,7 @@ func (s *ptSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 		Penalty:       res.P,
 		Sweeps:        res.TotalSweeps,
 		Iterations:    res.SampleCount,
-		Stopped:       res.Stopped,
+		Stopped:       stamp(res.Stopped),
 	}, nil
 }
 
@@ -496,14 +534,27 @@ func (s *greedySolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Re
 	if err := requireForm(s, m); err != nil {
 		return nil, err
 	}
+	cfg := buildConfig(opts)
+	ctx, cancel, stamp := deadline(ctx, cfg)
+	defer cancel()
+	var (
+		x         ising.Bits
+		truncated bool
+	)
 	if qi, err := m.asQKP(); err == nil {
-		return knapResult(m, "greedy", greedy.QKP(qi), StopCompleted, false), nil
+		x, truncated = greedy.QKPContext(ctx, qi)
+	} else {
+		mi, merr := m.asMKP()
+		if merr != nil {
+			return nil, merr
+		}
+		x, truncated = greedy.MKPContext(ctx, mi)
 	}
-	mi, err := m.asMKP()
-	if err != nil {
-		return nil, err
+	stopped := StopCompleted
+	if truncated {
+		stopped = stamp(StopCancelled)
 	}
-	return knapResult(m, "greedy", greedy.MKP(mi), StopCompleted, false), nil
+	return knapResult(m, "greedy", x, stopped, false), nil
 }
 
 // ------------------------------------------------------------------ ga ---
@@ -555,6 +606,8 @@ func (s *gaSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel, stamp := deadline(ctx, cfg)
+	defer cancel()
 	// Map the shared iteration knob onto offspring count (one iteration ≈
 	// 20 offspring, so budgets roughly match the annealing backends);
 	// zero falls back to the GA's own default (10000 children). Patience
@@ -571,7 +624,7 @@ func (s *gaSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result
 	if err != nil {
 		return nil, err
 	}
-	out := knapResult(m, "ga", res.Best, res.Stopped, false)
+	out := knapResult(m, "ga", res.Best, stamp(res.Stopped), false)
 	out.Iterations = res.Children
 	return out, nil
 }
@@ -613,7 +666,14 @@ func (s *exactSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Res
 		return nil, err
 	}
 	cfg := buildConfig(opts)
+	// The exact search keeps its native per-node deadline (finer-grained
+	// than the context checks) and additionally runs under the derived
+	// deadline context, so both paths agree on when time is up.
+	parent := ctx
+	ctx, cancel, _ := deadline(ctx, cfg)
+	defer cancel()
 	opt := exact.Options{NodeLimit: cfg.nodeLimit, TimeLimit: cfg.timeLimit}
+	begin := time.Now()
 	var (
 		x       ising.Bits
 		optimal bool
@@ -635,8 +695,20 @@ func (s *exactSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Res
 		}
 		x, optimal = res.X, res.Optimal
 	}
+	// An optimality proof outranks a deadline that expired just after the
+	// search finished; otherwise the parent's cancellation wins over the
+	// derived deadline, and a truncation with neither (node limit) still
+	// reports completion. The elapsed-time check backs up ctx.Err():
+	// the search's own wall-clock cutoff can truncate an instant before
+	// the context timer fires.
 	stopped := StopCompleted
-	if ctx.Err() != nil {
+	switch {
+	case optimal:
+	case parent.Err() != nil:
+		stopped = StopCancelled
+	case cfg.timeLimit > 0 && (ctx.Err() != nil || time.Since(begin) >= cfg.timeLimit):
+		stopped = StopTimeLimit
+	case ctx.Err() != nil:
 		stopped = StopCancelled
 	}
 	return knapResult(m, "exact", x, stopped, optimal), nil

@@ -1,0 +1,92 @@
+// Command saimserve exposes the saim solver registry as a concurrent
+// HTTP/JSON service: submit declarative models (the JSON wire format of
+// package model), stream progress over SSE, fetch results, cancel jobs,
+// and batch submissions — all running on the bounded worker pool of
+// package service with per-job deadlines, request deduplication, and a
+// result cache.
+//
+// Quickstart:
+//
+//	saimserve -addr :8080 &
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "solver": "saim",
+//	  "options": {"seed": 1, "iterations": 200, "time_limit_ms": 5000},
+//	  "model": {
+//	    "families": [{"name": "take", "n": 3}],
+//	    "maximize": true,
+//	    "objective": {"lin": [{"v":0,"w":6},{"v":1,"w":5},{"v":2,"w":8}]},
+//	    "constraints": [{"name":"cap","sense":"<=",
+//	      "expr":{"lin":[{"v":0,"w":2},{"v":1,"w":3},{"v":2,"w":4}]},"bound":5}]
+//	  }
+//	}'
+//	curl -N localhost:8080/v1/jobs/job-000001/events   # SSE progress → result
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//
+// On SIGTERM/SIGINT the server drains gracefully: intake stops, queued
+// and running solves finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ising-machines/saim/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solve concurrency (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "queued-job bound before submissions get 503")
+		cache   = flag.Int("cache", 256, "completed-result cache size")
+		limit   = flag.Duration("limit", time.Minute, "default per-job time limit when a request carries none (0 = unlimited)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	mgr := service.New(service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		DefaultTimeLimit: *limit,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: newServer(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("saimserve listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("saimserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("saimserve draining (budget %v)...", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("saimserve: http shutdown: %v", err)
+	}
+	if err := mgr.Close(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("saimserve: drain budget spent; running jobs force-cancelled (best-so-far results kept)")
+		} else {
+			log.Printf("saimserve: drain: %v", err)
+		}
+	}
+	fmt.Println("saimserve: drained")
+}

@@ -1,0 +1,361 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/model"
+	"github.com/ising-machines/saim/service"
+)
+
+// server is the HTTP face of a service.Manager. Routes:
+//
+//	POST   /v1/jobs             submit one model           → job envelope
+//	POST   /v1/batch            submit many                → one envelope each
+//	GET    /v1/jobs/{id}        status snapshot
+//	GET    /v1/jobs/{id}/result final result (409 while running)
+//	GET    /v1/jobs/{id}/events SSE progress stream + final result event
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/solvers          registered backend names
+//	GET    /v1/healthz          liveness
+type server struct {
+	mgr *service.Manager
+	mux *http.ServeMux
+}
+
+func newServer(mgr *service.Manager) *server {
+	s := &server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------------------------------------------------------------- wire ---
+
+// submitRequest is one submission: a model in the canonical JSON wire
+// format of package model, a backend name, and optional options.
+type submitRequest struct {
+	Model   json.RawMessage       `json:"model"`
+	Solver  string                `json:"solver"`
+	Options *service.SolveOptions `json:"options,omitempty"`
+	NoDedup bool                  `json:"no_dedup,omitempty"`
+}
+
+// jobEnvelope is the submit/status body.
+type jobEnvelope struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Hits counts submissions served by this job; > 1 means the request
+	// was deduplicated onto an earlier identical submission.
+	Hits        int           `json:"hits"`
+	Solver      string        `json:"solver"`
+	SubmittedAt string        `json:"submitted_at,omitempty"`
+	StartedAt   string        `json:"started_at,omitempty"`
+	FinishedAt  string        `json:"finished_at,omitempty"`
+	Progress    *wireProgress `json:"progress,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// wireProgress is one streamed Progress snapshot. BestCost is omitted
+// while no feasible sample exists (its in-memory value, +Inf, has no JSON
+// encoding).
+type wireProgress struct {
+	Solver        string   `json:"solver"`
+	Iteration     int      `json:"iteration"`
+	Iterations    int      `json:"iterations,omitempty"`
+	BestCost      *float64 `json:"best_cost,omitempty"`
+	FeasibleRatio float64  `json:"feasible_ratio"`
+	LambdaNorm    float64  `json:"lambda_norm,omitempty"`
+	Sweeps        int64    `json:"sweeps"`
+}
+
+// wireResult is the final result body. Cost is the minimization-frame
+// cost; Objective the value in the model's declared frame (they differ
+// only for Maximize models). Both are omitted when no feasible assignment
+// was found.
+type wireResult struct {
+	Solver        string   `json:"solver"`
+	Winner        string   `json:"winner,omitempty"`
+	Feasible      bool     `json:"feasible"`
+	Cost          *float64 `json:"cost,omitempty"`
+	Objective     *float64 `json:"objective,omitempty"`
+	Assignment    []int    `json:"assignment,omitempty"`
+	FeasibleRatio float64  `json:"feasible_ratio"`
+	Penalty       float64  `json:"penalty,omitempty"`
+	Sweeps        int64    `json:"sweeps"`
+	Iterations    int      `json:"iterations"`
+	Stopped       string   `json:"stopped"`
+	Optimal       bool     `json:"optimal,omitempty"`
+}
+
+func toWireProgress(p saim.Progress) *wireProgress {
+	out := &wireProgress{
+		Solver:        p.Solver,
+		Iteration:     p.Iteration,
+		Iterations:    p.Iterations,
+		FeasibleRatio: p.FeasibleRatio,
+		LambdaNorm:    p.LambdaNorm,
+		Sweeps:        p.Sweeps,
+	}
+	if !math.IsInf(p.BestCost, 0) && !math.IsNaN(p.BestCost) {
+		c := p.BestCost
+		out.BestCost = &c
+	}
+	return out
+}
+
+func toWireResult(sol *model.Solution) *wireResult {
+	res := sol.Result()
+	out := &wireResult{
+		Solver:        res.Solver,
+		Winner:        res.Winner,
+		Feasible:      !res.Infeasible(),
+		FeasibleRatio: res.FeasibleRatio,
+		Penalty:       res.Penalty,
+		Sweeps:        res.Sweeps,
+		Iterations:    res.Iterations,
+		Stopped:       res.Stopped.String(),
+		Optimal:       res.Optimal,
+	}
+	if out.Feasible {
+		cost, objective := res.Cost, sol.Objective()
+		out.Cost = &cost
+		out.Objective = &objective
+		out.Assignment = sol.Assignment()
+	}
+	return out
+}
+
+func envelope(j *service.Job) jobEnvelope {
+	st := j.Status()
+	env := jobEnvelope{
+		ID:     st.ID,
+		State:  st.State.String(),
+		Hits:   st.Hits,
+		Solver: st.Solver,
+		Error:  st.Err,
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	env.SubmittedAt = stamp(st.Submitted)
+	env.StartedAt = stamp(st.Started)
+	env.FinishedAt = stamp(st.Finished)
+	if st.HasProgress {
+		env.Progress = toWireProgress(st.Progress)
+	}
+	return env
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ------------------------------------------------------------- handlers ---
+
+// submit parses and enqueues one submission, mapping service errors onto
+// HTTP statuses (503 for backpressure/drain, 400 for bad requests).
+func (s *server) submit(req submitRequest) (*service.Job, int, error) {
+	if len(req.Model) == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("missing model")
+	}
+	m := model.New()
+	if err := json.Unmarshal(req.Model, m); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	opts, limit, err := req.Options.Options()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	job, err := s.mgr.Submit(service.Request{
+		Model:     m,
+		Solver:    req.Solver,
+		Options:   opts,
+		TimeLimit: limit,
+		NoDedup:   req.NoDedup,
+	})
+	switch {
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+		return nil, http.StatusServiceUnavailable, err
+	case err != nil:
+		return nil, http.StatusBadRequest, err
+	}
+	return job, http.StatusAccepted, nil
+}
+
+// maxRequestBody bounds submission bodies (32 MiB holds ~1M-term models
+// with room to spare) so a hostile client cannot stream unbounded JSON.
+const maxRequestBody = 32 << 20
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, status, err := s.submit(req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, envelope(job))
+}
+
+// batchRequest submits several jobs in one call; each entry succeeds or
+// fails independently.
+type batchRequest struct {
+	Jobs []submitRequest `json:"jobs"`
+}
+
+type batchEntry struct {
+	Job   *jobEnvelope `json:"job,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	out := make([]batchEntry, len(req.Jobs))
+	for i, sub := range req.Jobs {
+		job, _, err := s.submit(sub)
+		if err != nil {
+			out[i] = batchEntry{Error: err.Error()}
+			continue
+		}
+		env := envelope(job)
+		out[i] = batchEntry{Job: &env}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": out})
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, envelope(j))
+	}
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	sol, err := j.Solution()
+	switch {
+	case errors.Is(err, service.ErrNotFinished):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		// Failed or cancelled-before-run: surface the job's error.
+		writeJSON(w, http.StatusOK, map[string]any{"error": err.Error(), "state": j.Status().State.String()})
+	default:
+		writeJSON(w, http.StatusOK, toWireResult(sol))
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, envelope(j))
+	}
+}
+
+func (s *server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"solvers": saim.Solvers()})
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: one
+// "progress" event per snapshot (coalesced under load so the stream never
+// lags the solve), then a single "result" event when the job finishes,
+// then EOF. A client disconnect just unsubscribes — the solve continues.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	ch, stop := j.Subscribe(16)
+	defer stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, ok := <-ch:
+			if !ok {
+				// Job finished: emit the terminal event.
+				if sol, err := j.Solution(); err == nil {
+					send("result", toWireResult(sol))
+				} else {
+					send("error", map[string]string{
+						"state": j.Status().State.String(),
+						"error": err.Error(),
+					})
+				}
+				return
+			}
+			if !send("progress", toWireProgress(p)) {
+				return
+			}
+		}
+	}
+}

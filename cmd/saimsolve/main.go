@@ -72,7 +72,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		betaMax  = fs.Float64("betamax", 0, "final inverse temperature (0 = family default)")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		replicas = fs.Int("replicas", 0, "PT replicas / SAIM parallel restarts (0 = solver default)")
-		limit    = fs.Duration("timelimit", time.Minute, "exact solver time limit")
+		limit    = fs.Duration("timelimit", time.Minute, "wall-clock time limit (every solver; best-so-far on expiry)")
 		target   = fs.Float64("target", 0, "stop early when a feasible cost ≤ target is found (0 = disabled)")
 		every    = fs.Int("progress", 0, "print a progress line to stderr every N iterations (0 = off)")
 		sub      = fs.Int("sub", 0, "decomp: variables per subproblem (0 = default 256)")

@@ -1,0 +1,168 @@
+package saim_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/testkit"
+	"github.com/ising-machines/saim/model"
+)
+
+// deadlineCase pairs a backend with a model and a budget that would run
+// far past any test deadline, so the only ways home are the time limit or
+// a legitimately instant completion (greedy, a lucky exact proof).
+type deadlineCase struct {
+	name   string
+	solver string
+	build  func(t *testing.T) *saim.Model
+	opts   []saim.Option
+}
+
+// compiled compiles a testkit model or fails the test.
+func compiled(t *testing.T, m *model.Model) *saim.Model {
+	t.Helper()
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// deadlineCases enumerates every registered backend (and, for saim, every
+// model form it accepts) with a budget of millions of iterations.
+func deadlineCases() []deadlineCase {
+	huge := []saim.Option{
+		saim.WithSeed(13),
+		saim.WithIterations(2_000_000),
+		saim.WithSweepsPerRun(200),
+	}
+	knap := func(t *testing.T) *saim.Model {
+		return compiled(t, testkit.RandomKnapsack(60, 0.3, rng.New(5)))
+	}
+	qubo := func(t *testing.T) *saim.Model {
+		return compiled(t, testkit.RandomQUBO(120, 0.3, rng.New(6)))
+	}
+	return []deadlineCase{
+		{"saim-constrained", "saim", knap, huge},
+		{"saim-unconstrained", "saim", qubo, huge},
+		{"saim-highorder", "saim", func(t *testing.T) *saim.Model {
+			return compiled(t, testkit.RandomHighOrder(12, rng.New(7)))
+		}, huge},
+		{"penalty", "penalty", knap, huge},
+		{"pt", "pt", knap, huge},
+		{"ga", "ga", knap, huge},
+		{"greedy", "greedy", knap, nil},
+		{"exact", "exact", func(t *testing.T) *saim.Model {
+			// A dense 200-item quadratic knapsack: the optimistic Dantzig
+			// bound is weak there, so branch and bound churns far past any
+			// millisecond-scale deadline.
+			return compiled(t, testkit.RandomKnapsack(200, 0.5, rng.New(8)))
+		}, nil},
+		{"decomp", "decomp", qubo, []saim.Option{
+			saim.WithSeed(13),
+			saim.WithIterations(500),
+			saim.WithSweepsPerRun(1000),
+			saim.WithRounds(1_000_000),
+		}},
+		{"race", "race", knap, huge},
+	}
+}
+
+// TestDeadlineDisciplineAllBackends is the differential deadline test:
+// every registered backend, handed a budget it cannot possibly finish,
+// must return within a small multiple of its WithTimeLimit, report
+// StopTimeLimit (or have genuinely completed before the deadline), and
+// hand back a self-consistent best-so-far result. The subtests run in
+// parallel, so under -race this also hammers the deadline paths
+// concurrently.
+func TestDeadlineDisciplineAllBackends(t *testing.T) {
+	const limit = 300 * time.Millisecond
+	// CI boxes stall under -race and parallel subtests; the bound guards
+	// against unresponsive backends (seconds), not scheduler jitter.
+	const returnBudget = 20 * time.Second
+
+	cases := deadlineCases()
+	// Every registry entry must be covered, so a future backend cannot
+	// silently skip deadline discipline.
+	covered := map[string]bool{}
+	for _, c := range cases {
+		covered[c.solver] = true
+	}
+	for _, name := range saim.Solvers() {
+		if !covered[name] {
+			t.Fatalf("registered solver %q has no deadline case", name)
+		}
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			m := c.build(t)
+			opts := append(append([]saim.Option(nil), c.opts...), saim.WithTimeLimit(limit))
+			start := time.Now()
+			res, err := saim.SolveModel(context.Background(), c.solver, m, opts...)
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Fatalf("%s: %v", c.solver, err)
+			}
+			if elapsed > returnBudget {
+				t.Fatalf("%s: returned after %v with a %v limit", c.solver, elapsed, limit)
+			}
+			switch res.Stopped {
+			case saim.StopTimeLimit:
+				// The expected outcome for the heavy budgets.
+			case saim.StopCompleted:
+				// Legal only when the backend genuinely beat the deadline
+				// (greedy always does; exact may prove optimality early).
+				if elapsed > limit {
+					t.Fatalf("%s: reports completion but ran %v > limit %v", c.solver, elapsed, limit)
+				}
+			default:
+				t.Fatalf("%s: Stopped = %v, want time-limit (or completed under the limit)", c.solver, res.Stopped)
+			}
+			// Best-so-far discipline: any returned assignment must
+			// re-evaluate to the reported cost and be feasible.
+			if res.Assignment != nil {
+				cost, feasible, err := m.Evaluate(res.Assignment)
+				if err != nil || !feasible {
+					t.Fatalf("%s: best-so-far not feasible (err=%v)", c.solver, err)
+				}
+				if cost != res.Cost {
+					t.Fatalf("%s: reported cost %v, evaluated %v", c.solver, res.Cost, cost)
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlineLosesToEarlierContext pins precedence: a context that
+// expires before the WithTimeLimit deadline must surface as StopCancelled
+// (the caller's deadline), not StopTimeLimit.
+func TestDeadlineLosesToEarlierContext(t *testing.T) {
+	m := compiled(t, testkit.RandomKnapsack(40, 0.3, rng.New(9)))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	res, err := saim.SolveModel(ctx, "saim", m,
+		saim.WithSeed(1),
+		saim.WithIterations(2_000_000),
+		saim.WithSweepsPerRun(200),
+		saim.WithTimeLimit(time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != saim.StopCancelled {
+		t.Fatalf("Stopped = %v, want cancelled (caller's context fired first)", res.Stopped)
+	}
+}
+
+// TestTimeLimitStopReasonString pins the public vocabulary.
+func TestTimeLimitStopReasonString(t *testing.T) {
+	if s := fmt.Sprint(saim.StopTimeLimit); s != "time-limit" {
+		t.Fatalf("StopTimeLimit prints %q", s)
+	}
+}

@@ -81,7 +81,11 @@ func (s *decompSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Re
 		return nil, err
 	}
 	cfg := buildConfig(opts)
-
+	ctx, cancelDL, stamp := deadline(ctx, cfg)
+	defer cancelDL()
+	// The deadline context governs the outer rounds; inner solves inherit
+	// it (they already stop at run granularity) but must not re-derive it,
+	// so the inner option list below never carries the time limit.
 	innerName := cfg.innerSolver
 	if innerName == "" {
 		innerName = "saim"
@@ -337,7 +341,7 @@ func (s *decompSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Re
 	stopped := StopCompleted
 	switch out.Stopped {
 	case decompose.Cancelled:
-		stopped = StopCancelled
+		stopped = stamp(StopCancelled)
 	case decompose.StoppedByCallback:
 		stopped = stopReason
 	}

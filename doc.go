@@ -41,11 +41,21 @@
 // and bound; "decomp" — qbsolv-style subproblem decomposition that runs
 // any of the other backends on extracted subproblems (WithSubproblemSize,
 // WithInnerSolver, WithRounds, WithTabuTenure; see also the decompose
-// package for instances beyond the dense-matrix limit). Every backend
-// honors context cancellation by returning its
-// best-so-far result promptly (Result.Stopped == StopCancelled), streams
-// Progress snapshots via WithProgress, and supports early stopping via
-// WithTargetCost and WithPatience. Custom backends register with Register.
+// package for instances beyond the dense-matrix limit); "race" — a
+// meta-solver running several backends concurrently on the same model
+// (WithRacers) and cancelling the rest when the first reaches
+// WithTargetCost. Every backend honors context cancellation by returning
+// its best-so-far result promptly (Result.Stopped == StopCancelled),
+// enforces WithTimeLimit at the same cadence (Stopped == StopTimeLimit),
+// streams Progress snapshots via WithProgress, and supports early
+// stopping via WithTargetCost and WithPatience. Custom backends register
+// with Register.
+//
+// Package service builds a concurrent solve service on this registry — a
+// job manager with a bounded worker pool, per-job deadlines, result
+// deduplication keyed by model and options fingerprints, and progress
+// fan-out — and cmd/saimserve exposes it over HTTP/JSON with SSE progress
+// streaming.
 //
 // The pre-registry entry points (Solve, SolvePenaltyMethod, Minimize,
 // SolveHighOrder, SolveParallel) remain as thin deprecated wrappers over

@@ -277,6 +277,11 @@ const (
 	StopTarget
 	// StopPatience means the improvement patience was exhausted.
 	StopPatience
+	// StopTimeLimit means the configured wall-clock limit expired; the
+	// result holds the best-so-far state and is still valid. Backends
+	// check the deadline at the same cadence as cancellation (once per
+	// annealing run or equivalent).
+	StopTimeLimit
 )
 
 // String implements fmt.Stringer.
@@ -290,6 +295,8 @@ func (s StopReason) String() string {
 		return "target-reached"
 	case StopPatience:
 		return "patience-exhausted"
+	case StopTimeLimit:
+		return "time-limit"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(s))
 	}

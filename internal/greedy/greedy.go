@@ -5,6 +5,7 @@
 package greedy
 
 import (
+	"context"
 	"sort"
 
 	"github.com/ising-machines/saim/internal/ising"
@@ -18,10 +19,22 @@ import (
 // re-evaluates densities after each insertion, so pair values influence the
 // choice as the knapsack fills.
 func QKP(inst *qkp.Instance) ising.Bits {
-	x := make(ising.Bits, inst.N)
+	x, _ := QKPContext(context.Background(), inst)
+	return x
+}
+
+// QKPContext is QKP under a context, checked once per insertion (the
+// construction is O(N²) per insertion on dense instances, so a deadline
+// interrupts within one scan). The partial selection built so far is
+// feasible by construction and is returned with truncated == true.
+func QKPContext(ctx context.Context, inst *qkp.Instance) (x ising.Bits, truncated bool) {
+	x = make(ising.Bits, inst.N)
 	residual := inst.B
 	selected := make([]int, 0, inst.N)
 	for {
+		if ctx.Err() != nil {
+			return x, true
+		}
 		bestJ := -1
 		bestDensity := 0.0
 		for j := 0; j < inst.N; j++ {
@@ -45,13 +58,21 @@ func QKP(inst *qkp.Instance) ising.Bits {
 		residual -= inst.A[bestJ]
 		selected = append(selected, bestJ)
 	}
-	return x
+	return x, false
 }
 
 // MKP builds a solution by scanning items in decreasing pseudo-utility
 // (value over capacity-normalized aggregate weight — the Chu–Beasley
 // ordering) and taking every item that fits.
 func MKP(inst *mkp.Instance) ising.Bits {
+	x, _ := MKPContext(context.Background(), inst)
+	return x
+}
+
+// MKPContext is MKP under a context, checked once per item during the
+// packing scan. The partial packing built so far is feasible by
+// construction and is returned with truncated == true.
+func MKPContext(ctx context.Context, inst *mkp.Instance) (x ising.Bits, truncated bool) {
 	order := make([]int, inst.N)
 	util := make([]float64, inst.N)
 	for j := 0; j < inst.N; j++ {
@@ -71,9 +92,12 @@ func MKP(inst *mkp.Instance) ising.Bits {
 	}
 	sort.Slice(order, func(a, b int) bool { return util[order[a]] > util[order[b]] })
 
-	x := make(ising.Bits, inst.N)
+	x = make(ising.Bits, inst.N)
 	residual := append([]int(nil), inst.B...)
 	for _, j := range order {
+		if ctx.Err() != nil {
+			return x, true
+		}
 		fits := true
 		for i := 0; i < inst.M; i++ {
 			if inst.A[i][j] > residual[i] {
@@ -88,5 +112,5 @@ func MKP(inst *mkp.Instance) ising.Bits {
 			}
 		}
 	}
-	return x
+	return x, false
 }

@@ -23,35 +23,23 @@ import (
 	"github.com/ising-machines/saim/internal/ising"
 )
 
-// Write serializes q in qbsolv format.
-func Write(w io.Writer, q *ising.QUBO) error {
-	bw := bufio.NewWriter(w)
+// Dense converts a dense QUBO into the sparse File form WriteSparse
+// serializes: every diagonal entry (zeros included, the legacy shape)
+// plus the nonzero couplers at full pair weight.
+func Dense(q *ising.QUBO) *File {
 	n := q.N()
-	type coupler struct {
-		i, j int
-		w    float64
-	}
-	var couplers []coupler
+	f := &File{N: n, Const: q.Const, Lin: make([]Entry, 0, n)}
 	for i := 0; i < n; i++ {
+		f.Lin = append(f.Lin, Entry{I: i, J: i, W: q.C[i]})
 		row := q.Q.Row(i)
 		for j := i + 1; j < n; j++ {
 			if row[j] != 0 {
-				couplers = append(couplers, coupler{i, j, 2 * row[j]})
+				// Q stores half the pair weight per symmetric entry.
+				f.Quad = append(f.Quad, Entry{I: i, J: j, W: 2 * row[j]})
 			}
 		}
 	}
-	fmt.Fprintln(bw, "c generated by saim (qbsolv format)")
-	if q.Const != 0 {
-		fmt.Fprintf(bw, "c constant %s\n", strconv.FormatFloat(q.Const, 'g', -1, 64))
-	}
-	fmt.Fprintf(bw, "p qubo 0 %d %d %d\n", n, n, len(couplers))
-	for i := 0; i < n; i++ {
-		fmt.Fprintf(bw, "%d %d %s\n", i, i, strconv.FormatFloat(q.C[i], 'g', -1, 64))
-	}
-	for _, c := range couplers {
-		fmt.Fprintf(bw, "%d %d %s\n", c.i, c.j, strconv.FormatFloat(c.w, 'g', -1, 64))
-	}
-	return bw.Flush()
+	return f
 }
 
 // MaxReadNodes caps the node count Read accepts. The parsed QUBO is
@@ -63,11 +51,70 @@ func Write(w io.Writer, q *ising.QUBO) error {
 // are the decomposition layer's territory.
 const MaxReadNodes = 1 << 14
 
-// Read parses a qbsolv-format QUBO.
+// MaxSparseReadNodes caps the node count ReadSparse accepts. The sparse
+// parse is O(nnz) in the file's actual entries, so the only per-node cost
+// a hostile header can impose on downstream consumers is O(N) bookkeeping
+// (variable handles, coefficient vectors); one million nodes bounds that
+// at tens of megabytes while admitting every instance the decomposition
+// path can realistically iterate on.
+const MaxSparseReadNodes = 1 << 20
+
+// Entry is one nonzero term of a parsed QUBO file: a linear coefficient
+// when I == J, or a coupler carrying the full pair weight w·x_I·x_J when
+// I < J.
+type Entry struct {
+	I, J int
+	W    float64
+}
+
+// File is the sparse parse of a qbsolv-format QUBO: the declared node
+// count, the restored constant, and the nonzero entries in file order.
+// Duplicate entries are preserved (they accumulate, exactly as the dense
+// Read accumulates them), so ΣLin + ΣQuad + Const reproduces the file's
+// energy on any assignment without ever materializing an O(N²) matrix.
+type File struct {
+	N     int
+	Const float64
+	// Lin holds the diagonal (linear) entries, I == J.
+	Lin []Entry
+	// Quad holds the coupler entries, normalized to I < J, W the full
+	// pair weight.
+	Quad []Entry
+}
+
+// ReadSparse parses a qbsolv-format QUBO into nonzero triples in O(nnz)
+// memory, admitting instances far beyond the dense Read cap (up to
+// MaxSparseReadNodes nodes). It is the parse path of model.Load and the
+// decomposition pipeline.
+func ReadSparse(r io.Reader) (*File, error) {
+	return readCapped(r, MaxSparseReadNodes, "sparse")
+}
+
+// Read parses a qbsolv-format QUBO into a dense ising.QUBO (capped at
+// MaxReadNodes).
 func Read(r io.Reader) (*ising.QUBO, error) {
+	f, err := readCapped(r, MaxReadNodes, "dense")
+	if err != nil {
+		return nil, err
+	}
+	q := ising.NewQUBO(f.N)
+	q.AddConst(f.Const)
+	for _, e := range f.Lin {
+		q.AddLinear(e.I, e.W)
+	}
+	for _, e := range f.Quad {
+		q.AddQuad(e.I, e.J, e.W)
+	}
+	return q, nil
+}
+
+// readCapped is the single parser behind Read and ReadSparse; maxN guards
+// the header's declared node count, kind names the format family in the
+// error.
+func readCapped(r io.Reader, maxN int, kind string) (*File, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var q *ising.QUBO
+	var f *File
 	var constant float64
 	nodesLeft, couplersLeft := 0, 0
 	line := 0
@@ -88,7 +135,7 @@ func Read(r io.Reader) (*ising.QUBO, error) {
 				constant = v
 			}
 		case strings.HasPrefix(text, "p"):
-			if q != nil {
+			if f != nil {
 				return nil, fmt.Errorf("qubofile: line %d: duplicate problem line", line)
 			}
 			fields := strings.Fields(text)
@@ -101,13 +148,13 @@ func Read(r io.Reader) (*ising.QUBO, error) {
 			if err1 != nil || err2 != nil || err3 != nil || maxNodes <= 0 || nNodes < 0 || nCouplers < 0 {
 				return nil, fmt.Errorf("qubofile: line %d: bad problem sizes %q", line, text)
 			}
-			if maxNodes > MaxReadNodes {
-				return nil, fmt.Errorf("qubofile: line %d: %d nodes exceeds the dense-format limit of %d", line, maxNodes, MaxReadNodes)
+			if maxNodes > maxN {
+				return nil, fmt.Errorf("qubofile: line %d: %d nodes exceeds the %s-format limit of %d", line, maxNodes, kind, maxN)
 			}
-			q = ising.NewQUBO(maxNodes)
+			f = &File{N: maxNodes}
 			nodesLeft, couplersLeft = nNodes, nCouplers
 		default:
-			if q == nil {
+			if f == nil {
 				return nil, fmt.Errorf("qubofile: line %d: data before problem line", line)
 			}
 			fields := strings.Fields(text)
@@ -120,14 +167,17 @@ func Read(r io.Reader) (*ising.QUBO, error) {
 			if err1 != nil || err2 != nil || err3 != nil || math.IsNaN(w) || math.IsInf(w, 0) {
 				return nil, fmt.Errorf("qubofile: line %d: malformed entry %q", line, text)
 			}
-			if i < 0 || i >= q.N() || j < 0 || j >= q.N() {
+			if i < 0 || i >= f.N || j < 0 || j >= f.N {
 				return nil, fmt.Errorf("qubofile: line %d: index out of range in %q", line, text)
 			}
 			if i == j {
-				q.AddLinear(i, w)
+				f.Lin = append(f.Lin, Entry{I: i, J: i, W: w})
 				nodesLeft--
 			} else {
-				q.AddQuad(i, j, w)
+				if i > j {
+					i, j = j, i
+				}
+				f.Quad = append(f.Quad, Entry{I: i, J: j, W: w})
 				couplersLeft--
 			}
 		}
@@ -135,13 +185,33 @@ func Read(r io.Reader) (*ising.QUBO, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if q == nil {
+	if f == nil {
 		return nil, fmt.Errorf("qubofile: missing problem line")
 	}
 	if nodesLeft != 0 || couplersLeft != 0 {
 		return nil, fmt.Errorf("qubofile: header promised %d more node and %d more coupler lines",
 			nodesLeft, couplersLeft)
 	}
-	q.AddConst(constant)
-	return q, nil
+	f.Const = constant
+	return f, nil
+}
+
+// WriteSparse serializes a sparse File in qbsolv format without touching
+// any dense structure. Entries are written in slice order; callers wanting
+// a deterministic, round-trip-stable file (model.Save does) must supply
+// merged, nonzero entries sorted by index with Quad normalized to I < J.
+func WriteSparse(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "c generated by saim (qbsolv format)")
+	if f.Const != 0 {
+		fmt.Fprintf(bw, "c constant %s\n", strconv.FormatFloat(f.Const, 'g', -1, 64))
+	}
+	fmt.Fprintf(bw, "p qubo 0 %d %d %d\n", f.N, len(f.Lin), len(f.Quad))
+	for _, e := range f.Lin {
+		fmt.Fprintf(bw, "%d %d %s\n", e.I, e.I, strconv.FormatFloat(e.W, 'g', -1, 64))
+	}
+	for _, e := range f.Quad {
+		fmt.Fprintf(bw, "%d %d %s\n", e.I, e.J, strconv.FormatFloat(e.W, 'g', -1, 64))
+	}
+	return bw.Flush()
 }

@@ -36,7 +36,7 @@ func TestRoundTripEnergyEquivalence(t *testing.T) {
 		n := int(raw%7) + 2
 		q := randomQUBO(src, n)
 		var buf bytes.Buffer
-		if err := Write(&buf, q); err != nil {
+		if err := WriteSparse(&buf, Dense(q)); err != nil {
 			return false
 		}
 		got, err := Read(&buf)
@@ -68,7 +68,7 @@ func TestWriteFormatShape(t *testing.T) {
 	q.AddQuad(0, 2, -2)
 	q.AddConst(4)
 	var buf bytes.Buffer
-	if err := Write(&buf, q); err != nil {
+	if err := WriteSparse(&buf, Dense(q)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -5,7 +5,6 @@ import (
 	"io"
 	"os"
 
-	"github.com/ising-machines/saim/internal/ising"
 	"github.com/ising-machines/saim/internal/qubofile"
 )
 
@@ -15,23 +14,34 @@ import (
 // minimization objective. The loaded model solves on any backend that
 // accepts unconstrained models and round-trips through Save with
 // identical energies.
+//
+// The parse is O(nnz): the file's nonzero triples stream straight into
+// preallocated term lists without ever materializing the dense
+// coefficient matrix, so instances up to qubofile.MaxSparseReadNodes
+// variables (far past the dense pipeline's 16384-node cap) load in time
+// proportional to their actual couplers — the input the sparse
+// decomposition path is built for.
 func Load(r io.Reader) (*Model, error) {
-	q, err := qubofile.Read(r)
+	f, err := qubofile.ReadSparse(r)
 	if err != nil {
 		return nil, err
 	}
 	m := New()
-	x := m.Binary("x", q.N())
-	obj := Expr{m: m, c: q.Const}
-	for i := 0; i < q.N(); i++ {
-		if w := q.C[i]; w != 0 {
-			obj.lin = append(obj.lin, linTerm{v: x[i].id, w: w})
+	x := m.Binary("x", f.N)
+	obj := Expr{
+		m:    m,
+		c:    f.Const,
+		lin:  make([]linTerm, 0, len(f.Lin)),
+		quad: make([]quadTerm, 0, len(f.Quad)),
+	}
+	for _, e := range f.Lin {
+		if e.W != 0 {
+			obj.lin = append(obj.lin, linTerm{v: x[e.I].id, w: e.W})
 		}
-		for j := i + 1; j < q.N(); j++ {
-			// Q stores half the pair weight per symmetric entry.
-			if w := 2 * q.Q.At(i, j); w != 0 {
-				obj.quad = append(obj.quad, quadTerm{i: x[i].id, j: x[j].id, w: w})
-			}
+	}
+	for _, e := range f.Quad {
+		if e.W != 0 {
+			obj.quad = append(obj.quad, quadTerm{i: x[e.I].id, j: x[e.J].id, w: e.W})
 		}
 	}
 	m.Minimize(obj)
@@ -50,9 +60,14 @@ func LoadFile(path string) (*Model, error) {
 
 // Save writes the model's objective as a qbsolv-format QUBO. The format
 // holds an unconstrained minimization QUBO, so the model must have no
-// constraints, a Minimize objective (negate a Maximize model first), and
-// no monomials of degree ≥ 3. Writing and re-Loading yields an
-// energy-identical model.
+// constraints and no monomials of degree ≥ 3. A Maximize model saves its
+// negated (minimization-frame) energy — the same sign flip compilation
+// applies transparently — so Load always recovers a Minimize model whose
+// energies equal the saved model's minimization objective exactly.
+//
+// The write is O(nnz): canonical terms stream straight to the file, so a
+// sparsely loaded large instance saves without a dense detour. Writing
+// and re-Loading yields an energy-identical, byte-stable model.
 func Save(w io.Writer, m *Model) error {
 	if err := m.Err(); err != nil {
 		return err
@@ -63,22 +78,27 @@ func Save(w io.Writer, m *Model) error {
 	if len(m.cons) > 0 {
 		return fmt.Errorf("model: the QUBO format cannot express constraints (model has %d)", len(m.cons))
 	}
+	obj := m.obj
 	if m.max {
-		return fmt.Errorf("model: the QUBO format holds minimization energies; negate the objective and use Minimize")
+		obj = obj.Mul(-1)
 	}
-	lin, quad, poly := m.obj.canonical()
+	lin, quad, poly := obj.canonical()
 	if len(poly) > 0 {
 		return fmt.Errorf("model: the QUBO format cannot express monomials of degree ≥ 3 (objective has %d)", len(poly))
 	}
-	q := ising.NewQUBO(m.vars)
-	q.AddConst(m.obj.c)
+	f := &qubofile.File{
+		N:     m.vars,
+		Const: obj.c,
+		Lin:   make([]qubofile.Entry, 0, len(lin)),
+		Quad:  make([]qubofile.Entry, 0, len(quad)),
+	}
 	for _, t := range lin {
-		q.AddLinear(t.v, t.w)
+		f.Lin = append(f.Lin, qubofile.Entry{I: t.v, J: t.v, W: t.w})
 	}
 	for _, t := range quad {
-		q.AddQuad(t.i, t.j, t.w)
+		f.Quad = append(f.Quad, qubofile.Entry{I: t.i, J: t.j, W: t.w})
 	}
-	return qubofile.Write(w, q)
+	return qubofile.WriteSparse(w, f)
 }
 
 // SaveFile is Save on a file path.

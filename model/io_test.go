@@ -2,6 +2,7 @@ package model_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -84,14 +85,6 @@ func TestSaveRejectsUnsupportedModels(t *testing.T) {
 			t.Fatalf("want constraints error, got %v", err)
 		}
 	})
-	t.Run("maximize", func(t *testing.T) {
-		m := model.New()
-		x := m.Binary("x", 2)
-		m.Maximize(x.Sum())
-		if err := model.Save(&bytes.Buffer{}, m); err == nil || !strings.Contains(err.Error(), "minimization") {
-			t.Fatalf("want minimization error, got %v", err)
-		}
-	})
 	t.Run("high order", func(t *testing.T) {
 		m := model.New()
 		x := m.Binary("x", 3)
@@ -105,5 +98,110 @@ func TestSaveRejectsUnsupportedModels(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := model.Load(strings.NewReader("not a qubo file\n")); err == nil {
 		t.Fatal("want parse error")
+	}
+}
+
+// TestSaveMaximizeRoundTrip pins the Maximize path of Save: the file holds
+// the negated (minimization-frame) energy, so re-Loading yields a Minimize
+// model whose objective equals the negated maximization objective on every
+// assignment — compilation's transparent sign flip, made durable on disk.
+func TestSaveMaximizeRoundTrip(t *testing.T) {
+	m := model.New()
+	x := m.Binary("x", 4)
+	obj := model.Const(1.5).
+		Add(x[0].Mul(2)).Add(x[3].Mul(-0.75)).
+		Add(x[0].Times(x[2]).Mul(3)).Add(x[1].Times(x[3]).Mul(-1.25))
+	m.Maximize(obj)
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf, m); err != nil {
+		t.Fatalf("Save on a Maximize model: %v", err)
+	}
+	loaded, err := model.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Maximizing() {
+		t.Fatal("Load must return a Minimize model")
+	}
+
+	orig, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := loaded.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := make([]int, 4)
+	for mask := 0; mask < 1<<4; mask++ {
+		for i := range asn {
+			asn[i] = mask >> i & 1
+		}
+		// Both compiled models are in the minimization frame (Compile
+		// negates a Maximize objective), so their energies must agree.
+		eo, _, err := orig.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, _, err := rt.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eo != er {
+			t.Fatalf("assignment %v: compiled energy %v, round-tripped %v", asn, eo, er)
+		}
+	}
+
+	// And a second Save must be byte-identical: the canonical term order
+	// makes the negated serialization stable.
+	var buf2 bytes.Buffer
+	if err := model.Save(&buf2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("serializations differ:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestLoadSparseBeyondDenseCap pins the O(nnz) Load path: an instance past
+// the dense pipeline's node cap (qubofile.MaxReadNodes) loads through the
+// sparse parser and reports its terms faithfully.
+func TestLoadSparseBeyondDenseCap(t *testing.T) {
+	const n = 20000 // > 16384 dense cap
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "p qubo 0 %d 2 2\n", n)
+	fmt.Fprintf(&sb, "0 0 -1.5\n%d %d 2\n", n-1, n-1)
+	fmt.Fprintf(&sb, "0 %d -3\n7 19999 0.5\n", n/2)
+	m, err := model.Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("sparse Load at N=%d: %v", n, err)
+	}
+	if m.N() != n {
+		t.Fatalf("N = %d, want %d", m.N(), n)
+	}
+	probe := func(on ...int) float64 {
+		set := map[int]bool{}
+		for _, id := range on {
+			set[id] = true
+		}
+		e := 0.0
+		if err := m.ObjectiveTerms(func(w float64, ids []int) {
+			for _, id := range ids {
+				if !set[id] {
+					return
+				}
+			}
+			e += w
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if got := probe(0, n/2); got != -1.5-3 {
+		t.Fatalf("E(0, %d) = %v, want -4.5", n/2, got)
+	}
+	if got := probe(7, 19999, n-1); got != 0.5+2 {
+		t.Fatalf("E(7, 19999, %d) = %v, want 2.5", n-1, got)
 	}
 }

@@ -1,0 +1,253 @@
+package model_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/ising-machines/saim/model"
+)
+
+// jsonRoundTrip marshals and unmarshals a model, failing the test on any
+// codec error.
+func jsonRoundTrip(t *testing.T, m *model.Model) *model.Model {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	out := model.New()
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal: %v\nwire: %s", err, data)
+	}
+	return out
+}
+
+// assertCompileEqual pins two models to identical compiled behavior on
+// every assignment: same form, same energy, same feasibility.
+func assertCompileEqual(t *testing.T, a, b *model.Model, n int) {
+	t.Helper()
+	ca, err := a.Compile()
+	if err != nil {
+		t.Fatalf("compile a: %v", err)
+	}
+	cb, err := b.Compile()
+	if err != nil {
+		t.Fatalf("compile b: %v", err)
+	}
+	if ca.Form() != cb.Form() {
+		t.Fatalf("form %v != %v", ca.Form(), cb.Form())
+	}
+	asn := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range asn {
+			asn[i] = mask >> i & 1
+		}
+		ea, fa, err := ca.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, fb, err := cb.Evaluate(asn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea != eb || fa != fb {
+			t.Fatalf("assignment %v: (%v, %v) != (%v, %v)", asn, ea, fa, eb, fb)
+		}
+	}
+}
+
+// TestJSONRoundTripAllForms pins the wire codec across the three model
+// forms and all three constraint senses: the decoded model compiles to
+// the same energies and feasibility as the original on every assignment.
+func TestJSONRoundTripAllForms(t *testing.T) {
+	t.Run("unconstrained", func(t *testing.T) {
+		m := model.New()
+		x := m.Binary("x", 4)
+		m.Minimize(model.Const(1.25).
+			Add(x[0].Mul(-2)).Add(x[3].Mul(0.5)).
+			Add(x[0].Times(x[1]).Mul(3)).Add(x[2].Times(x[3]).Mul(-1)))
+		assertCompileEqual(t, m, jsonRoundTrip(t, m), 4)
+	})
+	t.Run("constrained all senses", func(t *testing.T) {
+		m := model.New()
+		x := m.Binary("pick", 5)
+		m.Maximize(model.Dot([]float64{3, 1, 4, 1, 5}, x))
+		m.Constrain("cap", model.Dot([]float64{2, 3, 1, 4, 2}, x).LE(7))
+		m.Constrain("pair", x[0].Mul(1).Add(x[1].Mul(1)).EQ(1))
+		m.Constrain("floor", model.Dot([]float64{1, 1, 1, 1, 1}, x).GE(2))
+		rt := jsonRoundTrip(t, m)
+		assertCompileEqual(t, m, rt, 5)
+		if !rt.Maximizing() {
+			t.Fatal("Maximize flag lost on the wire")
+		}
+		if rt.NumConstraints() != 3 {
+			t.Fatalf("constraints = %d, want 3", rt.NumConstraints())
+		}
+	})
+	t.Run("high order", func(t *testing.T) {
+		m := model.New()
+		x := m.Binary("s", 4)
+		m.Minimize(model.Prod(x[0], x[1], x[2]).Mul(2).Add(x[3].Mul(-1)))
+		m.Constrain("sync", model.Prod(x[1], x[2], x[3]).EQ(0))
+		assertCompileEqual(t, m, jsonRoundTrip(t, m), 4)
+	})
+	t.Run("multiple families", func(t *testing.T) {
+		m := model.New()
+		a := m.Binary("a", 2)
+		b := m.Binary("b", 2)
+		m.Minimize(a.Sum().Add(b.Sum().Mul(-2)).Add(a[1].Times(b[0])))
+		rt := jsonRoundTrip(t, m)
+		assertCompileEqual(t, m, rt, 4)
+		// Family bookkeeping must survive so Solution.Value works by name.
+		if rt.N() != 4 {
+			t.Fatalf("N = %d", rt.N())
+		}
+	})
+}
+
+// TestJSONCanonicalEncoding pins determinism: two equal models built from
+// differently-ordered, duplicated terms marshal to identical bytes and
+// identical fingerprints.
+func TestJSONCanonicalEncoding(t *testing.T) {
+	build := func(scrambled bool) *model.Model {
+		m := model.New()
+		x := m.Binary("x", 3)
+		var obj model.Expr
+		if scrambled {
+			// Same polynomial, assembled backwards with split weights.
+			obj = x[2].Times(x[0]).Mul(4).
+				Add(x[1].Mul(1)).Add(x[1].Mul(1)).
+				Add(x[0].Mul(-3)).Add(model.Const(2))
+		} else {
+			obj = model.Const(2).
+				Add(x[0].Mul(-3)).Add(x[1].Mul(2)).
+				Add(x[0].Times(x[2]).Mul(4))
+		}
+		m.Minimize(obj)
+		m.Constrain("c", model.Dot([]float64{1, 2, 1}, x).LE(3))
+		return m
+	}
+	a, err := json.Marshal(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical encodings differ:\n%s\nvs\n%s", a, b)
+	}
+	fa, err := build(false).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := build(true).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("fingerprints differ: %s vs %s", fa, fb)
+	}
+	// And a semantically different model must not collide.
+	other := model.New()
+	x := other.Binary("x", 3)
+	other.Minimize(x.Sum())
+	other.Constrain("c", model.Dot([]float64{1, 2, 1}, x).LE(3))
+	fo, err := other.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo == fa {
+		t.Fatal("different models share a fingerprint")
+	}
+}
+
+// TestJSONAgainstQuboIO pins the wire codec against the qbsolv file codec:
+// a model loaded from a .qubo file survives JSON round-trip with its Save
+// serialization byte-identical, so the two interchange paths agree on the
+// model's exact energy.
+func TestJSONAgainstQuboIO(t *testing.T) {
+	qubo := "c constant 1.5\np qubo 0 4 3 2\n0 0 -1\n1 1 2\n3 3 -0.25\n0 2 3\n1 3 -2\n"
+	m, err := model.Load(strings.NewReader(qubo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := jsonRoundTrip(t, m)
+	var save1, save2 bytes.Buffer
+	if err := model.Save(&save1, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(&save2, rt); err != nil {
+		t.Fatal(err)
+	}
+	if save1.String() != save2.String() {
+		t.Fatalf("Save after JSON round trip differs:\n%s\nvs\n%s", save1.String(), save2.String())
+	}
+	assertCompileEqual(t, m, rt, 4)
+}
+
+// TestJSONRejectsBadWire pins validation of hostile wire payloads.
+func TestJSONRejectsBadWire(t *testing.T) {
+	cases := map[string]string{
+		"no families":     `{"families":[],"objective":{}}`,
+		"bad id":          `{"families":[{"name":"x","n":2}],"objective":{"lin":[{"v":5,"w":1}]}}`,
+		"negative id":     `{"families":[{"name":"x","n":2}],"objective":{"lin":[{"v":-1,"w":1}]}}`,
+		"equal quad ids":  `{"families":[{"name":"x","n":2}],"objective":{"quad":[{"i":1,"j":1,"w":1}]}}`,
+		"unknown sense":   `{"families":[{"name":"x","n":2}],"objective":{"lin":[{"v":0,"w":1}]},"constraints":[{"name":"c","sense":"!=","expr":{"lin":[{"v":0,"w":1}]},"bound":1}]}`,
+		"dup family":      `{"families":[{"name":"x","n":1},{"name":"x","n":1}],"objective":{"lin":[{"v":0,"w":1}]}}`,
+		"short poly":      `{"families":[{"name":"x","n":3}],"objective":{"poly":[{"vars":[0,1],"w":1}]}}`,
+		"dup poly var":    `{"families":[{"name":"x","n":3}],"objective":{"poly":[{"vars":[0,1,1],"w":1}]}}`,
+		"constraint id":   `{"families":[{"name":"x","n":2}],"objective":{"lin":[{"v":0,"w":1}]},"constraints":[{"name":"c","sense":"<=","expr":{"lin":[{"v":9,"w":1}]},"bound":1}]}`,
+		"malformed json":  `{"families":`,
+		"negative family": `{"families":[{"name":"x","n":-3}],"objective":{}}`,
+		// The 90-byte allocation bomb: must be rejected before any
+		// handle slice is allocated (see MaxWireVariables).
+		"huge family": `{"families":[{"name":"x","n":2000000000}],"objective":{}}`,
+		"huge in sum": `{"families":[{"name":"a","n":1000000},{"name":"b","n":1000000}],"objective":{}}`,
+		"zero n":      `{"families":[{"name":"x","n":0}],"objective":{}}`,
+	}
+	for name, wire := range cases {
+		m := model.New()
+		if err := json.Unmarshal([]byte(wire), m); err == nil {
+			t.Errorf("%s: accepted %s", name, wire)
+		}
+	}
+}
+
+// TestJSONModelSolves pins that a decoded model actually runs end to end
+// on a registered backend with a name-aware solution.
+func TestJSONModelSolves(t *testing.T) {
+	m := model.New()
+	x := m.Binary("take", 4)
+	m.Maximize(model.Dot([]float64{10, 7, 5, 3}, x))
+	m.Constrain("w", model.Dot([]float64{4, 3, 2, 1}, x).LE(6))
+	rt := jsonRoundTrip(t, m)
+	sol, err := rt.Solve(t.Context(), "exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible() {
+		t.Fatal("infeasible")
+	}
+	// Proven optimum: value 15 (e.g. items 0 and 2 at weight 6).
+	if sol.Objective() != 15 {
+		t.Fatalf("objective = %v, want 15", sol.Objective())
+	}
+	best, err := m.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, feas, err := best.Evaluate(sol.Assignment())
+	if err != nil || !feas {
+		t.Fatalf("assignment does not evaluate feasibly on the original model: %v", err)
+	}
+	if -cost != sol.Objective() {
+		t.Fatalf("objective %v vs original-model value %v", sol.Objective(), -cost)
+	}
+	if v := sol.Value("take", 0); v != 0 && v != 1 {
+		t.Fatalf("Value = %d", v)
+	}
+}

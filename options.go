@@ -51,6 +51,7 @@ type config struct {
 	innerSolver  string
 	rounds       int
 	tabuTenure   *int
+	racers       []string
 }
 
 func buildConfig(opts []Option) config {
@@ -102,7 +103,12 @@ func WithReplicas(r int) Option { return func(c *config) { c.replicas = r } }
 // WithPopulation sets the GA population size (default 100).
 func WithPopulation(p int) Option { return func(c *config) { c.population = p } }
 
-// WithTimeLimit caps the wall-clock time of the exact solver.
+// WithTimeLimit caps the wall-clock time of the solve. Every backend
+// honors it: the deadline is checked at the same cadence as context
+// cancellation (once per annealing run, sweep, offspring, decomposition
+// round, or a few dozen branch-and-bound nodes), and on expiry the
+// best-so-far result is returned with Stopped == StopTimeLimit and a nil
+// error. A context that carries an earlier deadline still wins.
 func WithTimeLimit(d time.Duration) Option { return func(c *config) { c.timeLimit = d } }
 
 // WithNodeLimit caps the branch-and-bound nodes of the exact solver.
@@ -150,6 +156,14 @@ func WithRounds(k int) Option { return func(c *config) { c.rounds = k } }
 // Zero disables tabu. Other backends ignore it.
 func WithTabuTenure(rounds int) Option {
 	return func(c *config) { t := rounds; c.tabuTenure = &t }
+}
+
+// WithRacers names the registered backends the "race" meta-solver runs
+// concurrently on the model (default: every registered backend that
+// accepts the model's form, excluding meta-solvers). Other backends
+// ignore it.
+func WithRacers(names ...string) Option {
+	return func(c *config) { c.racers = append([]string(nil), names...) }
 }
 
 // WithInitial warm-starts the solve from the given assignment over the

@@ -1,0 +1,191 @@
+package saim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// --------------------------------------------------------------- race ---
+
+// raceSolver runs several registered backends concurrently on the same
+// model and merges their results. With WithTargetCost set, the first
+// backend to reach the target cancels the rest — the race answers "which
+// solver gets there first" with wall-clock effect; without a target every
+// racer runs its budget and the best feasible result wins (ties broken by
+// racer order, so results are deterministic given deterministic racers).
+//
+// WithRacers picks the field explicitly; the default is every registered
+// backend accepting the model's form except the meta-solvers (race
+// itself, decomp — which would recursively fan out). All other options
+// are passed through to every racer unchanged, so seeds, budgets, and the
+// time limit apply per racer. A racer that errors (e.g. a combinatorial
+// backend handed a non-knapsack model) is dropped from the race; the race
+// errors only when every racer does.
+//
+// Results are not deterministic across runs when no target is set and two
+// racers tie in cost only approximately — but for a fixed field and seed
+// each racer's own result is reproducible, and the merge is a pure
+// function of those. See DESIGN.md §7.4 for the determinism caveats under
+// target races.
+type raceSolver struct{}
+
+func (*raceSolver) Name() string        { return "race" }
+func (*raceSolver) Accepts(f Form) bool { return true }
+
+// raceDefaultExclude names the backends never auto-entered into a race:
+// the meta-solvers, whose own fan-out would multiply the field.
+var raceDefaultExclude = map[string]bool{"race": true, "decomp": true}
+
+// racers resolves the field for a model form.
+func (s *raceSolver) racers(cfg config, form Form) ([]Solver, error) {
+	var names []string
+	if len(cfg.racers) > 0 {
+		names = cfg.racers
+	} else {
+		for _, name := range Solvers() {
+			if raceDefaultExclude[name] {
+				continue
+			}
+			names = append(names, name)
+		}
+	}
+	var field []Solver
+	for _, name := range names {
+		if name == s.Name() {
+			return nil, fmt.Errorf("saim: race cannot race itself")
+		}
+		sv, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if !sv.Accepts(form) {
+			if len(cfg.racers) > 0 {
+				return nil, fmt.Errorf("saim: racer %q does not accept %v models", name, form)
+			}
+			continue // auto-selected field: silently skip incompatible backends
+		}
+		field = append(field, sv)
+	}
+	if len(field) == 0 {
+		return nil, fmt.Errorf("saim: no racer accepts %v models", form)
+	}
+	return field, nil
+}
+
+func (s *raceSolver) Solve(ctx context.Context, m *Model, opts ...Option) (*Result, error) {
+	if err := requireForm(s, m); err != nil {
+		return nil, err
+	}
+	cfg := buildConfig(opts)
+	field, err := s.racers(cfg, m.form)
+	if err != nil {
+		return nil, err
+	}
+
+	// The deadline wraps the whole race; each racer additionally derives
+	// its own identical deadline from the passed-through options, so both
+	// layers agree on when time is up.
+	ctx, cancelDL, stamp := deadline(ctx, cfg)
+	defer cancelDL()
+	// A target-reaching racer cancels its rivals so the early stop has
+	// wall-clock effect.
+	ctx, cancelRivals := context.WithCancel(ctx)
+	defer cancelRivals()
+
+	// Serialize progress from all racers through one callback (the
+	// WithProgress contract); each racer's stream already carries its own
+	// Solver name, so a dashboard can demultiplex the race.
+	raceOpts := opts
+	if cfg.progress != nil {
+		var mu sync.Mutex
+		emit := cfg.progress
+		raceOpts = append(append([]Option(nil), opts...), WithProgress(func(p Progress) {
+			mu.Lock()
+			emit(p)
+			mu.Unlock()
+		}))
+	}
+
+	results := make([]*Result, len(field))
+	errs := make([]error, len(field))
+	var wg sync.WaitGroup
+	for i, sv := range field {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = sv.Solve(ctx, m, raceOpts...)
+			if results[i] != nil && results[i].Stopped == StopTarget {
+				cancelRivals()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var best *Result
+	for i, res := range results {
+		if errs[i] != nil || res == nil {
+			continue
+		}
+		if best == nil {
+			best = res
+			continue
+		}
+		// Prefer the target-reaching racer outright, then the best
+		// feasible cost; earlier racers win ties.
+		switch {
+		case res.Stopped == StopTarget && best.Stopped != StopTarget:
+			best = res
+		case best.Stopped == StopTarget:
+		case res.Cost < best.Cost:
+			best = res
+		}
+	}
+	if best == nil {
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("saim: every racer failed; first error: %w", err)
+			}
+		}
+		return nil, fmt.Errorf("saim: race produced no result")
+	}
+
+	// Merge fleet totals so the race reports the true spend, and name the
+	// winner so callers can see who crossed the line.
+	out := *best
+	out.Winner = out.Solver
+	out.Solver = "race"
+	out.Sweeps = 0
+	out.Iterations = 0
+	for i, res := range results {
+		if errs[i] != nil || res == nil {
+			continue
+		}
+		out.Sweeps += res.Sweeps
+		out.Iterations += res.Iterations
+	}
+	// Rivals stopped by the winner's cancellation shouldn't surface as a
+	// caller cancellation; the winner's own stop reason stands, with the
+	// deadline stamp correcting a timed-out field. One refinement: when
+	// the winner completed its budget but any rival was cut off by the
+	// time limit, the race as a whole was time-bound — its wall clock ran
+	// to the deadline — so that is what the merged result reports. A
+	// rival cut off by the deadline can carry either StopTimeLimit (its
+	// own derived deadline fired first) or StopCancelled (the race's
+	// outer deadline won the timer race and cancelled it via its parent);
+	// stamp(StopCancelled) tells which world we are in.
+	out.Stopped = stamp(out.Stopped)
+	if out.Stopped == StopCompleted {
+		deadlineFired := stamp(StopCancelled) == StopTimeLimit
+		for i, res := range results {
+			if errs[i] != nil || res == nil {
+				continue
+			}
+			if res.Stopped == StopTimeLimit || (deadlineFired && res.Stopped == StopCancelled) {
+				out.Stopped = StopTimeLimit
+				break
+			}
+		}
+	}
+	return &out, nil
+}

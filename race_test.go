@@ -1,0 +1,102 @@
+package saim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRaceWinsWithTarget pins the race meta-solver's core scenario: with a
+// reachable target, the first backend to hit it ends the whole race well
+// before the slow racers' budgets are spent, and the merged result names
+// the winner.
+func TestRaceWinsWithTarget(t *testing.T) {
+	m := smallQKP(t)
+	ref, err := SolveModel(context.Background(), "exact", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := SolveModel(context.Background(), "race", m,
+		// Budgets far beyond what any test should spend: the race must
+		// end on the target, not on completion.
+		WithIterations(2_000_000),
+		WithSweepsPerRun(200),
+		WithSeed(7),
+		WithTargetCost(ref.Cost),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible() {
+		t.Fatal("race found no feasible assignment")
+	}
+	if res.Cost > ref.Cost+1e-9 {
+		t.Fatalf("race cost %v misses target %v", res.Cost, ref.Cost)
+	}
+	if res.Solver != "race" || res.Winner == "" {
+		t.Fatalf("Solver = %q, Winner = %q", res.Solver, res.Winner)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("race took %v; target should have cancelled the field", elapsed)
+	}
+	cost, feasible, err := m.Evaluate(res.Assignment)
+	if err != nil || !feasible || cost != res.Cost {
+		t.Fatalf("winner's assignment re-evaluates to (%v, %v, %v), reported %v", cost, feasible, err, res.Cost)
+	}
+}
+
+// TestRaceExplicitField pins WithRacers: only the named backends run, and
+// naming an incompatible one is an error rather than a silent skip.
+func TestRaceExplicitField(t *testing.T) {
+	m := smallQKP(t)
+	res, err := SolveModel(context.Background(), "race", m,
+		WithRacers("greedy", "exact"),
+		WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "greedy" && res.Winner != "exact" {
+		t.Fatalf("winner %q not in the declared field", res.Winner)
+	}
+
+	// An unconstrained model through a constrained-only racer must error.
+	um, err := NewBuilder(3).Linear(0, -1).Quadratic(0, 1, 2).Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveModel(context.Background(), "race", um, WithRacers("penalty")); err == nil {
+		t.Fatal("race accepted an incompatible explicit racer")
+	}
+	// Racing itself is rejected.
+	if _, err := SolveModel(context.Background(), "race", m, WithRacers("race")); err == nil {
+		t.Fatal("race raced itself")
+	}
+}
+
+// TestRaceUnconstrainedAutoField pins the auto-selected field on an
+// unconstrained model: the constrained-only backends are skipped silently
+// and the race still returns a valid result.
+func TestRaceUnconstrainedAutoField(t *testing.T) {
+	um, err := NewBuilder(4).
+		Linear(0, -2).Linear(1, 1).Linear(2, -1).
+		Quadratic(0, 2, -1).Quadratic(1, 3, 2).
+		Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveModel(context.Background(), "race", um,
+		WithIterations(50), WithSweepsPerRun(100), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible() {
+		t.Fatal("race found no assignment on an unconstrained model")
+	}
+	cost, _, err := um.Evaluate(res.Assignment)
+	if err != nil || cost != res.Cost {
+		t.Fatalf("cost %v reported, %v evaluated (err=%v)", res.Cost, cost, err)
+	}
+}

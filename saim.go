@@ -253,11 +253,14 @@ type Result struct {
 	// nil for backends without multipliers.
 	Lambda []float64
 	// Stopped records why the solve returned: StopCompleted, StopCancelled,
-	// StopTarget, or StopPatience.
+	// StopTarget, StopPatience, or StopTimeLimit.
 	Stopped StopReason
 	// Optimal reports whether the result was proven optimal (exact backend
 	// only).
 	Optimal bool
+	// Winner names the backend whose result won a "race" meta-solve
+	// (empty for every other backend).
+	Winner string
 }
 
 // Infeasible reports whether a result found no feasible assignment.

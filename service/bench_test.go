@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	saim "github.com/ising-machines/saim"
+)
+
+// BenchmarkServiceSubmitResult measures the full submit→solve→result
+// round trip through the manager on an instant deterministic backend
+// (greedy), i.e. the service overhead per job: fingerprinting, queueing,
+// worker dispatch, and finalization.
+func BenchmarkServiceSubmitResult(b *testing.B) {
+	mgr := New(Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: 1024})
+	defer mgr.Close(context.Background())
+	m := knapModel(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := mgr.Submit(Request{Model: m, Solver: "greedy", NoDedup: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceCacheHit measures a deduplicated submission: the
+// steady-state cost of serving an identical request from the result
+// cache (two fingerprints plus a map hit, no solve).
+func BenchmarkServiceCacheHit(b *testing.B) {
+	mgr := New(Config{Workers: 1})
+	defer mgr.Close(context.Background())
+	m := knapModel(0)
+	req := Request{Model: m, Solver: "greedy"}
+	warm, err := mgr.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := mgr.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j != warm {
+			b.Fatal("cache miss")
+		}
+	}
+}
+
+// BenchmarkServiceParallelSubmit measures throughput with concurrent
+// submitters against the full worker pool.
+func BenchmarkServiceParallelSubmit(b *testing.B) {
+	mgr := New(Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: 4096})
+	defer mgr.Close(context.Background())
+	m := knapModel(0)
+	opts := []saim.Option{saim.WithSeed(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			j, err := mgr.Submit(Request{Model: m, Solver: "greedy", Options: opts, NoDedup: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := j.Wait(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,532 @@
+// Package service is the concurrent solve layer of the saim library: a
+// job manager that runs declarative models from package model on the
+// registered solver backends behind a bounded worker pool.
+//
+// The manager gives a server (cmd/saimserve) everything a multi-tenant
+// deployment needs:
+//
+//   - Backpressure: submissions beyond the queue depth fail fast with
+//     ErrQueueFull instead of piling up unboundedly.
+//   - Per-job deadlines and cancellation: every job solves under its own
+//     context; Request.TimeLimit becomes a WithTimeLimit deadline the
+//     backends enforce at cancellation cadence, and Job.Cancel frees the
+//     worker within one annealing run.
+//   - Deduplication: submissions are keyed by the model's canonical
+//     fingerprint plus the options fingerprint; an identical submission
+//     attaches to the in-flight job or is served from the result cache,
+//     so a thundering herd of equal requests costs one solve.
+//   - Serialized progress fan-out: each job streams ordered Progress
+//     snapshots to any number of subscribers, and an optional fleet
+//     monitor merges every worker's stream through the exported
+//     core.ProgressAggregator into one serialized, monotone feed.
+//   - Graceful drain: Close stops intake, finishes queued and running
+//     work, and force-cancels (best-so-far) only when its context
+//     expires.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/model"
+)
+
+// ErrQueueFull is returned by Submit when the backpressured queue is at
+// capacity. Callers should retry later or shed load upstream.
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrClosed is returned by Submit after Close started draining.
+var ErrClosed = errors.New("service: manager closed")
+
+// Config sizes a Manager. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the solve concurrency (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64). Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// CacheSize bounds the completed-result cache, LRU-evicted (default
+	// 256; negative disables caching entirely).
+	CacheSize int
+	// DefaultTimeLimit is applied to requests that carry no TimeLimit of
+	// their own (zero = unlimited). It protects a deployment from
+	// unbounded submissions.
+	DefaultTimeLimit time.Duration
+	// Monitor, when non-nil, receives the fleet-wide progress stream:
+	// every worker's snapshots merged through core.ProgressAggregator
+	// into serialized, monotone totals (samples, sweeps, best cost across
+	// the fleet). Keep it cheap; it runs under the aggregator's lock.
+	Monitor func(saim.Progress)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	return c
+}
+
+// Request is one solve submission.
+type Request struct {
+	// Model is the declarative model to solve (required). The manager
+	// fingerprints it for deduplication; mutating it after Submit is a
+	// data race.
+	Model *model.Model
+	// Solver names the registered backend (required), e.g. "saim",
+	// "decomp", "race".
+	Solver string
+	// Options configure the solve. WithProgress must not be among them
+	// (the manager owns the progress stream); use Job.Subscribe instead.
+	Options []saim.Option
+	// TimeLimit caps the solve's wall-clock time, folded into the
+	// options as WithTimeLimit; zero falls back to the manager's
+	// DefaultTimeLimit, and an explicit WithTimeLimit among Options
+	// overrides both. The clock starts when a worker picks the job up,
+	// not at submission.
+	TimeLimit time.Duration
+	// NoDedup forces a fresh solve even when an identical submission is
+	// in flight or cached — for deliberately re-sampling a stochastic
+	// backend.
+	NoDedup bool
+}
+
+// Manager owns the worker pool, the queue, the job index, and the result
+// cache. Create one with New; all methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	base  context.Context
+	abort context.CancelFunc
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	agg *core.ProgressAggregator
+
+	mu       sync.Mutex
+	draining bool
+	nextID   int
+	jobs     map[string]*Job
+	inflight map[string]*Job // queued or running, by dedup key
+	cache    *lruCache       // finished, by dedup key
+	finished []string        // finished job ids, oldest first, for index pruning
+}
+
+// New returns a started Manager.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	base, abort := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:      cfg,
+		base:     base,
+		abort:    abort,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+		cache:    newLRUCache(cfg.CacheSize),
+	}
+	if cfg.Monitor != nil {
+		m.agg = core.NewProgressAggregator(func(p core.ProgressInfo) {
+			out := saim.Progress{
+				Solver:     "service",
+				Iteration:  p.Iteration,
+				Iterations: p.Total,
+				BestCost:   p.BestCost,
+				LambdaNorm: p.LambdaNorm,
+				Sweeps:     p.Sweeps,
+			}
+			if p.Samples > 0 {
+				out.FeasibleRatio = 100 * float64(p.FeasibleCount) / float64(p.Samples)
+			}
+			cfg.Monitor(out)
+		}, cfg.Workers, 0)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker(w)
+	}
+	return m
+}
+
+// dedupKey combines the canonical model fingerprint, the backend name,
+// and the options fingerprint: everything that determines a solve's
+// result (progress callbacks excluded by construction).
+func dedupKey(req Request, limit time.Duration) (string, error) {
+	mfp, err := req.Model.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	// The limit is prepended, mirroring runJob: an explicit WithTimeLimit
+	// among the request's own options overrides it (last write wins).
+	opts := req.Options
+	if limit > 0 {
+		opts = append([]saim.Option{saim.WithTimeLimit(limit)}, opts...)
+	}
+	return req.Solver + "\x00" + mfp + "\x00" + saim.OptionsFingerprint(opts...), nil
+}
+
+// Submit validates, deduplicates, and enqueues a request. The returned
+// job may be shared with earlier identical submissions (its Status.Hits
+// counts them) or already finished (served from cache). ErrQueueFull
+// reports backpressure; ErrClosed a draining manager.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if req.Model == nil {
+		return nil, fmt.Errorf("service: request has no model")
+	}
+	if _, err := saim.Get(req.Solver); err != nil {
+		return nil, err
+	}
+	if err := req.Model.Err(); err != nil {
+		return nil, err
+	}
+	limit := req.TimeLimit
+	if limit <= 0 {
+		limit = m.cfg.DefaultTimeLimit
+	}
+	// NoDedup jobs never enter the dedup index, so skip the O(model)
+	// fingerprinting entirely; their key stays empty (detach and prune
+	// guard by identity, so an empty key can never alias another job).
+	var key string
+	if !req.NoDedup {
+		var err error
+		key, err = dedupKey(req, limit)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrClosed
+	}
+	if !req.NoDedup {
+		if j, ok := m.inflight[key]; ok {
+			j.lock()
+			j.hits++
+			j.unlock()
+			return j, nil
+		}
+		if j, ok := m.cache.get(key); ok {
+			j.lock()
+			j.hits++
+			j.unlock()
+			return j, nil
+		}
+	}
+
+	m.nextID++
+	ctx, cancel := context.WithCancel(m.base)
+	j := &Job{
+		id:        fmt.Sprintf("job-%06d", m.nextID),
+		key:       key,
+		mgr:       m,
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		hits:      1,
+		subs:      map[int]chan saim.Progress{},
+		submitted: time.Now(),
+	}
+	j.req.TimeLimit = limit
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	if !req.NoDedup {
+		m.inflight[key] = j
+	}
+	return j, nil
+}
+
+// Job returns a tracked job by id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns a snapshot of every tracked job (bounded: finished jobs
+// are pruned once the index outgrows several cache sizes).
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Cancel cancels a job by id, reporting whether the id was known.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Job(id)
+	if ok {
+		j.Cancel()
+	}
+	return ok
+}
+
+// detach removes a job from the dedup index so future identical
+// submissions start fresh (used on cancel and failure).
+func (m *Manager) detach(j *Job) {
+	m.mu.Lock()
+	if cur, ok := m.inflight[j.key]; ok && cur == j {
+		delete(m.inflight, j.key)
+	}
+	m.cache.drop(j.key, j)
+	m.mu.Unlock()
+}
+
+// Close drains the manager: no new submissions are accepted, queued and
+// running jobs finish normally, and the call returns when the pool is
+// idle. If ctx expires first, running solves are force-cancelled — they
+// still finalize with best-so-far results — and ctx's error is returned.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		m.abort()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// worker is one pool goroutine: it drains the queue, running each job
+// under its own context.
+func (m *Manager) worker(w int) {
+	defer m.wg.Done()
+	var totals workerTotals
+	for j := range m.queue {
+		m.runJob(w, j, &totals)
+	}
+}
+
+// workerTotals accumulates one worker's cumulative progress across every
+// job it has run, so its aggregator slot sees one monotone stream.
+type workerTotals struct {
+	samples  int
+	feasible int
+	sweeps   int64
+	// High-water marks of the current job's stream. A meta-solver job
+	// (race) interleaves several racers' independent cumulative streams
+	// through the one job callback; taking the maximum keeps the fleet
+	// totals monotone — at the cost of undercounting the losers' work
+	// mid-flight, which the job's final Result sums correctly anyway.
+	jobSamples  int
+	jobFeasible int
+	jobSweeps   int64
+}
+
+// feed converts one job-local snapshot into worker-cumulative totals.
+func (t *workerTotals) feed(p saim.Progress) core.ProgressInfo {
+	samples := p.Iteration + 1
+	feas := int(math.Round(p.FeasibleRatio / 100 * float64(samples)))
+	t.jobSamples = max(t.jobSamples, samples)
+	t.jobFeasible = max(t.jobFeasible, feas)
+	t.jobSweeps = max(t.jobSweeps, p.Sweeps)
+	return core.ProgressInfo{
+		Iteration:     t.samples + t.jobSamples - 1,
+		BestCost:      p.BestCost,
+		FeasibleCount: t.feasible + t.jobFeasible,
+		Samples:       t.samples + t.jobSamples,
+		Sweeps:        t.sweeps + t.jobSweeps,
+	}
+}
+
+// commit folds the finished job's stream into the base offsets.
+func (t *workerTotals) commit() {
+	t.samples += t.jobSamples
+	t.feasible += t.jobFeasible
+	t.sweeps += t.jobSweeps
+	t.jobSamples, t.jobFeasible, t.jobSweeps = 0, 0, 0
+}
+
+// runJob executes one job on worker w.
+func (m *Manager) runJob(w int, j *Job, totals *workerTotals) {
+	j.lock()
+	if j.cancelled || j.ctx.Err() != nil {
+		j.unlock()
+		j.finalize(StateCancelled, nil, context.Canceled)
+		m.detach(j)
+		m.noteFinished(j.id)
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.unlock()
+
+	// The job-level limit is prepended so an explicit WithTimeLimit the
+	// caller put among its own options still wins (options apply last
+	// write wins) — the manager default must never loosen a deadline the
+	// caller tightened.
+	var opts []saim.Option
+	if j.req.TimeLimit > 0 {
+		opts = append(opts, saim.WithTimeLimit(j.req.TimeLimit))
+	}
+	opts = append(opts, j.req.Options...)
+	emit := j.publish
+	if m.agg != nil {
+		relay := m.agg.Callback(w)
+		inner := emit
+		emit = func(p saim.Progress) {
+			inner(p)
+			relay(totals.feed(p))
+		}
+	}
+	opts = append(opts, saim.WithProgress(emit))
+
+	sol, err := j.req.Model.Solve(j.ctx, j.req.Solver, opts...)
+	if m.agg != nil {
+		totals.commit()
+	}
+
+	switch {
+	case err != nil:
+		j.finalize(StateFailed, nil, err)
+		m.detach(j)
+	default:
+		state := StateDone
+		j.lock()
+		wasCancelled := j.cancelled
+		j.unlock()
+		if wasCancelled && sol.Result().Stopped == saim.StopCancelled {
+			state = StateCancelled
+		}
+		j.finalize(state, sol, nil)
+		m.mu.Lock()
+		if cur, ok := m.inflight[j.key]; ok && cur == j {
+			delete(m.inflight, j.key)
+		}
+		if state == StateDone && !j.req.NoDedup {
+			m.cache.put(j.key, j)
+		}
+		m.mu.Unlock()
+	}
+	m.noteFinished(j.id)
+}
+
+// noteFinished records a finished job in the pruning FIFO and bounds the
+// job index: once finished jobs outnumber four cache sizes (at least 64),
+// the oldest are forgotten. Jobs still resident in the result cache are
+// never pruned — a cache hit hands out their id, so the id must keep
+// resolving (the cache holds at most CacheSize jobs, a quarter of the
+// limit, so retention cannot defeat the bound). Pruned jobs' Done
+// channels and results stay valid for holders of the *Job; only id
+// lookup expires.
+func (m *Manager) noteFinished(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	limit := 4 * m.cfg.CacheSize
+	if limit < 64 {
+		limit = 64
+	}
+	m.finished = append(m.finished, id)
+	if len(m.finished) <= limit {
+		return
+	}
+	kept := m.finished[:0]
+	excess := len(m.finished) - limit
+	for _, old := range m.finished {
+		j, ok := m.jobs[old]
+		if excess > 0 && (!ok || m.cache.byKey[j.key] != j) {
+			delete(m.jobs, old)
+			excess--
+			continue
+		}
+		kept = append(kept, old)
+	}
+	m.finished = kept
+}
+
+// lruCache is a minimal LRU of finished jobs keyed by dedup key.
+type lruCache struct {
+	cap   int
+	order []string // least recent first
+	byKey map[string]*Job
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &lruCache{cap: capacity, byKey: map[string]*Job{}}
+}
+
+func (c *lruCache) get(key string) (*Job, bool) {
+	j, ok := c.byKey[key]
+	if ok {
+		c.touch(key)
+	}
+	return j, ok
+}
+
+func (c *lruCache) put(key string, j *Job) {
+	if c.cap == 0 {
+		return
+	}
+	if _, ok := c.byKey[key]; ok {
+		c.byKey[key] = j
+		c.touch(key)
+		return
+	}
+	c.byKey[key] = j
+	c.order = append(c.order, key)
+	for len(c.byKey) > c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.byKey, oldest)
+	}
+}
+
+// drop removes the key when it maps to the given job (cancel/failure
+// paths must not evict a fresher entry under the same key).
+func (c *lruCache) drop(key string, j *Job) {
+	if cur, ok := c.byKey[key]; ok && cur == j {
+		delete(c.byKey, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (c *lruCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}

@@ -41,6 +41,9 @@ const (
 	StopTarget = core.StopTarget
 	// StopPatience means WithPatience iterations passed without improvement.
 	StopPatience = core.StopPatience
+	// StopTimeLimit means the WithTimeLimit deadline expired; the result
+	// holds the best-so-far state and is still valid.
+	StopTimeLimit = core.StopTimeLimit
 )
 
 // Progress is the per-iteration snapshot streamed to WithProgress
@@ -144,4 +147,5 @@ func init() {
 	mustRegister(&greedySolver{})
 	mustRegister(&exactSolver{})
 	mustRegister(&decompSolver{})
+	mustRegister(&raceSolver{})
 }
