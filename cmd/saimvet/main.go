@@ -1,0 +1,123 @@
+// Command saimvet runs the solver stack's custom static-analysis suite
+// (internal/analysis/suite): the compile-time counterpart of the repo's
+// cross-cutting runtime tests. See DESIGN.md §8 for the enforced
+// invariants and README.md "Static analysis" for usage.
+//
+// Standalone:
+//
+//	go run ./cmd/saimvet ./...          # analyze packages, exit 1 on findings
+//	go run ./cmd/saimvet -list          # print the analyzer registry
+//
+// As a go vet tool (the unit-checker protocol):
+//
+//	go build -o /tmp/saimvet ./cmd/saimvet
+//	go vet -vettool=/tmp/saimvet ./...
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/ising-machines/saim/internal/analysis"
+	"github.com/ising-machines/saim/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// The go vet driver probes its -vettool with -V=full (a build-cache
+	// key) and -flags (supported flags, JSON) before handing it .cfg
+	// files; serve that protocol before ordinary flag parsing.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			fmt.Fprintf(stdout, "saimvet version 1 buildID=%s\n", buildID())
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0], stdout, stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("saimvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzer registry with one-line docs and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: saimvet [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "saimvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.LoadPackages(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "saimvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "saimvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, shortenPos(d, wd))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "saimvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// shortenPos rewrites absolute diagnostic paths relative to the working
+// directory, matching go vet's output style.
+func shortenPos(d analysis.Diagnostic, wd string) string {
+	s := d.String()
+	prefix := wd + string(os.PathSeparator)
+	if strings.HasPrefix(s, prefix) {
+		return s[len(prefix):]
+	}
+	return s
+}
+
+// buildID derives a stable content hash of this executable so go vet's
+// build cache invalidates cached results when the tool changes.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	return contentHash(f)
+}

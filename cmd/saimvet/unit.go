@@ -1,0 +1,143 @@
+package main
+
+// The go vet unit-checker protocol: `go vet -vettool=saimvet` invokes
+// the tool once per compilation unit with a JSON .cfg file describing
+// the package's sources, its import map, and the export-data files the
+// compiler already produced. This mirrors the contract implemented by
+// x/tools' unitchecker, minus fact propagation — none of the saimvet
+// analyzers exports facts, so the .vetx file written back is empty.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"github.com/ising-machines/saim/internal/analysis"
+	"github.com/ising-machines/saim/internal/analysis/suite"
+)
+
+// unitConfig is the subset of the go vet .cfg schema saimvet consumes.
+type unitConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgFile string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "saimvet: %v\n", err)
+		return 2
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "saimvet: decoding %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// go vet requires the fact file to exist even when no facts flow.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "saimvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler reports the syntax error
+			}
+			fmt.Fprintf(stderr, "saimvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		return compilerImp.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "saimvet: %v\n", err)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, suite.Analyzers())
+	if err != nil {
+		fmt.Fprintf(stderr, "saimvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		// go vet relays this stream to the user verbatim.
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// contentHash hex-encodes the SHA-256 of r (the tool binary) for the
+// -V=full build-cache key.
+func contentHash(r io.Reader) string {
+	h := sha256.New()
+	if _, err := io.Copy(h, r); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24]
+}

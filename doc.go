@@ -78,4 +78,13 @@
 // tempering and genetic-algorithm baselines, exact branch-and-bound
 // reference solvers, and a harness regenerating every table and figure of
 // the paper's evaluation (cmd/saimexp).
+//
+// # Static analysis
+//
+// cmd/saimvet (built on internal/analysis) lints the module's own
+// cross-cutting invariants at compile time: options-fingerprint
+// completeness, deadline checks in solver work loops, allocation-free
+// //saim:hotpath kernels, and seeded-randomness discipline. Run it
+// standalone (go run ./cmd/saimvet ./...) or via go vet -vettool; see
+// DESIGN.md §8.
 package saim

@@ -1,0 +1,150 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver to run the saimvet
+// analyzer suite (see internal/analysis/suite) over type-checked packages.
+//
+// The repo builds hermetically with a bare go.mod — no external modules —
+// so instead of depending on x/tools this package reimplements the small
+// slice of its API the suite needs: an Analyzer is a named Run function
+// over a Pass (one type-checked package), reporting position-anchored
+// Diagnostics. Packages are loaded through the `go` tool itself
+// (load.go): `go list -export` supplies compiled export data for every
+// import, and go/types checks the target's sources against it, exactly
+// the way `go vet` drives its unit checkers.
+//
+// The intentional API mirroring means an analyzer written here ports to
+// x/tools/go/analysis by changing imports only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Name must be a valid identifier
+// (it names the check in diagnostics and on the saimvet command line); Doc
+// is a one-line summary shown by `saimvet -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, anchored to a resolved source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics in deterministic (file, line, column, analyzer) order. An
+// analyzer returning an error aborts the run: analyzer errors are bugs in
+// the tooling, not findings about the code.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---------------------------------------------------------- directives ---
+//
+// The suite's annotations follow the Go directive-comment convention:
+// `//saim:<name>` with no space after the slashes, attached to the
+// declaration it governs (DESIGN.md §8 documents each directive).
+
+// HasDirective reports whether the comment group contains the directive
+// `//saim:<name>` (optionally followed by an explanatory remark).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//saim:" + name
+	for _, c := range doc.List {
+		text := c.Text
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveLines returns the set of source lines of file f carrying the
+// directive `//saim:<name>` anywhere in a comment. Analyzers use it for
+// line-level suppressions (a trailing `//saim:allowalloc`, for example).
+func DirectiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool {
+	lines := make(map[int]bool)
+	want := "//saim:" + name
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

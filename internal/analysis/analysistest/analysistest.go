@@ -1,0 +1,129 @@
+// Package analysistest runs an analyzer over a testdata fixture package
+// and checks its diagnostics against expectations embedded in the
+// fixture sources, mirroring x/tools' package of the same name.
+//
+// A fixture is a directory of Go files under testdata/src/<name>,
+// deliberately outside the module's package graph (go tooling ignores
+// testdata), so fixtures may violate the very invariants the repo
+// enforces. Expectations are `// want "re"` comments: the diagnostic
+// must land on the same line and match the regular expression. Several
+// expectations may share a line: `// want "re1" "re2"`.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis"
+)
+
+// wantRE extracts the quoted patterns of a `// want` comment.
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// moduleRoot locates the repo root from this source file's position, so
+// fixture loading can resolve standard-library imports through the
+// module's go tool configuration regardless of the test's working
+// directory.
+func moduleRoot() string {
+	_, file, _, _ := runtime.Caller(0)
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// Run loads testdata/src/<fixture> relative to the caller's package
+// directory, applies the analyzer, and reports any mismatch between
+// actual diagnostics and `// want` expectations as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := analysis.LoadDir(moduleRoot(), dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	// (file base name, line) -> pending expectations
+	wants := make(map[string][]*expectation)
+	key := func(file string, line int) string {
+		return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key(pos.Filename, pos.Line)] = append(
+						wants[key(pos.Filename, pos.Line)], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key(d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, exp.re)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after `want`.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want expectation must be a sequence of quoted patterns, got %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != quote || (quote == '"' && s[end-1] == '\\')) {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

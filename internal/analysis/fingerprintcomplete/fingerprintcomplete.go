@@ -1,0 +1,109 @@
+// Package fingerprintcomplete checks that every field of the option
+// `config` struct is folded into OptionsFingerprint.
+//
+// The solve service keys its dedup and result cache on (model
+// fingerprint, options fingerprint). An option that mutates config but
+// is absent from the digest makes two *different* solves fingerprint
+// identically, so the cache silently serves the wrong result — the worst
+// kind of bug, because every individual solve still looks correct. The
+// runtime counterpart (TestOptionsFingerprint) can only cover options it
+// enumerates; this analyzer closes the enrollment gap by cross-checking
+// the struct definition itself against the digest function.
+//
+// A field that deliberately does not participate — observation-only
+// knobs like WithProgress, which never change the solve — must say so
+// with a `//saim:nofingerprint` directive comment on the field. The
+// analyzer also flags a stale exemption (an exempted field that *is*
+// encoded), so the allowlist cannot rot.
+package fingerprintcomplete
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/ising-machines/saim/internal/analysis"
+)
+
+// configStruct and digestFunc name the convention the analyzer checks: a
+// struct type `config` whose fields are all read by `OptionsFingerprint`
+// in the same package. Packages defining neither are skipped.
+const (
+	configStruct = "config"
+	digestFunc   = "OptionsFingerprint"
+	directive    = "nofingerprint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fingerprintcomplete",
+	Doc:  "every config field must be encoded by OptionsFingerprint or carry //saim:nofingerprint",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	var cfg *ast.StructType
+	var digest *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != configStruct {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						cfg = st
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == digestFunc {
+					digest = d
+				}
+			}
+		}
+	}
+	if cfg == nil || digest == nil || digest.Body == nil {
+		return nil // package doesn't define the option/fingerprint pattern
+	}
+
+	// Fields encoded by the digest: any field selection on a value of
+	// type `config` (or *config) inside the digest function's body.
+	encoded := make(map[string]bool)
+	ast.Inspect(digest.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if ok && named.Obj().Name() == configStruct && named.Obj().Pkg() == pass.Pkg {
+			encoded[sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	for _, field := range cfg.Fields.List {
+		exempt := analysis.HasDirective(field.Doc, directive) ||
+			analysis.HasDirective(field.Comment, directive)
+		for _, name := range field.Names {
+			switch {
+			case !exempt && !encoded[name.Name]:
+				pass.Reportf(name.Pos(),
+					"config field %q is not encoded by %s: the service dedup/result cache would treat solves differing only in this option as identical (add it to the digest, or mark it //saim:%s if it cannot affect results)",
+					name.Name, digestFunc, directive)
+			case exempt && encoded[name.Name]:
+				pass.Reportf(name.Pos(),
+					"config field %q carries //saim:%s but is encoded by %s: remove the stale exemption",
+					name.Name, directive, digestFunc)
+			}
+		}
+	}
+	return nil
+}

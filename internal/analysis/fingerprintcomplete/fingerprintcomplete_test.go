@@ -1,0 +1,15 @@
+package fingerprintcomplete
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis/analysistest"
+)
+
+func TestFlagsMissingAndStaleFields(t *testing.T) {
+	analysistest.Run(t, Analyzer, "fpbad")
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	analysistest.Run(t, Analyzer, "fpclean")
+}

@@ -1,0 +1,29 @@
+// Package fpbad is a deliberately broken fixture: its config struct has
+// a field the digest forgets, and a stale exemption on a field the
+// digest does encode.
+package fpbad
+
+type config struct {
+	alpha float64
+	seed  uint64
+	// stray is read by a backend but never folded into the digest:
+	// two solves differing only in stray would share a cache entry.
+	stray int // want `config field "stray" is not encoded by OptionsFingerprint`
+	//saim:nofingerprint pretend this is observation-only
+	stale float64 // want `config field "stale" carries //saim:nofingerprint but is encoded`
+	//saim:nofingerprint progress-style observation hook
+	watch func(int)
+}
+
+// OptionsFingerprint hashes the solve-relevant settings.
+func OptionsFingerprint(c config) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(c.alpha))
+	mix(c.seed)
+	mix(uint64(c.stale))
+	return h
+}

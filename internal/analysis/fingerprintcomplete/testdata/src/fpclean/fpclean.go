@@ -1,0 +1,36 @@
+// Package fpclean is the non-flagging fixture: every config field is
+// either folded into the digest or carries a justified exemption, and a
+// package helper reading config fields outside the digest neither helps
+// nor hurts.
+package fpclean
+
+type config struct {
+	alpha float64
+	seed  uint64
+	limit int
+	//saim:nofingerprint — observation-only callback, never changes results
+	watch func(int)
+}
+
+// OptionsFingerprint hashes the solve-relevant settings through a
+// pointer receiver path, which must count as encoding too.
+func OptionsFingerprint(c *config) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(c.alpha))
+	mix(c.seed)
+	mix(uint64(c.limit))
+	return h
+}
+
+// apply reads fields outside the digest; such reads must not count as
+// "encoded".
+func apply(c config) int {
+	if c.watch != nil {
+		c.watch(c.limit)
+	}
+	return c.limit
+}

@@ -1,0 +1,238 @@
+// Package hotpathalloc checks that functions annotated //saim:hotpath
+// contain no allocating constructs.
+//
+// The PR 2 kernel work made steady-state solves allocation-free, but the
+// runtime pin (TestSolveSteadyStateZeroAllocs) measures one path through
+// one backend. This analyzer turns the property into a whole-kernel
+// guarantee: annotate a function `//saim:hotpath` and any construct the
+// compiler may lower to a heap allocation is a vet failure, on every
+// kernel, before any test runs.
+//
+// Flagged constructs: make/new, append, slice/map composite literals and
+// &T{...}, closures (func literals), go statements, fmt.* calls,
+// string<->[]byte/[]rune conversions, calls that box a non-constant
+// scalar into an interface parameter, and variadic calls that build
+// their argument slice at the call site (an `xs...` pass-through is
+// free and allowed).
+//
+// Two escapes keep the check honest rather than annoying: a block whose
+// final statement panics is exempt (invariant-violation reporting runs
+// once and never on the steady-state path), and a statement may carry a
+// trailing `//saim:allowalloc <reason>` line directive for constructs
+// the author has measured to stay on the stack.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/ising-machines/saim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions annotated //saim:hotpath must not contain allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		allowed := analysis.DirectiveLines(pass.Fset, f, "allowalloc")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, allowed: allowed, fname: fd.Name.Name}
+			c.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	allowed map[int]bool // lines carrying //saim:allowalloc
+	fname   string
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.allowed[c.pass.Fset.Position(pos).Line] {
+		return
+	}
+	c.pass.Reportf(pos, "//saim:hotpath function %s "+format, append([]any{c.fname}, args...)...)
+}
+
+// block walks a statement block, skipping blocks that end in a panic:
+// those are invariant-violation paths, never the steady-state one.
+func (c *checker) block(b *ast.BlockStmt) {
+	if endsInPanic(b) {
+		return
+	}
+	for _, stmt := range b.List {
+		c.node(stmt)
+	}
+}
+
+func endsInPanic(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	expr, ok := b.List[len(b.List)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// node dispatches the recursive walk, diverting nested blocks through
+// block (for the panic-path exemption) and checking every expression.
+func (c *checker) node(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b, ok := n.(*ast.BlockStmt); ok {
+		c.block(b)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.BlockStmt:
+			c.block(e)
+			return false
+		case *ast.FuncLit:
+			c.reportf(e.Pos(), "creates a closure, which allocates")
+			return false
+		case *ast.GoStmt:
+			c.reportf(e.Pos(), "starts a goroutine, which allocates")
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					c.reportf(e.Pos(), "takes the address of a composite literal, which allocates")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch c.pass.TypesInfo.Types[e].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				c.reportf(e.Pos(), "builds a slice/map literal, which allocates")
+				return false
+			}
+		case *ast.CallExpr:
+			c.call(e)
+		}
+		return true
+	})
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+
+	// Conversions: string <-> []byte/[]rune copy their data.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if convAllocates(tv.Type, info.Types[call.Args[0]].Type) {
+			c.reportf(call.Pos(), "converts between string and byte/rune slice, which copies")
+		}
+		return
+	}
+
+	// Builtins.
+	if id := calleeIdent(call.Fun); id != nil {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				c.reportf(call.Pos(), "calls %s, which allocates", id.Name)
+			case "append":
+				c.reportf(call.Pos(), "calls append, which may grow and allocate")
+			case "panic":
+				if len(call.Args) == 1 && !isAllocFree(info, call.Args[0]) {
+					c.reportf(call.Pos(), "panics with a non-constant value, which boxes it into an interface")
+				}
+			}
+			return
+		}
+	}
+
+	// fmt.* formats through reflection and allocates.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.reportf(call.Pos(), "calls fmt.%s, which allocates", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Interface boxing and variadic slice construction at the call site.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				param = params.At(params.Len() - 1).Type() // xs... pass-through
+			} else {
+				if i == params.Len()-1 {
+					c.reportf(call.Pos(), "expands a variadic call, which builds the argument slice")
+				}
+				param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(param) && !types.IsInterface(info.Types[arg].Type) && !isAllocFree(info, arg) {
+			c.reportf(arg.Pos(), "boxes a non-constant value into an interface parameter, which may allocate")
+		}
+	}
+}
+
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f
+	case *ast.ParenExpr:
+		return calleeIdent(f.X)
+	}
+	return nil
+}
+
+// isAllocFree reports whether boxing e cannot allocate: constants and nil
+// box to static interface data.
+func isAllocFree(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && (tv.Value != nil || tv.IsNil())
+}
+
+// convAllocates reports whether a conversion from `from` to `to` copies
+// its data (string <-> []byte/[]rune in either direction).
+func convAllocates(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}

@@ -1,0 +1,15 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis/analysistest"
+)
+
+func TestFlagsAllocatingConstructs(t *testing.T) {
+	analysistest.Run(t, Analyzer, "hotbad")
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	analysistest.Run(t, Analyzer, "hotclean")
+}

@@ -1,0 +1,41 @@
+// Package hotbad is a deliberately broken fixture: a //saim:hotpath
+// kernel exercising each allocating construct the analyzer flags.
+package hotbad
+
+import "fmt"
+
+type sink interface{ accept(any) }
+
+//saim:hotpath
+func kernel(dst []float64, s sink, parts []string) float64 {
+	buf := make([]float64, len(dst)) // want `calls make, which allocates`
+	for i := range dst {
+		buf[i] = dst[i] * 2
+	}
+	dst = append(dst, 1.0)              // want `calls append, which may grow and allocate`
+	scratch := []int{1, 2, 3}           // want `builds a slice/map literal, which allocates`
+	p := &point{x: 1}                   // want `takes the address of a composite literal`
+	msg := fmt.Sprintf("%d", len(p.b))  // want `calls fmt.Sprintf, which allocates`
+	f := func() int { return len(msg) } // want `creates a closure, which allocates`
+	go spin(dst)                        // want `starts a goroutine, which allocates`
+	s.accept(dst[0])                    // want `boxes a non-constant value into an interface parameter`
+	b := []byte(msg)                    // want `converts between string and byte/rune slice`
+	variadic(1.0, dst[0])               // want `expands a variadic call` `boxes a non-constant value into an interface parameter`
+	return float64(len(b)+len(scratch)+f()) + buf[0]
+}
+
+type point struct {
+	x float64
+	b []byte
+}
+
+func spin([]float64) {}
+
+func variadic(base float64, rest ...any) {}
+
+// coldHelper allocates freely: without the annotation nothing is
+// flagged.
+func coldHelper(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, 1)
+}

@@ -1,0 +1,60 @@
+// Package hotclean is the non-flagging fixture: a hot kernel written
+// the way the repo's sweep kernels are — caller-owned buffers, constant
+// panics on invariant-violation paths, and a measured suppression.
+package hotclean
+
+import "fmt"
+
+type vec []float64
+
+//saim:hotpath
+func axpyInto(dst, x vec, a float64) {
+	if len(dst) != len(x) {
+		// The panic block is an invariant-violation path, exempt even
+		// though Sprintf allocates: it runs at most once, never in the
+		// steady state.
+		panic(fmt.Sprintf("hotclean: length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] += a * v
+	}
+}
+
+//saim:hotpath
+func sweep(state []int8, field, noise vec, beta float64) int {
+	if len(state) == 0 {
+		panic("hotclean: empty state")
+	}
+	flips := 0
+	n := len(state)
+	f := field[:n]
+	z := noise[:n]
+	for i := 0; i < n; i++ {
+		if want := sign(beta*f[i] + z[i]); want != state[i] {
+			state[i] = want
+			flips++
+		}
+	}
+	return flips
+}
+
+//saim:hotpath
+func sign(x float64) int8 {
+	if x >= 0 {
+		return 1
+	}
+	return -1
+}
+
+//saim:hotpath
+func tracedReset(dst vec) {
+	// A measured, deliberate exception stays visible at the call site.
+	dst2 := make(vec, 0, 8) //saim:allowalloc fixture: measured to stay on the stack
+	for i := range dst {
+		dst[i] = 0
+	}
+	_ = dst2
+}
+
+// cold allocates freely without the annotation.
+func cold(n int) vec { return make(vec, n) }

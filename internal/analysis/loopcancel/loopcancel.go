@@ -1,0 +1,189 @@
+// Package loopcancel checks that loops driving the solver work layer
+// remain cancellable.
+//
+// PR 5's deadline discipline rests on one cadence contract (DESIGN.md
+// §7.1): every backend checks ctx at least once per unit of work — per
+// annealing run, sweep, offspring, decomposition round, or batch of
+// branch-and-bound nodes. The runtime pin
+// (TestDeadlineDisciplineAllBackends) verifies the backends that exist
+// today; this analyzer makes the contract structural, so a future
+// backend's solve loop cannot silently ship without a cancellation path.
+//
+// The rule: inside any function that has a context in scope (a
+// context.Context parameter, or a receiver carrying a context.Context
+// field, as the exact solver's search state does), every outermost loop
+// nest that calls into the work layer must contain cancellation evidence
+// somewhere in the nest. Work calls are recognized by callee name —
+// Sweep*, Anneal*, Solve*, Minimize*, Evolve*, Offspring*, Tune*,
+// Optimize*, Sample* (case-insensitive) — the vocabulary of the
+// sweep/offspring/node-expansion layer. Evidence is any of:
+//
+//   - a ctx.Err() or ctx.Done() call (on any expression of type
+//     context.Context, so s.ctx.Err() counts), which also covers
+//     select { case <-ctx.Done(): ... };
+//   - delegation: a call passing a context.Context argument onward, since
+//     the callee then owns the check at its own cadence.
+//
+// Functions without a reachable context are exempt: kernels below the
+// cancellation cadence (pbit's sweep loops) are cancelled by their
+// callers per contract. A deliberate uncancellable loop can be annotated
+// `//saim:nocancel <reason>` on its function.
+package loopcancel
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/ising-machines/saim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "loopcancel",
+	Doc:  "solver work loops in context-bearing functions must check ctx.Err/ctx.Done or delegate the context",
+	Run:  run,
+}
+
+// workPrefixes is the callee-name vocabulary of the solver work layer.
+// Matching is case-insensitive so unexported helpers (annealInto,
+// solveBlock) enroll alongside their exported counterparts.
+var workPrefixes = []string{
+	"sweep", "anneal", "solve", "minimize", "evolve", "offspring",
+	"tune", "optimize", "sample",
+}
+
+func isWorkCall(call *ast.CallExpr) bool {
+	// Zero-argument calls are accessors by the stack's naming convention
+	// (machine.Sweeps() reads a counter; machine.Sweep(beta) does work).
+	if len(call.Args) == 0 {
+		return false
+	}
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	for _, p := range workPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fd.Doc, "nocancel") {
+				continue
+			}
+			if !hasContext(pass, fd) {
+				continue
+			}
+			checkLoopNests(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// hasContext reports whether fd can reach a context.Context: through a
+// parameter or through a field of its receiver's struct type.
+func hasContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if t, ok := pass.TypesInfo.Types[field.Type]; ok && analysis.IsContextType(t.Type) {
+			return true
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			t, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			typ := t.Type
+			if ptr, ok := typ.(*types.Pointer); ok {
+				typ = ptr.Elem()
+			}
+			st, ok := typ.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if analysis.IsContextType(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkLoopNests walks body, and for each *outermost* for/range loop
+// decides the whole nest at once: a nest that performs work must carry
+// cancellation evidence somewhere inside it. Inner loops are not judged
+// separately — a per-sweep check in the outer loop already bounds the
+// cadence of a bounded inner replica loop, which is exactly the
+// documented contract.
+func checkLoopNests(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if containsWorkCall(loop) && !containsCancelEvidence(pass, loop) {
+				pass.Reportf(loop.Pos(),
+					"loop calls the solver work layer but neither checks ctx.Err/ctx.Done nor passes a context onward; a deadline or cancellation would not bind here (annotate the function //saim:nocancel if this is intended)")
+			}
+			return false // the nest is judged as one unit
+		}
+		return true
+	})
+}
+
+func containsWorkCall(loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWorkCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func containsCancelEvidence(pass *analysis.Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// ctx.Err() / ctx.Done() on any context-typed expression.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Err" || sel.Sel.Name == "Done") {
+			if t, ok := pass.TypesInfo.Types[sel.X]; ok && analysis.IsContextType(t.Type) {
+				found = true
+				return false
+			}
+		}
+		// Delegation: a context passed as an argument.
+		for _, arg := range call.Args {
+			if t, ok := pass.TypesInfo.Types[arg]; ok && analysis.IsContextType(t.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package loopcancel
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis/analysistest"
+)
+
+func TestFlagsUncancellableWorkLoops(t *testing.T) {
+	analysistest.Run(t, Analyzer, "cancelbad")
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	analysistest.Run(t, Analyzer, "cancelclean")
+}

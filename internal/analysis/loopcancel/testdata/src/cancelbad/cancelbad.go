@@ -1,0 +1,44 @@
+// Package cancelbad is a deliberately broken fixture: backend-style
+// solve loops that drive the work layer with no cancellation path.
+package cancelbad
+
+import "context"
+
+type machine struct{ state []int8 }
+
+func (m *machine) Sweep(beta float64) {}
+
+func (m *machine) Sweeps() int64 { return 0 }
+
+type search struct {
+	ctx  context.Context
+	best float64
+}
+
+func (s *search) solveNode(depth int) {}
+
+// SolveBudget runs its whole sweep budget with ctx in hand but never
+// consulted: a deadline or cancellation would not bind.
+func SolveBudget(ctx context.Context, m *machine, sweeps int) {
+	for t := 0; t < sweeps; t++ { // want `loop calls the solver work layer`
+		m.Sweep(float64(t))
+	}
+}
+
+// Expand holds its context in the receiver, like the exact solver's
+// search state; the field alone is not a check.
+func (s *search) Expand(depths []int) {
+	for _, d := range depths { // want `loop calls the solver work layer`
+		s.solveNode(d)
+	}
+}
+
+// Account loops over an accessor only — bookkeeping, not work — and
+// must not be flagged even though the name starts with "sweep".
+func Account(ctx context.Context, ms []*machine) int64 {
+	total := int64(0)
+	for _, m := range ms {
+		total += m.Sweeps()
+	}
+	return total
+}

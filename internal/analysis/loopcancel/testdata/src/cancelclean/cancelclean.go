@@ -1,0 +1,75 @@
+// Package cancelclean is the non-flagging fixture: every work loop
+// carries a cancellation path in one of the accepted forms.
+package cancelclean
+
+import "context"
+
+type machine struct{ state []int8 }
+
+func (m *machine) Sweep(beta float64) {}
+
+func (m *machine) Anneal(sweeps int) {}
+
+type solver struct{}
+
+func (solver) Solve(ctx context.Context, n int) error { return ctx.Err() }
+
+// ErrCheck checks ctx.Err once per run — the canonical cadence.
+func ErrCheck(ctx context.Context, m *machine, runs int) {
+	for k := 0; k < runs; k++ {
+		if ctx.Err() != nil {
+			return
+		}
+		m.Anneal(1000)
+	}
+}
+
+// DoneSelect uses the select form.
+func DoneSelect(ctx context.Context, m *machine, runs int) {
+	for k := 0; k < runs; k++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		m.Anneal(1000)
+	}
+}
+
+// Delegate passes the context into the work call, which then owns the
+// check at its own cadence.
+func Delegate(ctx context.Context, racers []solver) {
+	for _, r := range racers {
+		go func() { _ = r.Solve(ctx, 10) }()
+	}
+}
+
+// NestedInner does per-replica work inside a per-sweep loop; the outer
+// check bounds the whole nest's cadence, so nothing is flagged.
+func NestedInner(ctx context.Context, replicas []*machine, sweeps int) {
+	for t := 0; t < sweeps; t++ {
+		if ctx.Err() != nil {
+			return
+		}
+		for _, m := range replicas {
+			m.Sweep(float64(t))
+		}
+	}
+}
+
+// Uncancellable is deliberately exempted with a reason.
+//
+//saim:nocancel fixture: bounded two-iteration calibration loop
+func Uncancellable(ctx context.Context, m *machine) {
+	for k := 0; k < 2; k++ {
+		m.Anneal(10)
+	}
+}
+
+// NoContext has no context in scope: kernels below the cancellation
+// cadence are their callers' responsibility.
+func NoContext(m *machine, sweeps int) {
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(float64(t))
+	}
+}

@@ -1,0 +1,147 @@
+// Package seededrand checks that no production code draws from the
+// global math/rand source or seeds a generator from the clock.
+//
+// Same-seed reproducibility is a structural property of the solver
+// stack: every kernel and backend draws only from the seeded
+// internal/rng source (or a Source split from it), so a trajectory is a
+// pure function of the seed, pinned bit-for-bit by the golden tests. A
+// single rand.Intn — whose global source is shared, lock-guarded, and
+// seeded per-process — or a time.Now()-seeded local source breaks that
+// guarantee invisibly: results stay plausible, they just stop being
+// reproducible, and the service's fingerprint-keyed result cache would
+// then memoize one arbitrary trajectory.
+//
+// Flagged in non-test files: calls to math/rand or math/rand/v2
+// top-level functions (anything drawing from the package-global source,
+// plus the deprecated rand.Seed), and any rand constructor or Seed call
+// whose argument derives from time.Now(). Explicitly seeded local
+// sources (rand.New(rand.NewSource(42))) are allowed, though
+// internal/rng remains the idiomatic choice.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/ising-machines/saim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "production code must draw randomness from internal/rng or an explicitly seeded local source, never the global math/rand or the clock",
+	Run:  run,
+}
+
+// constructors are the math/rand functions that build a *local* source
+// or generator rather than drawing from the global one. They are allowed
+// with a deterministic seed argument.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := packageOf(pass, sel)
+			if !ok || (path != "math/rand" && path != "math/rand/v2") {
+				return true
+			}
+			name := sel.Sel.Name
+			if !constructors[name] {
+				pass.Reportf(call.Pos(),
+					"call to %s.%s draws from the global rand source: draw from internal/rng (or a locally seeded Source) so same-seed trajectories stay machine-identical",
+					path, name)
+				return true
+			}
+			// Attribute a clock seed to the innermost constructor, so
+			// rand.New(rand.NewSource(time.Now().UnixNano())) reports once.
+			if usesClock(pass, call) && !wrapsClockConstructor(pass, call) {
+				pass.Reportf(call.Pos(),
+					"%s.%s seeded from the clock: a time-based seed makes trajectories irreproducible; derive the seed from the solve options instead",
+					path, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageOf resolves the package a selector's base identifier names.
+func packageOf(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// wrapsClockConstructor reports whether an argument subtree contains
+// another math/rand constructor that itself draws on the clock; that
+// inner call carries the diagnostic.
+func wrapsClockConstructor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := inner.Fun.(*ast.SelectorExpr); ok && constructors[sel.Sel.Name] {
+				if path, ok := packageOf(pass, sel); ok &&
+					(path == "math/rand" || path == "math/rand/v2") && usesClock(pass, inner) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// usesClock reports whether any argument subtree calls time.Now.
+func usesClock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := inner.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+				if path, ok := packageOf(pass, sel); ok && path == "time" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,15 @@
+package seededrand
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis/analysistest"
+)
+
+func TestFlagsGlobalAndClockSeededRand(t *testing.T) {
+	analysistest.Run(t, Analyzer, "randbad")
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	analysistest.Run(t, Analyzer, "randclean")
+}

@@ -1,0 +1,29 @@
+// Package randbad is a deliberately broken fixture: kernels drawing
+// from the global math/rand source and seeding from the clock.
+package randbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// perturb draws from the process-global, lock-guarded source: the
+// trajectory stops being a function of the solve seed.
+func perturb(state []int8) {
+	i := rand.Intn(len(state)) // want `call to math/rand.Intn draws from the global rand source`
+	state[i] = -state[i]
+	if rand.Float64() < 0.5 { // want `call to math/rand.Float64 draws from the global rand source`
+		state[i] = 1
+	}
+}
+
+// reseed seeds the deprecated global generator, and from the clock.
+func reseed() {
+	rand.Seed(time.Now().UnixNano()) // want `call to math/rand.Seed draws from the global rand source`
+}
+
+// clockSource builds a local source, but from the clock: irreproducible
+// all the same.
+func clockSource() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `math/rand.NewSource seeded from the clock`
+}

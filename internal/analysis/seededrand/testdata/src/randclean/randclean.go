@@ -1,0 +1,17 @@
+// Package randclean is the non-flagging fixture: explicitly seeded
+// local sources, with methods on them drawing freely.
+package randclean
+
+import "math/rand"
+
+// localSource derives a generator from the solve seed: reproducible.
+func localSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// shuffle draws from a locally seeded generator — method calls on a
+// *rand.Rand are not the global source.
+func shuffle(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	_ = r.Intn(10)
+}

@@ -1,0 +1,37 @@
+package suite
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis"
+)
+
+// TestRepoIsCleanUnderSuite runs every analyzer over the whole module
+// and expects silence. This is the invariant CI enforces: the tree the
+// analyzers were written against must itself satisfy them, so any new
+// finding is either a real regression or a deliberate analyzer change —
+// never pre-existing noise.
+func TestRepoIsCleanUnderSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the full module; skipped in -short")
+	}
+	_, file, _, _ := runtime.Caller(0)
+	root := filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+
+	pkgs, err := analysis.LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages from the module root")
+	}
+	diags, err := analysis.Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

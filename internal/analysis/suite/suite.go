@@ -1,0 +1,24 @@
+// Package suite registers the saimvet analyzers: the static-analysis
+// counterpart of the solver stack's cross-cutting runtime tests. Each
+// analyzer makes one invariant structural — enforceable by `go vet`
+// before any test runs — instead of depending on every future backend or
+// option remembering to enroll in the corresponding test (DESIGN.md §8).
+package suite
+
+import (
+	"github.com/ising-machines/saim/internal/analysis"
+	"github.com/ising-machines/saim/internal/analysis/fingerprintcomplete"
+	"github.com/ising-machines/saim/internal/analysis/hotpathalloc"
+	"github.com/ising-machines/saim/internal/analysis/loopcancel"
+	"github.com/ising-machines/saim/internal/analysis/seededrand"
+)
+
+// Analyzers returns the full saimvet suite in registry order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		fingerprintcomplete.Analyzer,
+		hotpathalloc.Analyzer,
+		loopcancel.Analyzer,
+		seededrand.Analyzer,
+	}
+}

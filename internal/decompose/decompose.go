@@ -75,6 +75,8 @@ func (v *View) N() int { return v.n }
 func (v *View) NNZ() int { return len(v.colIdx) / 2 }
 
 // Energy returns E(x) by a full pass over the view, O(N + nnz).
+//
+//saim:hotpath
 func (v *View) Energy(x ising.Bits) float64 {
 	if len(x) != v.n {
 		panic("decompose: Energy dimension mismatch")
@@ -334,6 +336,8 @@ func newState(v *View, x ising.Bits) *state {
 
 // flip toggles bit i, maintaining fields and energy incrementally, and
 // returns the energy change. O(degree(i)).
+//
+//saim:hotpath
 func (s *state) flip(i int) float64 {
 	de := s.field[i]
 	if s.x[i] != 0 {

@@ -52,6 +52,8 @@ func (s Spins) Bits() Bits {
 
 // BitsInto writes the binary image of s into the caller-owned dst, the
 // allocation-free form of Bits. It panics on length mismatch.
+//
+//saim:hotpath
 func (s Spins) BitsInto(dst Bits) {
 	if len(dst) != len(s) {
 		panic("ising: BitsInto dimension mismatch")
@@ -74,6 +76,8 @@ func (b Bits) Spins() Spins {
 
 // SpinsInto writes the spin image of b into the caller-owned dst, the
 // allocation-free form of Spins. It panics on length mismatch.
+//
+//saim:hotpath
 func (b Bits) SpinsInto(dst Spins) {
 	if len(dst) != len(b) {
 		panic("ising: SpinsInto dimension mismatch")
@@ -174,6 +178,8 @@ func (m *Model) Validate() error {
 }
 
 // Energy returns H(m) for the given configuration.
+//
+//saim:hotpath
 func (m *Model) Energy(s Spins) float64 {
 	n := m.N()
 	if len(s) != n {
@@ -195,6 +201,8 @@ func (m *Model) Energy(s Spins) float64 {
 
 // LocalField returns I_i = Σ_j J_ij m_j + h_i, the input of p-bit i
 // (paper eq. 9).
+//
+//saim:hotpath
 func (m *Model) LocalField(s Spins, i int) float64 {
 	row := m.J.Row(i)
 	acc := m.H[i]
@@ -206,6 +214,8 @@ func (m *Model) LocalField(s Spins, i int) float64 {
 
 // DeltaFlip returns H(m with spin i flipped) − H(m) = 2·m_i·I_i where I_i is
 // the local field. Flipping when DeltaFlip < 0 lowers the energy.
+//
+//saim:hotpath
 func (m *Model) DeltaFlip(s Spins, i int) float64 {
 	return 2 * float64(s[i]) * m.LocalField(s, i)
 }

@@ -138,6 +138,8 @@ func (m *Machine) UpdateBiases(newH vecmat.Vec) {
 // The loop is deliberately unconditional — adding w·delta for zero weights
 // is a no-op, and dropping the zero test keeps the loop branch-free so it
 // vectorizes (see DESIGN.md §5.1).
+//
+//saim:hotpath
 func (m *Machine) flip(i int) {
 	old := m.state[i]
 	m.state[i] = -old
@@ -154,6 +156,8 @@ func (m *Machine) flip(i int) {
 // against uniform noise of amplitude 1), and this is measurably faster than
 // math.Tanh in the sweep inner loop. The clamp at ±5.06 is where the Padé
 // error crosses the saturation error; maximum absolute error is ~1.1e-4.
+//
+//saim:hotpath
 func tanhApprox(x float64) float64 {
 	if x > 5.06 {
 		return 1
@@ -177,6 +181,8 @@ func tanhApprox(x float64) float64 {
 // both sweep kernels calling this one helper stay trajectory-identical to
 // each other and to the reference rule. Kept tiny so it inlines into the
 // sweep loops.
+//
+//saim:hotpath
 func wantSpin(x, noise float64) int8 {
 	if x > 5.06 {
 		return 1
@@ -200,6 +206,8 @@ func wantSpin(x, noise float64) int8 {
 // drawing inside the loop, so trajectories are unchanged), wantSpin's
 // saturation shortcut skips the Padé polynomial for frozen spins, and the
 // loop body indexes re-sliced buffers so bounds checks are hoisted.
+//
+//saim:hotpath
 func (m *Machine) Sweep(beta float64) {
 	n := len(m.state)
 	if n == 0 {
@@ -233,6 +241,8 @@ func (m *Machine) Anneal(sched schedule.Schedule, sweeps int) ising.Spins {
 // AnnealInto is Anneal writing the final configuration into the
 // caller-owned dst (length N) instead of allocating a copy. It is the
 // zero-allocation run primitive of the solve engine.
+//
+//saim:hotpath
 func (m *Machine) AnnealInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
 	if len(dst) != m.N() {
 		panic("pbit: AnnealInto dimension mismatch")
@@ -255,6 +265,8 @@ func (m *Machine) AnnealFrom(sched schedule.Schedule, sweeps int) ising.Spins {
 
 // AnnealFromInto is AnnealFrom writing the final configuration into the
 // caller-owned dst instead of allocating a copy.
+//
+//saim:hotpath
 func (m *Machine) AnnealFromInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
 	if len(dst) != m.N() {
 		panic("pbit: AnnealFromInto dimension mismatch")

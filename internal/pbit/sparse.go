@@ -103,6 +103,8 @@ func (m *SparseMachine) row(i int) ([]int32, []float64) {
 }
 
 // RecomputeFields rebuilds local fields from scratch.
+//
+//saim:hotpath
 func (m *SparseMachine) RecomputeFields() {
 	for i := 0; i < m.n; i++ {
 		acc := m.h[i]
@@ -149,6 +151,8 @@ func (m *SparseMachine) UpdateBiases(newH vecmat.Vec) {
 // flip flips spin i and propagates to its CSR neighbors only. The field
 // invariant is the same as Machine.flip; here the walk touches exactly the
 // Degree(i) stored couplings.
+//
+//saim:hotpath
 func (m *SparseMachine) flip(i int) {
 	old := m.state[i]
 	m.state[i] = -old
@@ -163,6 +167,8 @@ func (m *SparseMachine) flip(i int) {
 // Sweep performs one sequential Monte-Carlo sweep (paper eq. 10). The
 // structure mirrors Machine.Sweep: batch-drawn noise, wantSpin's
 // saturation shortcut, bounds-check-free buffers.
+//
+//saim:hotpath
 func (m *SparseMachine) Sweep(beta float64) {
 	n := m.n
 	if n == 0 {
@@ -193,6 +199,8 @@ func (m *SparseMachine) Anneal(sched schedule.Schedule, sweeps int) ising.Spins 
 
 // AnnealInto is Anneal writing the final configuration into the
 // caller-owned dst (length N) instead of allocating a copy.
+//
+//saim:hotpath
 func (m *SparseMachine) AnnealInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
 	if len(dst) != m.n {
 		panic("pbit: AnnealInto dimension mismatch")
@@ -215,6 +223,8 @@ func (m *SparseMachine) AnnealFrom(sched schedule.Schedule, sweeps int) ising.Sp
 
 // AnnealFromInto is AnnealFrom writing the final configuration into the
 // caller-owned dst instead of allocating a copy.
+//
+//saim:hotpath
 func (m *SparseMachine) AnnealFromInto(dst ising.Spins, sched schedule.Schedule, sweeps int) {
 	if len(dst) != m.n {
 		panic("pbit: AnnealFromInto dimension mismatch")

@@ -57,6 +57,8 @@ func (s *Source) Split() *Source {
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+//saim:hotpath
 func (s *Source) Uint64() uint64 {
 	result := rotl(s.s1*5, 7) * 9
 	t := s.s1 << 17
@@ -70,6 +72,8 @@ func (s *Source) Uint64() uint64 {
 }
 
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+//
+//saim:hotpath
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
@@ -77,6 +81,8 @@ func (s *Source) Float64() float64 {
 // Sym returns a uniform float64 in [-1, 1) — Float64 can return exactly
 // 0, so -1 is (rarely) attainable — matching the rand(-1,1) noise term of
 // the p-bit update rule (paper eq. 10).
+//
+//saim:hotpath
 func (s *Source) Sym() float64 {
 	return 2*s.Float64() - 1
 }
@@ -86,6 +92,8 @@ func (s *Source) Sym() float64 {
 // batch lets the compiler hold it in registers, which is substantially
 // faster than len(dst) pointer-chasing Sym calls; the p-bit sweep kernels
 // pre-draw their per-spin noise through this path.
+//
+//saim:hotpath
 func (s *Source) FillSym(dst []float64) {
 	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
 	for i := range dst {

@@ -23,6 +23,8 @@ func (v Vec) Clone() Vec {
 }
 
 // Dot returns the inner product of v and w. It panics on length mismatch.
+//
+//saim:hotpath
 func (v Vec) Dot(w Vec) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("vecmat: Dot length mismatch %d vs %d", len(v), len(w)))
@@ -35,6 +37,8 @@ func (v Vec) Dot(w Vec) float64 {
 }
 
 // AddScaled sets v = v + a*w in place. It panics on length mismatch.
+//
+//saim:hotpath
 func (v Vec) AddScaled(a float64, w Vec) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("vecmat: AddScaled length mismatch %d vs %d", len(v), len(w)))
@@ -54,6 +58,8 @@ func (v Vec) Scale(a float64) {
 // SubInto sets dst = a − b element-wise without allocating; the solve
 // engine uses it to re-program biases (h = h₀ − Δ(λ)) each iteration.
 // It panics on length mismatch.
+//
+//saim:hotpath
 func SubInto(dst, a, b Vec) {
 	if len(dst) != len(a) || len(a) != len(b) {
 		panic(fmt.Sprintf("vecmat: SubInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
@@ -149,6 +155,8 @@ func (m *Sym) Scale(a float64) {
 
 // MulVec computes dst = M·x. dst and x must both have length N and must not
 // alias.
+//
+//saim:hotpath
 func (m *Sym) MulVec(dst, x Vec) {
 	if len(dst) != m.n || len(x) != m.n {
 		panic("vecmat: MulVec dimension mismatch")
@@ -164,6 +172,8 @@ func (m *Sym) MulVec(dst, x Vec) {
 }
 
 // QuadForm returns xᵀ·M·x.
+//
+//saim:hotpath
 func (m *Sym) QuadForm(x Vec) float64 {
 	if len(x) != m.n {
 		panic("vecmat: QuadForm dimension mismatch")

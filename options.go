@@ -43,15 +43,18 @@ type config struct {
 	population   int
 	timeLimit    time.Duration
 	nodeLimit    int
-	progress     func(Progress)
-	targetCost   *float64
-	patience     int
-	initial      []int
-	subSize      int
-	innerSolver  string
-	rounds       int
-	tabuTenure   *int
-	racers       []string
+	//saim:nofingerprint — a progress callback observes a solve without
+	// changing it; excluding it lets the service dedup two submissions
+	// differing only in observation (see OptionsFingerprint's doc).
+	progress    func(Progress)
+	targetCost  *float64
+	patience    int
+	initial     []int
+	subSize     int
+	innerSolver string
+	rounds      int
+	tabuTenure  *int
+	racers      []string
 }
 
 func buildConfig(opts []Option) config {
