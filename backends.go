@@ -85,6 +85,20 @@ func heuristicPenalty(m *Model, alpha float64) float64 {
 
 // initialBits validates a WithInitial assignment against the model (length
 // and 0/1 entries), returning nil when no warm start was requested.
+// checkpointAdapter bridges an internal best-so-far stream to the public
+// WithCheckpoint callback. The internal engines pass live bit buffers;
+// fromBits copies into a fresh []int, making the public slice safe to
+// retain. scale rescales costs out of a normalized energy frame (1 for
+// backends that anneal raw energies).
+func checkpointAdapter(f func(assignment []int, cost float64), scale float64) func(ising.Bits, float64) {
+	if f == nil {
+		return nil
+	}
+	return func(best ising.Bits, cost float64) {
+		f(fromBits(best), cost*scale)
+	}
+}
+
 func initialBits(m *Model, cfg config) (ising.Bits, error) {
 	if cfg.initial == nil {
 		return nil, nil
@@ -153,6 +167,7 @@ func (s *saimSolver) solveConstrained(ctx context.Context, m *Model, cfg config)
 		TargetCost:   cfg.targetCost,
 		Patience:     cfg.patience,
 		Initial:      init,
+		Checkpoint:   checkpointAdapter(cfg.checkpoint, 1),
 	}
 	var res *core.Result
 	if cfg.replicas > 1 {
@@ -191,8 +206,12 @@ func (s *saimSolver) solveUnconstrained(ctx context.Context, m *Model, cfg confi
 		target = &t
 	}
 	prog := progressAdapter("saim", cfg.progress)
+	costScale := 1.0
+	if inv > 0 {
+		costScale = 1 / inv
+	}
 	if prog != nil && inv > 0 {
-		inner, scale := prog, 1/inv
+		inner, scale := prog, costScale
 		prog = func(p core.ProgressInfo) {
 			if !math.IsInf(p.BestCost, 0) {
 				p.BestCost *= scale
@@ -210,6 +229,7 @@ func (s *saimSolver) solveUnconstrained(ctx context.Context, m *Model, cfg confi
 		TargetCost:   target,
 		Patience:     cfg.patience,
 		Initial:      init,
+		Checkpoint:   checkpointAdapter(cfg.checkpoint, costScale),
 	})
 	out := &Result{
 		Solver:        "saim",
@@ -296,6 +316,7 @@ func (s *penaltySolver) Solve(ctx context.Context, m *Model, opts ...Option) (*R
 		TargetCost:   cfg.targetCost,
 		Patience:     cfg.patience,
 		Initial:      init,
+		Checkpoint:   checkpointAdapter(cfg.checkpoint, 1),
 	})
 	if err != nil {
 		return nil, err

@@ -21,6 +21,17 @@
 //	}'
 //	curl -N localhost:8080/v1/jobs/job-000001/events   # SSE progress → result
 //	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s localhost:8080/statusz                     # queue/worker/WAL stats
+//
+// With -data the job plane is durable: accepted jobs are journaled to a
+// write-ahead log in that directory (fsync policy per -fsync), and a
+// restart re-queues every unfinished job warm-started from its last
+// checkpoint, keeping job ids and dedup keys across the crash:
+//
+//	saimserve -addr :8080 -data /var/lib/saimserve &
+//
+// A panicking solver fails only its own job; after -retries attempts the
+// request's dedup key is quarantined and identical submissions fail fast.
 //
 // On SIGTERM/SIGINT the server drains gracefully: intake stops, queued
 // and running solves finish (up to -drain), then the process exits.
@@ -32,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,36 +54,95 @@ import (
 )
 
 func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "solve concurrency (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "queued-job bound before submissions get 503")
-		cache   = flag.Int("cache", 256, "completed-result cache size")
-		limit   = flag.Duration("limit", time.Minute, "default per-job time limit when a request carries none (0 = unlimited)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("saimserve: %v", err)
+	}
+}
 
-	mgr := service.New(service.Config{
+// parseFsync maps the -fsync flag onto a journal sync policy.
+func parseFsync(s string) (service.SyncPolicy, error) {
+	switch s {
+	case "always":
+		return service.SyncAlways, nil
+	case "interval":
+		return service.SyncInterval, nil
+	case "off":
+		return service.SyncOff, nil
+	default:
+		return 0, fmt.Errorf("invalid -fsync %q (want always, interval, or off)", s)
+	}
+}
+
+// run is the whole server lifecycle, factored out of main so tests can
+// exec it as a child process and crash it. The resolved listen address
+// is logged as "listening on <addr>" once the socket is bound — with
+// -addr :0 that line is how a parent process learns the real port.
+func run(args []string) error {
+	fs := flag.NewFlagSet("saimserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "solve concurrency (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 64, "queued-job bound before submissions get 503")
+		cache   = fs.Int("cache", 256, "completed-result cache size")
+		limit   = fs.Duration("limit", time.Minute, "default per-job time limit when a request carries none (0 = unlimited)")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+		data    = fs.String("data", "", "durable journal directory; non-finished jobs are re-queued on restart (empty = in-memory only)")
+		fsync   = fs.String("fsync", "interval", "journal fsync policy with -data: always, interval, or off")
+		retries = fs.Int("retries", 2, "solve retries after a solver panic before the job's key is quarantined")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheSize:        *cache,
 		DefaultTimeLimit: *limit,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: newServer(mgr)}
+	}
+	if *retries <= 0 {
+		cfg.MaxRetries = -1 // flag 0 means "never retry"; Config 0 means default
+	} else {
+		cfg.MaxRetries = *retries
+	}
+
+	var mgr *service.Manager
+	if *data != "" {
+		policy, err := parseFsync(*fsync)
+		if err != nil {
+			return err
+		}
+		cfg.Dir, cfg.Fsync = *data, policy
+		mgr, err = service.Open(cfg)
+		if err != nil {
+			return err
+		}
+		if recovered := len(mgr.Jobs()); recovered > 0 {
+			log.Printf("saimserve recovered %d unfinished job(s) from %s", recovered, *data)
+		}
+	} else {
+		mgr = service.New(cfg)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		_ = mgr.Close(context.Background())
+		return err
+	}
+	httpSrv := &http.Server{Handler: newServer(mgr)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("saimserve listening on %s (workers=%d queue=%d)", *addr, *workers, *queue)
-		errCh <- httpSrv.ListenAndServe()
+		log.Printf("saimserve listening on %s (workers=%d queue=%d durable=%v)", ln.Addr(), *workers, *queue, *data != "")
+		errCh <- httpSrv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("saimserve: %v", err)
+		return err
 	case <-ctx.Done():
 	}
 
@@ -89,4 +160,5 @@ func main() {
 		}
 	}
 	fmt.Println("saimserve: drained")
+	return nil
 }

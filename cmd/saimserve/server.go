@@ -3,9 +3,11 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"math"
 	"net/http"
+	"sync"
 	"time"
 
 	saim "github.com/ising-machines/saim"
@@ -23,9 +25,23 @@ import (
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/solvers          registered backend names
 //	GET    /v1/healthz          liveness
+//	GET    /statusz             manager stats (queue depth, worker
+//	                            utilization, retry/panic counters, WAL lag)
 type server struct {
 	mgr *service.Manager
 	mux *http.ServeMux
+}
+
+// publishStatsOnce exposes the first server's stats through the expvar
+// registry ("saimserve.stats"), so the standard /debug/vars machinery
+// and expvar-scraping agents see them too. Once per process: expvar
+// panics on duplicate names, and test binaries build many servers.
+var publishStatsOnce sync.Once
+
+func publishStats(mgr *service.Manager) {
+	publishStatsOnce.Do(func() {
+		expvar.Publish("saimserve.stats", expvar.Func(func() any { return mgr.Stats() }))
+	})
 }
 
 func newServer(mgr *service.Manager) *server {
@@ -40,6 +56,10 @@ func newServer(mgr *service.Manager) *server {
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.mgr.Stats())
+	})
+	publishStats(mgr)
 	return s
 }
 
@@ -187,16 +207,13 @@ func (s *server) submit(req submitRequest) (*service.Job, int, error) {
 	if err := json.Unmarshal(req.Model, m); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	opts, limit, err := req.Options.Options()
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
+	// Options go through as wire options: the manager lowers them itself,
+	// so in durable mode they are journaled and survive a restart.
 	job, err := s.mgr.Submit(service.Request{
-		Model:     m,
-		Solver:    req.Solver,
-		Options:   opts,
-		TimeLimit: limit,
-		NoDedup:   req.NoDedup,
+		Model:       m,
+		Solver:      req.Solver,
+		WireOptions: req.Options,
+		NoDedup:     req.NoDedup,
 	})
 	switch {
 	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
@@ -206,6 +223,11 @@ func (s *server) submit(req submitRequest) (*service.Job, int, error) {
 	}
 	return job, http.StatusAccepted, nil
 }
+
+// retryAfterSeconds is the backpressure hint sent with every 503: the
+// queue is bounded and jobs drain continuously, so a short fixed retry
+// interval beats having every rejected client hammer immediately.
+const retryAfterSeconds = "1"
 
 // maxRequestBody bounds submission bodies (32 MiB holds ~1M-term models
 // with room to spare) so a hostile client cannot stream unbounded JSON.
@@ -219,6 +241,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, status, err := s.submit(req)
 	if err != nil {
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		}
 		writeError(w, status, err)
 		return
 	}

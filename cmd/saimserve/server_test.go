@@ -285,6 +285,9 @@ func TestErrorStatuses(t *testing.T) {
 		resp, body := post(t, ts.URL+"/v1/jobs", fmt.Sprintf(long, i+1))
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			saw503 = true
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Fatal("503 response carries no Retry-After header")
+			}
 			break
 		}
 		var env jobEnvelope
@@ -300,6 +303,42 @@ func TestErrorStatuses(t *testing.T) {
 		if resp, err := http.DefaultClient.Do(req); err == nil {
 			resp.Body.Close()
 		}
+	}
+}
+
+// TestStatuszEndpoint pins the observability surface: /statusz reports
+// the manager's counters as JSON.
+func TestStatuszEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+	_, body := post(t, ts.URL+"/v1/jobs", `{"solver":"exact","model":`+knapWire+`}`)
+	var env jobEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, _ := get(t, ts.URL+"/v1/jobs/"+env.ID+"/result")
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, sbody := get(t, ts.URL+"/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz: %d %s", resp.StatusCode, sbody)
+	}
+	var st service.Stats
+	if err := json.Unmarshal(sbody, &st); err != nil {
+		t.Fatalf("statusz body %s: %v", sbody, err)
+	}
+	if st.Workers != 2 || st.Submitted < 1 || st.Completed < 1 {
+		t.Fatalf("statusz stats = %+v", st)
+	}
+	if st.Durable || st.WALAppended != 0 {
+		t.Fatalf("in-memory manager reports WAL activity: %+v", st)
 	}
 }
 

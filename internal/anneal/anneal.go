@@ -45,6 +45,12 @@ type Options struct {
 	// length is the decision-bit count (slack bits are completed greedily);
 	// for MinimizeQUBO it is the full variable count.
 	Initial ising.Bits
+	// Checkpoint, when non-nil, is invoked whenever a new best assignment
+	// is found, with the best bits and their cost (for SolvePenalty the
+	// decision bits and true cost; for MinimizeQUBO the full assignment
+	// and QUBO energy). The bits slice may be a live buffer — copy it
+	// before retaining.
+	Checkpoint func(best ising.Bits, cost float64)
 }
 
 // annealInto runs one annealing run writing the final state into dst,
@@ -200,6 +206,9 @@ func SolvePenaltyContext(ctx context.Context, p *core.Problem, pWeight float64, 
 				}
 				copy(res.Best, x[:p.Ext.NOrig])
 				sinceImprove = 0
+				if o.Checkpoint != nil {
+					o.Checkpoint(res.Best, cost)
+				}
 			}
 		}
 		if o.Progress != nil {
@@ -329,6 +338,9 @@ func MinimizeQUBOContext(ctx context.Context, q *ising.QUBO, opt Options) *QUBOR
 			res.BestEnergy = e
 			res.Best = s.Bits()
 			sinceImprove = 0
+			if o.Checkpoint != nil {
+				o.Checkpoint(res.Best, e)
+			}
 		}
 		if o.Progress != nil {
 			o.Progress(core.ProgressInfo{

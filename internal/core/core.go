@@ -243,6 +243,12 @@ type Options struct {
 	// feasible — it also seeds the best-so-far, so the solve never returns
 	// a worse result than the warm start. Length must be Ext.NOrig.
 	Initial ising.Bits
+	// Checkpoint, when non-nil, is invoked whenever a new best feasible
+	// assignment is found, with the decision bits and their true cost.
+	// The bits slice is the engine's live buffer — copy it before
+	// retaining. Under the replica pool the callback runs concurrently
+	// from several engines; the caller must synchronize.
+	Checkpoint func(best ising.Bits, cost float64)
 }
 
 // ProgressInfo is the per-iteration snapshot streamed to Options.Progress.
@@ -569,6 +575,9 @@ func (e *engine) solve(ctx context.Context, seed uint64, trace *Trace, progress 
 				}
 				copy(res.Best, e.x[:ext.NOrig])
 				sinceImprove = 0
+				if o.Checkpoint != nil {
+					o.Checkpoint(res.Best, cost)
+				}
 			}
 		}
 

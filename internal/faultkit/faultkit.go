@@ -1,0 +1,112 @@
+// Package faultkit is a minimal failpoint registry for fault-injection
+// tests.
+//
+// Production code calls Inject at named points; tests arm those points
+// with Set to simulate failures that are otherwise hard to reach — WAL
+// write errors, short fsyncs, solver panics, delayed solves. With no
+// faults armed, Inject is a single atomic load and no map lookup, so
+// leaving the hooks compiled into release binaries costs nothing on the
+// hot path.
+//
+// Point names are dotted lowercase strings owned by the package that
+// calls Inject ("wal.append", "wal.sync", "service.solve"). A fault
+// function may return an error (delivered to the caller as if the
+// operation failed), sleep, or panic — whatever the test needs the
+// injection site to do.
+package faultkit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// armed counts registered points so Inject can skip the mutex and
+	// map lookup entirely when no test has armed anything.
+	armed  atomic.Int32
+	mu     sync.Mutex
+	points = map[string]func() error{}
+)
+
+// Set arms the named failpoint with fn. Passing nil clears it, like
+// Clear. Tests should pair Set with a deferred Clear (or t.Cleanup) so
+// faults never leak across tests.
+func Set(name string, fn func() error) {
+	if fn == nil {
+		Clear(name)
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = fn
+}
+
+// Clear disarms the named failpoint. Clearing an unarmed point is a
+// no-op.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Inject triggers the named failpoint if a test has armed it, returning
+// whatever the fault function returns. Unarmed points return nil.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := points[name]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// Error returns a fault that fails with err on every trigger.
+func Error(err error) func() error {
+	return func() error { return err }
+}
+
+// Panic returns a fault that panics with v on every trigger.
+func Panic(v any) func() error {
+	return func() error { panic(v) }
+}
+
+// Sleep returns a fault that delays the caller by d and then succeeds.
+func Sleep(d time.Duration) func() error {
+	return func() error { time.Sleep(d); return nil }
+}
+
+// After returns a fault that succeeds for the first n triggers and
+// delegates to fn from trigger n+1 on. Use it to let an operation make
+// progress before failing ("the third append fails").
+func After(n int, fn func() error) func() error {
+	var calls atomic.Int64
+	return func() error {
+		if calls.Add(1) <= int64(n) {
+			return nil
+		}
+		return fn()
+	}
+}
+
+// Times returns a fault that delegates to fn for the first n triggers
+// and succeeds afterwards ("the first two fsyncs fail, then recover").
+func Times(n int, fn func() error) func() error {
+	var calls atomic.Int64
+	return func() error {
+		if calls.Add(1) <= int64(n) {
+			return fn()
+		}
+		return nil
+	}
+}

@@ -1,0 +1,68 @@
+package faultkit
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUnarmedInjectIsNil(t *testing.T) {
+	if err := Inject("nothing.here"); err != nil {
+		t.Fatalf("unarmed Inject returned %v", err)
+	}
+}
+
+func TestSetClearRoundTrip(t *testing.T) {
+	boom := errors.New("boom")
+	Set("faultkit.test", Error(boom))
+	defer Clear("faultkit.test")
+	if err := Inject("faultkit.test"); !errors.Is(err, boom) {
+		t.Fatalf("armed Inject = %v, want %v", err, boom)
+	}
+	Clear("faultkit.test")
+	if err := Inject("faultkit.test"); err != nil {
+		t.Fatalf("cleared Inject = %v, want nil", err)
+	}
+}
+
+func TestSetNilClears(t *testing.T) {
+	Set("faultkit.nil", Error(errors.New("x")))
+	Set("faultkit.nil", nil)
+	if err := Inject("faultkit.nil"); err != nil {
+		t.Fatalf("Set(nil) did not clear: %v", err)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	boom := errors.New("late")
+	fn := After(2, Error(boom))
+	for i := 0; i < 2; i++ {
+		if err := fn(); err != nil {
+			t.Fatalf("call %d = %v, want nil", i, err)
+		}
+	}
+	if err := fn(); !errors.Is(err, boom) {
+		t.Fatalf("call 3 = %v, want %v", err, boom)
+	}
+}
+
+func TestTimes(t *testing.T) {
+	boom := errors.New("early")
+	fn := Times(1, Error(boom))
+	if err := fn(); !errors.Is(err, boom) {
+		t.Fatalf("call 1 = %v, want %v", err, boom)
+	}
+	if err := fn(); err != nil {
+		t.Fatalf("call 2 = %v, want nil", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Set("faultkit.panic", Panic("kaboom"))
+	defer Clear("faultkit.panic")
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	_ = Inject("faultkit.panic")
+}

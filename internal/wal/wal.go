@@ -1,0 +1,675 @@
+// Package wal implements the segmented append-only journal backing the
+// solve service's durable mode.
+//
+// A log is a directory of numbered segment files ("0000000001.wal",
+// "0000000002.wal", ...). Each segment starts with an 8-byte magic and
+// holds a sequence of framed records:
+//
+//	u32  payload length (little-endian)
+//	u32  CRC-32C (Castagnoli) of the payload
+//	payload:
+//	    u8   record kind
+//	    u16  job-id length (little-endian)
+//	    ...  job id (UTF-8)
+//	    ...  data (opaque to the wal; the service stores JSON)
+//
+// Records never span segments. When an append would push the active
+// segment past Config.SegmentBytes, the segment is sealed (synced,
+// closed) and a new one is started — so every segment but the last is
+// immutable, and recovery cost is bounded by segment size rather than
+// log lifetime.
+//
+// # Recovery semantics
+//
+// Open replays every segment in sequence order. The two corruption
+// classes are deliberately distinct:
+//
+//   - A torn or invalid tail in the NEWEST segment is the expected
+//     signature of a crash mid-write. The tail is silently dropped (and
+//     physically truncated so appends resume on a clean boundary).
+//   - Any invalid record in an OLDER, sealed segment means bytes that
+//     were once durable have been damaged. Open fails with a
+//     *CorruptError naming the segment and offset, because silently
+//     dropping acknowledged records is worse than refusing to start.
+//
+// # Fsync policy
+//
+// SyncAlways fsyncs after every append (durability to the last record,
+// slowest). SyncInterval — the default — fsyncs on a background timer
+// (bounded loss window, near-SyncOff throughput). SyncOff never fsyncs
+// explicitly and rides on OS writeback. Stats reports the append/sync
+// lag so callers can expose the current loss window.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ising-machines/saim/internal/faultkit"
+)
+
+// Kind identifies a record type. The wal only frames records; kinds are
+// given meaning by the service layer. Kind zero is invalid on disk so a
+// zero-filled tail can never parse as a record.
+type Kind uint8
+
+// Record kinds journaled by the solve service.
+const (
+	// KindSubmitted carries everything needed to re-create a job: the
+	// canonical model JSON and wire-form options.
+	KindSubmitted Kind = 1
+	// KindStarted marks a job picked up by a worker (attempt counting).
+	KindStarted Kind = 2
+	// KindCheckpoint carries a best-so-far assignment + cost snapshot.
+	KindCheckpoint Kind = 3
+	// KindFinished marks terminal success or failure; compaction drops
+	// the job's records.
+	KindFinished Kind = 4
+	// KindCancelled marks a client cancellation; terminal like Finished.
+	KindCancelled Kind = 5
+	// KindShutdown is appended by a clean service drain, so recovery can
+	// distinguish a crash from an orderly stop.
+	KindShutdown Kind = 6
+)
+
+// SyncPolicy selects when appended records are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs on a background timer
+	// (Config.SyncEvery, default 100ms): bounded loss window, near
+	// SyncOff throughput.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: no acknowledged record is
+	// ever lost, at the cost of one fsync per append.
+	SyncAlways
+	// SyncOff never fsyncs explicitly; durability rides on OS
+	// writeback. Appropriate for tests and reconstructible workloads.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Record is one framed log entry.
+type Record struct {
+	Kind Kind
+	Job  string // job id; may be empty for log-level records (Shutdown)
+	Data []byte // opaque payload; nil is stored and replayed as empty
+}
+
+// Config tunes a Log. The zero value is ready to use.
+type Config struct {
+	// SegmentBytes caps each segment file; 0 means 8 MiB. A record
+	// larger than the cap still gets written (to a fresh segment of its
+	// own) — the cap bounds rotation, not record size.
+	SegmentBytes int64
+	// Policy selects the fsync policy; zero value is SyncInterval.
+	Policy SyncPolicy
+	// SyncEvery is the background fsync period under SyncInterval;
+	// 0 means 100ms.
+	SyncEvery time.Duration
+}
+
+const (
+	magic           = "SAIMWAL1"
+	headerSize      = int64(len(magic))
+	frameHeaderSize = 8 // u32 length + u32 crc
+	envelopeMin     = 3 // u8 kind + u16 job length
+
+	// MaxRecordBytes bounds a single payload. Replay treats a larger
+	// claimed length as corruption instead of allocating it, so a
+	// bit-flipped length field cannot OOM recovery.
+	MaxRecordBytes = 64 << 20
+
+	defaultSegmentBytes = 8 << 20
+	defaultSyncEvery    = 100 * time.Millisecond
+
+	// writeBufBytes sizes the userspace append buffer. Frames accumulate
+	// here and reach the kernel only at sync barriers (fsync, rotation,
+	// compaction, close), so an append is usually just a memcpy.
+	writeBufBytes = 64 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// CorruptError reports an invalid record inside a sealed (non-newest)
+// segment — bytes that were once durable have been damaged, which Open
+// refuses to paper over. Torn tails in the newest segment are not
+// errors; they are truncated silently.
+type CorruptError struct {
+	Segment string // segment file path
+	Offset  int64  // byte offset of the first invalid record
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record in sealed segment %s at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// Stats is a point-in-time snapshot of log health.
+type Stats struct {
+	Segments int   // segment files on disk
+	Bytes    int64 // total bytes across all segments
+	Appended int64 // records appended by this process
+	Synced   int64 // appended records known flushed to disk
+	Lag      int64 // Appended - Synced: the current loss window
+	Replayed int   // records recovered by Open
+}
+
+// Log is a segmented append-only journal. All methods are safe for
+// concurrent use.
+type Log struct {
+	dir string
+	cfg Config
+
+	mu       sync.Mutex
+	f        *os.File      // active segment
+	w        *bufio.Writer // buffered appends into f
+	seq      uint64        // active segment sequence number
+	size     int64         // active segment size
+	sealed   int64         // total bytes across sealed segments
+	nseg     int           // segment files on disk, including active
+	appended int64
+	synced   int64
+	replayed int
+	closed   bool
+
+	stop chan struct{} // closes the background sync loop
+	done chan struct{}
+
+	buf []byte // append scratch, reused under mu
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("%010d.wal", seq) }
+
+// openForAppend opens path for writing positioned at its end. Plain
+// O_WRONLY + seek rather than O_APPEND, because a torn-header segment
+// needs its magic rewritten at offset zero.
+func openForAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return f, nil
+}
+
+// Open opens (creating if needed) the log in dir, replays every record
+// in order, and positions the log for appending. A torn tail in the
+// newest segment is truncated silently; corruption in a sealed segment
+// fails with *CorruptError.
+func Open(dir string, cfg Config) (*Log, []Record, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = defaultSegmentBytes
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = defaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{dir: dir, cfg: cfg}
+	var all []Record
+	for i, seq := range seqs {
+		path := filepath.Join(dir, segName(seq))
+		last := i == len(seqs)-1
+		recs, valid, err := replaySegment(path, last)
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, recs...)
+		if !last {
+			l.sealed += valid
+			continue
+		}
+		// Truncate any torn tail so appends resume on a clean frame
+		// boundary, then reopen the segment for appending.
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		f, err := openForAppend(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		l.f, l.seq, l.size = f, seq, valid
+		l.w = bufio.NewWriterSize(f, writeBufBytes)
+	}
+	l.nseg = len(seqs)
+	l.replayed = len(all)
+
+	if l.f == nil {
+		if err := l.startSegment(1); err != nil {
+			return nil, nil, err
+		}
+	} else if l.size < headerSize {
+		// The newest segment's magic itself was torn (crash during
+		// rotation). Rewrite the header in place.
+		if err := l.writeHeader(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if cfg.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, all, nil
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), "%d.wal", &seq); n == 1 && err == nil && e.Name() == segName(seq) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// replaySegment decodes one segment. For the newest segment the first
+// invalid byte ends the replay (valid = offset to truncate at); for a
+// sealed segment it is a *CorruptError.
+func replaySegment(path string, newest bool) (recs []Record, valid int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	fail := func(off int64, reason string) ([]Record, int64, error) {
+		if newest {
+			return recs, off, nil
+		}
+		return nil, 0, &CorruptError{Segment: path, Offset: off, Reason: reason}
+	}
+	if int64(len(data)) < headerSize || string(data[:headerSize]) != magic {
+		// A headerless newest segment is a crash during rotation: keep
+		// nothing, truncate to zero, and Open rewrites the magic.
+		return fail(0, "bad segment magic")
+	}
+	off := headerSize
+	for off < int64(len(data)) {
+		rec, n, reason := decodeFrame(data[off:])
+		if reason != "" {
+			return fail(off, reason)
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, off, nil
+}
+
+// decodeFrame parses one frame from b. On success reason is "" and n is
+// the total frame size. On failure reason names the defect; torn vs
+// corrupt is decided by the caller (same parse, different segment age).
+func decodeFrame(b []byte) (rec Record, n int64, reason string) {
+	if len(b) < frameHeaderSize {
+		return rec, 0, "truncated frame header"
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if length == 0 {
+		return rec, 0, "zero-length frame"
+	}
+	if length > MaxRecordBytes {
+		return rec, 0, "frame length exceeds MaxRecordBytes"
+	}
+	if int64(len(b)) < frameHeaderSize+int64(length) {
+		return rec, 0, "truncated payload"
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int64(length)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return rec, 0, "crc mismatch"
+	}
+	if len(payload) < envelopeMin {
+		return rec, 0, "payload shorter than envelope"
+	}
+	kind := Kind(payload[0])
+	if kind == 0 {
+		return rec, 0, "zero record kind"
+	}
+	jobLen := int(binary.LittleEndian.Uint16(payload[1:3]))
+	if envelopeMin+jobLen > len(payload) {
+		return rec, 0, "job id overruns payload"
+	}
+	rec.Kind = kind
+	rec.Job = string(payload[envelopeMin : envelopeMin+jobLen])
+	if rest := payload[envelopeMin+jobLen:]; len(rest) > 0 {
+		rec.Data = append([]byte(nil), rest...)
+	}
+	return rec, frameHeaderSize + int64(length), ""
+}
+
+// encodeFrame appends the framed record to dst and returns the result.
+func encodeFrame(dst []byte, r Record) ([]byte, error) {
+	if len(r.Job) > int(^uint16(0)) {
+		return dst, fmt.Errorf("wal: job id %d bytes exceeds %d", len(r.Job), ^uint16(0))
+	}
+	if r.Kind == 0 {
+		return dst, errors.New("wal: record kind must be non-zero")
+	}
+	payloadLen := envelopeMin + len(r.Job) + len(r.Data)
+	if payloadLen > MaxRecordBytes {
+		return dst, fmt.Errorf("wal: record payload %d bytes exceeds MaxRecordBytes", payloadLen)
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, frameHeaderSize)...)
+	dst = append(dst, byte(r.Kind))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Job)))
+	dst = append(dst, r.Job...)
+	dst = append(dst, r.Data...)
+	payload := dst[base+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[base+4:], crc32.Checksum(payload, castagnoli))
+	return dst, nil
+}
+
+func (l *Log) startSegment(seq uint64) error {
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f, l.seq, l.size = f, seq, 0
+	l.w = bufio.NewWriterSize(f, writeBufBytes)
+	l.nseg++
+	return l.writeHeader()
+}
+
+func (l *Log) writeHeader() error {
+	if _, err := l.w.WriteString(magic); err != nil {
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	l.size = headerSize
+	return nil
+}
+
+// Append frames and writes one record. Under SyncAlways it returns only
+// after the record is fsynced.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := faultkit.Inject("wal.append"); err != nil {
+		return err
+	}
+	var err error
+	l.buf, err = encodeFrame(l.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	if l.size+int64(len(l.buf)) > l.cfg.SegmentBytes && l.size > headerSize {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	// The single writer under mu keeps frames contiguous; a crash can
+	// tear the buffered tail mid-frame, which replay truncates.
+	if _, err := l.w.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(l.buf))
+	l.appended++
+	if l.cfg.Policy == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one. Sealed
+// segments are always complete: the buffer is flushed (and, unless
+// SyncOff, fsynced) before the file is closed.
+func (l *Log) rotateLocked() error {
+	if l.cfg.Policy != SyncOff {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	} else if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	l.sealed += l.size
+	return l.startSegment(l.seq + 1)
+}
+
+// Sync flushes appended records to disk regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if err := faultkit.Inject("wal.sync"); err != nil {
+		return err
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.synced = l.appended
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.cfg.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.synced != l.appended {
+				_ = l.syncLocked() // lag stays visible in Stats on error
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Compact rewrites the log keeping only records whose job id satisfies
+// keep (records with an empty job id, like Shutdown, are always
+// dropped). The kept records are streamed into a single fresh segment,
+// fsynced, atomically renamed into place, and only then are the old
+// segments deleted — a crash at any point leaves either the old
+// segments or a complete new one, and replay is idempotent per job, so
+// the crash window where both exist is harmless.
+func (l *Log) Compact(keep func(job string) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// Buffered appends must reach the active segment file before it is
+	// re-read as the rewrite source; non-SyncOff policies also fsync so
+	// the source is durable first.
+	if l.cfg.Policy != SyncOff {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	} else if err := l.flushLocked(); err != nil {
+		return err
+	}
+	seqs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	newSeq := l.seq + 1
+	tmpPath := filepath.Join(l.dir, segName(newSeq)+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after the rename succeeds
+	if _, err := tmp.Write([]byte(magic)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	var kept int64 = headerSize
+	for i, seq := range seqs {
+		recs, _, err := replaySegment(filepath.Join(l.dir, segName(seq)), i == len(seqs)-1)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		for _, r := range recs {
+			if r.Job == "" || !keep(r.Job) {
+				continue
+			}
+			l.buf, err = encodeFrame(l.buf[:0], r)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			if _, err := tmp.Write(l.buf); err != nil {
+				tmp.Close()
+				return fmt.Errorf("wal: compact: %w", err)
+			}
+			kept += int64(len(l.buf))
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	newPath := filepath.Join(l.dir, segName(newSeq))
+	if err := os.Rename(tmpPath, newPath); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	l.syncDir()
+	// The new segment is durable; retire the old ones.
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	for _, seq := range seqs {
+		if err := os.Remove(filepath.Join(l.dir, segName(seq))); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("wal: compact: %w", err)
+		}
+	}
+	l.syncDir()
+	f, err := openForAppend(newPath)
+	if err != nil {
+		return err
+	}
+	l.f, l.seq, l.size = f, newSeq, kept
+	l.w = bufio.NewWriterSize(f, writeBufBytes)
+	l.sealed = 0
+	l.nseg = 1
+	return nil
+}
+
+// syncDir fsyncs the log directory so renames and deletes are durable.
+// Best-effort: some filesystems reject directory fsync.
+func (l *Log) syncDir() {
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Stats returns a snapshot of log health.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments: l.nseg,
+		Bytes:    l.sealed + l.size,
+		Appended: l.appended,
+		Synced:   l.synced,
+		Lag:      l.appended - l.synced,
+		Replayed: l.replayed,
+	}
+}
+
+// Close flushes and closes the log. The final sync runs even under
+// SyncOff — a clean close should leave nothing in flight.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	syncErr := func() error {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.synced = l.appended
+		return nil
+	}()
+	closeErr := l.f.Close()
+	stop, done := l.stop, l.done
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

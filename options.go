@@ -46,7 +46,11 @@ type config struct {
 	//saim:nofingerprint — a progress callback observes a solve without
 	// changing it; excluding it lets the service dedup two submissions
 	// differing only in observation (see OptionsFingerprint's doc).
-	progress    func(Progress)
+	progress func(Progress)
+	//saim:nofingerprint — a checkpoint callback observes best-so-far
+	// snapshots without changing the solve, exactly like progress; the
+	// service's durable mode must not break dedup by installing one.
+	checkpoint  func(assignment []int, cost float64)
 	targetCost  *float64
 	patience    int
 	initial     []int
@@ -122,6 +126,20 @@ func WithNodeLimit(n int) Option { return func(c *config) { c.nodeLimit = n } }
 // solving goroutine; keep it cheap. Combined with a cancellable context it
 // enables responsive dashboards and custom stopping rules.
 func WithProgress(f func(Progress)) Option { return func(c *config) { c.progress = f } }
+
+// WithCheckpoint invokes f whenever the solve finds a new best feasible
+// assignment, with the decision-bit assignment and its cost. Like
+// WithProgress it observes without changing the solve (and is likewise
+// excluded from OptionsFingerprint). The callback runs on the solving
+// goroutine — and, for the saim backend's replica pool, concurrently
+// from several goroutines, each reporting its own replica's
+// improvements; synchronize and keep a best-cost guard if you aggregate.
+// The slice passed to f is freshly allocated per call and may be
+// retained. Honored by the saim and penalty backends; the service's
+// durable mode uses it to journal crash-recovery checkpoints.
+func WithCheckpoint(f func(assignment []int, cost float64)) Option {
+	return func(c *config) { c.checkpoint = f }
+}
 
 // WithTargetCost stops the solve early as soon as a feasible assignment
 // reaches cost ≤ target; the result reports Stopped == StopTarget.

@@ -29,6 +29,35 @@ func BenchmarkServiceSubmitResult(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceDurableSubmitResult measures the same round trip
+// through a durable manager with fsync off: the added cost is journal
+// encoding plus buffered segment writes (submitted + started + finished
+// records per job), with no disk barrier on the submit path.
+func BenchmarkServiceDurableSubmitResult(b *testing.B) {
+	mgr, err := Open(Config{
+		Dir:        b.TempDir(),
+		Fsync:      SyncOff,
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueDepth: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close(context.Background())
+	m := knapModel(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := mgr.Submit(Request{Model: m, Solver: "greedy", NoDedup: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServiceCacheHit measures a deduplicated submission: the
 // steady-state cost of serving an identical request from the result
 // cache (two fingerprints plus a map hit, no solve).

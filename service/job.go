@@ -61,10 +61,18 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// warm is the checkpointed best-so-far assignment a recovered job
+	// restarts from (nil for fresh jobs); recovered marks a job
+	// re-queued by Open. Both are set before the job is visible to any
+	// worker and read-only afterwards.
+	warm      []int
+	recovered bool
+
 	// Everything below is guarded by mu.
 	mu        sync.Mutex
 	state     State
 	cancelled bool
+	attempts  int
 	hits      int
 	err       error
 	sol       *model.Solution
@@ -104,6 +112,12 @@ type Status struct {
 	HasProgress bool
 	// Err is the failure message of a failed job ("" otherwise).
 	Err string
+	// Attempts counts solve attempts (>1 after panic retries; 0 while
+	// queued).
+	Attempts int
+	// Recovered marks a job re-queued from the durable journal after a
+	// restart.
+	Recovered bool
 }
 
 // Status returns a snapshot of the job.
@@ -120,6 +134,8 @@ func (j *Job) Status() Status {
 		Finished:    j.finished,
 		Progress:    j.last,
 		HasProgress: j.hasLast,
+		Attempts:    j.attempts,
+		Recovered:   j.recovered,
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()

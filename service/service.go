@@ -22,19 +22,36 @@
 //   - Graceful drain: Close stops intake, finishes queued and running
 //     work, and force-cancels (best-so-far) only when its context
 //     expires.
+//   - Durability (Open with Config.Dir): every accepted job is journaled
+//     to a segmented write-ahead log (internal/wal) before Submit
+//     returns, best-so-far assignments are checkpointed as the solve
+//     improves, and a restart on the same directory re-queues every
+//     unfinished job warm-started from its last checkpoint — with dedup
+//     keys and job ids surviving the crash. Config.Fsync picks the
+//     loss-window/throughput trade.
+//   - Failure containment: a panicking backend fails only its own job
+//     (ErrSolverPanic, with the stack preserved), is retried with
+//     backoff up to Config.MaxRetries times, and then has its dedup key
+//     quarantined so identical submissions fail fast (ErrQuarantined).
+//     Queued jobs whose deadline fully elapsed before a worker freed up
+//     fail with ErrDeadlineExpired without ever invoking a solver.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	saim "github.com/ising-machines/saim"
 	"github.com/ising-machines/saim/internal/core"
+	"github.com/ising-machines/saim/internal/faultkit"
+	"github.com/ising-machines/saim/internal/wal"
 	"github.com/ising-machines/saim/model"
 )
 
@@ -44,6 +61,21 @@ var ErrQueueFull = errors.New("service: queue full")
 
 // ErrClosed is returned by Submit after Close started draining.
 var ErrClosed = errors.New("service: manager closed")
+
+// ErrSolverPanic wraps the recovered panic value (and stack) of a
+// backend that panicked mid-solve. Only the panicking job fails; sibling
+// jobs on other workers are unaffected.
+var ErrSolverPanic = errors.New("solver panicked")
+
+// ErrQuarantined marks a job that exhausted MaxRetries panicking, and
+// every later submission sharing its dedup key: a poison model must not
+// crash-loop a worker.
+var ErrQuarantined = errors.New("service: job quarantined")
+
+// ErrDeadlineExpired marks a queued job whose whole TimeLimit elapsed
+// before any worker could pick it up; it fails fast without occupying a
+// worker.
+var ErrDeadlineExpired = errors.New("service: time limit expired while queued")
 
 // Config sizes a Manager. Zero values take the documented defaults.
 type Config struct {
@@ -64,6 +96,29 @@ type Config struct {
 	// into serialized, monotone totals (samples, sweeps, best cost across
 	// the fleet). Keep it cheap; it runs under the aggregator's lock.
 	Monitor func(saim.Progress)
+
+	// Dir, when non-empty, selects durable mode: every accepted job is
+	// journaled to a write-ahead log under Dir, and Open replays the log
+	// so jobs survive a crash or kill -9. Managers with a Dir must be
+	// created with Open (New panics to catch the silent-durability-loss
+	// mistake).
+	Dir string
+	// Fsync selects the WAL fsync policy in durable mode: SyncInterval
+	// (default; bounded loss window), SyncAlways (no acknowledged job is
+	// ever lost), or SyncOff (OS writeback only).
+	Fsync SyncPolicy
+	// MaxRetries bounds re-solve attempts after a solver panic before
+	// the job fails for good and its dedup key is quarantined (default
+	// 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry, doubled per
+	// attempt with deterministic jitter (default 50ms).
+	RetryBackoff time.Duration
+	// CheckpointInterval throttles durable-mode checkpoint records: the
+	// first new-best assignment of a job is journaled immediately, then
+	// at most one per interval (default 1s; negative disables
+	// checkpointing — recovered jobs restart from scratch).
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +130,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = time.Second
 	}
 	return c
 }
@@ -101,6 +167,13 @@ type Request struct {
 	// in flight or cached — for deliberately re-sampling a stochastic
 	// backend.
 	NoDedup bool
+	// WireOptions, when non-nil, configure the solve in serializable
+	// wire form. Submit lowers them ahead of Options (so a functional
+	// option still overrides its wire counterpart — last write wins) and
+	// durable mode journals them, making the job fully reconstructible
+	// after a crash. Functional Options cannot be journaled; a recovered
+	// job re-runs with its WireOptions only.
+	WireOptions *SolveOptions
 }
 
 // Manager owns the worker pool, the queue, the job index, and the result
@@ -114,27 +187,48 @@ type Manager struct {
 
 	agg *core.ProgressAggregator
 
-	mu       sync.Mutex
-	draining bool
-	nextID   int
-	jobs     map[string]*Job
-	inflight map[string]*Job // queued or running, by dedup key
-	cache    *lruCache       // finished, by dedup key
-	finished []string        // finished job ids, oldest first, for index pruning
+	wal     *wal.Log // nil outside durable mode
+	walStop sync.Once
+
+	ctr counters
+
+	mu           sync.Mutex
+	draining     bool
+	nextID       int
+	jobs         map[string]*Job
+	inflight     map[string]*Job // queued or running, by dedup key
+	cache        *lruCache       // finished, by dedup key
+	finished     []string        // finished job ids, oldest first, for index pruning
+	quarantined  map[string]struct{}
+	quarOrder    []string // quarantined keys, oldest first, for bounding
+	sinceCompact int      // finished durable jobs since the last compaction
 }
 
-// New returns a started Manager.
+// New returns a started in-memory Manager. A Config carrying a Dir must
+// go through Open instead — New panics rather than silently dropping the
+// durability the configuration asked for.
 func New(cfg Config) *Manager {
-	cfg = cfg.withDefaults()
+	if cfg.Dir != "" {
+		panic("service: Config.Dir set; durable managers must be created with Open")
+	}
+	return newManager(cfg.withDefaults(), nil, 0)
+}
+
+// newManager starts the worker pool. extraQueue widens the queue beyond
+// QueueDepth so Open can re-enqueue every recovered job even when they
+// outnumber the configured depth.
+func newManager(cfg Config, wlog *wal.Log, extraQueue int) *Manager {
 	base, abort := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:      cfg,
-		base:     base,
-		abort:    abort,
-		queue:    make(chan *Job, cfg.QueueDepth),
-		jobs:     map[string]*Job{},
-		inflight: map[string]*Job{},
-		cache:    newLRUCache(cfg.CacheSize),
+		cfg:         cfg,
+		base:        base,
+		abort:       abort,
+		queue:       make(chan *Job, cfg.QueueDepth+extraQueue),
+		jobs:        map[string]*Job{},
+		inflight:    map[string]*Job{},
+		cache:       newLRUCache(cfg.CacheSize),
+		wal:         wlog,
+		quarantined: map[string]struct{}{},
 	}
 	if cfg.Monitor != nil {
 		m.agg = core.NewProgressAggregator(func(p core.ProgressInfo) {
@@ -179,7 +273,8 @@ func dedupKey(req Request, limit time.Duration) (string, error) {
 // Submit validates, deduplicates, and enqueues a request. The returned
 // job may be shared with earlier identical submissions (its Status.Hits
 // counts them) or already finished (served from cache). ErrQueueFull
-// reports backpressure; ErrClosed a draining manager.
+// reports backpressure; ErrClosed a draining manager; ErrQuarantined a
+// request whose dedup key was poisoned by repeated solver panics.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	if req.Model == nil {
 		return nil, fmt.Errorf("service: request has no model")
@@ -189,6 +284,19 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	}
 	if err := req.Model.Err(); err != nil {
 		return nil, err
+	}
+	if req.WireOptions != nil {
+		// Lower wire options ahead of the functional ones so an explicit
+		// Option still wins (last write wins), and let an explicit
+		// TimeLimit win over the wire form's.
+		wopts, wlimit, err := req.WireOptions.Options()
+		if err != nil {
+			return nil, err
+		}
+		req.Options = append(wopts, req.Options...)
+		if req.TimeLimit <= 0 {
+			req.TimeLimit = wlimit
+		}
 	}
 	limit := req.TimeLimit
 	if limit <= 0 {
@@ -212,16 +320,21 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return nil, ErrClosed
 	}
 	if !req.NoDedup {
+		if _, bad := m.quarantined[key]; bad {
+			return nil, ErrQuarantined
+		}
 		if j, ok := m.inflight[key]; ok {
 			j.lock()
 			j.hits++
 			j.unlock()
+			m.ctr.dedupHits.Add(1)
 			return j, nil
 		}
 		if j, ok := m.cache.get(key); ok {
 			j.lock()
 			j.hits++
 			j.unlock()
+			m.ctr.dedupHits.Add(1)
 			return j, nil
 		}
 	}
@@ -248,10 +361,24 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		cancel()
 		return nil, ErrQueueFull
 	}
+	if m.wal != nil {
+		if err := m.journalSubmitted(j, limit); err != nil {
+			// The job is already in the queue; retract it before it is
+			// tracked anywhere. The worker that dequeues it sees the
+			// cancellation and drops it — and since its submitted record
+			// never made it to the log, a crash cannot resurrect it.
+			j.lock()
+			j.cancelled = true
+			j.unlock()
+			cancel()
+			return nil, fmt.Errorf("service: journal submit: %w", err)
+		}
+	}
 	m.jobs[j.id] = j
 	if !req.NoDedup {
 		m.inflight[key] = j
 	}
+	m.ctr.submitted.Add(1)
 	return j, nil
 }
 
@@ -313,12 +440,27 @@ func (m *Manager) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		m.closeWAL()
 		return nil
 	case <-ctx.Done():
 		m.abort()
 		<-idle
+		m.closeWAL()
 		return ctx.Err()
 	}
+}
+
+// closeWAL appends the clean-shutdown record and closes the journal.
+// Called after the pool is idle, so every job's terminal record is
+// already in the log.
+func (m *Manager) closeWAL() {
+	if m.wal == nil {
+		return
+	}
+	m.walStop.Do(func() {
+		_ = m.wal.Append(wal.Record{Kind: wal.KindShutdown})
+		_ = m.wal.Close()
+	})
 }
 
 // worker is one pool goroutine: it drains the queue, running each job
@@ -371,27 +513,56 @@ func (t *workerTotals) commit() {
 	t.jobSamples, t.jobFeasible, t.jobSweeps = 0, 0, 0
 }
 
-// runJob executes one job on worker w.
+// runJob executes one job on worker w: cancellation and queue-expiry
+// fast paths, then up to 1+MaxRetries contained solve attempts.
 func (m *Manager) runJob(w int, j *Job, totals *workerTotals) {
 	j.lock()
 	if j.cancelled || j.ctx.Err() != nil {
 		j.unlock()
 		j.finalize(StateCancelled, nil, context.Canceled)
 		m.detach(j)
+		m.ctr.cancelled.Add(1)
+		m.journalFinish(j, wal.KindCancelled, nil)
+		m.noteFinished(j.id)
+		return
+	}
+	// A job whose wall-clock budget fully elapsed while queued cannot do
+	// useful work — its deadline would expire at the first cancellation
+	// check — so fail it without ever occupying the worker. The solve
+	// budget itself still starts at pickup (the documented TimeLimit
+	// semantics); this only rejects jobs that queued past their whole
+	// budget.
+	if j.req.TimeLimit > 0 && time.Since(j.submitted) >= j.req.TimeLimit {
+		waited := time.Since(j.submitted)
+		j.unlock()
+		err := fmt.Errorf("service: %w: queued %v, time limit %v", ErrDeadlineExpired,
+			waited.Round(time.Millisecond), j.req.TimeLimit)
+		j.finalize(StateFailed, nil, err)
+		m.detach(j)
+		m.ctr.expired.Add(1)
+		m.ctr.failed.Add(1)
+		m.journalFinish(j, wal.KindFinished, err)
 		m.noteFinished(j.id)
 		return
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	warm := j.warm
 	j.unlock()
+	m.ctr.busy.Add(1)
+	defer m.ctr.busy.Add(-1)
 
 	// The job-level limit is prepended so an explicit WithTimeLimit the
 	// caller put among its own options still wins (options apply last
 	// write wins) — the manager default must never loosen a deadline the
-	// caller tightened.
+	// caller tightened. A recovery warm start is likewise prepended so a
+	// caller's own WithInitial wins.
 	var opts []saim.Option
 	if j.req.TimeLimit > 0 {
 		opts = append(opts, saim.WithTimeLimit(j.req.TimeLimit))
+	}
+	if warm != nil {
+		opts = append(opts, saim.WithInitial(warm))
 	}
 	opts = append(opts, j.req.Options...)
 	emit := j.publish
@@ -404,8 +575,39 @@ func (m *Manager) runJob(w int, j *Job, totals *workerTotals) {
 		}
 	}
 	opts = append(opts, saim.WithProgress(emit))
+	if m.wal != nil && m.cfg.CheckpointInterval > 0 {
+		opts = append(opts, saim.WithCheckpoint(m.checkpointFn(j)))
+	}
 
-	sol, err := j.req.Model.Solve(j.ctx, j.req.Solver, opts...)
+	var sol *model.Solution
+	var err error
+	for attempt := 0; ; attempt++ {
+		j.lock()
+		j.attempts = attempt + 1
+		j.unlock()
+		m.journalStarted(j, attempt+1)
+		sol, err = m.solveJob(j, opts)
+		if err == nil || !errors.Is(err, ErrSolverPanic) {
+			break
+		}
+		m.ctr.panics.Add(1)
+		if attempt >= m.cfg.MaxRetries {
+			if j.key != "" {
+				m.quarantineKey(j.key)
+				m.ctr.quarantined.Add(1)
+			}
+			err = fmt.Errorf("service: %w after %d attempts: %w", ErrQuarantined, attempt+1, err)
+			break
+		}
+		m.ctr.retries.Add(1)
+		select {
+		case <-j.ctx.Done():
+		case <-time.After(m.retryBackoff(j.id, attempt)):
+		}
+		if j.ctx.Err() != nil {
+			break
+		}
+	}
 	if m.agg != nil {
 		totals.commit()
 	}
@@ -414,6 +616,8 @@ func (m *Manager) runJob(w int, j *Job, totals *workerTotals) {
 	case err != nil:
 		j.finalize(StateFailed, nil, err)
 		m.detach(j)
+		m.ctr.failed.Add(1)
+		m.journalFinish(j, wal.KindFinished, err)
 	default:
 		state := StateDone
 		j.lock()
@@ -431,8 +635,65 @@ func (m *Manager) runJob(w int, j *Job, totals *workerTotals) {
 			m.cache.put(j.key, j)
 		}
 		m.mu.Unlock()
+		if state == StateDone {
+			m.ctr.completed.Add(1)
+			m.journalFinish(j, wal.KindFinished, nil)
+		} else {
+			m.ctr.cancelled.Add(1)
+			m.journalFinish(j, wal.KindCancelled, nil)
+		}
 	}
 	m.noteFinished(j.id)
+	m.maybeCompact()
+}
+
+// solveJob runs one contained solve attempt: a panicking backend fails
+// only this job, with the panic value and stack preserved in the error.
+func (m *Manager) solveJob(j *Job, opts []saim.Option) (sol *model.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol = nil
+			err = fmt.Errorf("service: job %s: %w: %v\n%s", j.id, ErrSolverPanic, r, debug.Stack())
+		}
+	}()
+	if ferr := faultkit.Inject("service.solve"); ferr != nil {
+		return nil, ferr
+	}
+	return j.req.Model.Solve(j.ctx, j.req.Solver, opts...)
+}
+
+// retryBackoff is RetryBackoff·2^attempt plus up to 50% jitter. The
+// jitter is a hash of (job id, attempt) rather than ambient randomness —
+// the repo's seeded-randomness discipline — which spreads a herd of
+// simultaneous retries just as well.
+func (m *Manager) retryBackoff(id string, attempt int) time.Duration {
+	if attempt > 16 {
+		attempt = 16
+	}
+	base := m.cfg.RetryBackoff << uint(attempt)
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{byte(attempt)})
+	jitter := time.Duration(h.Sum64() % uint64(base/2+1))
+	return base + jitter
+}
+
+// quarantineKey poisons a dedup key after repeated panics so identical
+// submissions fail fast with ErrQuarantined instead of crash-looping a
+// worker. The set is bounded FIFO.
+func (m *Manager) quarantineKey(key string) {
+	const maxQuarantined = 1024
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.quarantined[key]; ok {
+		return
+	}
+	m.quarantined[key] = struct{}{}
+	m.quarOrder = append(m.quarOrder, key)
+	if len(m.quarOrder) > maxQuarantined {
+		delete(m.quarantined, m.quarOrder[0])
+		m.quarOrder = m.quarOrder[1:]
+	}
 }
 
 // noteFinished records a finished job in the pruning FIFO and bounds the
