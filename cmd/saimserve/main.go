@@ -33,8 +33,22 @@
 // A panicking solver fails only its own job; after -retries attempts the
 // request's dedup key is quarantined and identical submissions fail fast.
 //
-// On SIGTERM/SIGINT the server drains gracefully: intake stops, queued
-// and running solves finish (up to -drain), then the process exits.
+// With -node-id and -peers several saimserve processes form one logical
+// service (cluster mode): any node accepts any request, submissions are
+// routed to the ring owner of the model's fingerprint so identical
+// models dedup cluster-wide, idle nodes steal queued jobs from busy
+// peers, and by-id requests (status, result, cancel, SSE events) are
+// relayed to the node that minted the id:
+//
+//	saimserve -addr :8080 -node-id n1 -peers 'n1=localhost:8080,n2=localhost:8081,n3=localhost:8082' &
+//	saimserve -addr :8081 -node-id n2 -peers 'n1=localhost:8080,n2=localhost:8081,n3=localhost:8082' &
+//	saimserve -addr :8082 -node-id n3 -peers 'n1=localhost:8080,n2=localhost:8081,n3=localhost:8082' &
+//	curl -s localhost:8081/v1/cluster        # membership, ring, steal counters
+//
+// On SIGTERM/SIGINT the server drains gracefully: /v1/healthz flips to
+// 503 "draining" (and cluster peers stop routing to this node), intake
+// stops, queued and running solves finish (up to -drain), then the
+// process exits.
 package main
 
 import (
@@ -47,9 +61,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/ising-machines/saim/internal/cluster"
 	"github.com/ising-machines/saim/service"
 )
 
@@ -73,6 +89,30 @@ func parseFsync(s string) (service.SyncPolicy, error) {
 	}
 }
 
+// parsePeers splits a -peers value ("id=host:port,id=host:port,...")
+// into the cluster member map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("invalid -peers entry %q (want id=host:port)", entry)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers id %q", id)
+		}
+		peers[id] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("empty -peers")
+	}
+	return peers, nil
+}
+
 // run is the whole server lifecycle, factored out of main so tests can
 // exec it as a child process and crash it. The resolved listen address
 // is logged as "listening on <addr>" once the socket is bound — with
@@ -89,9 +129,17 @@ func run(args []string) error {
 		data    = fs.String("data", "", "durable journal directory; non-finished jobs are re-queued on restart (empty = in-memory only)")
 		fsync   = fs.String("fsync", "interval", "journal fsync policy with -data: always, interval, or off")
 		retries = fs.Int("retries", 2, "solve retries after a solver panic before the job's key is quarantined")
+
+		nodeID    = fs.String("node-id", "", "cluster node id (no '-', '/', or spaces); requires -peers")
+		peersFlag = fs.String("peers", "", "cluster member set as 'id=host:port,...' including self; enables cluster mode")
+		heartbeat = fs.Duration("heartbeat", time.Second, "cluster heartbeat interval (suspect after 3x, evict after 6x)")
+		stealMs   = fs.Duration("steal-interval", 200*time.Millisecond, "work-stealing probe interval (<0 disables stealing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*nodeID == "") != (*peersFlag == "") {
+		return fmt.Errorf("cluster mode needs both -node-id and -peers")
 	}
 
 	cfg := service.Config{
@@ -99,6 +147,7 @@ func run(args []string) error {
 		QueueDepth:       *queue,
 		CacheSize:        *cache,
 		DefaultTimeLimit: *limit,
+		NodeID:           *nodeID,
 	}
 	if *retries <= 0 {
 		cfg.MaxRetries = -1 // flag 0 means "never retry"; Config 0 means default
@@ -124,21 +173,47 @@ func run(args []string) error {
 		mgr = service.New(cfg)
 	}
 
+	var node *cluster.Node
+	if *peersFlag != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			_ = mgr.Close(context.Background())
+			return err
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:              *nodeID,
+			Peers:             peers,
+			Manager:           mgr,
+			HeartbeatInterval: *heartbeat,
+			StealInterval:     *stealMs,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			_ = mgr.Close(context.Background())
+			return err
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		_ = mgr.Close(context.Background())
 		return err
 	}
-	httpSrv := &http.Server{Handler: newServer(mgr)}
+	srv := newNodeServer(mgr, node)
+	httpSrv := &http.Server{Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("saimserve listening on %s (workers=%d queue=%d durable=%v)", ln.Addr(), *workers, *queue, *data != "")
+		log.Printf("saimserve listening on %s (workers=%d queue=%d durable=%v cluster=%v)", ln.Addr(), *workers, *queue, *data != "", node != nil)
 		errCh <- httpSrv.Serve(ln)
 	}()
+	if node != nil {
+		node.Start()
+		log.Printf("saimserve cluster node %s up (%d peers)", *nodeID, len(node.Info().Peers)-1)
+	}
 
 	select {
 	case err := <-errCh:
@@ -146,18 +221,26 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 
+	// Drain order matters: flip healthz to 503 "draining" first (and
+	// advertise it to peers) while the listener still serves, let queued
+	// and running solves finish, then tear the HTTP server down — a load
+	// balancer probing /v1/healthz sees the drain, not a dead socket.
 	log.Printf("saimserve draining (budget %v)...", *drain)
+	srv.setDraining()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		log.Printf("saimserve: http shutdown: %v", err)
-	}
 	if err := mgr.Close(drainCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("saimserve: drain budget spent; running jobs force-cancelled (best-so-far results kept)")
 		} else {
 			log.Printf("saimserve: drain: %v", err)
 		}
+	}
+	if node != nil {
+		node.Close()
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("saimserve: http shutdown: %v", err)
 	}
 	fmt.Println("saimserve: drained")
 	return nil

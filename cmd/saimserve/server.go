@@ -5,12 +5,15 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	saim "github.com/ising-machines/saim"
+	"github.com/ising-machines/saim/internal/cluster"
 	"github.com/ising-machines/saim/model"
 	"github.com/ising-machines/saim/service"
 )
@@ -24,28 +27,74 @@ import (
 //	GET    /v1/jobs/{id}/events SSE progress stream + final result event
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/solvers          registered backend names
-//	GET    /v1/healthz          liveness
+//	GET    /v1/healthz          liveness (503 "draining" once drain began)
 //	GET    /statusz             manager stats (queue depth, worker
 //	                            utilization, retry/panic counters, WAL lag)
+//	GET    /v1/cluster[/...]    cluster introspection + inter-node
+//	                            protocol (cluster mode only)
+//
+// In cluster mode every route works against any node: submissions are
+// routed to the fingerprint's ring owner, and by-id requests to the
+// node that minted the id (parsed from the "job-<node>-NNNNNN" shape),
+// with SSE streams relayed through.
 type server struct {
-	mgr *service.Manager
-	mux *http.ServeMux
+	mgr      *service.Manager
+	node     *cluster.Node // nil outside cluster mode
+	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
 // publishStatsOnce exposes the first server's stats through the expvar
-// registry ("saimserve.stats"), so the standard /debug/vars machinery
-// and expvar-scraping agents see them too. Once per process: expvar
-// panics on duplicate names, and test binaries build many servers.
+// registry, so the standard /debug/vars machinery and expvar-scraping
+// agents see them too. Once per process: expvar panics on duplicate
+// names, and test binaries build many servers.
 var publishStatsOnce sync.Once
 
+// publishStats registers "saimserve.stats" (the whole snapshot as one
+// JSON blob) plus one "saimserve.<counter>" expvar per Stats field, each
+// a live integer — scrapers can diff queue depth, retries, panics, and
+// WAL lag without parsing the blob.
 func publishStats(mgr *service.Manager) {
 	publishStatsOnce.Do(func() {
 		expvar.Publish("saimserve.stats", expvar.Func(func() any { return mgr.Stats() }))
+		ints := map[string]func(service.Stats) int64{
+			"workers":      func(s service.Stats) int64 { return int64(s.Workers) },
+			"queue_depth":  func(s service.Stats) int64 { return int64(s.QueueDepth) },
+			"queued":       func(s service.Stats) int64 { return int64(s.Queued) },
+			"busy":         func(s service.Stats) int64 { return int64(s.Busy) },
+			"submitted":    func(s service.Stats) int64 { return s.Submitted },
+			"dedup_hits":   func(s service.Stats) int64 { return s.DedupHits },
+			"completed":    func(s service.Stats) int64 { return s.Completed },
+			"failed":       func(s service.Stats) int64 { return s.Failed },
+			"cancelled":    func(s service.Stats) int64 { return s.Cancelled },
+			"expired":      func(s service.Stats) int64 { return s.Expired },
+			"retries":      func(s service.Stats) int64 { return s.Retries },
+			"panics":       func(s service.Stats) int64 { return s.Panics },
+			"quarantined":  func(s service.Stats) int64 { return s.Quarantined },
+			"stolen":       func(s service.Stats) int64 { return s.Stolen },
+			"stolen_done":  func(s service.Stats) int64 { return s.StolenDone },
+			"requeued":     func(s service.Stats) int64 { return s.Requeued },
+			"wal_segments": func(s service.Stats) int64 { return int64(s.WALSegments) },
+			"wal_bytes":    func(s service.Stats) int64 { return s.WALBytes },
+			"wal_appended": func(s service.Stats) int64 { return s.WALAppended },
+			"wal_synced":   func(s service.Stats) int64 { return s.WALSynced },
+			"wal_lag":      func(s service.Stats) int64 { return s.WALLag },
+			"wal_errors":   func(s service.Stats) int64 { return s.WALErrors },
+		}
+		for name, get := range ints {
+			get := get
+			expvar.Publish("saimserve."+name, expvar.Func(func() any { return get(mgr.Stats()) }))
+		}
 	})
 }
 
-func newServer(mgr *service.Manager) *server {
-	s := &server{mgr: mgr, mux: http.NewServeMux()}
+// newServer builds a single-node server (no cluster routing).
+func newServer(mgr *service.Manager) *server { return newNodeServer(mgr, nil) }
+
+// newNodeServer builds the HTTP face of one manager, with cluster
+// routing when node is non-nil.
+func newNodeServer(mgr *service.Manager, node *cluster.Node) *server {
+	s := &server{mgr: mgr, node: node, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -53,14 +102,40 @@ func newServer(mgr *service.Manager) *server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.mgr.Stats())
 	})
+	if node != nil {
+		h := node.Handler()
+		s.mux.Handle("/v1/cluster", h)
+		s.mux.Handle("/v1/cluster/", h)
+	}
 	publishStats(mgr)
 	return s
+}
+
+// setDraining flips /v1/healthz to 503 "draining" and advertises the
+// drain to cluster peers, so load balancers and thieves stop sending
+// work while queued and running jobs finish.
+func (s *server) setDraining() {
+	s.draining.Store(true)
+	if s.node != nil {
+		s.node.SetDraining(true)
+	}
+}
+
+// handleHealthz is the load-balancer probe: 200 while serving, 503 with
+// the literal body "draining" once SIGTERM drain began — routing stops
+// before the node disappears, not after.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -234,9 +309,17 @@ const retryAfterSeconds = "1"
 const maxRequestBody = 32 << 20
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req submitRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.forwardSubmit(w, r, req, raw) {
 		return
 	}
 	job, status, err := s.submit(req)
@@ -248,6 +331,86 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, status, envelope(job))
+}
+
+// ------------------------------------------------------- cluster routing ---
+
+// submitOwner places one submission on the ring: the owning peer's id
+// and address, or local=true when this node should serve it itself —
+// outside cluster mode, for requests that already crossed a node, for
+// dedup-exempt submissions (any shard may run those), for bodies the
+// local path will reject with a better error, and when this node owns
+// the fingerprint.
+func (s *server) submitOwner(r *http.Request, req submitRequest) (id, addr string, local bool) {
+	if s.node == nil || r.Header.Get(cluster.ForwardHeader) != "" || req.NoDedup || len(req.Model) == 0 {
+		return "", "", true
+	}
+	m := model.New()
+	if err := json.Unmarshal(req.Model, m); err != nil {
+		return "", "", true
+	}
+	fp, err := m.Fingerprint()
+	if err != nil {
+		return "", "", true
+	}
+	return s.node.RouteKey(fp)
+}
+
+// forwardSubmit relays a submission to its ring owner and writes the
+// owner's response through, reporting whether it did. An unusable or
+// unreachable owner fails over to local serving — availability beats
+// strict sharding; the cost is a possible duplicate solve on the wrong
+// shard, never a lost submission.
+func (s *server) forwardSubmit(w http.ResponseWriter, r *http.Request, req submitRequest, raw []byte) bool {
+	owner, addr, local := s.submitOwner(r, req)
+	if local || !s.node.Usable(owner) {
+		return false
+	}
+	status, body, err := s.node.RouteSubmit(r.Context(), addr, raw)
+	if err != nil {
+		s.node.ReportFailure(owner)
+		s.node.NoteFallback()
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	return true
+}
+
+// forwardJob relays a by-id request (status, result, cancel, events) to
+// the node that minted the id, streaming the response — SSE relays in
+// real time. It reports false when the id is local (or unparseable —
+// the local manager then produces the 404). Unlike submissions, by-id
+// requests cannot fail over: only the minting node knows the job, so an
+// unreachable owner is surfaced as 503/502.
+func (s *server) forwardJob(w http.ResponseWriter, r *http.Request) bool {
+	if s.node == nil || r.Header.Get(cluster.ForwardHeader) != "" {
+		return false
+	}
+	id := r.PathValue("id")
+	mint, ok := s.node.MintNode(id)
+	if !ok || mint == s.node.Self() {
+		return false
+	}
+	addr, ok := s.node.Addr(mint)
+	if !ok {
+		return false
+	}
+	if !s.node.Usable(mint) {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job %q lives on node %q, which is currently unavailable", id, mint))
+		return true
+	}
+	s.node.NoteRelay()
+	if err := s.node.Forward(w, r, addr); err != nil {
+		s.node.ReportFailure(mint)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("node %q unreachable: %v", mint, err))
+	}
+	return true
 }
 
 // batchRequest submits several jobs in one call; each entry succeeds or
@@ -273,15 +436,52 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]batchEntry, len(req.Jobs))
 	for i, sub := range req.Jobs {
-		job, _, err := s.submit(sub)
-		if err != nil {
-			out[i] = batchEntry{Error: err.Error()}
-			continue
-		}
-		env := envelope(job)
-		out[i] = batchEntry{Job: &env}
+		out[i] = s.batchSubmit(r, sub)
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": out})
+}
+
+// batchSubmit places one batch entry: routed to its ring owner in
+// cluster mode (each entry independently — a batch may span shards),
+// locally otherwise or on forward failure.
+func (s *server) batchSubmit(r *http.Request, sub submitRequest) batchEntry {
+	if owner, addr, local := s.submitOwner(r, sub); !local && s.node.Usable(owner) {
+		raw, err := json.Marshal(sub)
+		if err == nil {
+			status, body, err := s.node.RouteSubmit(r.Context(), addr, raw)
+			if err == nil {
+				return parseBatchEntry(status, body)
+			}
+			s.node.ReportFailure(owner)
+			s.node.NoteFallback()
+		}
+	}
+	job, _, err := s.submit(sub)
+	if err != nil {
+		return batchEntry{Error: err.Error()}
+	}
+	env := envelope(job)
+	return batchEntry{Job: &env}
+}
+
+// parseBatchEntry folds a forwarded single-submit response into the
+// batch shape: 2xx bodies are job envelopes, everything else carries an
+// error field.
+func parseBatchEntry(status int, body []byte) batchEntry {
+	if status >= 200 && status < 300 {
+		var env jobEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			return batchEntry{Error: fmt.Sprintf("bad response from owner node: %v", err)}
+		}
+		return batchEntry{Job: &env}
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return batchEntry{Error: e.Error}
+	}
+	return batchEntry{Error: fmt.Sprintf("owner node returned HTTP %d", status)}
 }
 
 func (s *server) job(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
@@ -295,12 +495,18 @@ func (s *server) job(w http.ResponseWriter, r *http.Request) (*service.Job, bool
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if s.forwardJob(w, r) {
+		return
+	}
 	if j, ok := s.job(w, r); ok {
 		writeJSON(w, http.StatusOK, envelope(j))
 	}
 }
 
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.forwardJob(w, r) {
+		return
+	}
 	j, ok := s.job(w, r)
 	if !ok {
 		return
@@ -318,6 +524,9 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if s.forwardJob(w, r) {
+		return
+	}
 	if j, ok := s.job(w, r); ok {
 		j.Cancel()
 		writeJSON(w, http.StatusOK, envelope(j))
@@ -333,6 +542,9 @@ func (s *server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 // lags the solve), then a single "result" event when the job finishes,
 // then EOF. A client disconnect just unsubscribes — the solve continues.
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.forwardJob(w, r) {
+		return
+	}
 	j, ok := s.job(w, r)
 	if !ok {
 		return

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/ising-machines/saim/service"
+)
+
+// ForwardHeader marks a request that already crossed one node: the
+// receiving node must serve it locally, never re-forward, so divergent
+// membership views cannot create routing loops. Its value is the
+// origin node's id (forensics only).
+const ForwardHeader = "X-Saim-Cluster-Hop"
+
+// PingReply is the /v1/cluster/ping body.
+type PingReply struct {
+	ID       string `json:"id"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// StatsReply is the /v1/cluster/stats body: the node's manager snapshot
+// plus its cluster identity — what a thief inspects to pick a victim.
+type StatsReply struct {
+	ID       string        `json:"id"`
+	Draining bool          `json:"draining,omitempty"`
+	Stats    service.Stats `json:"stats"`
+}
+
+// Client is the inter-node HTTP client. Control calls (ping, stats,
+// steal, complete) run under a short timeout; Forward streams with no
+// client-side deadline — a proxied SSE stream lives as long as the
+// job — and is bounded by the incoming request's context instead.
+type Client struct {
+	control *http.Client
+	stream  *http.Client
+}
+
+// NewClient builds a client; timeout bounds the control calls (<= 0
+// takes 2s).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	shared := &http.Transport{MaxIdleConnsPerHost: 16}
+	return &Client{
+		control: &http.Client{Timeout: timeout, Transport: shared},
+		stream:  &http.Client{Transport: shared},
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.control.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: GET %s: %s: %s", url, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Ping probes a peer's cluster endpoint.
+func (c *Client) Ping(ctx context.Context, addr string) (PingReply, error) {
+	var out PingReply
+	err := c.getJSON(ctx, "http://"+addr+"/v1/cluster/ping", &out)
+	return out, err
+}
+
+// Stats fetches a peer's manager snapshot.
+func (c *Client) Stats(ctx context.Context, addr string) (StatsReply, error) {
+	var out StatsReply
+	err := c.getJSON(ctx, "http://"+addr+"/v1/cluster/stats", &out)
+	return out, err
+}
+
+// Steal asks a peer for one queued job. nil with a nil error means the
+// peer had nothing stealable (HTTP 204).
+func (c *Client) Steal(ctx context.Context, addr string) (*service.StolenJob, error) {
+	url := "http://" + addr + "/v1/cluster/steal"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.control.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		var sj service.StolenJob
+		if err := json.NewDecoder(resp.Body).Decode(&sj); err != nil {
+			return nil, err
+		}
+		return &sj, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: steal from %s: %s: %s", addr, resp.Status, body)
+	}
+}
+
+// Complete posts a stolen job's outcome back to its victim.
+func (c *Client) Complete(ctx context.Context, addr, jobID string, res *service.RemoteResult) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	url := "http://" + addr + "/v1/cluster/complete/" + jobID
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.control.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: complete %s on %s: %s: %s", jobID, addr, resp.Status, body)
+	}
+	return nil
+}
+
+// PostJob relays one submission body to a peer's /v1/jobs, returning
+// the peer's status code and response body verbatim so the caller can
+// pass them through. The ForwardHeader is stamped; a transport error
+// leaves the caller free to fall back to serving locally (nothing was
+// written to its client yet). Bounded by ctx, not the control timeout —
+// a large model can take longer than a ping.
+func (c *Client) PostJob(ctx context.Context, addr, origin string, body []byte) (int, []byte, error) {
+	url := "http://" + addr + "/v1/jobs"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, origin)
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Forward proxies the incoming request to a peer and streams the
+// response back, flushing after every chunk so SSE progress events
+// relay in real time. The ForwardHeader is stamped with the origin id
+// so the peer serves locally instead of re-forwarding. An error is
+// returned only when nothing was written to w yet — once the upstream
+// status line is copied, failures just truncate the stream (the client
+// observes EOF, the same contract a direct connection has).
+func (c *Client) Forward(w http.ResponseWriter, r *http.Request, addr, origin string) error {
+	url := "http://" + addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		return err
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(ForwardHeader, origin)
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return nil
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if rerr != nil {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is a peer's health as seen from this node.
+type PeerState int
+
+const (
+	// PeerAlive means heartbeats are arriving.
+	PeerAlive PeerState = iota
+	// PeerSuspect means heartbeats stopped recently; the peer keeps its
+	// ring ownership through the suspicion window (a GC pause or a
+	// dropped packet must not reshuffle the keyspace).
+	PeerSuspect
+	// PeerDead means the suspicion window expired; the peer is evicted
+	// from the ring and its key range reassigned to the successors.
+	PeerDead
+)
+
+// String implements fmt.Stringer.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// PeerInfo is one peer's snapshot for introspection.
+type PeerInfo struct {
+	ID       string    `json:"id"`
+	Addr     string    `json:"addr"`
+	State    string    `json:"state"`
+	Draining bool      `json:"draining,omitempty"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// pingFunc probes one peer address, reporting whether it answered and
+// whether it is draining. Injected by Node so Membership needs no HTTP
+// knowledge of its own.
+type pingFunc func(ctx context.Context, addr string) (draining bool, err error)
+
+// membershipConfig tunes the failure detector.
+type membershipConfig struct {
+	self     string
+	peers    map[string]string // id → addr, self included
+	interval time.Duration     // heartbeat period
+	suspect  time.Duration     // silence before Suspect
+	evict    time.Duration     // silence before Dead (ring eviction)
+	ping     pingFunc
+	// onChange runs after every sweep that changed the live set (the
+	// ring members: every peer not Dead), with the new set sorted.
+	onChange func(live []string)
+}
+
+func (c membershipConfig) withDefaults() membershipConfig {
+	if c.interval <= 0 {
+		c.interval = time.Second
+	}
+	if c.suspect <= 0 {
+		c.suspect = 3 * c.interval
+	}
+	if c.evict <= c.suspect {
+		c.evict = 2 * c.suspect
+	}
+	return c
+}
+
+// membership is the failure detector: it heartbeats every peer on a
+// timer, derives Alive/Suspect/Dead from heartbeat silence, and reports
+// live-set changes so the ring can be rebuilt. Self is always alive.
+type membership struct {
+	cfg membershipConfig
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+	live  map[string]bool // last live set reported through onChange
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+type peerHealth struct {
+	addr     string
+	lastSeen time.Time
+	draining bool
+}
+
+// newMembership builds the detector with every configured peer
+// optimistically alive — a cluster booting in any order must not evict
+// nodes that simply have not been probed yet.
+func newMembership(cfg membershipConfig) *membership {
+	cfg = cfg.withDefaults()
+	m := &membership{
+		cfg:   cfg,
+		peers: make(map[string]*peerHealth, len(cfg.peers)),
+		live:  make(map[string]bool, len(cfg.peers)),
+	}
+	now := time.Now()
+	for id, addr := range cfg.peers {
+		m.peers[id] = &peerHealth{addr: addr, lastSeen: now}
+		m.live[id] = true
+	}
+	return m
+}
+
+// start launches the heartbeat loop.
+func (m *membership) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	m.cancel = cancel
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.cfg.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				m.sweep(ctx)
+			}
+		}
+	}()
+}
+
+// stop halts the loop and waits for it.
+func (m *membership) stop() {
+	if m.cancel != nil {
+		m.cancel()
+	}
+	m.wg.Wait()
+}
+
+// sweep heartbeats every peer concurrently, then re-derives the live set
+// and fires onChange if it moved.
+func (m *membership) sweep(ctx context.Context) {
+	m.mu.Lock()
+	type probe struct{ id, addr string }
+	probes := make([]probe, 0, len(m.peers))
+	for id, p := range m.peers {
+		if id == m.cfg.self {
+			p.lastSeen = time.Now()
+			continue
+		}
+		probes = append(probes, probe{id, p.addr})
+	}
+	m.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, pr := range probes {
+		wg.Add(1)
+		go func(pr probe) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, m.cfg.interval)
+			defer cancel()
+			draining, err := m.cfg.ping(pctx, pr.addr)
+			if err != nil {
+				return // silence is the signal; lastSeen just ages
+			}
+			m.mu.Lock()
+			if p := m.peers[pr.id]; p != nil {
+				p.lastSeen = time.Now()
+				p.draining = draining
+			}
+			m.mu.Unlock()
+		}(pr)
+	}
+	wg.Wait()
+	m.publish()
+}
+
+// reportFailure ages a peer straight past the suspicion threshold — the
+// proxy path calls it on a hard connection failure so routing reacts
+// faster than the next heartbeat round. Eviction still waits the full
+// window.
+func (m *membership) reportFailure(id string) {
+	m.mu.Lock()
+	if p := m.peers[id]; p != nil && id != m.cfg.self {
+		if aged := time.Now().Add(-m.cfg.suspect); p.lastSeen.After(aged) {
+			p.lastSeen = aged
+		}
+	}
+	m.mu.Unlock()
+	m.publish()
+}
+
+// stateOf derives a peer's state from heartbeat silence.
+func (m *membership) stateOf(p *peerHealth, now time.Time) PeerState {
+	silence := now.Sub(p.lastSeen)
+	switch {
+	case silence >= m.cfg.evict:
+		return PeerDead
+	case silence >= m.cfg.suspect:
+		return PeerSuspect
+	default:
+		return PeerAlive
+	}
+}
+
+// publish recomputes the live set (everything not Dead) and fires
+// onChange when it differs from the last published set.
+func (m *membership) publish() {
+	m.mu.Lock()
+	now := time.Now()
+	live := make([]string, 0, len(m.peers))
+	changed := false
+	seen := make(map[string]bool, len(m.peers))
+	for id, p := range m.peers {
+		alive := id == m.cfg.self || m.stateOf(p, now) != PeerDead
+		seen[id] = alive
+		if alive {
+			live = append(live, id)
+		}
+		if m.live[id] != alive {
+			changed = true
+		}
+	}
+	if changed {
+		m.live = seen
+	}
+	cb := m.cfg.onChange
+	m.mu.Unlock()
+	if changed && cb != nil {
+		sort.Strings(live)
+		cb(live)
+	}
+}
+
+// snapshot returns every peer's info, sorted by id.
+func (m *membership) snapshot() []PeerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	out := make([]PeerInfo, 0, len(m.peers))
+	for id, p := range m.peers {
+		state := PeerAlive
+		if id != m.cfg.self {
+			state = m.stateOf(p, now)
+		}
+		out = append(out, PeerInfo{
+			ID:       id,
+			Addr:     p.addr,
+			State:    state.String(),
+			Draining: p.draining,
+			LastSeen: p.lastSeen,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// isUsable reports whether a peer is a viable target for proxy or steal
+// calls: known, not Dead, and not draining.
+func (m *membership) isUsable(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return false
+	}
+	if id == m.cfg.self {
+		return true
+	}
+	return m.stateOf(p, time.Now()) != PeerDead && !p.draining
+}

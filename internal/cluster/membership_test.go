@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePing is a controllable pingFunc: peers in the down set time out,
+// everyone else answers.
+type fakePing struct {
+	mu   sync.Mutex
+	down map[string]bool // keyed by addr
+}
+
+func (f *fakePing) set(addr string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = map[string]bool{}
+	}
+	f.down[addr] = down
+}
+
+func (f *fakePing) ping(ctx context.Context, addr string) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[addr] {
+		return false, errors.New("fake: unreachable")
+	}
+	return false, nil
+}
+
+// stateFor pulls one peer's state out of a snapshot.
+func stateFor(t *testing.T, m *membership, id string) string {
+	t.Helper()
+	for _, p := range m.snapshot() {
+		if p.ID == id {
+			return p.State
+		}
+	}
+	t.Fatalf("peer %q missing from snapshot", id)
+	return ""
+}
+
+// TestMembershipSuspectEvictRecover drives one peer through the whole
+// lifecycle — alive, suspect after heartbeat silence, dead (evicted from
+// the live set) after the full window, and alive again once it answers —
+// checking the live-set callback fires on each transition.
+func TestMembershipSuspectEvictRecover(t *testing.T) {
+	ping := &fakePing{}
+	var mu sync.Mutex
+	var lastLive []string
+	cfg := membershipConfig{
+		self:     "n1",
+		peers:    map[string]string{"n1": "a1", "n2": "a2", "n3": "a3"},
+		interval: 5 * time.Millisecond,
+		suspect:  25 * time.Millisecond,
+		evict:    50 * time.Millisecond,
+		ping:     ping.ping,
+		onChange: func(live []string) {
+			mu.Lock()
+			lastLive = append([]string(nil), live...)
+			mu.Unlock()
+		},
+	}
+	m := newMembership(cfg)
+	ctx := context.Background()
+
+	// Optimistic boot: everyone alive.
+	for _, id := range []string{"n1", "n2", "n3"} {
+		if got := stateFor(t, m, id); got != "alive" {
+			t.Fatalf("boot state of %s = %q", id, got)
+		}
+	}
+
+	// n3 goes silent: suspect after the suspicion window...
+	ping.set("a3", true)
+	deadline := time.Now().Add(2 * time.Second)
+	for stateFor(t, m, "n3") != "suspect" {
+		if time.Now().After(deadline) {
+			t.Fatal("n3 never turned suspect")
+		}
+		m.sweep(ctx)
+		time.Sleep(2 * time.Millisecond)
+	}
+	// ...but still in the live set (suspicion must not reshuffle the ring).
+	mu.Lock()
+	if lastLive != nil {
+		t.Fatalf("live set changed during suspicion: %v", lastLive)
+	}
+	mu.Unlock()
+
+	// Dead after the eviction window, and the live set loses n3. Wait on
+	// the callback itself: the state can cross the eviction threshold
+	// between a sweep and a check, so only a post-crossing sweep reports.
+	liveSet := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), lastLive...)
+	}
+	for len(liveSet()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("n3 never evicted from live set (state %q, live %v)", stateFor(t, m, "n3"), liveSet())
+		}
+		m.sweep(ctx)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := liveSet(); got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("live set after eviction = %v, want [n1 n2]", got)
+	}
+	if got := stateFor(t, m, "n3"); got != "dead" {
+		t.Fatalf("evicted peer state = %q, want dead", got)
+	}
+	if m.isUsable("n3") {
+		t.Fatal("dead peer reported usable")
+	}
+
+	// Recovery: one successful heartbeat brings it straight back.
+	ping.set("a3", false)
+	m.sweep(ctx)
+	if got := stateFor(t, m, "n3"); got != "alive" {
+		t.Fatalf("state after recovery = %q", got)
+	}
+	if got := liveSet(); len(got) != 3 {
+		t.Fatalf("live set after recovery = %v, want all 3", got)
+	}
+}
+
+// TestMembershipReportFailure pins the fast path: a hard connection
+// failure ages the peer straight to suspect without waiting for
+// heartbeat silence, but does not evict it.
+func TestMembershipReportFailure(t *testing.T) {
+	ping := &fakePing{}
+	m := newMembership(membershipConfig{
+		self:     "n1",
+		peers:    map[string]string{"n1": "a1", "n2": "a2"},
+		interval: 10 * time.Millisecond,
+		suspect:  time.Hour, // nothing ages naturally during the test
+		evict:    2 * time.Hour,
+		ping:     ping.ping,
+	})
+	if got := stateFor(t, m, "n2"); got != "alive" {
+		t.Fatalf("boot state = %q", got)
+	}
+	m.reportFailure("n2")
+	if got := stateFor(t, m, "n2"); got != "suspect" {
+		t.Fatalf("state after reportFailure = %q, want suspect", got)
+	}
+	if !m.isUsable("n2") {
+		t.Fatal("suspect peer must stay usable (eviction owns the hard cut)")
+	}
+	// Self is immune.
+	m.reportFailure("n1")
+	if got := stateFor(t, m, "n1"); got != "alive" {
+		t.Fatalf("self state after reportFailure = %q", got)
+	}
+}

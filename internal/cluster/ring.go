@@ -1,0 +1,186 @@
+// Package cluster turns N saimserve processes into one logical solve
+// service. It provides the four pieces the coordinator/worker split
+// needs:
+//
+//   - Ring: a consistent-hash ring over model fingerprints (virtual
+//     nodes, deterministic placement) that shards the dedup/result cache
+//     so every submission of the same model lands on the same node.
+//   - Membership: lightweight peer health via heartbeats, with
+//     suspicion-based eviction — a silent peer turns Suspect, then Dead,
+//     at which point the ring reassigns its key range.
+//   - Client: the inter-node HTTP client speaking the existing wire
+//     codec (model JSON, service.SolveOptions, service.WireResult) for
+//     proxy, steal, and relay calls.
+//   - Node: the per-process glue — routing decisions, the work-stealing
+//     loop, the /v1/cluster HTTP surface, and introspection.
+//
+// Any node can accept any client request: it serves requests for keys it
+// owns and proxies the rest to the owner, so clients need no placement
+// knowledge. Durability stays per-node — each node journals only jobs it
+// minted — and on owner death the ring reassigns the key range so
+// resubmissions dedup against the new owner.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-node vnode count: enough that three
+// physical nodes split the keyspace within a few percent of evenly,
+// cheap enough that membership changes rebuild the ring in microseconds.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring mapping keys (canonical model
+// fingerprints) to node ids. Placement is deterministic: two rings built
+// from the same member set agree on every key, no matter the order of
+// Add/Remove calls — that is what lets every node route independently.
+// All methods are safe for concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (<= 0 takes DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]struct{}{}}
+}
+
+// ringHash positions a label on the ring: the first 8 bytes of its
+// SHA-256, the same family of hash the model fingerprint itself uses, so
+// placement is stable across processes, architectures, and restarts.
+func ringHash(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node (no-op when present).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(fmt.Sprintf("%s#%d", node, i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node (no-op when absent). Only keys the node owned
+// move — to their clockwise successors — which is the whole point of
+// consistent hashing: an eviction invalidates 1/N of the cache shards,
+// not all of them.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Reset replaces the whole member set in one step (membership sweeps use
+// it so a multi-node change is one rebuild, not several).
+func (r *Ring) Reset(nodes []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes = make(map[string]struct{}, len(nodes))
+	r.points = r.points[:0]
+	for _, node := range nodes {
+		if _, dup := r.nodes[node]; dup {
+			continue
+		}
+		r.nodes[node] = struct{}{}
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", node, i)),
+				node: node,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Owner returns the node owning the key: the first vnode clockwise from
+// the key's hash. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct nodes clockwise from the key's hash —
+// the ownership succession. Owners(key, 2)[1] is the node that inherits
+// the key if the owner is evicted, which is where a resubmission will
+// dedup after a failure.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Nodes returns the member set, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicPlacement pins the core routing contract: every
+// node computes the same owner for the same key from the same member
+// set, regardless of insertion order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing(0)
+	a.Add("n1")
+	a.Add("n2")
+	a.Add("n3")
+	b := NewRing(0)
+	b.Add("n3")
+	b.Add("n1")
+	b.Add("n2")
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatal("owner missing on populated ring")
+		}
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %q: order-dependent placement %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+// TestRingBalance checks the vnode count spreads keys roughly evenly:
+// with 3 nodes no node should own less than half or more than double
+// its fair share of 3000 keys.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultVirtualNodes)
+	r.Reset([]string{"n1", "n2", "n3"})
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		counts[owner]++
+	}
+	fair := keys / 3
+	for node, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d): %v", node, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing property: removing
+// one of three nodes must only move the keys that node owned — every key
+// owned by a survivor keeps its owner.
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(DefaultVirtualNodes)
+	r.Reset([]string{"n1", "n2", "n3"})
+	const keys = 2000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k], _ = r.Owner(k)
+	}
+	r.Remove("n2")
+	moved := 0
+	for k, prev := range before {
+		now, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("owner missing after removal")
+		}
+		if now == "n2" {
+			t.Fatalf("key %q still owned by removed node", k)
+		}
+		if prev != "n2" && now != prev {
+			t.Fatalf("key %q moved %q → %q though its owner survived", k, prev, now)
+		}
+		if prev == "n2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed node — balance test is vacuous")
+	}
+}
+
+// TestRingOwners pins replica enumeration: Owners walks distinct nodes
+// clockwise, the first being the primary owner.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(DefaultVirtualNodes)
+	r.Reset([]string{"n1", "n2", "n3"})
+	owners := r.Owners("some-key", 3)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v, want all 3 nodes", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %q in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	primary, _ := r.Owner("some-key")
+	if owners[0] != primary {
+		t.Fatalf("owners[0] = %q, primary = %q", owners[0], primary)
+	}
+	if got := r.Owners("some-key", 10); len(got) != 3 {
+		t.Fatalf("asking for more replicas than members returned %v", got)
+	}
+}
+
+// TestRingEmpty pins the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("solo")
+	if o, ok := r.Owner("k"); !ok || o != "solo" {
+		t.Fatalf("single-node ring: owner = %q, %v", o, ok)
+	}
+	r.Remove("solo")
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("drained ring claimed an owner")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining", r.Len())
+	}
+}

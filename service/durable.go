@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +93,9 @@ type counters struct {
 	quarantined atomic.Int64
 	walErrors   atomic.Int64
 	busy        atomic.Int64
+	stolen      atomic.Int64
+	stolenDone  atomic.Int64
+	requeued    atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of manager health. Counters are
@@ -114,6 +119,13 @@ type Stats struct {
 	Retries     int64 `json:"retries"`
 	Panics      int64 `json:"panics"`
 	Quarantined int64 `json:"quarantined"`
+	// Work stealing (cluster mode). Stolen counts jobs handed to another
+	// node by Steal, StolenDone those whose result came back through
+	// CompleteRemote, Requeued those whose lease expired and were put
+	// back on the local queue.
+	Stolen     int64 `json:"stolen"`
+	StolenDone int64 `json:"stolen_done"`
+	Requeued   int64 `json:"requeued"`
 	// Durable is true in durable mode; the WAL* fields are zero outside
 	// it. WALLag is appended-but-not-fsynced records — the current loss
 	// window. WALErrors counts journal writes that failed after the job
@@ -143,6 +155,9 @@ func (m *Manager) Stats() Stats {
 		Retries:     m.ctr.retries.Load(),
 		Panics:      m.ctr.panics.Load(),
 		Quarantined: m.ctr.quarantined.Load(),
+		Stolen:      m.ctr.stolen.Load(),
+		StolenDone:  m.ctr.stolenDone.Load(),
+		Requeued:    m.ctr.requeued.Load(),
 		WALErrors:   m.ctr.walErrors.Load(),
 	}
 	if m.wal != nil {
@@ -257,14 +272,15 @@ func replayRecords(recs []wal.Record) ([]pendingJob, int) {
 	return out, maxID
 }
 
-// idNumber extracts the numeric suffix of a "job-%06d" id (0 when the
-// id has another shape).
+// idNumber extracts the numeric suffix of a "job-%06d" or node-scoped
+// "job-<node>-%06d" id (0 when the id has another shape).
 func idNumber(id string) int {
-	var n int
-	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
-		return 0
+	if i := strings.LastIndexByte(id, '-'); i >= 0 {
+		if n, err := strconv.Atoi(id[i+1:]); err == nil {
+			return n
+		}
 	}
-	return n
+	return 0
 }
 
 // requeue reconstructs one journaled job and enqueues it. The queue was
@@ -343,6 +359,9 @@ func (m *Manager) newRecoveredJob(p pendingJob, req Request, key string) *Job {
 		submitted: time.Now(),
 		warm:      p.warm,
 		recovered: true,
+		// A recovered job's options were lowered from its journaled wire
+		// form, so it is wire-reconstructible — and stealable.
+		wireOnly: true,
 	}
 }
 

@@ -68,10 +68,20 @@ type Job struct {
 	warm      []int
 	recovered bool
 
+	// wireOnly marks a job whose whole configuration is wire-encodable
+	// (no functional options), making it eligible for Steal. Set before
+	// the job is visible to any worker and read-only afterwards.
+	wireOnly bool
+
 	// Everything below is guarded by mu.
 	mu        sync.Mutex
 	state     State
 	cancelled bool
+	// remote marks a job currently executing on another cluster node
+	// (handed out by Steal); lease re-queues it if the thief never
+	// reports back.
+	remote    bool
+	lease     *time.Timer
 	attempts  int
 	hits      int
 	err       error

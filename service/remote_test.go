@@ -1,0 +1,256 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	saim "github.com/ising-machines/saim"
+)
+
+// blockWorker occupies the manager's single worker with a long solve
+// carrying functional options (so it is also not stealable), returning
+// its job for cancellation.
+func blockWorker(t *testing.T, mgr *Manager) *Job {
+	t.Helper()
+	j, err := mgr.Submit(Request{
+		Model:   knapModel(99),
+		Solver:  "saim",
+		Options: slowOpts(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Status().State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(j.Cancel)
+	return j
+}
+
+// wireRequest is a queued, wire-reconstructible submission.
+func wireRequest(shift float64, seed uint64) Request {
+	return Request{
+		Model:  knapModel(shift),
+		Solver: "saim",
+		WireOptions: &SolveOptions{
+			Seed:         seed,
+			Iterations:   200,
+			SweepsPerRun: 50,
+		},
+	}
+}
+
+// TestStealSkipsNonWireJobs pins the stealability rule: only jobs fully
+// reconstructible from wire options leave the process; jobs carrying
+// functional options stay queued.
+func TestStealSkipsNonWireJobs(t *testing.T) {
+	mgr := newTestManager(t, Config{Workers: 1, QueueDepth: 8})
+	blockWorker(t, mgr)
+
+	funcJob, err := mgr.Submit(Request{
+		Model:   knapModel(1),
+		Solver:  "saim",
+		Options: slowOpts(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(funcJob.Cancel)
+	wireJob, err := mgr.Submit(wireRequest(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wireJob.Cancel)
+
+	sj, ok := mgr.Steal(time.Minute)
+	if !ok {
+		t.Fatal("no job stolen though a wire job is queued")
+	}
+	if sj.ID != wireJob.ID() {
+		t.Fatalf("stole %q, want the wire job %q", sj.ID, wireJob.ID())
+	}
+	if sj.Solver != "saim" || len(sj.Model) == 0 || sj.Options == nil || sj.Options.Seed != 7 {
+		t.Fatalf("stolen job incomplete: %+v", sj)
+	}
+	if wireJob.Status().State != StateRunning {
+		t.Fatalf("stolen job state = %v, want running", wireJob.Status().State)
+	}
+	// Nothing stealable remains: the functional-options job must not move.
+	if sj2, ok := mgr.Steal(time.Minute); ok {
+		t.Fatalf("stole unstealable job %q", sj2.ID)
+	}
+	if funcJob.Status().State != StateQueued {
+		t.Fatalf("functional-options job state = %v, want still queued", funcJob.Status().State)
+	}
+}
+
+// TestCompleteRemoteFinalizes pins the thief-success path: the remote
+// result finalizes the job exactly like a local solve — subscribers
+// unblock, the result parses back, and the dedup cache serves identical
+// resubmissions from it.
+func TestCompleteRemoteFinalizes(t *testing.T) {
+	mgr := newTestManager(t, Config{Workers: 1, QueueDepth: 8})
+	blocker := blockWorker(t, mgr)
+
+	req := wireRequest(3, 11)
+	j, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, ok := mgr.Steal(time.Minute)
+	if !ok || sj.ID != j.ID() {
+		t.Fatalf("steal: ok=%v id=%v", ok, sj)
+	}
+
+	remote := &saim.Result{
+		Solver:     "saim",
+		Assignment: []int{1, 1, 0, 0},
+		Cost:       -17,
+		Stopped:    saim.StopCompleted,
+	}
+	if err := mgr.CompleteRemote(sj.ID, remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	if j.Status().State != StateDone {
+		t.Fatalf("state = %v, want done", j.Status().State)
+	}
+	res, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != -17 || len(res.Assignment) != 4 {
+		t.Fatalf("remote result mangled: %+v", res)
+	}
+	// A second identical submission must dedup onto the cached result.
+	dup, err := mgr.Submit(wireRequest(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID() != j.ID() {
+		t.Fatalf("identical resubmission got new job %q (want cached %q)", dup.ID(), j.ID())
+	}
+	// Stats reflect the lend-out.
+	st := mgr.Stats()
+	if st.Stolen != 1 || st.StolenDone != 1 {
+		t.Fatalf("stats stolen=%d stolen_done=%d, want 1/1", st.Stolen, st.StolenDone)
+	}
+	blocker.Cancel()
+}
+
+// TestStealLeaseExpiryRequeues pins the lost-thief path: when no
+// completion arrives within the lease the job returns to the local
+// queue, a late completion is rejected with ErrNotStolen, and a local
+// worker finishes the job.
+func TestStealLeaseExpiryRequeues(t *testing.T) {
+	mgr := newTestManager(t, Config{Workers: 1, QueueDepth: 8})
+	blocker := blockWorker(t, mgr)
+
+	j, err := mgr.Submit(wireRequest(4, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, ok := mgr.Steal(20 * time.Millisecond)
+	if !ok || sj.ID != j.ID() {
+		t.Fatalf("steal: ok=%v", ok)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Status().State != StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never expired; state = %v", j.Status().State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := mgr.Stats().Requeued; got != 1 {
+		t.Fatalf("requeued = %d, want 1", got)
+	}
+	// The thief reports after the lease: its result must be discarded.
+	err = mgr.CompleteRemote(sj.ID, &saim.Result{Solver: "saim", Stopped: saim.StopCompleted}, "")
+	if !errors.Is(err, ErrNotStolen) {
+		t.Fatalf("late completion: err = %v, want ErrNotStolen", err)
+	}
+	// Free the worker; the requeued job must complete locally.
+	blocker.Cancel()
+	if _, err := j.Wait(t.Context()); err != nil {
+		t.Fatalf("requeued job failed locally: %v", err)
+	}
+}
+
+// TestReleaseStolen pins the declining-thief path: a released job goes
+// straight back to the queue unharmed.
+func TestReleaseStolen(t *testing.T) {
+	mgr := newTestManager(t, Config{Workers: 1, QueueDepth: 8})
+	blocker := blockWorker(t, mgr)
+
+	j, err := mgr.Submit(wireRequest(5, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, ok := mgr.Steal(time.Minute)
+	if !ok {
+		t.Fatal("steal failed")
+	}
+	if err := mgr.ReleaseStolen(sj.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Status().State; got != StateQueued {
+		t.Fatalf("state after release = %v, want queued", got)
+	}
+	if err := mgr.ReleaseStolen(sj.ID); !errors.Is(err, ErrNotStolen) {
+		t.Fatalf("double release: err = %v, want ErrNotStolen", err)
+	}
+	blocker.Cancel()
+	if _, err := j.Wait(t.Context()); err != nil {
+		t.Fatalf("released job failed locally: %v", err)
+	}
+}
+
+// TestCompleteRemoteFailure pins the permanent-failure path: the job
+// fails with the thief's error and identical submissions are not fed a
+// cached failure.
+func TestCompleteRemoteFailure(t *testing.T) {
+	mgr := newTestManager(t, Config{Workers: 1, QueueDepth: 8})
+	blockWorker(t, mgr)
+
+	j, err := mgr.Submit(wireRequest(6, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := mgr.Steal(time.Minute)
+	if err := mgr.CompleteRemote(sj.ID, nil, "solver exploded"); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Status().State; got != StateFailed {
+		t.Fatalf("state = %v, want failed", got)
+	}
+	if _, err := j.Result(); err == nil {
+		t.Fatal("failed job returned a result")
+	}
+}
+
+// TestWireResultRoundTrip pins the result codec, including the
+// infeasible +Inf cost that has no JSON encoding.
+func TestWireResultRoundTrip(t *testing.T) {
+	res := &saim.Result{
+		Solver:     "saim",
+		Assignment: []int{0, 1},
+		Cost:       -5,
+		Sweeps:     123,
+		Iterations: 7,
+		Stopped:    saim.StopTimeLimit,
+	}
+	back := ParseWireResult(ToWireResult(res))
+	if back.Cost != -5 || back.Stopped != saim.StopTimeLimit || len(back.Assignment) != 2 {
+		t.Fatalf("round trip mangled: %+v", back)
+	}
+	infeasible := &saim.Result{Solver: "saim", Stopped: saim.StopCompleted, Cost: math.Inf(1)}
+	back = ParseWireResult(ToWireResult(infeasible))
+	if !back.Infeasible() {
+		t.Fatalf("infeasible result came back feasible: %+v", back)
+	}
+}

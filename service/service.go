@@ -119,6 +119,12 @@ type Config struct {
 	// at most one per interval (default 1s; negative disables
 	// checkpointing — recovered jobs restart from scratch).
 	CheckpointInterval time.Duration
+
+	// NodeID, when non-empty, scopes job ids to this node
+	// ("job-<node>-000001" instead of "job-000001") so ids minted by
+	// different cluster nodes never collide and any node can route a
+	// status request to the minting node by parsing the id.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +259,15 @@ func newManager(cfg Config, wlog *wal.Log, extraQueue int) *Manager {
 	return m
 }
 
+// jobID formats the id for job number n, scoped to the node in cluster
+// mode so ids minted by different nodes never collide.
+func (m *Manager) jobID(n int) string {
+	if m.cfg.NodeID != "" {
+		return fmt.Sprintf("job-%s-%06d", m.cfg.NodeID, n)
+	}
+	return fmt.Sprintf("job-%06d", n)
+}
+
 // dedupKey combines the canonical model fingerprint, the backend name,
 // and the options fingerprint: everything that determines a solve's
 // result (progress callbacks excluded by construction).
@@ -285,6 +300,11 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if err := req.Model.Err(); err != nil {
 		return nil, err
 	}
+	// A request whose configuration is entirely wire-encodable (its only
+	// options are the WireOptions lowered below) can be re-created on
+	// another process; Steal hands out only such jobs. Captured before
+	// lowering mutates req.Options.
+	wireOnly := len(req.Options) == 0
 	if req.WireOptions != nil {
 		// Lower wire options ahead of the functional ones so an explicit
 		// Option still wins (last write wins), and let an explicit
@@ -342,7 +362,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.nextID++
 	ctx, cancel := context.WithCancel(m.base)
 	j := &Job{
-		id:        fmt.Sprintf("job-%06d", m.nextID),
+		id:        m.jobID(m.nextID),
 		key:       key,
 		mgr:       m,
 		req:       req,
@@ -351,6 +371,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		done:      make(chan struct{}),
 		state:     StateQueued,
 		hits:      1,
+		wireOnly:  wireOnly,
 		subs:      map[int]chan saim.Progress{},
 		submitted: time.Now(),
 	}
