@@ -163,6 +163,7 @@ func (s *saimSolver) solveConstrained(ctx context.Context, m *Model, cfg config)
 		BetaMax:      cfg.betaMax,
 		Seed:         cfg.seed,
 		Machine:      cfg.machine,
+		Packed:       cfg.packed,
 		Progress:     progressAdapter("saim", cfg.progress),
 		TargetCost:   cfg.targetCost,
 		Patience:     cfg.patience,

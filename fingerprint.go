@@ -43,6 +43,7 @@ func OptionsFingerprint(opts ...Option) string {
 	f64(c.betaMax)
 	u64(c.seed)
 	u64(uint64(c.machine))
+	u64(uint64(c.packed))
 	u64(uint64(c.replicas))
 	u64(uint64(c.population))
 	u64(uint64(c.timeLimit))

@@ -111,6 +111,42 @@ func (k MachineKind) String() string {
 	}
 }
 
+// PackedMode selects whether the replica pool may route groups of 64
+// replicas through the bit-packed multi-spin kernels (pbit.PackedMachine /
+// pbit.PackedSparseMachine), which sweep 64 replicas per J-row walk
+// instead of one. Packing never changes results: every lane reproduces the
+// scalar replica with the same seed bit-for-bit (pinned by
+// TestSolveParallelPackedMatchesScalarReplicas), so the mode affects
+// throughput only.
+type PackedMode int
+
+const (
+	// PackedAuto (the default) packs whenever a solve is eligible: no
+	// custom MachineFactory and at least pbit.Lanes (64) replicas. It
+	// currently packs every eligible solve; it is the mode that may grow
+	// workload heuristics later without breaking PackedOn's guarantee.
+	PackedAuto PackedMode = iota
+	// PackedOn packs every eligible solve (same eligibility as above —
+	// custom factories cannot be packed and fall back to scalar replicas).
+	PackedOn
+	// PackedOff forces one scalar machine per replica.
+	PackedOff
+)
+
+// String implements fmt.Stringer.
+func (p PackedMode) String() string {
+	switch p {
+	case PackedAuto:
+		return "auto"
+	case PackedOn:
+		return "on"
+	case PackedOff:
+		return "off"
+	default:
+		return fmt.Sprintf("PackedMode(%d)", int(p))
+	}
+}
+
 // SparseDensityThreshold is the coupling density below which MachineAuto
 // selects the CSR kernel. The CSR sweep costs O(Σ degree) against the dense
 // kernel's O(N·flips); the crossover sits near 50% density (the
@@ -222,6 +258,11 @@ type Options struct {
 	// Machine selects the p-bit kernel (auto/dense/CSR). Ignored when
 	// Factory is set.
 	Machine MachineKind
+	// Packed controls whether SolveParallel may sweep replicas 64-at-a-time
+	// through the bit-packed kernels. The zero value (PackedAuto) packs
+	// whenever eligible; packing never changes results. Single solves
+	// (replicas == 1) ignore it.
+	Packed PackedMode
 	// Factory builds the Ising machine; nil means the kernel selected by
 	// Machine.
 	Factory MachineFactory
@@ -558,7 +599,13 @@ func (e *engine) solve(ctx context.Context, seed uint64, trace *Trace, progress 
 		} else if buffered != nil {
 			buffered.AnnealInto(e.spins, pr.sched, o.SweepsPerRun)
 		} else {
-			copy(e.spins, e.machine.Anneal(pr.sched, o.SweepsPerRun))
+			s := e.machine.Anneal(pr.sched, o.SweepsPerRun)
+			if len(s) != len(e.spins) {
+				// copy used to truncate a short return silently, leaving
+				// stale tail spins in every downstream residual; fail loudly.
+				return nil, fmt.Errorf("core: machine returned %d spins, want %d", len(s), len(e.spins))
+			}
+			copy(e.spins, s)
 		}
 		e.spins.BitsInto(e.x)
 		ext.ResidualsInto(e.g, e.x)

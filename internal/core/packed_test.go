@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/pbit"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// equalResults compares every deterministic field of two Results.
+func equalResults(t *testing.T, r int, got, want *Result) {
+	t.Helper()
+	if got.BestCost != want.BestCost {
+		t.Errorf("replica %d: BestCost %v, want %v", r, got.BestCost, want.BestCost)
+	}
+	if got.FeasibleCount != want.FeasibleCount {
+		t.Errorf("replica %d: FeasibleCount %d, want %d", r, got.FeasibleCount, want.FeasibleCount)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("replica %d: Iterations %d, want %d", r, got.Iterations, want.Iterations)
+	}
+	if got.TotalSweeps != want.TotalSweeps {
+		t.Errorf("replica %d: TotalSweeps %d, want %d", r, got.TotalSweeps, want.TotalSweeps)
+	}
+	if got.DualBest != want.DualBest {
+		t.Errorf("replica %d: DualBest %v, want %v", r, got.DualBest, want.DualBest)
+	}
+	if got.Stopped != want.Stopped {
+		t.Errorf("replica %d: Stopped %v, want %v", r, got.Stopped, want.Stopped)
+	}
+	if len(got.Lambda) != len(want.Lambda) {
+		t.Fatalf("replica %d: Lambda length %d, want %d", r, len(got.Lambda), len(want.Lambda))
+	}
+	for i := range got.Lambda {
+		if got.Lambda[i] != want.Lambda[i] {
+			t.Errorf("replica %d: Lambda[%d] = %v, want %v", r, i, got.Lambda[i], want.Lambda[i])
+		}
+	}
+	if (got.Best == nil) != (want.Best == nil) {
+		t.Fatalf("replica %d: Best nil-ness differs (packed %v, scalar %v)", r, got.Best == nil, want.Best == nil)
+	}
+	for i := range got.Best {
+		if got.Best[i] != want.Best[i] {
+			t.Errorf("replica %d: Best[%d] = %d, want %d", r, i, got.Best[i], want.Best[i])
+		}
+	}
+}
+
+// The engine-level pin of the tentpole: every lane of the packed engine
+// must reproduce, bit-for-bit, the Result the scalar engine produces for
+// the same replica seed — including lanes frozen early by patience while
+// their siblings keep sweeping.
+func TestSolveParallelPackedMatchesScalarReplicas(t *testing.T) {
+	p, _ := knapsackProblem([]float64{6, 5, 8, 9, 6}, []float64{2, 3, 6, 7, 5}, 12)
+	for _, kind := range []MachineKind{MachineDense, MachineSparse} {
+		t.Run(kind.String(), func(t *testing.T) {
+			o := Options{
+				Iterations: 12, SweepsPerRun: 40, Eta: 0.5, Seed: 91,
+				Patience: 4, Machine: kind,
+			}
+			pr, err := compile(p, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seeds := make([]uint64, pbit.Lanes)
+			for r := range seeds {
+				seeds[r] = replicaSeed(o.Seed, r)
+			}
+			pe := pr.newPackedEngine()
+			traces := make([]*Trace, pbit.Lanes)
+			for r := range traces {
+				traces[r] = &Trace{}
+			}
+			got := pe.solve(context.Background(), seeds, traces, nil, nil)
+
+			eng := pr.newEngine()
+			sawEarlyStop := false
+			for r, res := range got {
+				tr := &Trace{}
+				want, err := eng.solve(context.Background(), seeds[r], tr, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalResults(t, r, res, want)
+				if want.Stopped == StopPatience {
+					sawEarlyStop = true
+				}
+				if len(traces[r].Cost) != len(tr.Cost) {
+					t.Fatalf("replica %d: trace length %d, want %d", r, len(traces[r].Cost), len(tr.Cost))
+				}
+				for k := range tr.Cost {
+					if traces[r].Cost[k] != tr.Cost[k] || traces[r].Energy[k] != tr.Energy[k] {
+						t.Fatalf("replica %d: trace diverges at iteration %d", r, k)
+					}
+				}
+			}
+			if !sawEarlyStop {
+				t.Error("no replica stopped on patience; the done-lane freezing path went unexercised — lower Patience")
+			}
+		})
+	}
+}
+
+// The public-API pin: merged results are identical whether the pool packs
+// or runs scalar replicas, including a non-multiple-of-64 fleet whose
+// remainder rides the scalar path next to one packed group.
+func TestSolveParallelPackedModeEquivalence(t *testing.T) {
+	p, _ := knapsackProblem([]float64{6, 5, 8, 9}, []float64{2, 3, 6, 7}, 10)
+	base := Options{Iterations: 6, SweepsPerRun: 30, Eta: 0.5, Seed: 17}
+	run := func(mode PackedMode) *Result {
+		o := base
+		o.Packed = mode
+		res, err := SolveParallel(p, o, 70)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on, auto := run(PackedOff), run(PackedOn), run(PackedAuto)
+	for name, got := range map[string]*Result{"on": on, "auto": auto} {
+		if got.BestCost != off.BestCost || got.FeasibleCount != off.FeasibleCount ||
+			got.Iterations != off.Iterations || got.TotalSweeps != off.TotalSweeps ||
+			got.DualBest != off.DualBest {
+			t.Errorf("Packed %s merged %v/%d/%d/%d/%v, scalar %v/%d/%d/%d/%v", name,
+				got.BestCost, got.FeasibleCount, got.Iterations, got.TotalSweeps, got.DualBest,
+				off.BestCost, off.FeasibleCount, off.Iterations, off.TotalSweeps, off.DualBest)
+		}
+	}
+}
+
+// Warm starts must flow through the packed path unchanged: the first run
+// of every lane continues from the seeded assignment.
+func TestSolveParallelPackedWarmStartEquivalence(t *testing.T) {
+	p, _ := knapsackProblem([]float64{6, 5, 8, 9}, []float64{2, 3, 6, 7}, 10)
+	base := Options{
+		Iterations: 5, SweepsPerRun: 25, Eta: 0.5, Seed: 23,
+		Initial: ising.Bits{1, 0, 0, 0},
+	}
+	run := func(mode PackedMode) *Result {
+		o := base
+		o.Packed = mode
+		res, err := SolveParallel(p, o, pbit.Lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(PackedOff), run(PackedOn)
+	if on.BestCost != off.BestCost || on.FeasibleCount != off.FeasibleCount ||
+		on.TotalSweeps != off.TotalSweeps || on.DualBest != off.DualBest {
+		t.Errorf("packed warm start diverged from scalar: %v/%d/%d vs %v/%d/%d",
+			on.BestCost, on.FeasibleCount, on.TotalSweeps,
+			off.BestCost, off.FeasibleCount, off.TotalSweeps)
+	}
+	// The warm start is feasible, so no result may be worse than it.
+	warmCost := p.Cost(base.Initial)
+	if on.BestCost > warmCost {
+		t.Errorf("packed warm-started BestCost %v worse than seed %v", on.BestCost, warmCost)
+	}
+}
+
+// Progress and traces must stream from packed lanes exactly as from
+// scalar replicas: one aggregated callback per lane iteration, and the
+// winning lane's full trajectory in the caller's trace.
+func TestSolveParallelPackedProgressAndTrace(t *testing.T) {
+	p, _ := knapsackProblem([]float64{3, 4, 5}, []float64{2, 3, 4}, 5)
+	var mu sync.Mutex
+	count := 0
+	var last ProgressInfo
+	tr := &Trace{}
+	_, err := SolveParallel(p, Options{
+		Iterations: 5, SweepsPerRun: 10, Eta: 0.5, Seed: 4, Packed: PackedOn,
+		Trace: tr,
+		Progress: func(pi ProgressInfo) {
+			mu.Lock()
+			count++
+			if pi.Samples > last.Samples {
+				last = pi
+			}
+			mu.Unlock()
+		},
+	}, pbit.Lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != pbit.Lanes*5 {
+		t.Errorf("progress fired %d times, want one per lane iteration (%d)", count, pbit.Lanes*5)
+	}
+	if last.Samples != pbit.Lanes*5 {
+		t.Errorf("final aggregate Samples = %d, want %d", last.Samples, pbit.Lanes*5)
+	}
+	if last.Sweeps != int64(pbit.Lanes*5*10) {
+		t.Errorf("final aggregate Sweeps = %d, want %d", last.Sweeps, pbit.Lanes*5*10)
+	}
+	if len(tr.Cost) != 5 {
+		t.Errorf("trace length %d, want the winning lane's 5", len(tr.Cost))
+	}
+}
+
+// Cancellation mid-solve must freeze packed lanes at the next run
+// boundary with StopCancelled, exactly like scalar replicas.
+func TestSolveParallelPackedCancellation(t *testing.T) {
+	p, _ := knapsackProblem([]float64{3, 4, 5}, []float64{2, 3, 4}, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveParallelContext(ctx, p, Options{
+		Iterations: 50, SweepsPerRun: 20, Eta: 0.5, Seed: 6, Packed: PackedOn,
+	}, pbit.Lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopCancelled {
+		t.Errorf("Stopped = %v, want StopCancelled", res.Stopped)
+	}
+}
+
+// badMachine is a custom Machine whose Anneal returns a wrong-length
+// configuration — the defect class the length validation in engine.solve
+// now catches instead of silently truncating the copy.
+type badMachine struct {
+	n      int
+	sweeps int64
+	calls  *int32
+}
+
+func (m *badMachine) UpdateBiases(h vecmat.Vec) {}
+func (m *badMachine) Sweeps() int64             { return m.sweeps }
+func (m *badMachine) Anneal(sched schedule.Schedule, sweeps int) ising.Spins {
+	atomic.AddInt32(m.calls, 1)
+	m.sweeps += int64(sweeps)
+	return make(ising.Spins, m.n-1)
+}
+
+// Satellite: the first worker error must stop the pool from starting any
+// further replicas (with one worker the count is deterministic).
+func TestSolveParallelStopsFeedingOnError(t *testing.T) {
+	p, _ := knapsackProblem([]float64{3, 4, 5}, []float64{2, 3, 4}, 5)
+	var calls int32
+	opts := Options{
+		Iterations: 5, SweepsPerRun: 10, Eta: 0.5, Seed: 3,
+		Factory: func(model *ising.Model, src *rng.Source) Machine {
+			return &badMachine{n: model.N(), calls: &calls}
+		},
+	}
+	_, err := SolveParallel(p, opts, 8)
+	if err == nil {
+		t.Fatal("wrong-length Anneal return did not error")
+	}
+	if got := atomic.LoadInt32(&calls); got >= 8*int32(opts.Iterations) {
+		t.Fatalf("pool kept feeding after the first error: %d Anneal calls", got)
+	}
+}
+
+// With a single worker the stop is exact: the erroring replica's one
+// Anneal call is the only one that ever runs.
+func TestSolveParallelErrorStopIsExactSequentially(t *testing.T) {
+	p, _ := knapsackProblem([]float64{3, 4, 5}, []float64{2, 3, 4}, 5)
+	var calls int32
+	opts := Options{
+		Iterations: 5, SweepsPerRun: 10, Eta: 0.5, Seed: 3,
+		Factory: func(model *ising.Model, src *rng.Source) Machine {
+			return &badMachine{n: model.N(), calls: &calls}
+		},
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if _, err := SolveParallel(p, opts, 6); err == nil {
+		t.Fatal("wrong-length Anneal return did not error")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("Anneal ran %d times after the first error, want exactly 1", got)
+	}
+}
+
+// Satellite: a panicking progress callback must not leave the aggregator
+// mutex held — every later report from any worker would deadlock.
+func TestProgressAggregatorPanickingCallback(t *testing.T) {
+	calls := 0
+	agg := NewProgressAggregator(func(pi ProgressInfo) {
+		calls++
+		if calls == 1 {
+			panic("observer bug")
+		}
+	}, 2, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("callback panic did not propagate")
+			}
+		}()
+		agg.Callback(0)(ProgressInfo{Samples: 1})
+	}()
+	done := make(chan struct{})
+	go func() {
+		agg.Callback(1)(ProgressInfo{Samples: 1})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("aggregator left locked after a callback panic")
+	}
+	if math.IsInf(agg.agg.BestCost, -1) {
+		t.Fatal("aggregator state corrupted")
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"github.com/ising-machines/saim/internal/pbit"
 )
 
 // replicaSeed decorrelates replica r deterministically from the base seed.
@@ -58,6 +61,10 @@ func (a *ProgressAggregator) Callback(r int) func(ProgressInfo) {
 	}
 	return func(p ProgressInfo) {
 		a.mu.Lock()
+		// Deferred so a panicking user callback cannot leave the aggregator
+		// locked — that would silently deadlock every other worker's next
+		// progress report while the panic unwinds one goroutine.
+		defer a.mu.Unlock()
 		// Per-replica streams are cumulative and per-solve best costs are
 		// monotone, so replacing replica r's deltas keeps exact totals and
 		// the running min stays correct without a rescan.
@@ -76,7 +83,6 @@ func (a *ProgressAggregator) Callback(r int) func(ProgressInfo) {
 		// Invoke under the lock so user callbacks stay serialized (the
 		// WithProgress contract) even with many workers reporting.
 		a.f(a.agg)
-		a.mu.Unlock()
 	}
 }
 
@@ -139,37 +145,102 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 			traceWinner, winnerCost, winnerTrace = r, cost, tr
 		}
 	}
+	laneTraces := func(count int) []*Trace {
+		if pr.o.Trace == nil {
+			return nil
+		}
+		ts := make([]*Trace, count)
+		for i := range ts {
+			ts[i] = &Trace{}
+		}
+		return ts
+	}
+
+	// Eligible solves route full 64-lane groups through the bit-packed
+	// kernels (one J-row walk sweeps 64 replicas); the remainder — and
+	// every replica of a custom-factory or PackedOff solve — runs on the
+	// scalar per-replica engines. Lane r of a packed group reproduces the
+	// scalar replica with the same seed bit-for-bit, so routing never
+	// changes results.
+	packed := opts.Factory == nil && pr.o.Packed != PackedOff && replicas >= pbit.Lanes
+	tasks := buildReplicaTasks(replicas, packed)
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > replicas {
-		workers = replicas
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
-	jobs := make(chan int)
+	jobs := make(chan replicaTask)
+	// failed stops the task feeder (and makes draining workers skip queued
+	// tasks) as soon as any replica errors: an error aborts the whole solve,
+	// so starting further replicas would only burn cycles on dead work.
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := pr.newEngine() // one machine + scratch, reused for every replica
-			for r := range jobs {
-				var tr *Trace
-				if pr.o.Trace != nil {
-					tr = &Trace{}
+			var eng *engine        // scalar worker state, built on first scalar task
+			var peng *packedEngine // packed worker state, built on first packed task
+			for t := range jobs {
+				if failed.Load() {
+					continue // drain without starting new replicas
 				}
-				results[r], errs[r] = eng.solve(ctx, replicaSeed(pr.o.Seed, r), tr, agg.Callback(r))
-				if results[r] != nil {
-					if tr != nil {
-						keepIfWinner(r, results[r].BestCost, tr)
+				if t.count == 1 {
+					r := t.start
+					var tr *Trace
+					if pr.o.Trace != nil {
+						tr = &Trace{}
 					}
-					if results[r].Stopped == StopTarget {
-						stopSiblings()
+					if eng == nil {
+						eng = pr.newEngine() // one machine + scratch, reused for every replica
+					}
+					results[r], errs[r] = eng.solve(ctx, replicaSeed(pr.o.Seed, r), tr, agg.Callback(r))
+					if errs[r] != nil {
+						failed.Store(true)
+						continue
+					}
+					if results[r] != nil {
+						if tr != nil {
+							keepIfWinner(r, results[r].BestCost, tr)
+						}
+						if results[r].Stopped == StopTarget {
+							stopSiblings()
+						}
+					}
+					continue
+				}
+				if peng == nil {
+					peng = pr.newPackedEngine()
+				}
+				seeds := make([]uint64, t.count)
+				progs := make([]func(ProgressInfo), t.count)
+				for i := range seeds {
+					seeds[i] = replicaSeed(pr.o.Seed, t.start+i)
+					progs[i] = agg.Callback(t.start + i)
+				}
+				traces := laneTraces(t.count)
+				for i, res := range peng.solve(ctx, seeds, traces, progs, stopSiblings) {
+					results[t.start+i] = res
+					if traces != nil {
+						keepIfWinner(t.start+i, res.BestCost, traces[i])
 					}
 				}
 			}
 		}()
 	}
-	for r := 0; r < replicas; r++ {
-		jobs <- r
+feed:
+	for _, t := range tasks {
+		select {
+		case jobs <- t:
+		case <-ctx.Done():
+			// Cancelled (by the caller or a target-reaching sibling):
+			// replicas not yet started would each return an empty
+			// StopCancelled result, so don't start them at all.
+			break feed
+		}
+		if failed.Load() {
+			break
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -179,8 +250,13 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 		}
 	}
 
-	merged := &Result{BestCost: math.Inf(1), DualBest: math.Inf(-1)}
+	merged := &Result{BestCost: math.Inf(1), DualBest: math.Inf(-1), P: pr.pen}
+	ran := 0
 	for _, res := range results {
+		if res == nil {
+			continue // never started: the feeder stopped before this replica
+		}
+		ran++
 		// StopTarget wins: siblings of a target-reaching replica report
 		// StopCancelled only because it stopped them.
 		if res.Stopped == StopTarget ||
@@ -190,7 +266,6 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 		merged.FeasibleCount += res.FeasibleCount
 		merged.Iterations += res.Iterations
 		merged.TotalSweeps += res.TotalSweeps
-		merged.P = res.P
 		if res.BestCost < merged.BestCost {
 			merged.BestCost = res.BestCost
 			merged.Best = res.Best
@@ -200,8 +275,17 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 			merged.DualBest = res.DualBest
 		}
 	}
-	if merged.Lambda == nil && len(results) > 0 {
-		merged.Lambda = results[0].Lambda
+	if merged.Lambda == nil {
+		for _, res := range results {
+			if res != nil {
+				merged.Lambda = res.Lambda
+				break
+			}
+		}
+	}
+	if ran == 0 {
+		// The context was cancelled before any replica started.
+		merged.Stopped = StopCancelled
 	}
 	if pr.o.Trace != nil && winnerTrace != nil {
 		// Surface the winning replica's trajectory through the caller's
@@ -210,4 +294,27 @@ func SolveParallelContext(ctx context.Context, p *Problem, opts Options, replica
 		*pr.o.Trace = *winnerTrace
 	}
 	return merged, nil
+}
+
+// replicaTask is one unit of replica-pool work: `count` consecutive
+// replicas starting at index `start`. Scalar tasks carry one replica;
+// packed tasks carry a full pbit.Lanes group.
+type replicaTask struct {
+	start, count int
+}
+
+// buildReplicaTasks splits the replica range into packed 64-lane groups
+// (when packing is on) followed by scalar singletons for the remainder.
+func buildReplicaTasks(replicas int, packed bool) []replicaTask {
+	var tasks []replicaTask
+	r := 0
+	if packed {
+		for ; r+pbit.Lanes <= replicas; r += pbit.Lanes {
+			tasks = append(tasks, replicaTask{start: r, count: pbit.Lanes})
+		}
+	}
+	for ; r < replicas; r++ {
+		tasks = append(tasks, replicaTask{start: r, count: 1})
+	}
+	return tasks
 }

@@ -1,0 +1,15 @@
+// Package cpufeat detects the small set of CPU features the optional
+// assembly kernels require. Detection runs once at init; hot paths read the
+// exported flags directly.
+//
+// The flags are plain variables (not constants) on purpose: differential
+// tests flip them to force the portable Go kernels on hardware where the
+// assembly path would otherwise be taken, proving both implementations
+// produce identical trajectories. Production code must treat them as
+// read-only after init.
+package cpufeat
+
+// HasAVX2 reports whether the CPU and operating system support 256-bit AVX2
+// integer and FP vector instructions (including OS-enabled YMM state). On
+// non-amd64 builds it is always false.
+var HasAVX2 = detectAVX2()

@@ -71,8 +71,9 @@ func goldenTrajectory(m trajectoryMachine, n int) uint64 {
 	return h
 }
 
-// goldenModel rebuilds the reference Hamiltonian. UpdateBiases mutates the
-// model, so each machine under test gets a fresh build.
+// goldenModel rebuilds the reference Hamiltonian. Each machine under test
+// gets a fresh build so a bug that mutated shared model state would not
+// leak between subtests (bias reprogramming is copy-on-write since PR 9).
 func goldenModel(seed uint64, density float64) *ising.Model {
 	return sparseModel(rng.New(seed), 48, density)
 }

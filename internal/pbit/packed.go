@@ -1,0 +1,330 @@
+// Multi-spin coding: 64 replicas of one Hamiltonian swept in lockstep,
+// their spin states packed one bit per replica into a single uint64 word
+// per spin. Every J-row load, noise batch, and threshold pass is amortized
+// across the whole fleet — the classic p-computer trick the replica pool
+// (internal/core/parallel.go) previously paid per replica.
+//
+// Layout ("lane" = replica index r ∈ [0, 64)):
+//
+//   - states[i] bit r      — spin i of replica r (+1 when set, −1 clear)
+//   - fields[i·64+r]       — replica r's local field I_i, lane-blocked so
+//     the per-spin threshold pass and the flip propagation both touch 64
+//     contiguous float64 (8 cache lines, 16 AVX2 vectors)
+//   - hb[i·64+r]           — replica r's private bias h_i (each lane runs
+//     its own λ trajectory, so biases diverge across lanes)
+//   - noise[i·64+r]        — per-sweep uniform noise, one draw per lane
+//
+// Couplings stay real-valued, so the field arithmetic is ordinary float64
+// math; only the state and the per-spin flip/want decisions are bitwise.
+// Each lane owns an independent rng.Source consuming draws in exactly the
+// order a scalar machine with that source would (Randomize: one Bool per
+// spin; Sweep: one Sym per spin), and the field updates replicate the
+// scalar kernels' accumulation order per lane — so given the same
+// per-replica sources the packed kernels reproduce 64 scalar trajectories
+// bit-for-bit. packed_test.go pins this differentially against the scalar
+// machines; the golden-trajectory tests keep pinning the scalar path
+// itself. See DESIGN.md §5.5.
+package pbit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Lanes is the replica capacity of one packed machine: the word width.
+const Lanes = 64
+
+// laneGroups is Lanes/4, the number of 4-lane vector groups per spin.
+const laneGroups = Lanes / 4
+
+// PackedKernel is the contract shared by the dense and CSR packed
+// machines; internal/core's packed replica engine drives it.
+type PackedKernel interface {
+	N() int
+	// Sweeps reports packed sweep count: one Sweep advances every lane by
+	// one Monte-Carlo sweep, so this equals each lane's per-replica count.
+	Sweeps() int64
+	// ReseedLane gives lane r a fresh randomness source (cf. Machine.Reseed).
+	ReseedLane(r int, src *rng.Source)
+	// UpdateLaneBiases reprograms lane r's private bias vector (cf.
+	// Machine.UpdateBiases; each lane follows its own λ trajectory).
+	UpdateLaneBiases(r int, h vecmat.Vec)
+	// LaneStateInto copies lane r's current configuration into dst.
+	LaneStateInto(dst ising.Spins, r int)
+	// SetAllLanesState installs one configuration on every lane and
+	// recomputes fields (the warm-start path: every replica of a pooled
+	// solve warm-starts from the same assignment).
+	SetAllLanesState(s ising.Spins)
+	// Randomize draws a fresh uniform configuration per lane.
+	Randomize()
+	// Sweep runs one Monte-Carlo sweep of all 64 lanes.
+	Sweep(beta float64)
+}
+
+// packedCore holds the lane-blocked state shared by both packed machines.
+type packedCore struct {
+	n      int
+	states []uint64
+	fields []float64
+	hb     []float64
+	noise  []float64
+	d      [Lanes]float64    // per-lane flip deltas (±2 or 0), scratch
+	groups [laneGroups]int32 // active 4-lane groups of the current flip
+	srcs   [Lanes]*rng.Source
+	sweeps int64
+}
+
+func newPackedCore(h vecmat.Vec, src *rng.Source) packedCore {
+	n := len(h)
+	c := packedCore{
+		n:      n,
+		states: make([]uint64, n),
+		fields: make([]float64, n*Lanes),
+		hb:     make([]float64, n*Lanes),
+		noise:  make([]float64, n*Lanes),
+	}
+	for i, v := range h {
+		for r := 0; r < Lanes; r++ {
+			c.hb[i*Lanes+r] = v
+		}
+	}
+	for r := 0; r < Lanes; r++ {
+		c.srcs[r] = src.Split()
+	}
+	return c
+}
+
+// N returns the number of p-bits per lane.
+func (c *packedCore) N() int { return c.n }
+
+// Sweeps returns the packed sweep count (== every lane's sweep count).
+func (c *packedCore) Sweeps() int64 { return c.sweeps }
+
+// ReseedLane replaces lane r's randomness source.
+func (c *packedCore) ReseedLane(r int, src *rng.Source) { c.srcs[r] = src }
+
+// UpdateLaneBiases replaces lane r's bias vector and adjusts its local
+// fields incrementally in O(N) — the same arithmetic, in the same order,
+// as the scalar machines' UpdateBiases.
+func (c *packedCore) UpdateLaneBiases(r int, h vecmat.Vec) {
+	if len(h) != c.n {
+		panic("pbit: UpdateLaneBiases dimension mismatch")
+	}
+	for i := 0; i < c.n; i++ {
+		idx := i*Lanes + r
+		c.fields[idx] += h[i] - c.hb[idx]
+		c.hb[idx] = h[i]
+	}
+}
+
+// LaneStateInto copies lane r's configuration into dst.
+func (c *packedCore) LaneStateInto(dst ising.Spins, r int) {
+	if len(dst) != c.n {
+		panic("pbit: LaneStateInto dimension mismatch")
+	}
+	for i, w := range c.states {
+		dst[i] = int8(int64(w>>r&1)*2 - 1)
+	}
+}
+
+// setAllLanesBits installs one configuration on every lane (fields are the
+// caller's responsibility).
+func (c *packedCore) setAllLanesBits(s ising.Spins) {
+	if len(s) != c.n {
+		panic("pbit: SetAllLanesState dimension mismatch")
+	}
+	for i, v := range s {
+		if v == 1 {
+			c.states[i] = ^uint64(0)
+		} else {
+			c.states[i] = 0
+		}
+	}
+}
+
+// randomizeBits draws a fresh uniform configuration per lane, each lane
+// consuming exactly the draws — in the same order — a scalar Randomize
+// with the same source would (one Bool(0.5) per spin).
+func (c *packedCore) randomizeBits() {
+	for i := range c.states {
+		c.states[i] = 0
+	}
+	for r := 0; r < Lanes; r++ {
+		src := c.srcs[r]
+		bit := uint64(1) << r
+		for i := 0; i < c.n; i++ {
+			if src.Bool(0.5) {
+				c.states[i] |= bit
+			}
+		}
+	}
+}
+
+// fillNoise batch-draws each lane's per-sweep noise into the lane-blocked
+// buffer: lane r's draw for spin i lands at noise[i·64+r], preserving each
+// lane's scalar stream order (one Sym per spin).
+//
+//saim:hotpath
+func (c *packedCore) fillNoise() {
+	for g := 0; g < laneGroups; g += 2 {
+		b := g * 4
+		oct := [8]*rng.Source{
+			c.srcs[b], c.srcs[b+1], c.srcs[b+2], c.srcs[b+3],
+			c.srcs[b+4], c.srcs[b+5], c.srcs[b+6], c.srcs[b+7],
+		}
+		rng.FillSym8Strided(&oct, c.noise[b:], c.n, Lanes)
+	}
+}
+
+// spinFloats expands the packed states into ±1.0 per (spin, lane) using
+// dst as scratch (length n·Lanes).
+func (c *packedCore) spinFloats(dst []float64) {
+	for i, w := range c.states {
+		for r := 0; r < Lanes; r++ {
+			dst[i*Lanes+r] = float64(int64(w>>r&1)*2 - 1)
+		}
+	}
+}
+
+// PackedMachine sweeps 64 replicas of one Hamiltonian over dense J rows.
+// It is not safe for concurrent use. See the package comment above for the
+// packing layout and the trajectory-identity contract.
+type PackedMachine struct {
+	packedCore
+	model *ising.Model
+}
+
+// NewPacked returns a dense packed machine with every lane's spins at −1
+// and per-lane sources split off src (in lane order). ReseedLane overrides
+// individual lanes; the model must satisfy Validate.
+func NewPacked(model *ising.Model, src *rng.Source) *PackedMachine {
+	if err := model.Validate(); err != nil {
+		panic(fmt.Sprintf("pbit: invalid model: %v", err))
+	}
+	m := &PackedMachine{
+		packedCore: newPackedCore(model.H, src),
+		model:      model,
+	}
+	m.RecomputeFields()
+	return m
+}
+
+// Model returns the shared Hamiltonian (read-only for the machine: biases
+// live in private per-lane copies).
+func (m *PackedMachine) Model() *ising.Model { return m.model }
+
+// RecomputeFields rebuilds every lane's local fields from scratch,
+// replicating the scalar LocalField accumulation order per lane: for each
+// spin i, start from h_i and add J_ij·m_j for j = 0…n−1.
+func (m *PackedMachine) RecomputeFields() {
+	m.spinFloats(m.noise) // noise is dead outside Sweep; reuse as scratch
+	for i := 0; i < m.n; i++ {
+		row := m.model.J.Row(i)
+		acc := m.fields[i*Lanes : i*Lanes+Lanes]
+		copy(acc, m.hb[i*Lanes:i*Lanes+Lanes])
+		for j, w := range row {
+			if w == 0 {
+				continue // adds only ±0, which no lane's decisions can see
+			}
+			sf := m.noise[j*Lanes : j*Lanes+Lanes]
+			for r := 0; r < Lanes; r++ {
+				acc[r] += w * sf[r]
+			}
+		}
+	}
+}
+
+// SetAllLanesState installs one configuration on every lane.
+func (m *PackedMachine) SetAllLanesState(s ising.Spins) {
+	m.setAllLanesBits(s)
+	m.RecomputeFields()
+}
+
+// Randomize draws a fresh uniform configuration per lane.
+func (m *PackedMachine) Randomize() {
+	m.randomizeBits()
+	m.RecomputeFields()
+}
+
+// Sweep runs one Monte-Carlo sweep of all 64 lanes: per spin, one packed
+// threshold pass turns 64 wantSpin decisions into a comparison-mask word
+// (saturation shortcut preserved per lane), the flip mask is XOR-ed into
+// the state word, and the J row is walked once, adding ±2w per flipped
+// lane via sign-select deltas. Single-lane flips — the common case once
+// the anneal cools — take a strided scalar walk instead, which costs
+// exactly one scalar machine's flip.
+//
+//saim:hotpath
+func (m *PackedMachine) Sweep(beta float64) {
+	n := m.n
+	if n == 0 {
+		m.sweeps++
+		return
+	}
+	m.fillNoise()
+	for i := 0; i < n; i++ {
+		base := i * Lanes
+		want := packedWant(beta, m.fields[base:base+Lanes], m.noise[base:base+Lanes])
+		fl := want ^ m.states[i]
+		if fl == 0 {
+			continue
+		}
+		m.states[i] = want
+		row := m.model.J.Row(i)
+		if fl&(fl-1) == 0 {
+			r := bits.TrailingZeros64(fl)
+			delta := -2.0
+			if want>>uint(r)&1 != 0 {
+				delta = 2.0
+			}
+			flipApplySingleDense(row, m.fields[r:], delta)
+		} else {
+			ng := buildDeltas(fl, want, &m.d, &m.groups)
+			flipApplyDense(row, m.fields, &m.d, m.groups[:ng])
+		}
+	}
+	m.sweeps++
+}
+
+// AnnealRun runs one annealing run on every lane: fresh random start, then
+// `sweeps` packed sweeps with β following sched (cf. Machine.AnnealInto).
+func (m *PackedMachine) AnnealRun(sched schedule.Schedule, sweeps int) {
+	m.Randomize()
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+}
+
+// AnnealFromRun continues annealing from the current lane states without
+// re-randomizing (the warm-start path, cf. Machine.AnnealFromInto).
+func (m *PackedMachine) AnnealFromRun(sched schedule.Schedule, sweeps int) {
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+}
+
+// LaneFieldConsistencyError returns the worst drift between lane r's
+// incrementally-maintained fields and a from-scratch recomputation over
+// its private biases (test hook).
+func (m *PackedMachine) LaneFieldConsistencyError(r int) float64 {
+	worst := 0.0
+	for i := 0; i < m.n; i++ {
+		acc := m.hb[i*Lanes+r]
+		for j, w := range m.model.J.Row(i) {
+			acc += w * float64(int64(m.states[j]>>r&1)*2-1)
+		}
+		d := m.fields[i*Lanes+r] - acc
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,400 @@
+// AVX2 packed-sweep kernels. Each processes 4 lanes per ymm vector,
+// 16 groups per 64-lane spin block. Floating-point operation order matches
+// the scalar wantSpin / flip kernels exactly (separate multiply and add,
+// never FMA; Padé numerator/denominator evaluated in the scalar nesting
+// order), so results are bit-identical to the portable Go path.
+
+#include "textflag.h"
+
+// wantSpin saturation bounds (8-byte, broadcast once per call).
+DATA satHi<>+0(SB)/8, $0x40143d70a3d70a3d // 5.06
+GLOBL satHi<>(SB), RODATA, $8
+DATA satLo<>+0(SB)/8, $0xc0143d70a3d70a3d // -5.06
+GLOBL satLo<>(SB), RODATA, $8
+
+// Padé coefficients and blend constants as full 32-byte vectors, used as
+// memory operands so the whole register file stays free for live values.
+#define VCONST(name, bits) \
+	DATA name+0(SB)/8, bits  \
+	DATA name+8(SB)/8, bits  \
+	DATA name+16(SB)/8, bits \
+	DATA name+24(SB)/8, bits \
+	GLOBL name(SB), RODATA|NOPTR, $32
+
+VCONST(c135135<>, $0x41007ef800000000)
+VCONST(c17325<>, $0x40d0eb4000000000)
+VCONST(c378<>, $0x4077a00000000000)
+VCONST(c62370<>, $0x40ee744000000000)
+VCONST(c3150<>, $0x40a89c0000000000)
+VCONST(c28<>, $0x403c000000000000)
+VCONST(cNeg1<>, $0xbff0000000000000) // -1.0
+VCONST(cPos1<>, $0x3ff0000000000000) // 1.0
+
+// func packedWantAVX2(beta float64, f, nz *float64) uint64
+//
+// Pass A scans all 16 groups branch-free, accumulating two 64-bit masks:
+// hi (x > 5.06 per lane) and sat (|x| beyond either rail). When every lane
+// is saturated — the dominant case late in an anneal — the want word is hi
+// and the Padé evaluation is skipped entirely: the scalar saturation
+// shortcut amortized to one branch per 64 lanes. Otherwise pass B runs the
+// Padé rational in the exact scalar nesting order, adds the noise, and
+// forces saturated lanes to ±1.0 by blend so one sign-mask read per group
+// yields the want nibble. want bit r = 1 ⇔ sum_r >= 0; the sum can never
+// be -0.0 (the noise stream never produces -0.0 and (+0)+(-0) = +0 in
+// round-to-nearest), so the sign bit is exactly the >= 0 decision.
+TEXT ·packedWantAVX2(SB), NOSPLIT, $0-32
+	VBROADCASTSD beta+0(FP), Y0
+	MOVQ f+8(FP), SI
+	MOVQ nz+16(FP), DX
+	VBROADCASTSD satHi<>(SB), Y1
+	VBROADCASTSD satLo<>(SB), Y2
+
+	// Pass A: walk groups 15..0 two at a time, shift-accumulating the hi
+	// and sat nibbles (R10, R11) from the top down.
+	LEAQ 448(SI), R9 // group 14; 32(R9) is group 15
+	XORQ R10, R10
+	XORQ R11, R11
+	MOVQ $8, R8
+
+scan:
+	VMOVUPD 32(R9), Y3 // higher group of the pair
+	VMOVUPD (R9), Y12  // lower group
+	VMULPD  Y0, Y3, Y3
+	VMULPD  Y0, Y12, Y12
+	VCMPPD  $0x1e, Y1, Y3, Y4   // x > 5.06 (GT_OQ)
+	VCMPPD  $0x11, Y2, Y3, Y5   // x < -5.06 (LT_OQ)
+	VCMPPD  $0x1e, Y1, Y12, Y13
+	VCMPPD  $0x11, Y2, Y12, Y14
+	VPOR    Y4, Y5, Y6
+	VPOR    Y13, Y14, Y15
+	VMOVMSKPD Y4, AX
+	VMOVMSKPD Y13, BX
+	SHLQ    $8, R10
+	SHLQ    $4, AX
+	ORQ     BX, AX
+	ORQ     AX, R10
+	VMOVMSKPD Y6, AX
+	VMOVMSKPD Y15, BX
+	SHLQ    $8, R11
+	SHLQ    $4, AX
+	ORQ     BX, AX
+	ORQ     AX, R11
+	SUBQ    $64, R9
+	DECQ    R8
+	JNE     scan
+
+	CMPQ R11, $-1
+	JNE  pade
+	MOVQ R10, ret+24(FP) // every lane saturated: want = hi mask
+	VZEROUPPER
+	RET
+
+	// Pass B: Padé evaluation for the groups with at least one unsaturated
+	// lane; a fully saturated group's want nibble is already decided by hi
+	// (the blend would force all four lanes to ±1.0, whose sign IS the hi
+	// bit — same nibble, minus a VDIVPD). Saturated lanes inside a mixed
+	// group are still overridden by blend. The want nibbles accumulate
+	// with a running shift.
+pade:
+	MOVQ R10, R9 // hi decisions from pass A
+	XORQ R10, R10
+	XORQ CX, CX  // bit position of current group
+	MOVQ $16, R8
+
+padegroup:
+	MOVQ R11, AX
+	SHRQ CX, AX
+	ANDQ $0xf, AX
+	CMPQ AX, $0xf
+	JNE  padecompute
+
+	// All four lanes saturated: reuse the hi nibble.
+	MOVQ R9, AX
+	SHRQ CX, AX
+	ANDQ $0xf, AX
+	SHLQ CX, AX
+	ORQ  AX, R10
+	JMP  padenext
+
+padecompute:
+	VMOVUPD   (SI), Y3
+	VMULPD    Y0, Y3, Y3 // x = f·beta
+	VCMPPD    $0x1e, Y1, Y3, Y4
+	VCMPPD    $0x11, Y2, Y3, Y5
+	VMULPD    Y3, Y3, Y6         // x2
+	VADDPD    c378<>(SB), Y6, Y7 // 378 + x2
+	VMULPD    Y6, Y7, Y7
+	VADDPD    c17325<>(SB), Y7, Y7
+	VMULPD    Y6, Y7, Y7
+	VADDPD    c135135<>(SB), Y7, Y7
+	VMULPD    Y3, Y7, Y7          // p = x·(135135 + x2·(17325 + x2·(378 + x2)))
+	VMULPD    c28<>(SB), Y6, Y9   // x2·28
+	VADDPD    c3150<>(SB), Y9, Y9
+	VMULPD    Y6, Y9, Y9
+	VADDPD    c62370<>(SB), Y9, Y9
+	VMULPD    Y6, Y9, Y9
+	VADDPD    c135135<>(SB), Y9, Y9 // q = 135135 + x2·(62370 + x2·(3150 + x2·28))
+	VDIVPD    Y9, Y7, Y7            // p/q
+	VADDPD    (DX), Y7, Y7          // + noise
+	VBLENDVPD Y5, cNeg1<>(SB), Y7, Y7 // saturated-low lanes → -1.0 (want 0)
+	VBLENDVPD Y4, cPos1<>(SB), Y7, Y7 // saturated-high lanes → +1.0 (want 1)
+	VMOVMSKPD Y7, AX
+	NOTL      AX
+	ANDL      $0xf, AX // want nibble = ~signbits
+	SHLQ      CX, AX
+	ORQ       AX, R10
+
+padenext:
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $4, CX
+	DECQ R8
+	JNE  padegroup
+
+	MOVQ R10, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func flipApplyDenseAVX2(row *float64, nrow int, fields *float64, d *[64]float64, groups *int32, ng int)
+//
+// fields[j·64+g·4 .. +4] += row[j]·d[g·4 .. +4] for each j and each active
+// group g. Multiply then add as two separately-rounded ops, matching the
+// scalar fj[b] += w*d[b]. One active group (the common co-flip case once
+// the anneal cools) hoists the group's offset and deltas out of the row
+// walk; all 16 groups active (the flip-heavy early-anneal regime) takes a
+// fully unrolled block with no group indirection.
+TEXT ·flipApplyDenseAVX2(SB), NOSPLIT, $0-48
+	MOVQ  row+0(FP), SI
+	MOVQ  nrow+8(FP), R8
+	MOVQ  fields+16(FP), DI
+	MOVQ  d+24(FP), R9
+	MOVQ  groups+32(FP), R10
+	MOVQ  ng+40(FP), R11
+	TESTQ R8, R8
+	JE    done
+	CMPQ  R11, $1
+	JE    onegroup
+	CMPQ  R11, $16
+	JE    fullrow
+	TESTQ R11, R11
+	JE    done
+
+rowloop:
+	VBROADCASTSD (SI), Y0 // w = row[j]
+	XORQ         BX, BX
+
+grouploop:
+	MOVLQSX (R10)(BX*4), AX
+	SHLQ    $5, AX            // byte offset of group: g·4 lanes · 8 bytes
+	VMOVUPD (R9)(AX*1), Y1    // d
+	VMULPD  Y0, Y1, Y1        // w·d
+	VADDPD  (DI)(AX*1), Y1, Y2
+	VMOVUPD Y2, (DI)(AX*1)
+	INCQ    BX
+	CMPQ    BX, R11
+	JNE     grouploop
+
+	ADDQ $8, SI
+	ADDQ $512, DI // next spin's 64-lane field block
+	DECQ R8
+	JNE  rowloop
+	JMP  done
+
+onegroup:
+	MOVLQSX (R10), AX
+	SHLQ    $5, AX
+	ADDQ    AX, DI          // field pointer lands on the active group
+	VMOVUPD (R9)(AX*1), Y3  // the group's deltas, hoisted
+
+onerow:
+	VBROADCASTSD (SI), Y0
+	VMULPD       Y3, Y0, Y1
+	VADDPD       (DI), Y1, Y2
+	VMOVUPD      Y2, (DI)
+	ADDQ         $8, SI
+	ADDQ         $512, DI
+	DECQ         R8
+	JNE          onerow
+	JMP          done
+
+#define FLIPGROUP(off) \
+	VMOVUPD off(R9), Y1  \
+	VMULPD  Y0, Y1, Y1   \
+	VADDPD  off(DI), Y1, Y2 \
+	VMOVUPD Y2, off(DI)
+
+fullrow:
+	VBROADCASTSD (SI), Y0
+	FLIPGROUP(0)
+	FLIPGROUP(32)
+	FLIPGROUP(64)
+	FLIPGROUP(96)
+	FLIPGROUP(128)
+	FLIPGROUP(160)
+	FLIPGROUP(192)
+	FLIPGROUP(224)
+	FLIPGROUP(256)
+	FLIPGROUP(288)
+	FLIPGROUP(320)
+	FLIPGROUP(352)
+	FLIPGROUP(384)
+	FLIPGROUP(416)
+	FLIPGROUP(448)
+	FLIPGROUP(480)
+	ADDQ $8, SI
+	ADDQ $512, DI
+	DECQ R8
+	JNE  fullrow
+
+done:
+	VZEROUPPER
+	RET
+
+// func flipApplyCSRAVX2(cols *int32, ws *float64, nnz int, fields *float64, d *[64]float64, groups *int32, ng int)
+//
+// CSR variant: fields[cols[k]·64+…] += ws[k]·d[…] per active group, with
+// the same one-group and sixteen-group specializations.
+TEXT ·flipApplyCSRAVX2(SB), NOSPLIT, $0-56
+	MOVQ  cols+0(FP), SI
+	MOVQ  ws+8(FP), DX
+	MOVQ  nnz+16(FP), R8
+	MOVQ  fields+24(FP), DI
+	MOVQ  d+32(FP), R9
+	MOVQ  groups+40(FP), R10
+	MOVQ  ng+48(FP), R11
+	TESTQ R8, R8
+	JE    done
+	XORQ  R12, R12 // k
+	CMPQ  R11, $1
+	JE    onegroup
+	CMPQ  R11, $16
+	JE    fullentry
+	TESTQ R11, R11
+	JE    done
+
+entryloop:
+	MOVLQSX      (SI)(R12*4), R13 // j = cols[k]
+	SHLQ         $9, R13          // j·64 lanes · 8 bytes
+	LEAQ         (DI)(R13*1), R14 // lane block of spin j
+	VBROADCASTSD (DX)(R12*8), Y0  // w = ws[k]
+	XORQ         BX, BX
+
+grouploop:
+	MOVLQSX (R10)(BX*4), AX
+	SHLQ    $5, AX
+	VMOVUPD (R9)(AX*1), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (R14)(AX*1), Y1, Y2
+	VMOVUPD Y2, (R14)(AX*1)
+	INCQ    BX
+	CMPQ    BX, R11
+	JNE     grouploop
+
+	INCQ R12
+	CMPQ R12, R8
+	JNE  entryloop
+	JMP  done
+
+onegroup:
+	MOVLQSX (R10), AX
+	SHLQ    $5, AX
+	ADDQ    AX, DI         // field base offset to the active group
+	VMOVUPD (R9)(AX*1), Y3 // the group's deltas, hoisted
+
+oneentry:
+	MOVLQSX      (SI)(R12*4), R13
+	SHLQ         $9, R13
+	VBROADCASTSD (DX)(R12*8), Y0
+	VMULPD       Y3, Y0, Y1
+	VADDPD       (DI)(R13*1), Y1, Y2
+	VMOVUPD      Y2, (DI)(R13*1)
+	INCQ         R12
+	CMPQ         R12, R8
+	JNE          oneentry
+	JMP          done
+
+#define FLIPGROUPR14(off) \
+	VMOVUPD off(R9), Y1  \
+	VMULPD  Y0, Y1, Y1   \
+	VADDPD  off(R14), Y1, Y2 \
+	VMOVUPD Y2, off(R14)
+
+fullentry:
+	MOVLQSX      (SI)(R12*4), R13
+	SHLQ         $9, R13
+	LEAQ         (DI)(R13*1), R14
+	VBROADCASTSD (DX)(R12*8), Y0
+	FLIPGROUPR14(0)
+	FLIPGROUPR14(32)
+	FLIPGROUPR14(64)
+	FLIPGROUPR14(96)
+	FLIPGROUPR14(128)
+	FLIPGROUPR14(160)
+	FLIPGROUPR14(192)
+	FLIPGROUPR14(224)
+	FLIPGROUPR14(256)
+	FLIPGROUPR14(288)
+	FLIPGROUPR14(320)
+	FLIPGROUPR14(352)
+	FLIPGROUPR14(384)
+	FLIPGROUPR14(416)
+	FLIPGROUPR14(448)
+	FLIPGROUPR14(480)
+	INCQ R12
+	CMPQ R12, R8
+	JNE  fullentry
+
+done:
+	VZEROUPPER
+	RET
+
+// func flipApplySingleDenseAVX2(row *float64, nrow int, fieldsLane *float64, delta float64)
+//
+// One-lane flip: fieldsLane[j·64] += row[j]·delta — the scalar flip loop
+// at stride 512 bytes. VEX scalar ops keep the upper ymm state clean, so
+// no VZEROUPPER is needed.
+TEXT ·flipApplySingleDenseAVX2(SB), NOSPLIT, $0-32
+	MOVQ   row+0(FP), SI
+	MOVQ   nrow+8(FP), R8
+	MOVQ   fieldsLane+16(FP), DI
+	VMOVSD delta+24(FP), X0
+	TESTQ  R8, R8
+	JE     done
+
+loop:
+	VMOVSD (SI), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI), X1, X2
+	VMOVSD X2, (DI)
+	ADDQ   $8, SI
+	ADDQ   $512, DI
+	DECQ   R8
+	JNE    loop
+
+done:
+	RET
+
+// func flipApplySingleCSRAVX2(cols *int32, ws *float64, nnz int, fieldsLane *float64, delta float64)
+TEXT ·flipApplySingleCSRAVX2(SB), NOSPLIT, $0-40
+	MOVQ   cols+0(FP), SI
+	MOVQ   ws+8(FP), DX
+	MOVQ   nnz+16(FP), R8
+	MOVQ   fieldsLane+24(FP), DI
+	VMOVSD delta+32(FP), X0
+	TESTQ  R8, R8
+	JE     done
+	XORQ   R12, R12
+
+loop:
+	MOVLQSX (SI)(R12*4), R13
+	SHLQ    $9, R13
+	VMOVSD  (DX)(R12*8), X1
+	VMULSD  X0, X1, X1
+	VADDSD  (DI)(R13*1), X1, X2
+	VMOVSD  X2, (DI)(R13*1)
+	INCQ    R12
+	CMPQ    R12, R8
+	JNE     loop
+
+done:
+	RET

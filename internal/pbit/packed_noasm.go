@@ -1,0 +1,30 @@
+//go:build !amd64
+
+package pbit
+
+// Non-amd64 builds run the portable reference kernels directly.
+
+//saim:hotpath
+func packedWant(beta float64, f, nz []float64) uint64 {
+	return packedWantGo(beta, f, nz)
+}
+
+//saim:hotpath
+func flipApplyDense(row []float64, fields []float64, d *[Lanes]float64, groups []int32) {
+	flipApplyDenseGo(row, fields, d, groups)
+}
+
+//saim:hotpath
+func flipApplyCSR(cols []int32, ws []float64, fields []float64, d *[Lanes]float64, groups []int32) {
+	flipApplyCSRGo(cols, ws, fields, d, groups)
+}
+
+//saim:hotpath
+func flipApplySingleDense(row []float64, fieldsLane []float64, delta float64) {
+	flipApplySingleDenseGo(row, fieldsLane, delta)
+}
+
+//saim:hotpath
+func flipApplySingleCSR(cols []int32, ws []float64, fieldsLane []float64, delta float64) {
+	flipApplySingleCSRGo(cols, ws, fieldsLane, delta)
+}

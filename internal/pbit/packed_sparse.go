@@ -1,0 +1,145 @@
+package pbit
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+)
+
+// PackedSparseMachine is the CSR variant of PackedMachine: 64 replicas
+// swept in lockstep over the flat three-array coupling layout of
+// SparseMachine. Per lane it reproduces SparseMachine's trajectory
+// bit-for-bit given the same source — which, by the existing golden tests,
+// is also the dense machine's trajectory.
+type PackedSparseMachine struct {
+	packedCore
+	rowPtr []int32
+	colIdx []int32
+	weight []float64
+}
+
+// NewPackedSparse builds a packed CSR machine from the model's non-zero
+// couplings, per-lane sources split off src in lane order.
+func NewPackedSparse(model *ising.Model, src *rng.Source) *PackedSparseMachine {
+	if err := model.Validate(); err != nil {
+		panic(fmt.Sprintf("pbit: invalid model: %v", err))
+	}
+	rowPtr, colIdx, weight := buildCSR(model)
+	m := &PackedSparseMachine{
+		packedCore: newPackedCore(model.H, src),
+		rowPtr:     rowPtr,
+		colIdx:     colIdx,
+		weight:     weight,
+	}
+	m.RecomputeFields()
+	return m
+}
+
+// row returns the CSR column/weight spans of spin i.
+func (m *PackedSparseMachine) row(i int) ([]int32, []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.weight[lo:hi]
+}
+
+// RecomputeFields rebuilds every lane's local fields from scratch in the
+// CSR entry order SparseMachine.RecomputeFields uses per lane.
+func (m *PackedSparseMachine) RecomputeFields() {
+	m.spinFloats(m.noise) // noise is dead outside Sweep; reuse as scratch
+	for i := 0; i < m.n; i++ {
+		acc := m.fields[i*Lanes : i*Lanes+Lanes]
+		copy(acc, m.hb[i*Lanes:i*Lanes+Lanes])
+		cols, ws := m.row(i)
+		for k, j := range cols {
+			w := ws[k]
+			sf := m.noise[int(j)*Lanes : int(j)*Lanes+Lanes]
+			for r := 0; r < Lanes; r++ {
+				acc[r] += w * sf[r]
+			}
+		}
+	}
+}
+
+// SetAllLanesState installs one configuration on every lane.
+func (m *PackedSparseMachine) SetAllLanesState(s ising.Spins) {
+	m.setAllLanesBits(s)
+	m.RecomputeFields()
+}
+
+// Randomize draws a fresh uniform configuration per lane.
+func (m *PackedSparseMachine) Randomize() {
+	m.randomizeBits()
+	m.RecomputeFields()
+}
+
+// Sweep runs one Monte-Carlo sweep of all 64 lanes over the CSR rows.
+//
+//saim:hotpath
+func (m *PackedSparseMachine) Sweep(beta float64) {
+	n := m.n
+	if n == 0 {
+		m.sweeps++
+		return
+	}
+	m.fillNoise()
+	for i := 0; i < n; i++ {
+		base := i * Lanes
+		want := packedWant(beta, m.fields[base:base+Lanes], m.noise[base:base+Lanes])
+		fl := want ^ m.states[i]
+		if fl == 0 {
+			continue
+		}
+		m.states[i] = want
+		cols, ws := m.row(i)
+		if fl&(fl-1) == 0 {
+			r := bits.TrailingZeros64(fl)
+			delta := -2.0
+			if want>>uint(r)&1 != 0 {
+				delta = 2.0
+			}
+			flipApplySingleCSR(cols, ws, m.fields[r:], delta)
+		} else {
+			ng := buildDeltas(fl, want, &m.d, &m.groups)
+			flipApplyCSR(cols, ws, m.fields, &m.d, m.groups[:ng])
+		}
+	}
+	m.sweeps++
+}
+
+// AnnealRun runs one annealing run on every lane from a fresh random start.
+func (m *PackedSparseMachine) AnnealRun(sched schedule.Schedule, sweeps int) {
+	m.Randomize()
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+}
+
+// AnnealFromRun continues annealing from the current lane states.
+func (m *PackedSparseMachine) AnnealFromRun(sched schedule.Schedule, sweeps int) {
+	for t := 0; t < sweeps; t++ {
+		m.Sweep(sched.Beta(t, sweeps))
+	}
+}
+
+// LaneFieldConsistencyError returns the worst drift between lane r's
+// incremental fields and a from-scratch recomputation (test hook).
+func (m *PackedSparseMachine) LaneFieldConsistencyError(r int) float64 {
+	worst := 0.0
+	for i := 0; i < m.n; i++ {
+		acc := m.hb[i*Lanes+r]
+		cols, ws := m.row(i)
+		for k, j := range cols {
+			acc += ws[k] * float64(int64(m.states[j]>>r&1)*2-1)
+		}
+		d := m.fields[i*Lanes+r] - acc
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,317 @@
+package pbit
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/cpufeat"
+	"github.com/ising-machines/saim/internal/ising"
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/schedule"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// scalarFleet builds 64 scalar machines whose sources are split off a
+// fresh source with the same seed the packed machine was given — Split is
+// deterministic, so lane r's source and machine r's source carry identical
+// streams.
+func scalarFleet(model *ising.Model, seed uint64, sparse bool) []interface {
+	State() ising.Spins
+	Randomize()
+	Sweep(float64)
+	SetState(ising.Spins)
+	UpdateBiases(vecmat.Vec)
+} {
+	base := rng.New(seed)
+	fleet := make([]interface {
+		State() ising.Spins
+		Randomize()
+		Sweep(float64)
+		SetState(ising.Spins)
+		UpdateBiases(vecmat.Vec)
+	}, Lanes)
+	for r := range fleet {
+		if sparse {
+			fleet[r] = NewSparse(model, base.Split())
+		} else {
+			fleet[r] = New(model, base.Split())
+		}
+	}
+	return fleet
+}
+
+// trajectoryBetas spans the unsaturated regime, the mixed regime, and deep
+// saturation (β·I far beyond ±5.06), so both the Padé path and the
+// all-saturated fast path of the packed threshold kernel are exercised.
+func trajectoryBetas() []float64 {
+	betas := make([]float64, 0, 40)
+	for k := 0; k < 40; k++ {
+		betas = append(betas, 0.05+float64(k)*0.25)
+	}
+	return betas
+}
+
+type packedAny interface {
+	PackedKernel
+	RecomputeFields()
+	LaneFieldConsistencyError(r int) float64
+}
+
+// runDifferential sweeps packed and scalar fleets in lockstep and requires
+// every lane's state to equal its scalar twin's after every sweep, and
+// every lane's fields to stay numerically equal (±0.0 sign differences are
+// allowed — they are provably invisible to all threshold decisions).
+func runDifferential(t *testing.T, pm packedAny, fleet []interface {
+	State() ising.Spins
+	Randomize()
+	Sweep(float64)
+	SetState(ising.Spins)
+	UpdateBiases(vecmat.Vec)
+}, fields func(i, r int) float64, scalarField func(m interface{}, i int) float64) {
+	t.Helper()
+	n := pm.N()
+	pm.Randomize()
+	for _, m := range fleet {
+		m.Randomize()
+	}
+	got := ising.NewSpins(n)
+	for step, beta := range trajectoryBetas() {
+		pm.Sweep(beta)
+		for r, m := range fleet {
+			m.Sweep(beta)
+			pm.LaneStateInto(got, r)
+			want := m.State()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d lane %d spin %d: packed %d scalar %d", step, r, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	for r, m := range fleet {
+		for i := 0; i < n; i++ {
+			if pf, sf := fields(i, r), scalarField(m, i); pf != sf {
+				t.Fatalf("lane %d spin %d: packed field %v scalar field %v", r, i, pf, sf)
+			}
+		}
+		if drift := pm.LaneFieldConsistencyError(r); drift > 1e-9 {
+			t.Fatalf("lane %d field drift %v", r, drift)
+		}
+	}
+}
+
+func TestPackedDenseMatchesScalarFleet(t *testing.T) {
+	src := rng.New(21)
+	model := randomModel(src, 33)
+	pm := NewPacked(model, rng.New(777))
+	fleet := scalarFleet(model, 777, false)
+	runDifferential(t, pm, fleet,
+		func(i, r int) float64 { return pm.fields[i*Lanes+r] },
+		func(m interface{}, i int) float64 { return m.(*Machine).field[i] })
+}
+
+func TestPackedSparseMatchesScalarFleet(t *testing.T) {
+	src := rng.New(22)
+	q := ising.NewQUBO(40)
+	for i := 0; i < 40; i++ {
+		q.AddLinear(i, src.Sym())
+		if i == 0 {
+			continue // spin 0 stays isolated: exercises the empty CSR row
+		}
+		for j := i + 1; j < 40; j++ {
+			if src.Bool(0.15) {
+				q.AddQuad(i, j, src.Sym())
+			}
+		}
+	}
+	model := q.ToIsing()
+	pm := NewPackedSparse(model, rng.New(333))
+	fleet := scalarFleet(model, 333, true)
+	runDifferential(t, pm, fleet,
+		func(i, r int) float64 { return pm.fields[i*Lanes+r] },
+		func(m interface{}, i int) float64 { return m.(*SparseMachine).field[i] })
+}
+
+// The AVX2 kernels and the portable Go kernels must produce bit-identical
+// trajectories: run the same seeded anneal under both dispatch paths and
+// compare every lane's final state and every field word.
+func TestPackedNativeMatchesPortable(t *testing.T) {
+	saved := cpufeat.HasAVX2
+	defer func() { cpufeat.HasAVX2 = saved }()
+
+	src := rng.New(23)
+	model := randomModel(src, 29)
+	sched := schedule.Linear{Start: 0.1, End: 3.5}
+
+	run := func(native bool) (*PackedMachine, *PackedSparseMachine) {
+		cpufeat.HasAVX2 = native && saved
+		d := NewPacked(model, rng.New(99))
+		d.AnnealRun(sched, 50)
+		s := NewPackedSparse(model, rng.New(99))
+		s.AnnealRun(sched, 50)
+		return d, s
+	}
+	dn, sn := run(true)
+	dp, sp := run(false)
+
+	for i := 0; i < model.N(); i++ {
+		if dn.states[i] != dp.states[i] {
+			t.Fatalf("dense spin %d: native state %#x portable %#x", i, dn.states[i], dp.states[i])
+		}
+		if sn.states[i] != sp.states[i] {
+			t.Fatalf("sparse spin %d: native state %#x portable %#x", i, sn.states[i], sp.states[i])
+		}
+		for r := 0; r < Lanes; r++ {
+			if dn.fields[i*Lanes+r] != dp.fields[i*Lanes+r] {
+				t.Fatalf("dense field (%d,%d): native %v portable %v", i, r, dn.fields[i*Lanes+r], dp.fields[i*Lanes+r])
+			}
+			if sn.fields[i*Lanes+r] != sp.fields[i*Lanes+r] {
+				t.Fatalf("sparse field (%d,%d): native %v portable %v", i, r, sn.fields[i*Lanes+r], sp.fields[i*Lanes+r])
+			}
+		}
+	}
+}
+
+// packedWant against 64 independent wantSpin calls, across betas that
+// reach both saturation rails and dispatch paths.
+func TestPackedWantMatchesWantSpin(t *testing.T) {
+	saved := cpufeat.HasAVX2
+	defer func() { cpufeat.HasAVX2 = saved }()
+
+	src := rng.New(5)
+	f := make([]float64, Lanes)
+	nz := make([]float64, Lanes)
+	for trial := 0; trial < 200; trial++ {
+		beta := float64(trial) * 0.05
+		for r := range f {
+			f[r] = src.Sym() * 8
+			if trial%7 == 0 {
+				f[r] *= 100 // force deep saturation
+			}
+			nz[r] = src.Sym()
+		}
+		var want uint64
+		for r := 0; r < Lanes; r++ {
+			if wantSpin(beta*f[r], nz[r]) == 1 {
+				want |= 1 << r
+			}
+		}
+		for _, native := range []bool{true, false} {
+			cpufeat.HasAVX2 = native && saved
+			if got := packedWant(beta, f, nz); got != want {
+				t.Fatalf("trial %d native=%v: packedWant %#x want %#x", trial, native, got, want)
+			}
+		}
+	}
+}
+
+// Per-lane bias reprogramming must follow the scalar UpdateBiases
+// arithmetic: diverge the lanes' biases, sweep, and compare each lane to a
+// scalar machine given the same bias sequence.
+func TestUpdateLaneBiasesMatchesScalar(t *testing.T) {
+	src := rng.New(31)
+	model := randomModel(src, 20)
+	pm := NewPacked(model, rng.New(444))
+	fleet := scalarFleet(model, 444, false)
+
+	pm.Randomize()
+	for _, m := range fleet {
+		m.Randomize()
+	}
+	h := vecmat.NewVec(20)
+	got := ising.NewSpins(20)
+	for step := 0; step < 10; step++ {
+		for r, m := range fleet {
+			for i := range h {
+				h[i] = float64(r)*0.01 - float64(step)*0.1
+			}
+			pm.UpdateLaneBiases(r, h)
+			m.UpdateBiases(h)
+		}
+		pm.Sweep(1.2)
+		for r, m := range fleet {
+			m.Sweep(1.2)
+			pm.LaneStateInto(got, r)
+			want := m.State()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d lane %d spin %d mismatch", step, r, i)
+				}
+			}
+		}
+	}
+	for r := 0; r < Lanes; r++ {
+		if drift := pm.LaneFieldConsistencyError(r); drift > 1e-9 {
+			t.Fatalf("lane %d drift %v after bias reprogramming", r, drift)
+		}
+	}
+}
+
+// Warm start: installing one configuration on all lanes and continuing
+// must equal each scalar machine warm-started from the same state.
+func TestPackedWarmStartMatchesScalar(t *testing.T) {
+	src := rng.New(37)
+	model := randomModel(src, 18)
+	pm := NewPacked(model, rng.New(555))
+	fleet := scalarFleet(model, 555, false)
+
+	start := ising.NewSpins(18)
+	for i := range start {
+		if i%3 == 0 {
+			start[i] = 1
+		} else {
+			start[i] = -1
+		}
+	}
+	pm.SetAllLanesState(start)
+	for _, m := range fleet {
+		m.SetState(start)
+	}
+	sched := schedule.Linear{Start: 0.3, End: 2.5}
+	pm.AnnealFromRun(sched, 25)
+	got := ising.NewSpins(18)
+	for r, m := range fleet {
+		ws := m.(*Machine).AnnealFrom(sched, 25)
+		pm.LaneStateInto(got, r)
+		for i := range ws {
+			if got[i] != ws[i] {
+				t.Fatalf("lane %d spin %d: warm-start mismatch", r, i)
+			}
+		}
+	}
+}
+
+// Per-spin magnetization (mean over lanes) must match the scalar fleet's —
+// the statistic the replica pool's aggregation consumes.
+func TestPackedMagnetizationMatchesScalarFleet(t *testing.T) {
+	src := rng.New(41)
+	model := randomModel(src, 16)
+	pm := NewPacked(model, rng.New(666))
+	fleet := scalarFleet(model, 666, false)
+
+	sched := schedule.Linear{Start: 0.1, End: 2.0}
+	pm.AnnealRun(sched, 30)
+	scalarSum := make([]int, 16)
+	for _, m := range fleet {
+		m.Randomize()
+		for t := 0; t < 30; t++ {
+			m.Sweep(sched.Beta(t, 30))
+		}
+		for i, v := range m.State() {
+			scalarSum[i] += int(v)
+		}
+	}
+	lane := ising.NewSpins(16)
+	for i := 0; i < 16; i++ {
+		packedSum := 0
+		for r := 0; r < Lanes; r++ {
+			pm.LaneStateInto(lane, r)
+			packedSum += int(lane[i])
+		}
+		if packedSum != scalarSum[i] {
+			t.Fatalf("spin %d magnetization: packed %d scalar %d", i, packedSum, scalarSum[i])
+		}
+	}
+	if pm.Sweeps() != 30 {
+		t.Fatalf("packed sweep count %d, want 30", pm.Sweeps())
+	}
+}

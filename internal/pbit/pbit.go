@@ -39,6 +39,12 @@ import (
 // It is not safe for concurrent use; run independent machines per goroutine.
 type Machine struct {
 	model *ising.Model
+	// h is the machine's private copy of the bias vector. UpdateBiases
+	// reprograms it without touching model.H, so machines sharing one
+	// model (parallel tempering's replica ladder, concurrent engines)
+	// never race on — or corrupt — each other's biases. J stays shared:
+	// machines only read it.
+	h     vecmat.Vec
 	state ising.Spins
 	field vecmat.Vec // I_i = Σ_j J_ij m_j + h_i, maintained incrementally
 	noise vecmat.Vec // per-sweep noise buffer, batch-filled from src
@@ -56,6 +62,7 @@ func New(model *ising.Model, src *rng.Source) *Machine {
 	}
 	m := &Machine{
 		model: model,
+		h:     model.H.Clone(),
 		state: ising.NewSpins(model.N()),
 		field: vecmat.NewVec(model.N()),
 		noise: vecmat.NewVec(model.N()),
@@ -112,21 +119,35 @@ func (m *Machine) Randomize() {
 func (m *Machine) RecomputeFields() {
 	n := m.N()
 	for i := 0; i < n; i++ {
-		m.field[i] = m.model.LocalField(m.state, i)
+		m.field[i] = m.localField(i)
 	}
 }
 
-// UpdateBiases replaces the model's field vector h with newH and adjusts the
-// local fields incrementally in O(N). This is the "weight update" step of
-// SAIM: because constraints are linear in x, a Lagrange-multiplier update
-// only changes h (and the energy constant), never J.
+// localField is ising.Model.LocalField over the machine's private biases —
+// the accumulation order matches exactly, so privatizing h changed no
+// trajectory (the golden tests pin this).
+func (m *Machine) localField(i int) float64 {
+	row := m.model.J.Row(i)
+	acc := m.h[i]
+	for j, v := range row {
+		acc += v * float64(m.state[j])
+	}
+	return acc
+}
+
+// UpdateBiases replaces the machine's bias vector h with newH and adjusts
+// the local fields incrementally in O(N). This is the "weight update" step
+// of SAIM: because constraints are linear in x, a Lagrange-multiplier
+// update only changes h (and the energy constant), never J. The update is
+// copy-on-write: it reprograms the machine's private h, never the shared
+// model, so replica ladders built over one model stay race-free.
 func (m *Machine) UpdateBiases(newH vecmat.Vec) {
 	if len(newH) != m.N() {
 		panic("pbit: UpdateBiases dimension mismatch")
 	}
 	for i := range newH {
-		m.field[i] += newH[i] - m.model.H[i]
-		m.model.H[i] = newH[i]
+		m.field[i] += newH[i] - m.h[i]
+		m.h[i] = newH[i]
 	}
 }
 
@@ -277,8 +298,23 @@ func (m *Machine) AnnealFromInto(dst ising.Spins, sched schedule.Schedule, sweep
 	copy(dst, m.state)
 }
 
-// Energy returns the model energy of the current state.
-func (m *Machine) Energy() float64 { return m.model.Energy(m.state) }
+// Energy returns the Hamiltonian energy of the current state under the
+// machine's (possibly reprogrammed) private biases.
+func (m *Machine) Energy() float64 {
+	n := m.N()
+	e := m.model.Const
+	for i := 0; i < n; i++ {
+		row := m.model.J.Row(i)
+		si := float64(m.state[i])
+		acc := 0.0
+		for j := i + 1; j < n; j++ {
+			acc += row[j] * float64(m.state[j])
+		}
+		e -= si * acc
+		e -= m.h[i] * si
+	}
+	return e
+}
 
 // FieldConsistencyError returns the largest absolute difference between the
 // incrementally-maintained fields and a from-scratch recomputation. Tests
@@ -286,7 +322,7 @@ func (m *Machine) Energy() float64 { return m.model.Energy(m.state) }
 func (m *Machine) FieldConsistencyError() float64 {
 	worst := 0.0
 	for i := 0; i < m.N(); i++ {
-		d := m.field[i] - m.model.LocalField(m.state, i)
+		d := m.field[i] - m.localField(i)
 		if d < 0 {
 			d = -d
 		}

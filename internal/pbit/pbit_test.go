@@ -77,6 +77,7 @@ func TestUpdateBiasesMatchesRecompute(t *testing.T) {
 	model := randomModel(src, 16)
 	m := New(model, src.Split())
 	m.Randomize()
+	origH := model.H.Clone()
 	newH := vecmat.NewVec(16)
 	for i := range newH {
 		newH[i] = src.Sym() * 3
@@ -85,10 +86,11 @@ func TestUpdateBiasesMatchesRecompute(t *testing.T) {
 	if err := m.FieldConsistencyError(); err > 1e-9 {
 		t.Fatalf("UpdateBiases drift %v", err)
 	}
-	// The model itself must carry the new biases.
+	// The shared model must NOT be mutated: bias reprogramming is
+	// copy-on-write so machines sharing one model never race on H.
 	for i := range newH {
-		if m.Model().H[i] != newH[i] {
-			t.Fatalf("bias %d not updated", i)
+		if model.H[i] != origH[i] {
+			t.Fatalf("shared model bias %d mutated by UpdateBiases", i)
 		}
 	}
 }

@@ -1,0 +1,56 @@
+package pbit
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/rng"
+	"github.com/ising-machines/saim/internal/vecmat"
+)
+
+// Two machines over ONE model must be able to reprogram biases and sweep
+// concurrently: UpdateBiases is copy-on-write over a private h, so nothing
+// shared is written. Run under -race this pins the PR 9 aliasing fix — the
+// old in-place model.H mutation made parallel tempering's shared-model
+// replica ladder a latent data race.
+func TestSharedModelUpdateBiasesRaceFree(t *testing.T) {
+	src := rng.New(11)
+	model := randomModel(src, 24)
+	a := New(model, src.Split())
+	b := New(model, src.Split())
+	sp := NewSparse(model, src.Split())
+
+	var wg sync.WaitGroup
+	for _, m := range []interface {
+		UpdateBiases(vecmat.Vec)
+		Sweep(float64)
+	}{a, b, sp} {
+		wg.Add(1)
+		go func(m interface {
+			UpdateBiases(vecmat.Vec)
+			Sweep(float64)
+		}) {
+			defer wg.Done()
+			h := vecmat.NewVec(24)
+			for k := 0; k < 50; k++ {
+				for i := range h {
+					h[i] = float64(k%5) - 2
+				}
+				m.UpdateBiases(h)
+				m.Sweep(1.0)
+			}
+		}(m)
+	}
+	wg.Wait()
+
+	// Each machine's incremental fields must still be self-consistent.
+	if err := a.FieldConsistencyError(); err > 1e-9 {
+		t.Fatalf("machine a drift %v", err)
+	}
+	if err := b.FieldConsistencyError(); err > 1e-9 {
+		t.Fatalf("machine b drift %v", err)
+	}
+	if err := sp.FieldConsistencyError(); err > 1e-9 {
+		t.Fatalf("sparse machine drift %v", err)
+	}
+}

@@ -40,12 +40,9 @@ type SparseMachine struct {
 	sweeps   int64
 }
 
-// NewSparse builds a CSR machine from the model's non-zero couplings.
-// The model must satisfy Validate; NewSparse panics otherwise.
-func NewSparse(model *ising.Model, src *rng.Source) *SparseMachine {
-	if err := model.Validate(); err != nil {
-		panic(fmt.Sprintf("pbit: invalid model: %v", err))
-	}
+// buildCSR flattens the model's non-zero off-diagonal couplings into the
+// three-array CSR form shared by SparseMachine and PackedSparseMachine.
+func buildCSR(model *ising.Model) (rowPtr, colIdx []int32, weight []float64) {
 	n := model.N()
 	nnz := 0
 	for i := 0; i < n; i++ {
@@ -55,26 +52,40 @@ func NewSparse(model *ising.Model, src *rng.Source) *SparseMachine {
 			}
 		}
 	}
+	rowPtr = make([]int32, n+1)
+	colIdx = make([]int32, 0, nnz)
+	weight = make([]float64, 0, nnz)
+	for i := 0; i < n; i++ {
+		for j, w := range model.J.Row(i) {
+			if w != 0 && j != i {
+				colIdx = append(colIdx, int32(j))
+				weight = append(weight, w)
+			}
+		}
+		rowPtr[i+1] = int32(len(colIdx))
+	}
+	return rowPtr, colIdx, weight
+}
+
+// NewSparse builds a CSR machine from the model's non-zero couplings.
+// The model must satisfy Validate; NewSparse panics otherwise.
+func NewSparse(model *ising.Model, src *rng.Source) *SparseMachine {
+	if err := model.Validate(); err != nil {
+		panic(fmt.Sprintf("pbit: invalid model: %v", err))
+	}
+	n := model.N()
+	rowPtr, colIdx, weight := buildCSR(model)
 	m := &SparseMachine{
 		n:        n,
-		rowPtr:   make([]int32, n+1),
-		colIdx:   make([]int32, 0, nnz),
-		weight:   make([]float64, 0, nnz),
+		rowPtr:   rowPtr,
+		colIdx:   colIdx,
+		weight:   weight,
 		h:        model.H.Clone(),
 		constant: model.Const,
 		state:    ising.NewSpins(n),
 		field:    vecmat.NewVec(n),
 		noise:    vecmat.NewVec(n),
 		src:      src,
-	}
-	for i := 0; i < n; i++ {
-		for j, w := range model.J.Row(i) {
-			if w != 0 && j != i {
-				m.colIdx = append(m.colIdx, int32(j))
-				m.weight = append(m.weight, w)
-			}
-		}
-		m.rowPtr[i+1] = int32(len(m.colIdx))
 	}
 	m.RecomputeFields()
 	return m

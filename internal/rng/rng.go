@@ -111,6 +111,91 @@ func (s *Source) FillSym(dst []float64) {
 	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
 }
 
+// FillSymStrided writes n uniform draws in [-1, 1) at dst[0], dst[stride],
+// …, dst[(n-1)·stride], bit-identical to calling Sym n times. The packed
+// multi-replica kernels store per-spin noise lane-blocked (spin-major,
+// replica-minor), so one replica's per-sweep noise lives at a fixed stride;
+// this fills it without a gather buffer while preserving the exact stream a
+// scalar machine with the same source would consume.
+//
+//saim:hotpath
+func (s *Source) FillSymStrided(dst []float64, n, stride int) {
+	if n <= 0 {
+		return
+	}
+	_ = dst[(n-1)*stride] // one bounds check for the whole batch
+	s0, s1, s2, s3 := s.s0, s.s1, s.s2, s.s3
+	idx := 0
+	for k := 0; k < n; k++ {
+		result := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		// Same arithmetic as Sym∘Float64 so the stream is reproduced exactly.
+		dst[idx] = 2*(float64(result>>11)/(1<<53)) - 1
+		idx += stride
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+}
+
+// FillSym4Strided advances four independent sources in lockstep, writing
+// draw k of source l to dst[k·stride+l]: the four lanes are adjacent, and
+// consecutive draws of one lane sit one stride apart. Each source's stream
+// is bit-identical to calling its Sym n times — the batch only interleaves
+// *independent* generators, it never reorders draws within one — so the
+// packed sweep kernels stay trajectory-identical to scalar machines seeded
+// with the same per-replica sources. On amd64 with AVX2 the four xoshiro
+// states step in one vector register file; elsewhere (or with
+// cpufeat.HasAVX2 cleared) it falls back to four strided scalar fills.
+//
+//saim:hotpath
+func FillSym4Strided(srcs *[4]*Source, dst []float64, n, stride int) {
+	if n <= 0 {
+		return
+	}
+	_ = dst[(n-1)*stride+3]
+	fillSym4(srcs, dst, n, stride)
+}
+
+// fillSym4Generic is the portable FillSym4Strided body: four scalar
+// strided fills, one per lane.
+//
+//saim:hotpath
+func fillSym4Generic(srcs *[4]*Source, dst []float64, n, stride int) {
+	for l := 0; l < 4; l++ {
+		srcs[l].FillSymStrided(dst[l:], n, stride)
+	}
+}
+
+// FillSym8Strided is FillSym4Strided over eight sources: draw k of source
+// l lands at dst[k·stride+l]. On amd64 with AVX2 the eight xoshiro states
+// step as two interleaved 4-wide chains in one kernel — two independent
+// dependency chains hide the state-transition latency that bounds the
+// 4-wide kernel, and the eight adjacent lanes make each round's stores a
+// full cache line. Per-lane streams remain bit-identical to Sym.
+//
+//saim:hotpath
+func FillSym8Strided(srcs *[8]*Source, dst []float64, n, stride int) {
+	if n <= 0 {
+		return
+	}
+	_ = dst[(n-1)*stride+7]
+	fillSym8(srcs, dst, n, stride)
+}
+
+// fillSym8Generic is the portable FillSym8Strided body.
+//
+//saim:hotpath
+func fillSym8Generic(srcs *[8]*Source, dst []float64, n, stride int) {
+	for l := 0; l < 8; l++ {
+		srcs[l].FillSymStrided(dst[l:], n, stride)
+	}
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {

@@ -1,0 +1,57 @@
+package rng
+
+import "github.com/ising-machines/saim/internal/cpufeat"
+
+// fillSym4AVX2 steps four xoshiro256** states (structure-of-arrays: word
+// l of quad w holds source l's state word w) n times, writing each round's
+// four [-1, 1) draws contiguously at dst, dst+strideBytes, …. Implemented
+// in rng_amd64.s; the conversion arithmetic is bit-identical to Sym.
+//
+//go:noescape
+func fillSym4AVX2(state *[16]uint64, dst *float64, n, strideBytes int)
+
+// fillSym4 dispatches FillSym4Strided to the AVX2 kernel when available.
+// The state gather/scatter around the call is O(1) per batch.
+//
+//saim:hotpath
+func fillSym4(srcs *[4]*Source, dst []float64, n, stride int) {
+	if !cpufeat.HasAVX2 {
+		fillSym4Generic(srcs, dst, n, stride)
+		return
+	}
+	var st [16]uint64
+	for l, s := range srcs {
+		st[l], st[4+l], st[8+l], st[12+l] = s.s0, s.s1, s.s2, s.s3
+	}
+	fillSym4AVX2(&st, &dst[0], n, stride*8)
+	for l, s := range srcs {
+		s.s0, s.s1, s.s2, s.s3 = st[l], st[4+l], st[8+l], st[12+l]
+	}
+}
+
+// fillSym8AVX2 steps eight xoshiro256** states as two 4-wide SoA blocks
+// (words 0-15 quad A as in fillSym4AVX2, words 16-31 quad B), writing each
+// round's eight draws contiguously at dst, then advancing by strideBytes.
+//
+//go:noescape
+func fillSym8AVX2(state *[32]uint64, dst *float64, n, strideBytes int)
+
+//saim:hotpath
+func fillSym8(srcs *[8]*Source, dst []float64, n, stride int) {
+	if !cpufeat.HasAVX2 {
+		fillSym8Generic(srcs, dst, n, stride)
+		return
+	}
+	var st [32]uint64
+	for l := 0; l < 4; l++ {
+		a, b := srcs[l], srcs[4+l]
+		st[l], st[4+l], st[8+l], st[12+l] = a.s0, a.s1, a.s2, a.s3
+		st[16+l], st[20+l], st[24+l], st[28+l] = b.s0, b.s1, b.s2, b.s3
+	}
+	fillSym8AVX2(&st, &dst[0], n, stride*8)
+	for l := 0; l < 4; l++ {
+		a, b := srcs[l], srcs[4+l]
+		a.s0, a.s1, a.s2, a.s3 = st[l], st[4+l], st[8+l], st[12+l]
+		b.s0, b.s1, b.s2, b.s3 = st[16+l], st[20+l], st[24+l], st[28+l]
+	}
+}

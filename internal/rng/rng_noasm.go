@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package rng
+
+// fillSym4 has no vector kernel off amd64; the portable body runs.
+//
+//saim:hotpath
+func fillSym4(srcs *[4]*Source, dst []float64, n, stride int) {
+	fillSym4Generic(srcs, dst, n, stride)
+}
+
+// fillSym8 has no vector kernel off amd64; the portable body runs.
+//
+//saim:hotpath
+func fillSym8(srcs *[8]*Source, dst []float64, n, stride int) {
+	fillSym8Generic(srcs, dst, n, stride)
+}

@@ -24,6 +24,24 @@ const (
 	MachineSparse = core.MachineSparse
 )
 
+// PackedMode selects whether the saim backend's replica pool may sweep
+// replicas 64-at-a-time through the bit-packed multi-spin kernels. It
+// aliases the internal core type so every layer shares one vocabulary.
+type PackedMode = core.PackedMode
+
+// Re-exported packed-replica modes.
+const (
+	// PackedAuto (the default) packs whenever a solve is eligible: no
+	// custom machine and at least 64 replicas. Packing never changes
+	// results — every packed lane reproduces the scalar replica with the
+	// same seed bit-for-bit — so auto mode affects throughput only.
+	PackedAuto = core.PackedAuto
+	// PackedOn packs every eligible solve.
+	PackedOn = core.PackedOn
+	// PackedOff forces one scalar machine per replica.
+	PackedOff = core.PackedOff
+)
+
 // Option configures a Solver.Solve call. Options are shared across
 // backends; each backend reads the subset that applies to it and ignores
 // the rest, so one option list can be reused when comparing solvers.
@@ -39,6 +57,7 @@ type config struct {
 	betaMax      float64
 	seed         uint64
 	machine      MachineKind
+	packed       PackedMode
 	replicas     int
 	population   int
 	timeLimit    time.Duration
@@ -99,6 +118,16 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // auto-selection. Kernel choice never changes results — the kernels are
 // trajectory-identical for the same seed — only throughput.
 func WithMachine(k MachineKind) Option { return func(c *config) { c.machine = k } }
+
+// WithPackedReplicas controls whether the saim backend's replica pool
+// (WithReplicas ≥ 64 on constrained models) routes full 64-replica groups
+// through the bit-packed multi-spin kernels, which sweep 64 replicas per
+// coupling-row walk instead of one. PackedAuto (the default) packs
+// whenever eligible; PackedOff forces scalar per-replica machines.
+// Packing never changes results — each packed lane reproduces the scalar
+// replica with the same seed bit-for-bit — only throughput. Backends
+// without a replica pool ignore it.
+func WithPackedReplicas(m PackedMode) Option { return func(c *config) { c.packed = m } }
 
 // WithReplicas sets the number of parallel-tempering temperature rungs
 // (default 26, as in PT-DA), or — for the saim backend on constrained
