@@ -1,0 +1,196 @@
+package asmparity
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root from this file's position.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	// internal/analysis/asmparity/asmparity_test.go → repo root.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// sigString renders a function's signature with parameter and result
+// names stripped, so renaming an argument is not a parity break but
+// changing a type is.
+func sigString(fn *ast.FuncDecl) string {
+	var b strings.Builder
+	if fn.Recv != nil {
+		b.WriteString("(")
+		b.WriteString(fieldTypes(fn.Recv))
+		b.WriteString(") ")
+	}
+	b.WriteString("func(")
+	b.WriteString(fieldTypes(fn.Type.Params))
+	b.WriteString(")")
+	if fn.Type.Results != nil {
+		b.WriteString(" (")
+		b.WriteString(fieldTypes(fn.Type.Results))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func fieldTypes(fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, types.ExprString(f.Type))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// isFallbackFile reports whether the file's build constraint excludes
+// amd64 (the portable side of a stub pair).
+func isFallbackFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build") && strings.Contains(c.Text, "!amd64") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type stub struct {
+	file string
+	sig  string
+}
+
+// TestAsmParity walks every package containing *_amd64.go files and
+// enforces the fallback contract described in the package doc.
+func TestAsmParity(t *testing.T) {
+	root := moduleRoot(t)
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, "_amd64.go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no *_amd64.go files found — the walk is broken, not the tree")
+	}
+
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		t.Run(filepath.ToSlash(rel), func(t *testing.T) {
+			checkPackage(t, dir)
+		})
+	}
+}
+
+func checkPackage(t *testing.T, dir string) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	amd := map[string]stub{}      // funcs with bodies in *_amd64.go
+	fallback := map[string]stub{} // funcs with bodies in !amd64 files
+	var testSrc strings.Builder   // concatenated *_test.go sources
+
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		if strings.HasSuffix(name, "_test.go") {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testSrc.Write(src)
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		var side map[string]stub
+		switch {
+		case strings.HasSuffix(name, "_amd64.go"):
+			side = amd
+		case isFallbackFile(f):
+			side = fallback
+		default:
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				// Bodyless decls are assembly externs; they have no
+				// portable counterpart by definition.
+				continue
+			}
+			side[fn.Name.Name] = stub{file: name, sig: sigString(fn)}
+		}
+	}
+
+	for name, a := range amd {
+		fb, ok := fallback[name]
+		if !ok {
+			t.Errorf("%s: %s has no !amd64 fallback with a body", a.file, name)
+			continue
+		}
+		if a.sig != fb.sig {
+			t.Errorf("%s: signature drift:\n  amd64    (%s): %s\n  fallback (%s): %s",
+				name, a.file, a.sig, fb.file, fb.sig)
+		}
+		// Each pair needs a differential test naming the dispatcher —
+		// the proof both paths produce identical results.
+		if !regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`).MatchString(testSrc.String()) {
+			t.Errorf("%s: no test in this package mentions %s — add a differential test covering both paths", a.file, name)
+		}
+	}
+	for name, fb := range fallback {
+		if _, ok := amd[name]; !ok {
+			t.Errorf("%s: fallback %s has no *_amd64.go counterpart (dead portable code or missing stub)", fb.file, name)
+		}
+	}
+}

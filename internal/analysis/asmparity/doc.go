@@ -1,0 +1,12 @@
+// Package asmparity holds a repo-wide test enforcing the assembly
+// fallback contract: every dispatcher with a body in a *_amd64.go file
+// must have a portable fallback with an identical signature in a
+// !amd64-constrained sibling file, and every such pair must be named in
+// at least one test file of its package (the differential test that
+// proves the two paths agree). Bodyless assembly externs are exempt —
+// they exist only on the amd64 side by construction.
+//
+// The check is a test rather than a saimvet analyzer because it needs
+// files the build would exclude on the current GOARCH (the !amd64
+// fallbacks), which the export-data loader never sees.
+package asmparity

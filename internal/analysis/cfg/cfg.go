@@ -1,0 +1,438 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies, for the flow-sensitive saimvet analyzers (lockguard,
+// deferclose). Like the rest of internal/analysis it is stdlib-only: it
+// reimplements the small slice of golang.org/x/tools/go/cfg the suite
+// needs, with the same basic-block shape.
+//
+// A Graph has one synthetic Entry, one synthetic Exit (reached by every
+// return and by falling off the end of the body), and one synthetic
+// Panic block (reached by panic(...), os.Exit, log.Fatal*, runtime.Goexit
+// and t.Fatal* calls). Analyzers that check "on all paths out of the
+// function" properties look at Exit only: paths that leave by panicking
+// unwind through deferred calls and are judged by different rules (a
+// mutex held at a panic is released by its deferred Unlock, for
+// example).
+//
+// Each basic Block carries the statements and control expressions that
+// execute in it, in order, as []ast.Node:
+//
+//   - plain statements (assignments, expression statements, defer, go,
+//     send, incdec, decl) appear as themselves;
+//   - an if/for condition or switch tag appears as the bare expression,
+//     and the block's Branch field is set: Succs[0] is the true edge,
+//     Succs[1] the false edge;
+//   - a range loop's head block carries the *ast.RangeStmt itself —
+//     consumers must only inspect its X (the ranged expression), never
+//     recurse into Key/Value/Body, which live in successor blocks;
+//   - a select clause's block starts with the clause's Comm statement
+//     (the send or receive), so channel operations under a lock are
+//     visible to the dataflow exactly where they execute.
+//
+// The builder understands labeled break/continue (the `feed:` /
+// `break feed` pattern in core.SolveParallelContext), goto, fallthrough,
+// and treats `select {}` and terminating calls as having no normal
+// successor. Unreachable code after a terminator lands in fresh blocks
+// with no predecessors, which a worklist seeded at Entry never visits.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: straight-line nodes followed by 0+
+// successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Branch, when non-nil, is the condition expression that decides the
+	// successor: Succs[0] is taken when Branch is true, Succs[1] when
+	// false. It is set for if statements and for loops with conditions.
+	Branch ast.Expr
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // every return / fall-off-end reaches here
+	Panic  *Block // every panic / os.Exit-style terminator reaches here
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*Block),
+		gotos:  make(map[string][]*Block),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.g.Panic = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// Preds returns the predecessor map of g (not stored on Blocks because
+// the analyzers' forward dataflow only follows Succs).
+func (g *Graph) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	return preds
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label string
+	brk   *Block // break target (the block after the construct)
+	cont  *Block // continue target; nil for switch/select frames
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	labels map[string]*Block   // label name -> block at the labeled statement
+	gotos  map[string][]*Block // pending forward gotos awaiting their label
+
+	// labelNext carries a label down to the immediately following
+	// loop/switch/select so `break label` / `continue label` resolve.
+	labelNext string
+
+	// fallNext is the next case clause's block while building a switch
+	// clause body, the target of a `fallthrough` statement.
+	fallNext *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate ends the current block with an edge to `to` (Exit, Panic, or
+// a branch target) and starts a fresh unreachable block for whatever
+// statements follow.
+func (b *builder) terminate(to *Block) {
+	if to != nil {
+		b.edge(b.cur, to)
+	}
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label (set by a LabeledStmt wrapping
+// this construct).
+func (b *builder) takeLabel() string {
+	l := b.labelNext
+	b.labelNext = ""
+	return l
+}
+
+// findFrame returns the innermost frame matching label (or the innermost
+// breakable/continuable frame when label is empty). needCont restricts
+// the search to loop frames.
+func (b *builder) findFrame(label string, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.labelNext = ""
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block at the label so gotos have a join point.
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		for _, from := range b.gotos[s.Label.Name] {
+			b.edge(from, target)
+		}
+		delete(b.gotos, s.Label.Name)
+		b.labelNext = s.Label.Name
+		b.stmt(s.Stmt)
+		b.labelNext = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.terminate(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, false); f != nil {
+				b.terminate(f.brk)
+			} else {
+				b.terminate(nil)
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, true); f != nil {
+				b.terminate(f.cont)
+			} else {
+				b.terminate(nil)
+			}
+		case token.GOTO:
+			name := s.Label.Name
+			if target, ok := b.labels[name]; ok {
+				b.terminate(target)
+			} else {
+				from := b.cur
+				b.gotos[name] = append(b.gotos[name], from)
+				b.terminate(nil)
+			}
+		case token.FALLTHROUGH:
+			b.terminate(b.fallNext)
+		}
+
+	case *ast.IfStmt:
+		b.labelNext = ""
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		b.cur.Branch = s.Cond
+		head := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(head, thenB) // Succs[0]: condition true
+		var elseB *Block
+		if s.Else != nil {
+			elseB = b.newBlock()
+			b.edge(head, elseB) // Succs[1]: condition false
+		} else {
+			b.edge(head, after)
+		}
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		after := b.newBlock()
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Branch = s.Cond
+			b.edge(head, body)  // true
+			b.edge(head, after) // false
+		} else {
+			b.edge(head, body) // for {}: only exit is break/return
+		}
+		cont := head
+		var postB *Block
+		if s.Post != nil {
+			postB = b.newBlock()
+			cont = postB
+		}
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, cont)
+		if postB != nil {
+			b.cur = postB
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The head carries the RangeStmt itself; consumers inspect only
+		// its X (see the package comment).
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(label, s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		anyClause := false
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CommClause)
+			anyClause = true
+			cb := b.newBlock()
+			b.edge(head, cb)
+			b.cur = cb
+			if clause.Comm != nil {
+				b.stmt(clause.Comm)
+			}
+			b.stmtList(clause.Body)
+			b.edge(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if !anyClause {
+			// select {} blocks forever: no normal successor.
+			b.edge(head, b.g.Panic)
+		}
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminatingCall(call) {
+			b.terminate(b.g.Panic)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, DeferStmt, GoStmt, IncDecStmt, SendStmt,
+		// and anything else executes straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchBody builds the clause structure shared by value and type
+// switches. assign, for a type switch, is the `x := y.(type)` statement,
+// placed in the head block.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, assign ast.Stmt) {
+	if assign != nil {
+		b.cur.Nodes = append(b.cur.Nodes, assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	// Pre-create clause blocks so fallthrough can target the next one.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, clause := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if clause.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+
+	b.frames = append(b.frames, frame{label: label, brk: after})
+	savedFall := b.fallNext
+	for i, clause := range clauses {
+		b.cur = blocks[i]
+		for _, e := range clause.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
+		if i+1 < len(blocks) {
+			b.fallNext = blocks[i+1]
+		} else {
+			b.fallNext = after
+		}
+		b.stmtList(clause.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallNext = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// isTerminatingCall recognizes calls that never return normally. It is
+// syntactic (no type information) on purpose: the CFG is built before an
+// analyzer decides what to resolve, and the names below are never
+// shadowed in this codebase's style.
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		x, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case x.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case x.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		case x.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "FailNow" || fun.Sel.Name == "Skip" || fun.Sel.Name == "Skipf" || fun.Sel.Name == "SkipNow":
+			// t.Fatal / b.Fatalf / t.Skip in tests: treats *testing.T
+			// helpers by name, which is the convention in this repo.
+			return x.Name == "t" || x.Name == "b" || x.Name == "tb"
+		}
+	}
+	return false
+}

@@ -1,0 +1,410 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses one function body and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		work = append(work, b.Succs...)
+	}
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+	if r[g.Panic] {
+		t.Fatal("panic block should be unreachable in straight-line code")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfElseBothReturn(t *testing.T) {
+	g := build(t, `if cond() {
+	return
+} else {
+	return
+}
+unreached()`)
+	// The block holding unreached() must have no predecessors.
+	r := reachable(g)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "unreached" {
+						if r[b] {
+							t.Fatal("statement after if/else-both-return is reachable")
+						}
+					}
+				}
+			}
+		}
+	}
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestIfBranchOrder(t *testing.T) {
+	g := build(t, `if x > 0 {
+	a()
+}
+b()`)
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Branch != nil {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatal("no branch block found")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("branch succs = %d, want 2", len(head.Succs))
+	}
+	// Succs[0] is the true edge: it must contain the a() call.
+	foundA := false
+	for _, n := range head.Succs[0].Nodes {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "a" {
+					foundA = true
+				}
+			}
+		}
+	}
+	if !foundA {
+		t.Fatal("Succs[0] of an if head does not hold the then-body")
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, `for i := 0; i < 10; i++ {
+	work(i)
+}
+done()`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable past a bounded loop")
+	}
+	// There must be a cycle: some reachable block's successor is an
+	// already-seen ancestor. Detect via the branch head having >1 preds.
+	preds := g.Preds()
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Branch != nil {
+			head = blk
+		}
+	}
+	if head == nil || len(preds[head]) < 2 {
+		t.Fatal("loop head should have >= 2 predecessors (entry + back edge)")
+	}
+}
+
+func TestInfiniteForOnlyExitIsBreak(t *testing.T) {
+	g := build(t, `for {
+	if stop() {
+		break
+	}
+	work()
+}
+done()`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("break out of for{} should reach exit")
+	}
+	// Without the break the exit would be unreachable.
+	g2 := build(t, `for {
+	work()
+}`)
+	if reachable(g2)[g2.Exit] {
+		t.Fatal("for{} without break must not reach exit")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	// The core.SolveParallelContext feed pattern.
+	g := build(t, `feed:
+for _, t := range tasks {
+	select {
+	case jobs <- t:
+	case <-done:
+		break feed
+	}
+	if failed() {
+		break
+	}
+}
+close(jobs)`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("labeled break did not reach exit")
+	}
+	// close(jobs) must be reachable.
+	found := false
+	for _, blk := range g.Blocks {
+		if !r[blk] {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("close(jobs) unreachable after labeled break")
+	}
+}
+
+func TestRangeHeadHoldsRangeStmt(t *testing.T) {
+	g := build(t, `for v := range ch {
+	use(v)
+}`)
+	found := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				found = true
+				if len(blk.Succs) != 2 {
+					t.Fatalf("range head succs = %d, want 2 (body, after)", len(blk.Succs))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no block carries the RangeStmt")
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatal("range loop must reach exit (channel close)")
+	}
+}
+
+func TestSelectWithoutDefaultNoDirectFallthrough(t *testing.T) {
+	g := build(t, `select {
+	case <-a:
+		x()
+	case b <- 1:
+		y()
+	}
+done()`)
+	// done() sits in the select's join block: every path to it must pass
+	// through a clause, so it has exactly 2 predecessors (one per clause)
+	// and none of them is the select head itself.
+	preds := g.Preds()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "done" {
+						if len(preds[blk]) != 2 {
+							t.Fatalf("done() preds = %d, want 2 (one per clause)", len(preds[blk]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `switch v {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`)
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("switch did not reach exit")
+	}
+	// Block holding b() must have 2 preds: the head and the fallthrough.
+	preds := g.Preds()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "b" {
+						if len(preds[blk]) != 2 {
+							t.Fatalf("fallthrough target preds = %d, want 2", len(preds[blk]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchNoDefaultFallsThroughHead(t *testing.T) {
+	g := build(t, `switch v {
+case 1:
+	a()
+}
+after()`)
+	preds := g.Preds()
+	// after() is reachable both through case 1 and directly from the head.
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "after" {
+						if len(preds[blk]) != 2 {
+							t.Fatalf("switch join preds = %d, want 2 (head + case)", len(preds[blk]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPanicReachesPanicBlock(t *testing.T) {
+	g := build(t, `if bad() {
+	panic("boom")
+}
+ok()`)
+	r := reachable(g)
+	if !r[g.Panic] {
+		t.Fatal("panic block unreachable")
+	}
+	if !r[g.Exit] {
+		t.Fatal("non-panicking path must still reach exit")
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	g := build(t, `if bad() {
+	os.Exit(1)
+	never()
+}
+ok()`)
+	r := reachable(g)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "never" {
+						if r[blk] {
+							t.Fatal("code after os.Exit is reachable")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := build(t, `i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	if i > 100 {
+		goto out
+	}
+	i = 0
+out:
+	use(i)`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("goto graph did not reach exit")
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, `switch x := v.(type) {
+case int:
+	a(x)
+case string:
+	b(x)
+}
+after()`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("type switch did not reach exit")
+	}
+}
+
+func TestContinueTargetsPost(t *testing.T) {
+	g := build(t, `for i := 0; i < n; i++ {
+	if skip(i) {
+		continue
+	}
+	work(i)
+}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("loop with continue did not reach exit")
+	}
+	// The post block (i++) must have two preds: body fall-through and
+	// the continue edge.
+	preds := g.Preds()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.IncDecStmt); ok {
+				if len(preds[blk]) != 2 {
+					t.Fatalf("post block preds = %d, want 2", len(preds[blk]))
+				}
+			}
+		}
+	}
+}
+
+func TestDeferAndGoAreNodes(t *testing.T) {
+	g := build(t, `defer mu.Unlock()
+go worker()
+x := 1
+_ = x`)
+	var nDefer, nGo int
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.DeferStmt:
+				nDefer++
+			case *ast.GoStmt:
+				nGo++
+			}
+		}
+	}
+	if nDefer != 1 || nGo != 1 {
+		t.Fatalf("defer=%d go=%d, want 1 and 1", nDefer, nGo)
+	}
+}

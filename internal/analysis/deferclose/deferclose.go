@@ -1,0 +1,394 @@
+// Package deferclose tracks releasable values from their acquisition to
+// a release on every path out of the acquiring function.
+//
+// Values obtained from a known constructor — os.Open/OpenFile/Create,
+// net.Listen/Dial/DialTimeout, time.NewTicker/NewTimer, and the WAL's
+// wal.Open — hold a file descriptor or a runtime timer. The analyzer
+// runs a forward may-leak dataflow over the intra-procedural CFG
+// (internal/analysis/cfg): a tracked value still live when the function
+// exits normally, on any path, is reported at its acquisition site.
+//
+// A value stops being the acquirer's problem when it:
+//
+//   - has its release method called or deferred (Close, or Stop for
+//     tickers/timers) — anywhere, including inside a closure the
+//     function installs;
+//   - is returned (ownership transfers to the caller);
+//   - is stored into a struct field, map, slice element, another
+//     variable, or a channel (an owner with its own lifecycle now
+//     holds it);
+//   - is passed whole to another function (conservatively a transfer).
+//
+// Uses *through* the value — method calls like f.Read, field reads like
+// ticker.C — do not transfer ownership: selecting on ticker.C forever
+// without a Stop is still a leak.
+//
+// The two-value acquisition idiom is understood path-sensitively: after
+// `f, err := os.Open(p)`, on the branch where `err != nil` the resource
+// is nil and needs no release, so `if err != nil { return err }` is not
+// a leaking path.
+//
+// Paths that leave by panicking are not judged. There is no suppression
+// directive: a genuinely unowned resource should be handed to an owner
+// or closed; the escape shapes above cover every deliberate pattern in
+// the repo.
+package deferclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/ising-machines/saim/internal/analysis"
+	"github.com/ising-machines/saim/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "deferclose",
+	Doc:  "values from Open/Listen/NewTicker-style constructors must reach Close/Stop on all paths or escape",
+	Run:  run,
+}
+
+// closerFor classifies a callee as a tracked constructor, returning the
+// release method name ("" when not tracked).
+func closerFor(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch path := pkg.Path(); {
+	case path == "os":
+		switch fn.Name() {
+		case "Open", "OpenFile", "Create", "CreateTemp":
+			return "Close"
+		}
+	case path == "net":
+		switch fn.Name() {
+		case "Listen", "ListenTCP", "Dial", "DialTimeout", "DialTCP":
+			return "Close"
+		}
+	case path == "time":
+		switch fn.Name() {
+		case "NewTicker", "NewTimer":
+			return "Stop"
+		}
+	case strings.HasSuffix(path, "internal/wal"):
+		if fn.Name() == "Open" {
+			return "Close"
+		}
+	}
+	return ""
+}
+
+// resource is one tracked acquisition.
+type resource struct {
+	obj    types.Object // the variable bound to the resource
+	errObj types.Object // the paired error variable, when present
+	pos    token.Pos
+	what   string // display name of the constructor
+	closer string
+}
+
+// state maps live resources (by variable object) to their acquisition.
+type state map[types.Object]*resource
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+		// Closures acquiring resources are held to the same rule, as
+		// their own analysis units.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkFunc(pass, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := map[*cfg.Block]state{}
+	in[g.Entry] = state{}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[b].clone()
+		for _, n := range b.Nodes {
+			step(pass, st, n)
+		}
+		for i, succ := range b.Succs {
+			out := st
+			if dead := errOnEdge(pass, b.Branch, i); dead != nil {
+				out = st.clone()
+				for obj, r := range out {
+					if r.errObj != nil && r.errObj == dead {
+						delete(out, obj)
+					}
+				}
+			}
+			merged, changed := merge(in[succ], out)
+			if changed {
+				in[succ] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	if est := in[g.Exit]; est != nil {
+		for _, r := range est {
+			pass.Reportf(r.pos,
+				"%s result %s is not released on every path out of the function (defer %s.%s(), release on all paths, or hand it to an owner)",
+				r.what, r.obj.Name(), r.obj.Name(), r.closer)
+		}
+	}
+}
+
+// errOnEdge reports the error object known non-nil on edge i of a
+// branch testing `err != nil` / `err == nil`: resources paired with it
+// are nil there and need no release.
+func errOnEdge(pass *analysis.Pass, branch ast.Expr, edge int) types.Object {
+	be, ok := branch.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	var id *ast.Ident
+	switch {
+	case isNil(pass, be.Y):
+		id, _ = be.X.(*ast.Ident)
+	case isNil(pass, be.X):
+		id, _ = be.Y.(*ast.Ident)
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	// Succs[0] is the true edge of the branch.
+	if (be.Op == token.NEQ && edge == 0) || (be.Op == token.EQL && edge == 1) {
+		return obj
+	}
+	return nil
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+func merge(dst, src state) (state, bool) {
+	if dst == nil {
+		return src.clone(), true
+	}
+	changed := false
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// step applies one CFG node to the state.
+func step(pass *analysis.Pass, st state, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			scanUses(pass, st, rhs)
+		}
+		if acq := acquisition(pass, n.Lhs, n.Rhs, n.Pos()); acq != nil {
+			st[acq.obj] = acq
+			return
+		}
+		if n.Tok == token.ASSIGN {
+			// Overwriting a tracked variable ends its binding.
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						delete(st, obj)
+					}
+				}
+			}
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					if acq := acquisition(pass, lhs, vs.Values, vs.Pos()); acq != nil {
+						st[acq.obj] = acq
+						continue
+					}
+					for _, v := range vs.Values {
+						scanUses(pass, st, v)
+					}
+				}
+			}
+		}
+
+	case *ast.DeferStmt:
+		if obj := releaseTarget(pass, st, n.Call); obj != nil {
+			delete(st, obj)
+			return
+		}
+		scanUses(pass, st, n.Call)
+
+	case *ast.RangeStmt:
+		scanUses(pass, st, n.X)
+
+	default:
+		scanUses(pass, st, n)
+	}
+}
+
+// scanUses walks any node, killing tracked values that are released or
+// whose ownership transfers away. A bare identifier use (call argument,
+// return value, stored value, channel send) is a transfer; a use
+// through a selector (f.Read(), ticker.C) is not — except the release
+// method itself, which counts wherever it appears, including inside a
+// closure being installed.
+func scanUses(pass *analysis.Pass, st state, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if obj := releaseTarget(pass, st, x); obj != nil {
+				delete(st, obj)
+				return false // a release call has no other operands of interest
+			}
+			return true
+		case *ast.SelectorExpr:
+			if _, ok := x.X.(*ast.Ident); ok {
+				return false // use through the resource, not a transfer
+			}
+			return true
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				delete(st, obj)
+			}
+		}
+		return true
+	})
+}
+
+// releaseTarget reports the tracked object whose release-method call
+// this is (x.Close() / x.Stop()), if any.
+func releaseTarget(pass *analysis.Pass, st state, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if r, tracked := st[obj]; tracked && sel.Sel.Name == r.closer {
+		return obj
+	}
+	return nil
+}
+
+// acquisition recognizes `x, err := pkg.Ctor(...)` (and the var form),
+// returning the tracked resource, or nil.
+func acquisition(pass *analysis.Pass, lhs []ast.Expr, rhs []ast.Expr, pos token.Pos) *resource {
+	if len(rhs) != 1 || len(lhs) == 0 {
+		return nil
+	}
+	call, ok := rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := calleeObj(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	closer := closerFor(fn)
+	if closer == "" {
+		return nil
+	}
+	id, ok := lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := identObj(pass, id)
+	if obj == nil {
+		return nil
+	}
+	r := &resource{
+		obj:    obj,
+		pos:    pos,
+		what:   fn.Pkg().Name() + "." + fn.Name(),
+		closer: closer,
+	}
+	// Pair the trailing error result, whatever the arity: after
+	// `x, ..., err := ctor(...)`, x is nil wherever err is non-nil.
+	if len(lhs) >= 2 {
+		if errID, ok := lhs[len(lhs)-1].(*ast.Ident); ok && errID.Name != "_" {
+			if eobj := identObj(pass, errID); eobj != nil && isErrorType(eobj.Type()) {
+				r.errObj = eobj
+			}
+		}
+	}
+	return r
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

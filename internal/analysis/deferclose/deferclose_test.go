@@ -1,0 +1,12 @@
+package deferclose_test
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis/analysistest"
+	"github.com/ising-machines/saim/internal/analysis/deferclose"
+)
+
+func TestDeferclose(t *testing.T) {
+	analysistest.Run(t, deferclose.Analyzer, "deferclose")
+}

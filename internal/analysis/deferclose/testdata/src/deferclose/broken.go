@@ -1,0 +1,46 @@
+// Broken fixtures: acquired resources that never reach their release on
+// some path.
+package deferclose
+
+import (
+	"os"
+	"time"
+)
+
+// Opened, used, never closed.
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path) // want `os\.Open result f is not released`
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64)
+	f.Read(buf)
+	return buf, nil
+}
+
+// Closed on the happy path, leaked on the early return.
+func readHeader(path string) ([]byte, error) {
+	f, err := os.Open(path) // want `os\.Open result f is not released`
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err // f leaks here
+	}
+	f.Close()
+	return buf, nil
+}
+
+// The classic ticker leak: selecting on ticker.C is a use through the
+// resource, not a transfer — without a Stop the runtime timer lives
+// forever.
+func pollOnce(work func() bool, d time.Duration) {
+	ticker := time.NewTicker(d) // want `time\.NewTicker result ticker is not released`
+	for {
+		<-ticker.C
+		if work() {
+			return
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Clean fixtures: every acquisition is released or transferred.
+package deferclose
+
+import (
+	"net"
+	"os"
+	"time"
+)
+
+// The canonical shape: error check, then defer.
+func readFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	f.Read(buf)
+	return buf, nil
+}
+
+// Explicit close on all paths.
+func probe(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	buf := make([]byte, 1)
+	if _, err := f.Read(buf); err != nil {
+		f.Close()
+		return false
+	}
+	f.Close()
+	return true
+}
+
+// Returning the resource transfers ownership to the caller.
+func open(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Storing into a field hands the resource to an owner with a lifecycle.
+type holder struct {
+	ln net.Listener
+}
+
+func (h *holder) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h.ln = ln
+	return nil
+}
+
+// Passing the value whole to another function is a transfer.
+func consume(f *os.File) {}
+
+func openFor(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	consume(f)
+	return nil
+}
+
+// A ticker stopped inside the goroutine that uses it: the release
+// counts wherever it appears.
+type pump struct {
+	stop chan struct{}
+	n    int
+}
+
+func (p *pump) start(d time.Duration) {
+	ticker := time.NewTicker(d)
+	go func() {
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p.n++
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop on the direct path.
+func sleepByTicker(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+	t.Stop()
+}

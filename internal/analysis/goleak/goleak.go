@@ -1,0 +1,236 @@
+// Package goleak enforces shutdown discipline on long-lived goroutines.
+//
+// The service, cluster, and WAL planes all own background goroutines —
+// workers, heartbeat sweeps, sync loops — and every one of them must
+// stop when its owner stops, or tests hang and processes leak. The rule:
+//
+//	A `go` statement launched from a long-lived type must tie any
+//	unbounded loop it runs to a termination path.
+//
+// A type is long-lived when its struct carries lifecycle state: a
+// context.Context field, a stop channel (chan struct{}), or a
+// sync.WaitGroup. A `go` statement is in scope when it appears in a
+// method of such a type, or spawns a method of one.
+//
+// For each in-scope `go` statement whose body is visible (a function
+// literal, or a same-package function or method), every `for` loop
+// without a condition must show termination evidence inside the loop:
+//
+//   - a receive from a channel (<-ch — a stop channel, a ticker the
+//     owner stops, or a work channel the owner closes), including
+//     select clauses;
+//   - a call to Done or Err on a context.Context;
+//   - a call to Done on a sync.WaitGroup (the owner joins it).
+//
+// Loops ranging over a channel terminate when the channel closes and
+// need no further evidence; `for` loops with a condition are assumed
+// bounded by it.
+//
+// //saim:nostop <reason> on the `go` statement's line documents a
+// deliberately unstoppable goroutine and suppresses the diagnostic.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/ising-machines/saim/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines launched from long-lived types must tie unbounded loops to a termination path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, decls: map[types.Object]*ast.FuncDecl{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				c.decls[obj] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		c.nostop = analysis.DirectiveLines(pass.Fset, f, "nostop")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fromLongLived := c.methodOfLongLived(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				c.checkGo(g, fromLongLived)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	decls  map[types.Object]*ast.FuncDecl
+	nostop map[int]bool
+}
+
+func (c *checker) checkGo(g *ast.GoStmt, fromLongLived bool) {
+	if c.nostop[c.pass.Fset.Position(g.Pos()).Line] {
+		return
+	}
+	inScope := fromLongLived
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[fun]; obj != nil {
+			if fd, ok := c.decls[obj]; ok {
+				body = fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		obj := c.pass.TypesInfo.Uses[fun.Sel]
+		if fn, ok := obj.(*types.Func); ok {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && isLongLived(recv.Type()) {
+				inScope = true
+			}
+			if fd, ok := c.decls[obj]; ok {
+				body = fd.Body
+			}
+		}
+	}
+	if !inScope || body == nil {
+		return
+	}
+	for _, loop := range unboundedLoops(body) {
+		if c.hasTerminationEvidence(loop.Body) {
+			continue
+		}
+		c.pass.Reportf(g.Pos(),
+			"goroutine runs an unbounded for loop (line %d) with no termination path — no stop-channel or ctx.Done receive; select on shutdown inside the loop, or annotate //saim:nostop with the reason",
+			c.pass.Fset.Position(loop.For).Line)
+		return
+	}
+}
+
+// unboundedLoops returns the condition-less for loops of body, not
+// descending into nested function literals (their loops belong to the
+// closures that run them).
+func unboundedLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var loops []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				loops = append(loops, n)
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// hasTerminationEvidence scans a loop body (including nested literals —
+// evidence anywhere under the loop counts) for a channel receive, a
+// range over a channel, ctx.Done/ctx.Err, or WaitGroup.Done.
+func (c *checker) hasTerminationEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := c.pass.TypesInfo.Types[n.X]; ok && t.Type != nil {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if t, ok := c.pass.TypesInfo.Types[sel.X]; ok && t.Type != nil {
+				switch sel.Sel.Name {
+				case "Done", "Err":
+					if analysis.IsContextType(t.Type) {
+						found = true
+					}
+					if sel.Sel.Name == "Done" && isWaitGroup(t.Type) {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) methodOfLongLived(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	if t, ok := c.pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok && t.Type != nil {
+		return isLongLived(t.Type)
+	}
+	return false
+}
+
+// isLongLived reports whether t (or *t) is a struct carrying lifecycle
+// state: a context.Context, a stop channel (chan struct{}), or a
+// sync.WaitGroup field.
+func isLongLived(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if analysis.IsContextType(ft) {
+			return true
+		}
+		if ch, ok := ft.Underlying().(*types.Chan); ok {
+			if s, ok := ch.Elem().Underlying().(*types.Struct); ok && s.NumFields() == 0 {
+				return true
+			}
+		}
+		if isWaitGroup(ft) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

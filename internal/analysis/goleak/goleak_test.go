@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis/analysistest"
+	"github.com/ising-machines/saim/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "goleak")
+}

@@ -1,0 +1,49 @@
+// Broken fixtures: goroutines from long-lived types running unbounded
+// loops with no way to stop.
+package goleak
+
+import "context"
+
+// server is long-lived: it carries a stop channel.
+type server struct {
+	stop chan struct{}
+	hits int
+}
+
+func poll(s *server) { s.hits++ }
+
+// Spinning forever with no receive: nothing can stop this goroutine.
+func (s *server) start() {
+	go func() { // want `no termination path`
+		for {
+			poll(s)
+		}
+	}()
+}
+
+// Same leak through a named method body.
+func (s *server) spin() {
+	for {
+		poll(s)
+	}
+}
+
+func (s *server) startSpinner() {
+	go s.spin() // want `no termination path`
+}
+
+// tracker is long-lived through its context field.
+type tracker struct {
+	ctx context.Context
+	n   int
+}
+
+// The loop checks nothing: holding a ctx field is not enough, the loop
+// must actually receive from ctx.Done().
+func (t *tracker) run() {
+	go func() { // want `no termination path`
+		for {
+			t.n++
+		}
+	}()
+}

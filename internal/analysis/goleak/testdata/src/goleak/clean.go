@@ -1,0 +1,99 @@
+// Clean fixtures: every goroutine here is tied to a termination path,
+// out of scope, or deliberately annotated.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type engine struct {
+	stop  chan struct{}
+	queue chan int
+	wg    sync.WaitGroup
+	n     int
+}
+
+// Select on the stop channel: the canonical ticker loop.
+func (e *engine) startTicker() {
+	ticker := time.NewTicker(time.Second)
+	go func() {
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				e.n++
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Ranging over a channel terminates when the owner closes it.
+func (e *engine) startWorker() {
+	go func() {
+		for v := range e.queue {
+			e.n += v
+		}
+	}()
+}
+
+// Named method with a stop-channel receive.
+func (e *engine) drain() {
+	for {
+		select {
+		case v := <-e.queue:
+			e.n += v
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *engine) startDrain() {
+	go e.drain()
+}
+
+// ctx.Done ties the loop to cancellation.
+type watcher struct {
+	ctx context.Context
+	n   int
+}
+
+func (w *watcher) start(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			w.n++
+		}
+	}()
+}
+
+// A short-lived helper (no lifecycle fields) is out of scope: the
+// analyzer only polices types that own background goroutines.
+type scratch struct {
+	n int
+}
+
+func (s *scratch) burn() {
+	go func() {
+		for {
+			s.n++
+		}
+	}()
+}
+
+// Documented, deliberately unstoppable goroutine.
+func (e *engine) startForever() {
+	go func() { //saim:nostop process-lifetime metrics pump, reaped at exit
+		for {
+			e.n++
+		}
+	}()
+}

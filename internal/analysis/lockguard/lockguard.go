@@ -1,0 +1,876 @@
+// Package lockguard enforces the mutex contracts the service and cluster
+// planes depend on, over the intra-procedural CFG of internal/analysis/cfg
+// with a may/must-hold-lock dataflow.
+//
+// Three rules, all flow-sensitive:
+//
+//  1. Guarded fields. A struct field annotated `// guarded by <mu>` (doc
+//     or trailing comment; <mu> must name a sibling sync.Mutex/RWMutex
+//     field) may only be read or written while that mutex is held on
+//     EVERY path reaching the access (must-held intersection at merges).
+//     Freshly constructed locals (assigned from a composite literal or
+//     new(T) in the same function) are exempt: a constructor filling in a
+//     not-yet-shared value needs no lock.
+//
+//  2. Balanced locking. Every Lock must reach an Unlock on every normal
+//     path out of the function — either a matching deferred unlock or an
+//     explicit unlock on all paths (may-held union at merges; a lock
+//     still possibly held at the function's Exit with no deferred unlock
+//     pending is reported at its Lock site). Paths that leave by
+//     panicking are not judged: deferred unlocks run during unwinding,
+//     which is exactly why the aggregator uses defer.
+//
+//  3. No blocking under a lock. While any mutex is must-held, the
+//     function must not: send to or receive from a channel (including
+//     ranging over one), call time.Sleep, call into net or net/http,
+//     call into internal/wal from outside it (Append/Sync fsync), invoke
+//     a function-typed struct field (a user-supplied callback — the PR 9
+//     ProgressAggregator deadlock), or call a same-package function that
+//     directly does one of the call-shaped operations above (a one-level
+//     summary, so Submit → journalSubmitted → wal.Append is visible).
+//     Non-blocking channel shapes are exempt: operations that are the
+//     comm clause of a select with a default case, and sends to a
+//     locally-made buffered channel.
+//
+// Conventions understood:
+//
+//   - Lock wrappers: a method whose whole body is recv.mu.Lock() (or
+//     Unlock/RLock/RUnlock) acts as that operation at its call sites —
+//     the service Job's lock()/unlock() idiom.
+//   - Methods named *Locked, or annotated //saim:locked, assume the
+//     receiver's mutexes held at entry (the internal/wal idiom).
+//   - //saim:lockok <reason> on the offending line suppresses rules 1
+//     and 3 for deliberate, documented cases.
+//
+// Function literals are analyzed as separate functions (they run later,
+// under whatever locks their caller then holds — unknowable
+// intra-procedurally) with one exception: an immediately-invoked literal
+// is analyzed with the lock set held at its invocation, since it runs
+// synchronously. Known misses, accepted for zero noise: deferred
+// closures execute under the locks held at function exit, and goroutine
+// bodies inherit nothing — both analyzed lock-free.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/ising-machines/saim/internal/analysis"
+	"github.com/ising-machines/saim/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "guarded-by fields accessed under their mutex, every Lock reaches Unlock, nothing blocking while a lock is held",
+	Run:  run,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lockInfo records where and as what a lock was acquired, for messages.
+type lockInfo struct {
+	pos  token.Pos
+	disp string
+}
+
+// lockState is the dataflow fact at one program point.
+type lockState struct {
+	// must: locks held on every path here (guarded-access + blocking
+	// checks). may: locks possibly held here with NO deferred unlock
+	// pending (leak check at Exit). defs: deferred unlocks pending on
+	// every path here.
+	must map[string]lockInfo
+	may  map[string]lockInfo
+	defs map[string]bool
+}
+
+func newState() *lockState {
+	return &lockState{
+		must: map[string]lockInfo{},
+		may:  map[string]lockInfo{},
+		defs: map[string]bool{},
+	}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newState()
+	for k, v := range s.must {
+		c.must[k] = v
+	}
+	for k, v := range s.may {
+		c.may[k] = v
+	}
+	for k := range s.defs {
+		c.defs[k] = true
+	}
+	return c
+}
+
+// mergeInto folds src into dst (nil dst: first visit), reporting change.
+func mergeInto(dst, src *lockState) (*lockState, bool) {
+	if dst == nil {
+		return src.clone(), true
+	}
+	changed := false
+	for k := range dst.must {
+		if _, ok := src.must[k]; !ok {
+			delete(dst.must, k)
+			changed = true
+		}
+	}
+	for k, v := range src.may {
+		if _, ok := dst.may[k]; !ok {
+			dst.may[k] = v
+			changed = true
+		}
+	}
+	for k := range dst.defs {
+		if !src.defs[k] {
+			delete(dst.defs, k)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// wrapperInfo describes a lock-wrapper method: calling it performs op on
+// the receiver's `field` mutex.
+type wrapperInfo struct {
+	op    string // "lock" or "unlock"
+	field string
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	guards   map[types.Object]string      // guarded field -> sibling mutex field name
+	wrappers map[types.Object]wrapperInfo // wrapper method -> op
+	summary  map[types.Object]string      // same-pkg func -> one-level blocking reason ("" = none)
+	suppress map[string]map[int]bool      // filename -> //saim:lockok lines
+}
+
+// unit is one function-shaped body under analysis.
+type unit struct {
+	body  *ast.BlockStmt
+	seed  map[string]lockInfo // entry must-held (e.g. *Locked methods)
+	fresh map[types.Object]bool
+	// freshChans: locals from make(chan T, n) with a capacity argument —
+	// sends to them while the value is still local cannot block.
+	freshChans map[types.Object]bool
+	// nbComm: comm statements of selects that have a default clause.
+	nbComm map[ast.Node]bool
+	// lits: function literals discovered during the reporting pass, each
+	// analyzed as its own unit afterwards.
+	lits []litTask
+}
+
+type litTask struct {
+	lit  *ast.FuncLit
+	seed map[string]lockInfo
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		guards:   map[types.Object]string{},
+		wrappers: map[types.Object]wrapperInfo{},
+		summary:  map[types.Object]string{},
+		suppress: map[string]map[int]bool{},
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		c.suppress[name] = analysis.DirectiveLines(pass.Fset, f, "lockok")
+	}
+	c.collectGuards()
+	c.collectWrappers()
+	c.collectSummaries()
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := c.pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				if _, isWrapper := c.wrappers[obj]; isWrapper {
+					continue // a wrapper's unbalanced body is its purpose
+				}
+			}
+			c.checkUnit(&unit{body: fd.Body, seed: c.entrySeed(fd)})
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ collection ---
+
+// collectGuards finds `guarded by <mu>` field annotations, validating
+// that <mu> names a sibling mutex field. Mutex-typed fields themselves
+// are never treated as guarded (a blanket "guarded by mu" remark on the
+// mutex's own doc must not make locking it require holding it).
+func (c *checker) collectGuards() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexes := map[string]bool{}
+			for _, field := range st.Fields.List {
+				if t, ok := c.pass.TypesInfo.Types[field.Type]; ok && isMutexType(t.Type) {
+					for _, name := range field.Names {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				if t, ok := c.pass.TypesInfo.Types[field.Type]; ok && isMutexType(t.Type) {
+					continue
+				}
+				if !mutexes[guard] {
+					c.pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a sibling sync.Mutex/RWMutex field", guard)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+						c.guards[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// collectWrappers records methods whose entire body is a single
+// recv.<field>.Lock/Unlock/RLock/RUnlock() call.
+func (c *checker) collectWrappers() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Body.List) != 1 {
+				continue
+			}
+			if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recvName := fd.Recv.List[0].Names[0].Name
+			es, ok := fd.Body.List[0].(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			op := lockOpName(sel.Sel.Name)
+			if op == "" {
+				continue
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			base, ok := inner.X.(*ast.Ident)
+			if !ok || base.Name != recvName {
+				continue
+			}
+			if t, ok := c.pass.TypesInfo.Types[inner]; !ok || !isMutexType(t.Type) {
+				continue
+			}
+			if obj := c.pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				c.wrappers[obj] = wrapperInfo{op: op, field: inner.Sel.Name}
+			}
+		}
+	}
+}
+
+// collectSummaries computes the one-level may-block summary for every
+// same-package function: the first call-shaped blocking operation found
+// directly in its body (function literals excluded — a closure a helper
+// merely builds does not run at call time). Channel operations are
+// deliberately not summarized; their non-blocking exemptions
+// (select-with-default, fresh buffered channels) are context the summary
+// cannot carry.
+func (c *checker) collectSummaries() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := c.pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			reason := ""
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if reason != "" {
+					return false
+				}
+				switch n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					reason = c.callBlockReason(call, false)
+				}
+				return true
+			})
+			if reason != "" {
+				c.summary[obj] = reason
+			}
+		}
+	}
+}
+
+// entrySeed returns the must-held set a declaration starts with: methods
+// named *Locked or annotated //saim:locked assume every mutex field of
+// their receiver held by the caller.
+func (c *checker) entrySeed(fd *ast.FuncDecl) map[string]lockInfo {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	if !strings.HasSuffix(fd.Name.Name, "Locked") && !analysis.HasDirective(fd.Doc, "locked") {
+		return nil
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	obj := c.pass.TypesInfo.Defs[recvIdent]
+	if obj == nil {
+		return nil
+	}
+	typ := obj.Type()
+	if ptr, ok := typ.(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	st, ok := typ.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	seed := map[string]lockInfo{}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if isMutexType(fld.Type()) {
+			key := objKey(obj) + "." + fld.Name()
+			seed[key] = lockInfo{pos: fd.Pos(), disp: recvIdent.Name + "." + fld.Name()}
+		}
+	}
+	return seed
+}
+
+// ------------------------------------------------------------- analysis ---
+
+func (c *checker) checkUnit(u *unit) {
+	u.fresh = map[types.Object]bool{}
+	u.freshChans = map[types.Object]bool{}
+	u.nbComm = map[ast.Node]bool{}
+	c.prewalk(u)
+
+	g := cfg.New(u.body)
+	in := map[*cfg.Block]*lockState{}
+	entry := newState()
+	for k, v := range u.seed {
+		entry.must[k] = v
+	}
+	in[g.Entry] = entry
+
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[b].clone()
+		for _, n := range b.Nodes {
+			c.step(u, st, n, false)
+		}
+		for _, s := range b.Succs {
+			merged, changed := mergeInto(in[s], st)
+			if changed {
+				in[s] = merged
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Reporting pass with the converged states; also collects literals.
+	for _, b := range g.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		st = st.clone()
+		for _, n := range b.Nodes {
+			c.step(u, st, n, true)
+		}
+	}
+
+	// Leak check at the normal exit: a lock possibly held with no
+	// deferred unlock pending did not reach an Unlock on some path.
+	if est := in[g.Exit]; est != nil {
+		for _, info := range est.may {
+			c.pass.Reportf(info.pos,
+				"%s is locked here but not unlocked on every path out of the function (add defer %s.Unlock() or unlock on all paths)",
+				info.disp, info.disp)
+		}
+	}
+
+	for _, lt := range u.lits {
+		c.checkUnit(&unit{body: lt.lit.Body, seed: lt.seed})
+	}
+}
+
+// prewalk collects per-unit context: fresh locals, fresh buffered
+// channels, and the comm statements of selects carrying a default.
+func (c *checker) prewalk(u *unit) {
+	noteFresh := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		switch v := rhs.(type) {
+		case *ast.CompositeLit:
+			u.fresh[obj] = true
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, ok := v.X.(*ast.CompositeLit); ok {
+					u.fresh[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := v.Fun.(*ast.Ident); ok {
+				switch fn.Name {
+				case "new":
+					u.fresh[obj] = true
+				case "make":
+					if tv, ok := c.pass.TypesInfo.Types[rhs]; ok && tv.Type != nil {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && len(v.Args) == 2 {
+							u.freshChans[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					noteFresh(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					noteFresh(n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						u.nbComm[cc.Comm] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// step applies one CFG node to the state; with report set it also emits
+// diagnostics and collects function literals.
+func (c *checker) step(u *unit, st *lockState, n ast.Node, report bool) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		// Range head: only X executes here. Ranging a channel receives.
+		if t, ok := c.pass.TypesInfo.Types[n.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				c.blockingOp(st, n.X.Pos(), "receiving from a channel (range)", report)
+			}
+		}
+		c.walk(u, st, n.X, false, report)
+		return
+	case *ast.DeferStmt:
+		c.handleDefer(u, st, n, report)
+		return
+	}
+	c.walk(u, st, n, false, report)
+}
+
+// handleDefer registers deferred unlocks. Argument expressions evaluate
+// at the defer statement and are walked normally; the deferred call
+// itself runs at exit and is not charged against the current lock set.
+func (c *checker) handleDefer(u *unit, st *lockState, d *ast.DeferStmt, report bool) {
+	call := d.Call
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure: any unlock inside releases at exit. The
+		// body is additionally analyzed as its own (lock-free) unit.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if op, key, _ := c.lockOp(inner); op == "unlock" && key != "" {
+					st.defs[key] = true
+					delete(st.may, key)
+				}
+			}
+			return true
+		})
+		if report {
+			u.lits = append(u.lits, litTask{lit: lit})
+		}
+	} else if op, key, _ := c.lockOp(call); op == "unlock" && key != "" {
+		st.defs[key] = true
+		delete(st.may, key)
+	}
+	for _, a := range call.Args {
+		c.walk(u, st, a, false, report)
+	}
+}
+
+// walk traverses one node's expressions in place, applying lock
+// operations, blocking checks, and guarded-access checks. nonblocking
+// marks a subtree whose channel operations cannot block (a comm clause
+// of a select with default).
+func (c *checker) walk(u *unit, st *lockState, n ast.Node, nonblocking bool, report bool) {
+	if u.nbComm[n] {
+		nonblocking = true
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if report {
+				u.lits = append(u.lits, litTask{lit: x})
+			}
+			return false
+
+		case *ast.GoStmt:
+			// Spawning never blocks the spawner; the goroutine body runs
+			// under no inherited locks and is analyzed as its own unit.
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok && report {
+				u.lits = append(u.lits, litTask{lit: lit})
+			}
+			for _, a := range x.Call.Args {
+				c.walk(u, st, a, nonblocking, report)
+			}
+			return false
+
+		case *ast.CallExpr:
+			if lit, ok := x.Fun.(*ast.FuncLit); ok {
+				// Immediately-invoked literal: runs synchronously under
+				// the current lock set.
+				if report {
+					seed := map[string]lockInfo{}
+					for k, v := range st.must {
+						seed[k] = v
+					}
+					u.lits = append(u.lits, litTask{lit: lit, seed: seed})
+				}
+				for _, a := range x.Args {
+					c.walk(u, st, a, nonblocking, report)
+				}
+				return false
+			}
+			if op, key, disp := c.lockOp(x); op != "" {
+				if key != "" {
+					switch op {
+					case "lock":
+						info := lockInfo{pos: x.Pos(), disp: disp}
+						st.must[key] = info
+						st.may[key] = info
+					case "unlock":
+						delete(st.must, key)
+						delete(st.may, key)
+						delete(st.defs, key)
+					}
+				}
+				return false // mu.Lock() is not an access to a guarded field
+			}
+			if reason := c.callBlockReason(x, true); reason != "" {
+				c.blockingOp(st, x.Pos(), reason, report)
+			}
+			return true
+
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !nonblocking {
+				c.blockingOp(st, x.Pos(), "receiving from a channel", report)
+			}
+			return true
+
+		case *ast.SendStmt:
+			if !nonblocking && !c.isFreshBufferedChan(u, x.Chan) {
+				c.blockingOp(st, x.Pos(), "sending to a channel", report)
+			}
+			return true
+
+		case *ast.SelectorExpr:
+			c.checkAccess(u, st, x, report)
+			return true
+		}
+		return true
+	})
+}
+
+// blockingOp reports a blocking operation if any lock is must-held.
+func (c *checker) blockingOp(st *lockState, pos token.Pos, what string, report bool) {
+	if !report || len(st.must) == 0 || c.suppressed(pos) {
+		return
+	}
+	held := make([]string, 0, len(st.must))
+	for _, info := range st.must {
+		held = append(held, info.disp)
+	}
+	c.pass.Reportf(pos,
+		"%s while holding %s may block every contender on the lock (move it outside the critical section, or annotate //saim:lockok with the reason it cannot block)",
+		what, strings.Join(sortStrings(held), ", "))
+}
+
+// checkAccess enforces rule 1 on one selector expression.
+func (c *checker) checkAccess(u *unit, st *lockState, sel *ast.SelectorExpr, report bool) {
+	if !report {
+		return
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	guard, guarded := c.guards[selection.Obj()]
+	if !guarded {
+		return
+	}
+	if base := rootObj(c.pass.TypesInfo, sel.X); base != nil && u.fresh[base] {
+		return
+	}
+	required := exprKey(c.pass.TypesInfo, sel.X)
+	if required == "" {
+		return // receiver too complex to name a lock; stay silent
+	}
+	required += "." + guard
+	if _, held := st.must[required]; held {
+		return
+	}
+	if c.suppressed(sel.Pos()) {
+		return
+	}
+	c.pass.Reportf(sel.Sel.Pos(),
+		"field %s is guarded by %s but accessed without holding %s.%s on every path (annotate //saim:lockok if protected another way)",
+		sel.Sel.Name, guard, exprText(sel.X), guard)
+}
+
+// ---------------------------------------------------------- classifiers ---
+
+func lockOpName(name string) string {
+	switch name {
+	case "Lock", "RLock":
+		return "lock"
+	case "Unlock", "RUnlock":
+		return "unlock"
+	}
+	return ""
+}
+
+// lockOp classifies a call as a mutex operation: a direct
+// <expr>.Lock/Unlock/RLock/RUnlock() on a mutex-typed expression, or a
+// call to a recognized wrapper method. key is "" when the receiver
+// expression is too complex to track.
+func (c *checker) lockOp(call *ast.CallExpr) (op, key, disp string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	if op := lockOpName(sel.Sel.Name); op != "" {
+		if t, ok := c.pass.TypesInfo.Types[sel.X]; ok && isMutexType(t.Type) {
+			return op, exprKey(c.pass.TypesInfo, sel.X), exprText(sel.X)
+		}
+	}
+	if obj := c.pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+		if w, ok := c.wrappers[obj]; ok {
+			base := exprKey(c.pass.TypesInfo, sel.X)
+			if base == "" {
+				return w.op, "", ""
+			}
+			return w.op, base + "." + w.field, exprText(sel.X) + "." + w.field
+		}
+	}
+	return "", "", ""
+}
+
+// callBlockReason classifies call-shaped blocking operations. With
+// summaries enabled it also consults the one-level same-package
+// may-block summary (disabled while building the summaries themselves).
+func (c *checker) callBlockReason(call *ast.CallExpr, summaries bool) string {
+	// A function-typed struct field invoked directly is a user-supplied
+	// callback: it may block, take arbitrary time, or re-enter the lock.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection, ok := c.pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+			if _, isFunc := selection.Obj().Type().Underlying().(*types.Signature); isFunc {
+				return fmt.Sprintf("invoking the callback field %s (user code of unknown duration)", exprText(sel))
+			}
+		}
+	}
+	obj := calleeObj(c.pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch path := pkg.Path(); {
+	case path == "time" && fn.Name() == "Sleep":
+		return "calling time.Sleep"
+	case path == "net" || path == "net/http":
+		return fmt.Sprintf("calling %s.%s (network I/O)", path, fn.Name())
+	case strings.HasSuffix(path, "internal/wal") && c.pass.Pkg.Path() != path:
+		return fmt.Sprintf("calling wal.%s (journal I/O, possibly an fsync)", fn.Name())
+	case summaries && pkg == c.pass.Pkg:
+		if reason, ok := c.summary[obj]; ok {
+			return fmt.Sprintf("calling %s, which may block (%s)", fn.Name(), reason)
+		}
+	}
+	return ""
+}
+
+func (c *checker) isFreshBufferedChan(u *unit, ch ast.Expr) bool {
+	if id, ok := ch.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			return u.freshChans[obj]
+		}
+	}
+	return false
+}
+
+func (c *checker) suppressed(pos token.Pos) bool {
+	p := c.pass.Fset.Position(pos)
+	return c.suppress[p.Filename][p.Line]
+}
+
+// ------------------------------------------------------------- utilities ---
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// objKey names a variable stably within one pass.
+func objKey(obj types.Object) string {
+	return fmt.Sprintf("v%d", obj.Pos())
+}
+
+// exprKey canonicalizes a selector chain rooted at a named variable;
+// "" when the expression has another shape.
+func exprKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		return objKey(obj)
+	case *ast.SelectorExpr:
+		base := exprKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(info, e.X)
+	}
+	return ""
+}
+
+// rootObj returns the object of the base identifier of a selector chain.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprText renders a selector chain for messages.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	}
+	return "<expr>"
+}
+
+// calleeObj resolves the called function's object, when nameable.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func sortStrings(s []string) []string {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}

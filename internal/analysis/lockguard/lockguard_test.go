@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/ising-machines/saim/internal/analysis/analysistest"
+	"github.com/ising-machines/saim/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "lockguard")
+}

@@ -1,0 +1,96 @@
+// Broken fixtures: every construct here must draw exactly the
+// diagnostic named by its want comment.
+package lockguard
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// aggregator reproduces the PR 9 ProgressAggregator deadlock shape: a
+// mutex-guarded accumulator whose method invokes a user-supplied
+// callback field while still holding the mutex.
+type aggregator struct {
+	mu  sync.Mutex
+	f   func(int)
+	agg int // guarded by mu
+}
+
+func (a *aggregator) callback(v int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.agg += v
+	a.f(a.agg) // want `invoking the callback field a\.f`
+}
+
+// Guarded field read with no lock at all.
+func (a *aggregator) race() int {
+	return a.agg // want `guarded by mu`
+}
+
+// Guarded field write locked on only one of two paths.
+func (a *aggregator) sometimes(cond bool) {
+	if cond {
+		a.mu.Lock()
+		a.agg++
+		a.mu.Unlock()
+	}
+	a.agg++ // want `guarded by mu`
+}
+
+// Lock that does not reach an Unlock on the early-return path.
+func (a *aggregator) leaky(cond bool) {
+	a.mu.Lock() // want `not unlocked on every path`
+	if cond {
+		return
+	}
+	a.mu.Unlock()
+}
+
+// Channel send while the mutex is held: every other contender stalls
+// until a receiver shows up.
+func (a *aggregator) send(ch chan int) {
+	a.mu.Lock()
+	ch <- 1 // want `sending to a channel while holding`
+	a.mu.Unlock()
+}
+
+// Channel receive under the lock.
+func (a *aggregator) recv(ch chan int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return <-ch // want `receiving from a channel while holding`
+}
+
+// Network I/O under the lock.
+func (a *aggregator) dial() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	net.Dial("tcp", "localhost:0") // want `calling net\.Dial`
+}
+
+// nap blocks; calling it under a lock is flagged through the one-level
+// same-package summary.
+func (a *aggregator) nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func (a *aggregator) slowUnderLock() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nap() // want `calling nap, which may block`
+}
+
+// A guarded-by annotation must name a sibling mutex field.
+type badAnno struct {
+	mu sync.Mutex
+	// guarded by lock
+	x int // want `guarded-by annotation names "lock"`
+}
+
+func (b *badAnno) use() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.x
+}

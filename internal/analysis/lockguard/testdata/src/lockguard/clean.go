@@ -1,0 +1,119 @@
+// Clean fixtures: none of these may draw a diagnostic. Each function
+// exercises one idiom the analyzer must understand.
+package lockguard
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	n     int            // guarded by mu
+}
+
+// Lock wrappers: calling these acts as Lock/Unlock on s.mu.
+func (s *store) lock()   { s.mu.Lock() }
+func (s *store) unlock() { s.mu.Unlock() }
+
+// Deferred unlock covers every path.
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// Explicit unlock on all paths.
+func (s *store) tryPut(k string, v int, overwrite bool) bool {
+	s.mu.Lock()
+	if _, ok := s.items[k]; ok && !overwrite {
+		s.mu.Unlock()
+		return false
+	}
+	s.items[k] = v
+	s.mu.Unlock()
+	return true
+}
+
+// Wrapper methods act as the operations they wrap.
+func (s *store) put(k string, v int) {
+	s.lock()
+	s.items[k] = v
+	s.unlock()
+}
+
+// The Locked suffix asserts the caller holds the receiver's mutexes.
+func (s *store) bumpLocked() {
+	s.n++
+}
+
+// reset clears the table; callers hold s.mu.
+//
+//saim:locked
+func (s *store) reset() {
+	s.items = map[string]int{}
+	s.n = 0
+}
+
+// A constructor filling in a fresh, unshared value needs no lock.
+func newStore() *store {
+	s := &store{items: map[string]int{}}
+	s.n = 1
+	return s
+}
+
+// A select with a default clause cannot block.
+func (s *store) notify(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- s.n:
+	default:
+	}
+}
+
+// A send to a locally-made buffered channel cannot block while the
+// value is still private to this function.
+func (s *store) snapshotChan() chan int {
+	ch := make(chan int, 1)
+	s.mu.Lock()
+	ch <- s.n
+	s.mu.Unlock()
+	return ch
+}
+
+// An immediately-invoked literal runs synchronously under the caller's
+// locks, so its guarded accesses are covered.
+func (s *store) flush() int {
+	s.mu.Lock()
+	n := func() int {
+		old := s.n
+		s.n = 0
+		return old
+	}()
+	s.mu.Unlock()
+	return n
+}
+
+// RWMutex read-locking counts as holding the guard.
+type table struct {
+	rw sync.RWMutex
+	m  map[string]bool // guarded by rw
+}
+
+func (t *table) has(k string) bool {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// A documented, deliberate case is silenced by the directive.
+type notifier struct {
+	mu sync.Mutex
+	f  func(int)
+	v  int // guarded by mu
+}
+
+func (n *notifier) fire() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.f(n.v) //saim:lockok callback contract requires serialization under mu
+}

@@ -7,18 +7,26 @@ package suite
 
 import (
 	"github.com/ising-machines/saim/internal/analysis"
+	"github.com/ising-machines/saim/internal/analysis/deferclose"
 	"github.com/ising-machines/saim/internal/analysis/fingerprintcomplete"
+	"github.com/ising-machines/saim/internal/analysis/goleak"
 	"github.com/ising-machines/saim/internal/analysis/hotpathalloc"
+	"github.com/ising-machines/saim/internal/analysis/lockguard"
 	"github.com/ising-machines/saim/internal/analysis/loopcancel"
 	"github.com/ising-machines/saim/internal/analysis/seededrand"
 )
 
-// Analyzers returns the full saimvet suite in registry order.
+// Analyzers returns the full saimvet suite in registry order. The first
+// four are PR 6's AST-level lints; lockguard, goleak, and deferclose are
+// the CFG-backed concurrency analyzers (internal/analysis/cfg).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		fingerprintcomplete.Analyzer,
 		hotpathalloc.Analyzer,
 		loopcancel.Analyzer,
 		seededrand.Analyzer,
+		lockguard.Analyzer,
+		goleak.Analyzer,
+		deferclose.Analyzer,
 	}
 }

@@ -1,0 +1,80 @@
+package bceaudit
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	// internal/bceaudit/bceaudit_test.go → repo root.
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestBCEDriftAgainstAllowlists is the audit: every //saim:hotpath
+// package's check_bce output must match its committed bce_allow.txt
+// exactly. SAIM_BCE_UPDATE=1 regenerates the allowlists instead.
+func TestBCEDriftAgainstAllowlists(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := HotpathPackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no //saim:hotpath packages found — the scan is broken, not the tree")
+	}
+	update := os.Getenv("SAIM_BCE_UPDATE") != ""
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			got, err := Audit(root, pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if update {
+				if err := WriteAllowlist(root, pkg, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s/%s (%d entries)", pkg, AllowlistName, len(got))
+				return
+			}
+			allow, err := ReadAllowlist(root, pkg)
+			if err != nil {
+				t.Fatalf("missing allowlist (run SAIM_BCE_UPDATE=1 go test ./internal/bceaudit): %v", err)
+			}
+			for _, d := range Diff(allow, got) {
+				t.Error(d)
+			}
+		})
+	}
+}
+
+// TestDiffDetectsDrift pins the comparison logic in both directions
+// without touching real kernels.
+func TestDiffDetectsDrift(t *testing.T) {
+	allow := []string{
+		"# comment",
+		"",
+		"a.go f IsInBounds 2",
+		"a.go g IsSliceInBounds 1",
+	}
+	if d := Diff(allow, []string{"a.go f IsInBounds 2", "a.go g IsSliceInBounds 1"}); len(d) != 0 {
+		t.Fatalf("clean report drifted: %v", d)
+	}
+	// A new check and a count change are both drift.
+	d := Diff(allow, []string{"a.go f IsInBounds 3", "a.go g IsSliceInBounds 1"})
+	if len(d) != 2 {
+		t.Fatalf("count bump: got %d drift lines %v, want new+stale pair", len(d), d)
+	}
+	// A vanished check is drift too (stale allowlist).
+	d = Diff(allow, []string{"a.go f IsInBounds 2"})
+	if len(d) != 1 {
+		t.Fatalf("vanished check: got %v", d)
+	}
+}

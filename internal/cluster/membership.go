@@ -83,8 +83,8 @@ type membership struct {
 	cfg membershipConfig
 
 	mu    sync.Mutex
-	peers map[string]*peerHealth
-	live  map[string]bool // last live set reported through onChange
+	peers map[string]*peerHealth // guarded by mu
+	live  map[string]bool        // last live set reported through onChange; guarded by mu
 
 	wg     sync.WaitGroup
 	cancel context.CancelFunc

@@ -25,18 +25,18 @@ func replicaSeed(base uint64, r int) uint64 {
 // and the decomposition meta-solver's round workers share this path.
 type ProgressAggregator struct {
 	mu  sync.Mutex
-	f   func(ProgressInfo)
-	agg ProgressInfo
+	f   func(ProgressInfo) // immutable after construction
+	agg ProgressInfo       // guarded by mu
 	// Last cumulative snapshot per replica, subtracted before adding the
 	// new one (per-solve best costs are monotone, so the fleet min needs
-	// no per-replica memory).
-	feasible []int
-	samples  []int
-	sweeps   []int64
+	// no per-replica memory). All three are guarded by mu.
+	feasible []int   // guarded by mu
+	samples  []int   // guarded by mu
+	sweeps   []int64 // guarded by mu
 	// norm0 is replica 0's latest ‖λ‖. Multiplier norms from different
 	// replicas are unrelated trajectories, so the aggregate streams one
 	// coherent trajectory (replica 0's, as before pooling) rather than a
-	// last-writer-wins sawtooth.
+	// last-writer-wins sawtooth. guarded by mu
 	norm0 float64
 }
 
@@ -81,8 +81,11 @@ func (a *ProgressAggregator) Callback(r int) func(ProgressInfo) {
 		}
 		a.agg.LambdaNorm = a.norm0
 		// Invoke under the lock so user callbacks stay serialized (the
-		// WithProgress contract) even with many workers reporting.
-		a.f(a.agg)
+		// WithProgress contract) even with many workers reporting. The
+		// deferred unlock above keeps a panicking callback from wedging
+		// the other workers, which is what makes this hold-across-call
+		// safe enough to exempt.
+		a.f(a.agg) //saim:lockok WithProgress serializes user callbacks by contract; the unlock is deferred so even a panic releases mu
 	}
 }
 

@@ -1,0 +1,20 @@
+package cpufeat
+
+import "testing"
+
+// detectAVX2 has an assembly-backed body on amd64 and a constant-false
+// fallback elsewhere; both must be stable (detection is not stateful) and
+// agree with the flag captured at init. The differential solver tests
+// rely on flipping HasAVX2 at runtime, so this also documents that the
+// variable starts out equal to detection, not hardcoded.
+func TestDetectAVX2StableAndMatchesInit(t *testing.T) {
+	first := detectAVX2()
+	if first != HasAVX2 {
+		t.Fatalf("detectAVX2() = %v but HasAVX2 = %v at init", first, HasAVX2)
+	}
+	for i := 0; i < 3; i++ {
+		if got := detectAVX2(); got != first {
+			t.Fatalf("detectAVX2() unstable: run %d returned %v, first returned %v", i, got, first)
+		}
+	}
+}

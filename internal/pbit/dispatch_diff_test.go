@@ -1,0 +1,84 @@
+package pbit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/cpufeat"
+	"github.com/ising-machines/saim/internal/rng"
+)
+
+// Per-dispatcher differential pins: each flipApply* entry point must
+// produce bit-identical fields under the AVX2 and portable paths. The
+// sweep-level tests exercise these through whole anneals; these hit each
+// dispatcher in isolation with irregular shapes (odd lengths, sparse
+// group sets) so a broken edge case cannot hide behind a forgiving
+// trajectory. On hardware without AVX2 both runs take the portable path
+// and the comparison is vacuous, like the other differential tests.
+
+// diffInputs builds one deterministic set of kernel operands: an
+// n-element coupling row, matching CSR spans, a field block, and an
+// active-group/delta pair covering a sparse subset of the 16 lane groups.
+func diffInputs(n int, seed uint64) (row []float64, cols []int32, ws []float64, fields []float64, d [Lanes]float64, groups []int32) {
+	src := rng.New(seed)
+	row = make([]float64, n)
+	for j := range row {
+		row[j] = src.Sym()
+	}
+	// Every third row entry becomes a stored CSR coupling.
+	for j := 0; j < n; j += 3 {
+		cols = append(cols, int32(j))
+		ws = append(ws, row[j])
+	}
+	fields = make([]float64, n*Lanes)
+	for i := range fields {
+		fields[i] = src.Sym()
+	}
+	for r := range d {
+		d[r] = 2 * src.Sym()
+	}
+	groups = []int32{0, 3, 7, 15} // sparse, unsorted-adjacent group set
+	return
+}
+
+func cloneFields(fields []float64) []float64 {
+	out := make([]float64, len(fields))
+	copy(out, fields)
+	return out
+}
+
+func requireFieldsIdentical(t *testing.T, name string, native, portable []float64) {
+	t.Helper()
+	for i := range native {
+		if math.Float64bits(native[i]) != math.Float64bits(portable[i]) {
+			t.Fatalf("%s: field %d diverges: native %x portable %x",
+				name, i, math.Float64bits(native[i]), math.Float64bits(portable[i]))
+		}
+	}
+}
+
+func TestFlipApplyDispatchersNativeMatchesPortable(t *testing.T) {
+	saved := cpufeat.HasAVX2
+	defer func() { cpufeat.HasAVX2 = saved }()
+
+	for _, n := range []int{1, 4, 29, 64} {
+		row, cols, ws, fields, d, groups := diffInputs(n, uint64(n)*17+5)
+
+		runPair := func(name string, apply func(fields []float64)) {
+			cpufeat.HasAVX2 = saved
+			native := cloneFields(fields)
+			apply(native)
+			cpufeat.HasAVX2 = false
+			portable := cloneFields(fields)
+			apply(portable)
+			requireFieldsIdentical(t, name, native, portable)
+		}
+
+		runPair("flipApplyDense", func(f []float64) { flipApplyDense(row, f, &d, groups) })
+		runPair("flipApplyCSR", func(f []float64) { flipApplyCSR(cols, ws, f, &d, groups) })
+		// The single-lane walks take one lane's stride-64 view; offset 2
+		// exercises a lane other than 0.
+		runPair("flipApplySingleDense", func(f []float64) { flipApplySingleDense(row, f[2:], 1.75) })
+		runPair("flipApplySingleCSR", func(f []float64) { flipApplySingleCSR(cols, ws, f[2:], -0.5) })
+	}
+}

@@ -1,0 +1,91 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ising-machines/saim/internal/cpufeat"
+)
+
+// Differential pins for the strided-fill dispatchers: fillSym4 and
+// fillSym8 must write the same draws AND leave their sources in the same
+// state under the AVX2 and portable paths — a state divergence would
+// silently fork every later draw, so the continuation stream is part of
+// the contract. Without AVX2 hardware both runs are portable and the
+// comparison is vacuous, as in the other differential tests.
+
+func TestFillSym4DispatchNativeMatchesPortable(t *testing.T) {
+	saved := cpufeat.HasAVX2
+	defer func() { cpufeat.HasAVX2 = saved }()
+
+	for _, n := range []int{1, 7, 64, 129} {
+		const stride = 6
+		mk := func() *[4]*Source {
+			var srcs [4]*Source
+			for l := range srcs {
+				srcs[l] = New(uint64(1000*n + l))
+			}
+			return &srcs
+		}
+
+		cpufeat.HasAVX2 = saved
+		nativeSrc := mk()
+		native := make([]float64, n*stride)
+		fillSym4(nativeSrc, native, n, stride)
+
+		cpufeat.HasAVX2 = false
+		portableSrc := mk()
+		portable := make([]float64, n*stride)
+		fillSym4(portableSrc, portable, n, stride)
+
+		for i := range native {
+			if math.Float64bits(native[i]) != math.Float64bits(portable[i]) {
+				t.Fatalf("n=%d: draw %d diverges: native %x portable %x",
+					n, i, math.Float64bits(native[i]), math.Float64bits(portable[i]))
+			}
+		}
+		for l := 0; l < 4; l++ {
+			if a, b := nativeSrc[l].Sym(), portableSrc[l].Sym(); a != b {
+				t.Fatalf("n=%d: source %d state diverged: next draw %v vs %v", n, l, a, b)
+			}
+		}
+	}
+}
+
+func TestFillSym8DispatchNativeMatchesPortable(t *testing.T) {
+	saved := cpufeat.HasAVX2
+	defer func() { cpufeat.HasAVX2 = saved }()
+
+	for _, n := range []int{1, 7, 64, 129} {
+		const stride = 11
+		mk := func() *[8]*Source {
+			var srcs [8]*Source
+			for l := range srcs {
+				srcs[l] = New(uint64(2000*n + l))
+			}
+			return &srcs
+		}
+
+		cpufeat.HasAVX2 = saved
+		nativeSrc := mk()
+		native := make([]float64, n*stride)
+		fillSym8(nativeSrc, native, n, stride)
+
+		cpufeat.HasAVX2 = false
+		portableSrc := mk()
+		portable := make([]float64, n*stride)
+		fillSym8(portableSrc, portable, n, stride)
+
+		for i := range native {
+			if math.Float64bits(native[i]) != math.Float64bits(portable[i]) {
+				t.Fatalf("n=%d: draw %d diverges: native %x portable %x",
+					n, i, math.Float64bits(native[i]), math.Float64bits(portable[i]))
+			}
+		}
+		for l := 0; l < 8; l++ {
+			if a, b := nativeSrc[l].Sym(), portableSrc[l].Sym(); a != b {
+				t.Fatalf("n=%d: source %d state diverged: next draw %v vs %v", n, l, a, b)
+			}
+		}
+	}
+}

@@ -187,21 +187,22 @@ type Log struct {
 	cfg Config
 
 	mu       sync.Mutex
-	f        *os.File      // active segment
-	w        *bufio.Writer // buffered appends into f
-	seq      uint64        // active segment sequence number
-	size     int64         // active segment size
-	sealed   int64         // total bytes across sealed segments
-	nseg     int           // segment files on disk, including active
-	appended int64
-	synced   int64
-	replayed int
-	closed   bool
+	f        *os.File      // active segment; guarded by mu
+	w        *bufio.Writer // buffered appends into f; guarded by mu
+	seq      uint64        // active segment sequence number; guarded by mu
+	size     int64         // active segment size; guarded by mu
+	sealed   int64         // total bytes across sealed segments; guarded by mu
+	nseg     int           // segment files on disk, including active; guarded by mu
+	appended int64         // guarded by mu
+	synced   int64         // guarded by mu
+	replayed int           // guarded by mu
+	closed   bool          // guarded by mu
 
+	// stop/done are created by Open and immutable afterwards.
 	stop chan struct{} // closes the background sync loop
 	done chan struct{}
 
-	buf []byte // append scratch, reused under mu
+	buf []byte // append scratch, reused under mu; guarded by mu
 }
 
 func segName(seq uint64) string { return fmt.Sprintf("%010d.wal", seq) }
@@ -270,13 +271,13 @@ func Open(dir string, cfg Config) (*Log, []Record, error) {
 	l.replayed = len(all)
 
 	if l.f == nil {
-		if err := l.startSegment(1); err != nil {
+		if err := l.startSegmentLocked(1); err != nil {
 			return nil, nil, err
 		}
 	} else if l.size < headerSize {
 		// The newest segment's magic itself was torn (crash during
 		// rotation). Rewrite the header in place.
-		if err := l.writeHeader(); err != nil {
+		if err := l.writeHeaderLocked(); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -404,7 +405,7 @@ func encodeFrame(dst []byte, r Record) ([]byte, error) {
 	return dst, nil
 }
 
-func (l *Log) startSegment(seq uint64) error {
+func (l *Log) startSegmentLocked(seq uint64) error {
 	path := filepath.Join(l.dir, segName(seq))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -413,10 +414,10 @@ func (l *Log) startSegment(seq uint64) error {
 	l.f, l.seq, l.size = f, seq, 0
 	l.w = bufio.NewWriterSize(f, writeBufBytes)
 	l.nseg++
-	return l.writeHeader()
+	return l.writeHeaderLocked()
 }
 
-func (l *Log) writeHeader() error {
+func (l *Log) writeHeaderLocked() error {
 	if _, err := l.w.WriteString(magic); err != nil {
 		return fmt.Errorf("wal: write segment header: %w", err)
 	}
@@ -473,7 +474,7 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: seal segment: %w", err)
 	}
 	l.sealed += l.size
-	return l.startSegment(l.seq + 1)
+	return l.startSegmentLocked(l.seq + 1)
 }
 
 // Sync flushes appended records to disk regardless of policy.

@@ -202,7 +202,11 @@ func Open(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("service: compact journal: %w", err)
 	}
 	m := newManager(cfg, wlog, len(pending))
+	// The worker pool is already running; the id counter must resume
+	// under the lock like every other nextID access.
+	m.mu.Lock()
 	m.nextID = maxID
+	m.mu.Unlock()
 	for _, p := range pending {
 		m.requeue(p)
 	}
@@ -446,7 +450,7 @@ func (m *Manager) checkpointFn(j *Job) func(assignment []int, cost float64) {
 		if err != nil {
 			return
 		}
-		if err := m.wal.Append(wal.Record{Kind: wal.KindCheckpoint, Job: j.id, Data: data}); err != nil {
+		if err := m.wal.Append(wal.Record{Kind: wal.KindCheckpoint, Job: j.id, Data: data}); err != nil { //saim:lockok mu is this closure's private throttle; only concurrent checkpoint callbacks of the same job contend, and they are exactly what the append must serialize
 			m.ctr.walErrors.Add(1)
 		}
 	}
@@ -459,8 +463,12 @@ func (m *Manager) maybeCompact() {
 	if m.wal == nil {
 		return
 	}
+	// The WAL's own counters are read before taking m.mu: Stats holds the
+	// journal's mutex, and the manager lock must not nest under anything
+	// an fsync could be contending.
+	walBytes := m.wal.Stats().Bytes
 	m.mu.Lock()
-	if m.sinceCompact < compactEvery || m.wal.Stats().Bytes < compactMinBytes {
+	if m.sinceCompact < compactEvery || walBytes < compactMinBytes {
 		m.mu.Unlock()
 		return
 	}

@@ -73,26 +73,25 @@ type Job struct {
 	// the job is visible to any worker and read-only afterwards.
 	wireOnly bool
 
-	// Everything below is guarded by mu.
 	mu        sync.Mutex
-	state     State
-	cancelled bool
+	state     State // guarded by mu
+	cancelled bool  // guarded by mu
 	// remote marks a job currently executing on another cluster node
 	// (handed out by Steal); lease re-queues it if the thief never
-	// reports back.
+	// reports back. guarded by mu
 	remote    bool
-	lease     *time.Timer
-	attempts  int
-	hits      int
-	err       error
-	sol       *model.Solution
-	last      saim.Progress
-	hasLast   bool
-	subs      map[int]chan saim.Progress
-	nextSub   int
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	lease     *time.Timer                // guarded by mu
+	attempts  int                        // guarded by mu
+	hits      int                        // guarded by mu
+	err       error                      // guarded by mu
+	sol       *model.Solution            // guarded by mu
+	last      saim.Progress              // guarded by mu
+	hasLast   bool                       // guarded by mu
+	subs      map[int]chan saim.Progress // guarded by mu
+	nextSub   int                        // guarded by mu
+	submitted time.Time                  // guarded by mu
+	started   time.Time                  // guarded by mu
+	finished  time.Time                  // guarded by mu
 }
 
 func (j *Job) lock()   { j.mu.Lock() }
@@ -175,8 +174,16 @@ func (j *Job) Result() (*saim.Result, error) {
 // Solution returns the finished job's name-aware solution (nil together
 // with the error under the same conditions as Result).
 func (j *Job) Solution() (*model.Solution, error) {
-	if _, err := j.Result(); err != nil {
-		return nil, err
+	j.lock()
+	defer j.unlock()
+	switch j.state {
+	case StateQueued, StateRunning:
+		return nil, ErrNotFinished
+	case StateFailed:
+		return nil, j.err
+	}
+	if j.sol == nil {
+		return nil, j.err
 	}
 	return j.sol, nil
 }

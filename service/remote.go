@@ -137,10 +137,27 @@ func (m *Manager) Steal(lease time.Duration) (*StolenJob, bool) {
 	if lease <= 0 {
 		lease = 30 * time.Second
 	}
+	sj, j, attempt, ok := m.stealOne(lease)
+	if !ok {
+		return nil, false
+	}
+	// The start record is journaled OUTSIDE m.mu — under SyncAlways an
+	// Append fsyncs, and an fsync must not stall every other manager
+	// operation (lockguard enforces this). A crash between handing the
+	// job out and appending the record replays the job as queued, which
+	// is exactly the lease-expiry path's behavior: re-running a stolen
+	// job is the steal protocol's idempotent case.
+	m.journalStarted(j, attempt)
+	return sj, true
+}
+
+// stealOne runs Steal's critical section: scan the queue for a
+// stealable job, mark it running, and arm its lease, all under m.mu.
+func (m *Manager) stealOne(lease time.Duration) (*StolenJob, *Job, int, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
-		return nil, false
+		return nil, nil, 0, false
 	}
 	// Drain up to the current queue length looking for a stealable job;
 	// everything unstealable goes straight back. Submit sends under m.mu,
@@ -158,7 +175,7 @@ func (m *Manager) Steal(lease time.Duration) (*StolenJob, bool) {
 		select {
 		case j = <-m.queue:
 		default:
-			return nil, false
+			return nil, nil, 0, false
 		}
 		j.lock()
 		stealable := j.wireOnly && !j.cancelled && j.ctx.Err() == nil && j.state == StateQueued
@@ -182,16 +199,15 @@ func (m *Manager) Steal(lease time.Duration) (*StolenJob, bool) {
 		j.lease = time.AfterFunc(lease, func() { m.requeueStolen(j) })
 		j.unlock()
 		m.ctr.stolen.Add(1)
-		m.journalStarted(j, attempt)
 		return &StolenJob{
 			ID:          j.id,
 			Solver:      j.req.Solver,
 			Model:       raw,
 			Options:     opts,
 			TimeLimitMS: j.req.TimeLimit.Milliseconds(),
-		}, true
+		}, j, attempt, true
 	}
-	return nil, false
+	return nil, nil, 0, false
 }
 
 // stolenOptions copies the job's wire options, folding a recovery

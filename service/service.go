@@ -199,15 +199,15 @@ type Manager struct {
 	ctr counters
 
 	mu           sync.Mutex
-	draining     bool
-	nextID       int
-	jobs         map[string]*Job
-	inflight     map[string]*Job // queued or running, by dedup key
-	cache        *lruCache       // finished, by dedup key
-	finished     []string        // finished job ids, oldest first, for index pruning
-	quarantined  map[string]struct{}
-	quarOrder    []string // quarantined keys, oldest first, for bounding
-	sinceCompact int      // finished durable jobs since the last compaction
+	draining     bool                // guarded by mu
+	nextID       int                 // guarded by mu
+	jobs         map[string]*Job     // guarded by mu
+	inflight     map[string]*Job     // queued or running, by dedup key; guarded by mu
+	cache        *lruCache           // finished, by dedup key; guarded by mu
+	finished     []string            // finished job ids, oldest first, for index pruning; guarded by mu
+	quarantined  map[string]struct{} // guarded by mu
+	quarOrder    []string            // quarantined keys, oldest first, for bounding; guarded by mu
+	sinceCompact int                 // finished durable jobs since the last compaction; guarded by mu
 }
 
 // New returns a started in-memory Manager. A Config carrying a Dir must
@@ -334,34 +334,65 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		}
 	}
 
+	j, existing, err := m.admit(req, key, wireOnly, limit)
+	if err != nil {
+		return nil, err
+	}
+	if existing {
+		return j, nil
+	}
+	// The journal append runs OUTSIDE m.mu: under Fsync=SyncAlways every
+	// Append fsyncs, and an fsync must never gate Job/Stats/Cancel and
+	// every other m.mu operation (lockguard enforces this). The job is
+	// already queued and indexed; on journal failure it is retracted
+	// before a worker can run it, and since its submitted record never
+	// reached the log a crash cannot resurrect it. A concurrent
+	// identical submission in the retraction window dedups onto the
+	// doomed job and observes it cancelled — the same journal failure it
+	// would have hit itself.
+	if m.wal != nil {
+		if err := m.journalSubmitted(j, limit); err != nil {
+			m.retractSubmit(j)
+			return nil, fmt.Errorf("service: journal submit: %w", err)
+		}
+	}
+	m.ctr.submitted.Add(1)
+	return j, nil
+}
+
+// admit runs Submit's critical section: dedup lookup, job construction,
+// enqueue, and registration, all under m.mu and nothing slower. existing
+// reports a dedup hit. Journaling deliberately happens after this
+// returns — see Submit.
+func (m *Manager) admit(req Request, key string, wireOnly bool, limit time.Duration) (j *Job, existing bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if !req.NoDedup {
 		if _, bad := m.quarantined[key]; bad {
-			return nil, ErrQuarantined
+			return nil, false, ErrQuarantined
 		}
 		if j, ok := m.inflight[key]; ok {
 			j.lock()
 			j.hits++
 			j.unlock()
 			m.ctr.dedupHits.Add(1)
-			return j, nil
+			return j, true, nil
 		}
 		if j, ok := m.cache.get(key); ok {
 			j.lock()
 			j.hits++
 			j.unlock()
 			m.ctr.dedupHits.Add(1)
-			return j, nil
+			return j, true, nil
 		}
 	}
 
 	m.nextID++
 	ctx, cancel := context.WithCancel(m.base)
-	j := &Job{
+	j = &Job{
 		id:        m.jobID(m.nextID),
 		key:       key,
 		mgr:       m,
@@ -380,27 +411,29 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	case m.queue <- j:
 	default:
 		cancel()
-		return nil, ErrQueueFull
-	}
-	if m.wal != nil {
-		if err := m.journalSubmitted(j, limit); err != nil {
-			// The job is already in the queue; retract it before it is
-			// tracked anywhere. The worker that dequeues it sees the
-			// cancellation and drops it — and since its submitted record
-			// never made it to the log, a crash cannot resurrect it.
-			j.lock()
-			j.cancelled = true
-			j.unlock()
-			cancel()
-			return nil, fmt.Errorf("service: journal submit: %w", err)
-		}
+		return nil, false, ErrQueueFull
 	}
 	m.jobs[j.id] = j
 	if !req.NoDedup {
 		m.inflight[key] = j
 	}
-	m.ctr.submitted.Add(1)
-	return j, nil
+	return j, false, nil
+}
+
+// retractSubmit undoes an admission whose journal append failed: the job
+// leaves the index immediately, and the worker that dequeues it sees the
+// cancellation and finalizes it without running.
+func (m *Manager) retractSubmit(j *Job) {
+	j.lock()
+	j.cancelled = true
+	j.unlock()
+	j.cancel()
+	m.mu.Lock()
+	delete(m.jobs, j.id)
+	if cur, ok := m.inflight[j.key]; ok && cur == j {
+		delete(m.inflight, j.key)
+	}
+	m.mu.Unlock()
 }
 
 // Job returns a tracked job by id.
